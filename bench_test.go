@@ -1,0 +1,243 @@
+// Benchmarks that regenerate the paper's evaluation (one Benchmark per
+// table, Section 6) plus micro-benchmarks for the protocol's hot paths.
+// cmd/c3bench prints the full paper-style tables; these benchmarks wrap the
+// same generators so `go test -bench .` exercises every experiment and
+// reports the headline metric of each.
+package c3_test
+
+import (
+	"sync"
+	"testing"
+
+	"c3/internal/apps"
+	"c3/internal/bench"
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+	"c3/internal/stable"
+	"c3/internal/statesave"
+)
+
+// benchOpts keeps the in-benchmark sweeps modest; use cmd/c3bench for the
+// full class-W sweeps.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Class:       apps.ClassS,
+		Ranks:       []int{4, 8},
+		Repetitions: 1,
+	}
+}
+
+func runTable(b *testing.B, id string, opts bench.Options) {
+	b.Helper()
+	gen := bench.Generators[id]
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := gen(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if last != nil {
+		b.Logf("\n%s", last.Format())
+	}
+}
+
+// BenchmarkTable1CheckpointSizes regenerates Table 1: C3 vs Condor-model
+// checkpoint sizes on one processor.
+func BenchmarkTable1CheckpointSizes(b *testing.B) {
+	runTable(b, "1", benchOpts())
+}
+
+// BenchmarkTable2OverheadNoCkpt regenerates Table 2: runtime overhead with
+// no checkpoints on the low-latency interconnect profile.
+func BenchmarkTable2OverheadNoCkpt(b *testing.B) {
+	runTable(b, "2", benchOpts())
+}
+
+// BenchmarkTable3OverheadNoCkptLatency regenerates Table 3: the same sweep
+// on the Ethernet-style latency profile.
+func BenchmarkTable3OverheadNoCkptLatency(b *testing.B) {
+	opts := benchOpts()
+	opts.Ranks = []int{4}
+	opts.Kernels = []string{"CG", "HPL"}
+	runTable(b, "3", opts)
+}
+
+// BenchmarkTable4CheckpointCost regenerates Table 4: configurations #1/#2/#3
+// with per-process checkpoint sizes and costs.
+func BenchmarkTable4CheckpointCost(b *testing.B) {
+	runTable(b, "4", benchOpts())
+}
+
+// BenchmarkTable5CheckpointCostLatency regenerates Table 5 on the latency
+// profile.
+func BenchmarkTable5CheckpointCostLatency(b *testing.B) {
+	opts := benchOpts()
+	opts.Ranks = []int{4}
+	opts.Kernels = []string{"CG", "LU"}
+	runTable(b, "5", opts)
+}
+
+// BenchmarkTable6RestartCost regenerates Table 6: uniprocessor restart
+// costs.
+func BenchmarkTable6RestartCost(b *testing.B) {
+	runTable(b, "6", benchOpts())
+}
+
+// BenchmarkTable7RestartCostLatency regenerates Table 7 (CMI profile).
+func BenchmarkTable7RestartCostLatency(b *testing.B) {
+	opts := benchOpts()
+	opts.Kernels = []string{"CG", "LU"}
+	runTable(b, "7", opts)
+}
+
+// BenchmarkAblationPiggyback compares the 3-bit piggyback codec against the
+// full-epoch codec (paper Section 3.2's optimization).
+func BenchmarkAblationPiggyback(b *testing.B) {
+	opts := benchOpts()
+	opts.Ranks = []int{4}
+	runTable(b, "ablation-piggyback", opts)
+}
+
+// BenchmarkAblationBlocking compares non-blocking against blocking
+// coordinated checkpointing.
+func BenchmarkAblationBlocking(b *testing.B) {
+	opts := benchOpts()
+	opts.Ranks = []int{4}
+	runTable(b, "ablation-blocking", opts)
+}
+
+// --- Protocol micro-benchmarks ---
+
+// BenchmarkPiggybackNarrow measures the 1-byte (3-bit) codec round trip.
+func BenchmarkPiggybackNarrow(b *testing.B) {
+	c := ckpt.NarrowCodec{}
+	h := ckpt.Header{Color: 2, StoppedLogging: true}
+	buf := make([]byte, 0, 16)
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], h)
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPiggybackWide measures the full-epoch codec round trip.
+func BenchmarkPiggybackWide(b *testing.B) {
+	c := ckpt.WideCodec{}
+	h := ckpt.Header{Color: 2, StoppedLogging: true, Epoch: 123456, HasEpoch: true}
+	buf := make([]byte, 0, 16)
+	for i := 0; i < b.N; i++ {
+		buf = c.Encode(buf[:0], h)
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatatypePackVector measures packing a strided column out of a
+// 256x256 float64 matrix.
+func BenchmarkDatatypePackVector(b *testing.B) {
+	const n = 256
+	dt, err := mpi.Vector(n, 1, n, mpi.TypeFloat64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]byte, n*n*8)
+	b.SetBytes(int64(dt.Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dt.Pack(src, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pingPong runs a 2-rank ping-pong through the cluster runtime and reports
+// time per round trip.
+func pingPong(b *testing.B, direct bool, payload int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	iters := b.N
+	app := func(env cluster.Env) error {
+		w := env.World()
+		buf := make([]byte, payload)
+		other := 1 - env.Rank()
+		for i := 0; i < iters; i++ {
+			if env.Rank() == 0 {
+				if err := w.SendBytes(buf, other, 1); err != nil {
+					return err
+				}
+				if _, err := w.RecvBytes(buf, other, 2); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.RecvBytes(buf, other, 1); err != nil {
+					return err
+				}
+				if err := w.SendBytes(buf, other, 2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	b.SetBytes(int64(2 * payload))
+	b.ResetTimer()
+	if _, err := cluster.Run(cluster.Config{Ranks: 2, App: app, Direct: direct}); err != nil {
+		b.Fatal(err)
+	}
+	wg.Done()
+}
+
+// BenchmarkPingPongDirect measures the raw substrate round trip (the
+// "Original" configuration).
+func BenchmarkPingPongDirect(b *testing.B) { pingPong(b, true, 1024) }
+
+// BenchmarkPingPongWrapped measures the round trip through the protocol
+// layer: the difference against Direct is the paper's continuous overhead
+// in microbenchmark form.
+func BenchmarkPingPongWrapped(b *testing.B) { pingPong(b, false, 1024) }
+
+// BenchmarkCheckpointSaveRestore measures a full local checkpoint
+// save-and-reload of 1 MB of registered state through the stable store.
+func BenchmarkCheckpointSaveRestore(b *testing.B) {
+	reg := statesave.NewRegistry()
+	data := reg.Float64s("data", 128*1024).Data() // 1 MB
+	for i := range data {
+		data[i] = float64(i)
+	}
+	store := stable.NewMemStore()
+	b.SetBytes(int64(reg.LiveBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck, err := store.Begin(0, i+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ck.WriteSection("app", reg.Save()); err != nil {
+			b.Fatal(err)
+		}
+		if err := ck.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := store.Open(0, i+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img, err := snap.ReadSection("app")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := reg.Load(img); err != nil {
+			b.Fatal(err)
+		}
+		snap.Close()
+		if err := store.Retire(0, i+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command c3bench regenerates the paper's evaluation tables (Section 6)
+// from the reproduced system and prints them.
+//
+// Usage:
+//
+//	c3bench -table all                 # every table, class W
+//	c3bench -table 2 -ranks 4,8,16,32  # overhead sweep
+//	c3bench -table 1 -class A          # checkpoint sizes at a larger class
+//	c3bench -table ablation-piggyback  # design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"c3/internal/apps"
+	"c3/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, or all")
+		class   = flag.String("class", "W", "problem class: S, W, or A")
+		ranks   = flag.String("ranks", "4,8,16", "comma-separated rank counts for parallel tables")
+		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: the paper's set per table)")
+		reps    = flag.Int("reps", 1, "repetitions per timing (median reported)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Class:       apps.Class(*class),
+		Repetitions: *reps,
+	}
+	for _, f := range strings.Split(*ranks, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			fatalf("invalid rank count %q", f)
+		}
+		opts.Ranks = append(opts.Ranks, n)
+	}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			opts.Kernels = append(opts.Kernels, strings.TrimSpace(k))
+		}
+	}
+
+	ids := []string{*table}
+	if *table == "all" {
+		ids = ids[:0]
+		for id := range bench.Generators {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	}
+	for _, id := range ids {
+		gen, ok := bench.Generators[id]
+		if !ok {
+			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking)", id)
+		}
+		t, err := gen(opts)
+		if err != nil {
+			fatalf("table %s: %v", id, err)
+		}
+		fmt.Println(t.Format())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "c3bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command c3inspect examines checkpoints in an on-disk store: which
+// versions are committed per rank, the global recovery line, and the
+// per-section contents of a checkpoint.
+//
+// Usage:
+//
+//	c3inspect -store /tmp/ckpts                 # overview
+//	c3inspect -store /tmp/ckpts -rank 2 -v 3    # one checkpoint's sections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3/internal/stable"
+)
+
+func main() {
+	var (
+		dir     = flag.String("store", "", "checkpoint directory (required)")
+		rank    = flag.Int("rank", -1, "rank to inspect (-1: overview)")
+		version = flag.Int("v", -1, "version to inspect (-1: last committed)")
+		ranks   = flag.Int("ranks", 64, "maximum rank to scan in the overview")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatalf("-store is required")
+	}
+	store, err := stable.NewDiskStore(*dir)
+	if err != nil {
+		fatalf("open store: %v", err)
+	}
+
+	if *rank < 0 {
+		lasts := make([]int, 0, *ranks)
+		oks := make([]bool, 0, *ranks)
+		found := 0
+		for r := 0; r < *ranks; r++ {
+			v, ok, err := store.LastCommitted(r)
+			if err != nil {
+				fatalf("rank %d: %v", r, err)
+			}
+			if ok {
+				fmt.Printf("rank %4d: last committed version %d\n", r, v)
+				found++
+				lasts = append(lasts, v)
+				oks = append(oks, true)
+			}
+		}
+		if found == 0 {
+			fmt.Println("no committed checkpoints")
+			return
+		}
+		if line, ok := stable.GlobalLine(lasts, oks); ok {
+			fmt.Printf("global recovery line (over %d ranks with checkpoints): version %d\n", found, line)
+		}
+		return
+	}
+
+	v := *version
+	if v < 0 {
+		last, ok, err := store.LastCommitted(*rank)
+		if err != nil || !ok {
+			fatalf("rank %d has no committed checkpoint (%v)", *rank, err)
+		}
+		v = last
+	}
+	snap, err := store.Open(*rank, v)
+	if err != nil {
+		fatalf("open rank %d version %d: %v", *rank, v, err)
+	}
+	defer snap.Close()
+	sections, err := snap.Sections()
+	if err != nil {
+		fatalf("list sections: %v", err)
+	}
+	fmt.Printf("rank %d version %d:\n", *rank, v)
+	total := 0
+	for _, name := range sections {
+		data, err := snap.ReadSection(name)
+		if err != nil {
+			fatalf("read %q: %v", name, err)
+		}
+		fmt.Printf("  %-10s %8d bytes\n", name, len(data))
+		total += len(data)
+	}
+	fmt.Printf("  %-10s %8d bytes\n", "total", total)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "c3inspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Collectives under checkpointing: broadcast, allreduce, scan and gather
+// crossing recovery lines.
+//
+// Each phase takes a checkpoint on some ranks before the collective and on
+// others after it, so the collective's streams straddle the recovery line
+// exactly as in the paper's Figure 7. The injected failure then forces
+// recovery: late broadcast streams replay from the log, and the Allreduce
+// that crossed a line is replayed from the result log without communication
+// ("it is sufficient to store the final result of the operation at each
+// node and replay this from the log", Section 4.3).
+//
+// Note the application-level checkpointing discipline on display: every
+// phase records its results in registered state and advances the phase
+// counter BEFORE the pragma that may capture them, so that a restored run
+// resumes exactly at the phase boundary. This is the structure C3's
+// precompiler guarantees mechanically and a Go program expresses directly.
+//
+// Run: go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c3"
+)
+
+const ranks = 4
+
+func app(env c3.Env) error {
+	st := env.State()
+	phase := st.Int("phase")
+	acc := st.Float64("acc")
+
+	if _, err := env.Restore(); err != nil {
+		return err
+	}
+	w := env.World()
+	r := env.Rank()
+	buf := make([]byte, 8)
+
+	// Phase A: rank 0 broadcasts BEFORE its checkpoint; everyone else
+	// checkpoints first and receives after — the broadcast streams are
+	// late messages for them.
+	if r == 0 {
+		if phase.Get() == 0 {
+			c3.PutFloat64s(buf, []float64{42.5})
+			if err := w.Bcast(buf, 1, c3.TypeFloat64, 0); err != nil {
+				return err
+			}
+			acc.Set(42.5)
+			phase.Set(1)
+			if err := env.CheckpointNow(); err != nil { // pragma 1
+				return err
+			}
+		}
+	} else {
+		if phase.Get() == 0 {
+			phase.Set(1)
+			if err := env.CheckpointNow(); err != nil { // pragma 1
+				return err
+			}
+		}
+		if phase.Get() == 1 {
+			if err := w.Bcast(buf, 1, c3.TypeFloat64, 0); err != nil {
+				return err
+			}
+			var v [1]float64
+			c3.GetFloat64s(v[:], buf)
+			acc.Set(v[0])
+			phase.Set(2)
+		}
+	}
+	if r == 0 && phase.Get() == 1 {
+		phase.Set(2)
+	}
+	// Fence: make sure the phase-A line has committed everywhere before
+	// phase B's pragmas run (a pragma cannot start a new checkpoint while
+	// the previous one is still completing — recovery lines never cross).
+	if err := c3.LayerOf(env).Sync(); err != nil {
+		return err
+	}
+
+	// Phase B: an Allreduce crossing the next line — rank 3 calls it
+	// before checkpointing, everyone else after, so the post-line ranks
+	// log the result and replay it during recovery.
+	in := c3.Float64Bytes([]float64{acc.Get() + float64(r)})
+	out := make([]byte, 8)
+	if r == 3 {
+		if phase.Get() == 2 {
+			if err := w.Allreduce(in, out, 1, c3.TypeFloat64, c3.OpSum); err != nil {
+				return err
+			}
+			acc.Set(c3.BytesFloat64s(out)[0])
+			phase.Set(4)
+			if err := env.CheckpointNow(); err != nil { // pragma 2
+				return err
+			}
+		}
+	} else {
+		if phase.Get() == 2 {
+			phase.Set(3)
+			if err := env.CheckpointNow(); err != nil { // pragma 2
+				return err
+			}
+		}
+		if phase.Get() == 3 {
+			if err := w.Allreduce(in, out, 1, c3.TypeFloat64, c3.OpSum); err != nil {
+				return err
+			}
+			acc.Set(c3.BytesFloat64s(out)[0])
+			phase.Set(4)
+		}
+	}
+
+	// Phase C: prefix sums with Scan, collected at rank 0 with Gather.
+	if phase.Get() == 4 {
+		if err := w.Scan(c3.Float64Bytes([]float64{acc.Get()}), out, 1, c3.TypeFloat64, c3.OpSum); err != nil {
+			return err
+		}
+		prefix := c3.BytesFloat64s(out)[0]
+		all := make([]byte, 8*ranks)
+		if err := w.Gather(c3.Float64Bytes([]float64{prefix}), 1, c3.TypeFloat64, all, 0); err != nil {
+			return err
+		}
+		if r == 0 {
+			vals := c3.BytesFloat64s(all)
+			fmt.Printf("prefix sums at rank 0: %.1f %.1f %.1f %.1f\n",
+				vals[0], vals[1], vals[2], vals[3])
+		}
+		phase.Set(5)
+		// Commit fence so the line from phase B is durable everywhere
+		// before the injected failure fires at the next pragma.
+		if err := c3.LayerOf(env).Sync(); err != nil {
+			return err
+		}
+		if err := env.Checkpoint(); err != nil { // pragma 3
+			return err
+		}
+	}
+
+	fmt.Printf("rank %d: allreduce total = %.1f\n", r, acc.Get())
+	return nil
+}
+
+func main() {
+	res, err := c3.Run(c3.Config{
+		Ranks:    ranks,
+		App:      app,
+		Failures: []c3.FailureSpec{{Rank: 1, AtPragma: 3}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logged, replayed, lateLogged, lateReplayed uint64
+	for _, rs := range res.Stats {
+		logged += rs.Stats.ResultsLogged
+		replayed += rs.Stats.ResultsReplayed
+		lateLogged += rs.Stats.LateLogged
+		lateReplayed += rs.Stats.ReplayedLate
+	}
+	fmt.Printf("\n%d attempts; allreduce results logged=%d replayed=%d; late msgs logged=%d replayed=%d\n",
+		res.Attempts, logged, replayed, lateLogged, lateReplayed)
+}

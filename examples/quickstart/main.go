@@ -1,0 +1,85 @@
+// Quickstart: a self-checkpointing, self-restarting ring program.
+//
+// Four ranks pass a token around a ring, folding it into a running sum.
+// Every iteration ends with a checkpoint pragma; the policy takes a
+// checkpoint every 3 pragmas. A fail-stop failure is injected on rank 2
+// mid-run: the whole world is torn down and restarted, recovery finds the
+// last recovery line committed on all ranks, restores the registered state,
+// replays logged late messages and suppresses re-sends of early ones, and
+// the program finishes as if nothing had happened.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"c3"
+)
+
+func main() {
+	const ranks = 4
+	const iters = 9
+
+	app := func(env c3.Env) error {
+		st := env.State()
+		it := st.Int("it")   // loop counter: part of the saved state
+		sum := st.Int("sum") // running result
+
+		// Restore recovers registered state from the last committed
+		// recovery line when this run is a restart (no-op otherwise).
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		if restored {
+			fmt.Printf("rank %d: restored at iteration %d (sum=%d)\n",
+				env.Rank(), it.Get(), sum.Get())
+		}
+
+		w := env.World()
+		right := (env.Rank() + 1) % ranks
+		left := (env.Rank() + ranks - 1) % ranks
+
+		for it.Get() < iters {
+			// Pass a token right, receive from the left.
+			token := []byte{byte(env.Rank() + it.Get())}
+			var in [1]byte
+			if _, err := w.Sendrecv(token, 1, c3.TypeByte, right, 1,
+				in[:], 1, c3.TypeByte, left, 1); err != nil {
+				return err
+			}
+			sum.Add(int(in[0]))
+			it.Add(1)
+
+			// The checkpoint pragma: the policy decides whether a global
+			// checkpoint starts here (it also joins checkpoints other
+			// ranks have initiated).
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("rank %d: done, sum=%d\n", env.Rank(), sum.Get())
+		return nil
+	}
+
+	res, err := c3.Run(c3.Config{
+		Ranks:  ranks,
+		App:    app,
+		Policy: c3.Policy{EveryNthPragma: 3},
+		// Kill rank 2 at its 7th pragma — after at least one recovery
+		// line has committed.
+		Failures: []c3.FailureSpec{{Rank: 2, AtPragma: 7}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted in %d attempt(s); last attempt took %v\n",
+		res.Attempts, res.LastAttemptElapsed)
+	for _, rs := range res.Stats {
+		s := rs.Stats
+		fmt.Printf("rank %d: %d checkpoints, %d late logged, %d replayed, %d re-sends suppressed\n",
+			rs.Rank, s.CheckpointsTaken, s.LateLogged, s.ReplayedLate, s.SuppressedSends)
+	}
+}

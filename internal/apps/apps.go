@@ -1,0 +1,177 @@
+// Package apps contains the benchmark kernels used by the paper's
+// evaluation: scaled-down but structurally faithful Go versions of the NAS
+// Parallel Benchmarks the paper measures (CG, LU, SP, MG, EP, IS, FT), the
+// SMG2000 semicoarsening multigrid benchmark from the ASCI Purple suite,
+// and the HPL high-performance Linpack benchmark.
+//
+// Each kernel reproduces its original's communication pattern — the
+// property that determines the protocol overhead the paper's Tables 2–5
+// measure — and its relative state footprint, which determines checkpoint
+// sizes (Tables 1, 4, 5). Kernels are written against the cluster.Env
+// interface, so the identical code runs "Original" (direct MPI) and "C3"
+// (through the protocol layer); every kernel registers all of its state and
+// resumes from restored loop counters, making it self-checkpointing and
+// self-restarting in the paper's sense.
+//
+// The paper's checkpoint-location notes (Section 6.3) are mirrored: CG, LU,
+// SP and HPL place one pragma at the bottom (or top) of the main iteration
+// loop; MG checkpoints at the V-cycle boundary and is the only kernel with
+// a barrier in its computation; SMG places pragmas both inside and outside
+// its nested solve loops.
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"c3/internal/cluster"
+)
+
+// Class selects a problem size, loosely mirroring NAS class names.
+type Class string
+
+// Problem classes: S is for unit tests, W for quick benchmarks, A for
+// longer benchmark runs.
+const (
+	ClassS Class = "S"
+	ClassW Class = "W"
+	ClassA Class = "A"
+)
+
+// Params sizes a kernel run.
+type Params struct {
+	Class Class
+	// N is the global problem size (meaning is kernel-specific); 0 means
+	// use the class default.
+	N int
+	// Iters is the number of main-loop iterations; 0 means class default.
+	Iters int
+}
+
+// Output collects per-rank results across a run (attempt-safe: later
+// attempts overwrite).
+type Output struct {
+	mu        sync.Mutex
+	checksums map[int]float64
+}
+
+// NewOutput returns an empty Output.
+func NewOutput() *Output {
+	return &Output{checksums: make(map[int]float64)}
+}
+
+// Report records rank r's final checksum.
+func (o *Output) Report(r int, sum float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.checksums[r] = sum
+}
+
+// Checksum returns rank r's recorded checksum.
+func (o *Output) Checksum(r int) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	v, ok := o.checksums[r]
+	return v, ok
+}
+
+// Combined folds all rank checksums into one value.
+func (o *Output) Combined() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	sum := 0.0
+	for r := 0; r < len(o.checksums); r++ {
+		sum = sum*1.000000119 + o.checksums[r]
+	}
+	return sum
+}
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	// Name is the benchmark's short name (CG, LU, ...).
+	Name string
+	// Description summarizes the communication pattern.
+	Description string
+	// Defaults returns the sized parameters for a class.
+	Defaults func(c Class) Params
+	// App builds the per-rank application function.
+	App func(p Params, out *Output) func(cluster.Env) error
+}
+
+// kernels is the registry, populated by each kernel file's init.
+var kernels = map[string]*Kernel{}
+
+// Register adds a kernel to the registry; it panics on duplicates.
+func Register(k *Kernel) {
+	if _, dup := kernels[k.Name]; dup {
+		panic(fmt.Sprintf("apps: duplicate kernel %q", k.Name))
+	}
+	kernels[k.Name] = k
+}
+
+// Lookup returns a kernel by name.
+func Lookup(name string) (*Kernel, bool) {
+	k, ok := kernels[name]
+	return k, ok
+}
+
+// Names returns the registered kernel names in a fixed presentation order.
+func Names() []string {
+	order := []string{"CG", "LU", "SP", "MG", "EP", "IS", "FT", "SMG2000", "HPL"}
+	var out []string
+	for _, n := range order {
+		if _, ok := kernels[n]; ok {
+			out = append(out, n)
+		}
+	}
+	for n := range kernels {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sized picks p.N / p.Iters with class defaults.
+func sized(p Params, defN, defIters map[Class]int) (n, iters int) {
+	n, iters = p.N, p.Iters
+	if n == 0 {
+		n = defN[p.Class]
+		if n == 0 {
+			n = defN[ClassS]
+		}
+	}
+	if iters == 0 {
+		iters = defIters[p.Class]
+		if iters == 0 {
+			iters = defIters[ClassS]
+		}
+	}
+	return n, iters
+}
+
+// blockRange splits n items over size ranks and returns rank r's [lo, hi).
+func blockRange(n, size, r int) (lo, hi int) {
+	per := n / size
+	rem := n % size
+	lo = r*per + min(r, rem)
+	hi = lo + per
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package apps_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"c3/internal/apps"
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+)
+
+func runCfg(t *testing.T, cfg cluster.Config) *cluster.Result {
+	t.Helper()
+	type out struct {
+		res *cluster.Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		r, e := cluster.Run(cfg)
+		ch <- out{r, e}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("run failed: %v", o.err)
+		}
+		return o.res
+	case <-time.After(120 * time.Second):
+		t.Fatal("run timed out")
+		return nil
+	}
+}
+
+func checksums(t *testing.T, out *apps.Output, ranks int) []float64 {
+	t.Helper()
+	sums := make([]float64, ranks)
+	for r := 0; r < ranks; r++ {
+		v, ok := out.Checksum(r)
+		if !ok {
+			t.Fatalf("rank %d reported no checksum", r)
+		}
+		sums[r] = v
+	}
+	return sums
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// TestKernelsDirectVsCheckpointed runs every kernel under the direct
+// environment and under the protocol layer (no checkpoints taken) and
+// demands identical results: the interposition must be semantically
+// transparent.
+func TestKernelsDirectVsCheckpointed(t *testing.T) {
+	const ranks = 4
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, _ := apps.Lookup(name)
+			p := k.Defaults(apps.ClassS)
+
+			direct := apps.NewOutput()
+			runCfg(t, cluster.Config{Ranks: ranks, Direct: true, App: k.App(p, direct)})
+
+			wrapped := apps.NewOutput()
+			runCfg(t, cluster.Config{Ranks: ranks, App: k.App(p, wrapped)})
+
+			d := checksums(t, direct, ranks)
+			w := checksums(t, wrapped, ranks)
+			for r := 0; r < ranks; r++ {
+				if !almostEqual(d[r], w[r]) {
+					t.Errorf("rank %d: direct %v vs wrapped %v", r, d[r], w[r])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsCheckpointEveryIteration takes a checkpoint at every pragma
+// and compares against the direct run: the protocol with constant
+// checkpointing must still be transparent.
+func TestKernelsCheckpointEveryIteration(t *testing.T) {
+	const ranks = 4
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, _ := apps.Lookup(name)
+			p := k.Defaults(apps.ClassS)
+
+			direct := apps.NewOutput()
+			runCfg(t, cluster.Config{Ranks: ranks, Direct: true, App: k.App(p, direct)})
+
+			ck := apps.NewOutput()
+			runCfg(t, cluster.Config{
+				Ranks:  ranks,
+				App:    k.App(p, ck),
+				Policy: ckpt.Policy{EveryNthPragma: 1},
+			})
+
+			d := checksums(t, direct, ranks)
+			c := checksums(t, ck, ranks)
+			for r := 0; r < ranks; r++ {
+				if !almostEqual(d[r], c[r]) {
+					t.Errorf("rank %d: direct %v vs checkpointed %v", r, d[r], c[r])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsRecoverFromFailure injects a fail-stop failure mid-run and
+// requires the recovered computation to produce the failure-free results.
+// This is the end-to-end statement of the paper's correctness claim for
+// every benchmark in its evaluation.
+func TestKernelsRecoverFromFailure(t *testing.T) {
+	const ranks = 4
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, _ := apps.Lookup(name)
+			p := k.Defaults(apps.ClassS)
+
+			ref := apps.NewOutput()
+			runCfg(t, cluster.Config{Ranks: ranks, Direct: true, App: k.App(p, ref)})
+
+			got := apps.NewOutput()
+			res := runCfg(t, cluster.Config{
+				Ranks:    ranks,
+				App:      k.App(p, got),
+				Policy:   ckpt.Policy{EveryNthPragma: 2},
+				Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 3}},
+			})
+			if res.Attempts != 2 {
+				t.Fatalf("attempts = %d, want 2", res.Attempts)
+			}
+
+			d := checksums(t, ref, ranks)
+			g := checksums(t, got, ranks)
+			for r := 0; r < ranks; r++ {
+				if !almostEqual(d[r], g[r]) {
+					t.Errorf("rank %d: failure-free %v vs recovered %v", r, d[r], g[r])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsRecoverUnderFrequentCheckpoints combines every-pragma
+// checkpointing with two failures.
+func TestKernelsRecoverUnderFrequentCheckpoints(t *testing.T) {
+	const ranks = 4
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, _ := apps.Lookup(name)
+			p := k.Defaults(apps.ClassS)
+
+			ref := apps.NewOutput()
+			runCfg(t, cluster.Config{Ranks: ranks, Direct: true, App: k.App(p, ref)})
+
+			got := apps.NewOutput()
+			runCfg(t, cluster.Config{
+				Ranks:  ranks,
+				App:    k.App(p, got),
+				Policy: ckpt.Policy{EveryNthPragma: 1},
+				Failures: []cluster.FailureSpec{
+					{Rank: 2, AtPragma: 3},
+					{Rank: 0, AtPragma: 4},
+				},
+			})
+
+			d := checksums(t, ref, ranks)
+			g := checksums(t, got, ranks)
+			for r := 0; r < ranks; r++ {
+				if !almostEqual(d[r], g[r]) {
+					t.Errorf("rank %d: failure-free %v vs recovered %v", r, d[r], g[r])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsOddRankCounts ensures kernels handle non-power-of-two and
+// single-rank worlds.
+func TestKernelsOddRankCounts(t *testing.T) {
+	for _, ranks := range []int{1, 3} {
+		for _, name := range apps.Names() {
+			name, ranks := name, ranks
+			t.Run(fmt.Sprintf("%s/n=%d", name, ranks), func(t *testing.T) {
+				k, _ := apps.Lookup(name)
+				p := k.Defaults(apps.ClassS)
+				out := apps.NewOutput()
+				runCfg(t, cluster.Config{
+					Ranks:  ranks,
+					App:    k.App(p, out),
+					Policy: ckpt.Policy{EveryNthPragma: 2},
+				})
+				checksums(t, out, ranks)
+			})
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"math"
+
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// CG is a conjugate-gradient solve on a 1D Laplacian, row-block
+// partitioned: each iteration does one sparse matrix-vector product with a
+// nearest-neighbor halo exchange plus two dot-product Allreduces — the NAS
+// CG communication shape. The paper places the checkpoint location "at the
+// bottom of the main loop in the routine conj_grad".
+func init() {
+	Register(&Kernel{
+		Name:        "CG",
+		Description: "conjugate gradient: halo exchange + dot-product allreduces per iteration",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 512, ClassW: 262144, ClassA: 1048576}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 12, ClassW: 30, ClassA: 60})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: cgApp,
+	})
+}
+
+func cgApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 512, ClassW: 262144, ClassA: 1048576},
+			map[Class]int{ClassS: 12, ClassW: 30, ClassA: 60})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		lo, hi := blockRange(n, size, r)
+		local := hi - lo
+
+		it := st.Int("it")
+		x := st.Float64s("x", local).Data()
+		rv := st.Float64s("r", local).Data()
+		pv := st.Float64s("p", local).Data()
+		ap := st.Float64s("ap", local).Data()
+		rho := st.Float64("rho")
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		matvec := func(in, outv []float64) error {
+			// Halo exchange of the boundary elements with both neighbors.
+			// Send and receive buffers must be distinct (MPI forbids
+			// overlapping Sendrecv buffers).
+			leftGhost, rightGhost := 0.0, 0.0
+			var sbuf, rbuf [8]byte
+			if r > 0 {
+				mpi.PutFloat64s(sbuf[:], in[:1])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r-1, 21,
+					rbuf[:], 1, mpi.TypeFloat64, r-1, 22); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				leftGhost = v[0]
+			}
+			if r < size-1 {
+				mpi.PutFloat64s(sbuf[:], in[local-1:])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r+1, 22,
+					rbuf[:], 1, mpi.TypeFloat64, r+1, 21); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				rightGhost = v[0]
+			}
+			for i := 0; i < local; i++ {
+				left := leftGhost
+				if i > 0 {
+					left = in[i-1]
+				}
+				right := rightGhost
+				if i < local-1 {
+					right = in[i+1]
+				}
+				outv[i] = 2*in[i] - left - right + in[i]*1e-3
+			}
+			return nil
+		}
+
+		dot := func(a, b []float64) (float64, error) {
+			s := 0.0
+			for i := range a {
+				s += a[i] * b[i]
+			}
+			in := mpi.Float64Bytes([]float64{s})
+			outb := make([]byte, 8)
+			if err := w.Allreduce(in, outb, 1, mpi.TypeFloat64, mpi.OpSum); err != nil {
+				return 0, err
+			}
+			return mpi.BytesFloat64s(outb)[0], nil
+		}
+
+		if !restored && it.Get() == 0 {
+			for i := 0; i < local; i++ {
+				gi := lo + i
+				rv[i] = 1.0 + float64(gi%7)*0.125
+				pv[i] = rv[i]
+				x[i] = 0
+			}
+			rr, err := dot(rv, rv)
+			if err != nil {
+				return err
+			}
+			rho.Set(rr)
+		}
+
+		for it.Get() < iters {
+			if err := matvec(pv, ap); err != nil {
+				return err
+			}
+			pap, err := dot(pv, ap)
+			if err != nil {
+				return err
+			}
+			alpha := rho.Get() / pap
+			for i := 0; i < local; i++ {
+				x[i] += alpha * pv[i]
+				rv[i] -= alpha * ap[i]
+			}
+			rr, err := dot(rv, rv)
+			if err != nil {
+				return err
+			}
+			beta := rr / rho.Get()
+			rho.Set(rr)
+			for i := 0; i < local; i++ {
+				pv[i] = rv[i] + beta*pv[i]
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil { // bottom of conj_grad loop
+				return err
+			}
+		}
+		sum := 0.0
+		for i := 0; i < local; i++ {
+			sum += x[i] * float64(lo+i+1)
+		}
+		if math.IsNaN(sum) {
+			sum = -1
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"math"
+
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// EP mirrors the NAS EP benchmark: embarrassingly parallel generation of
+// pseudo-random pairs with an acceptance test, tallied into annulus bins,
+// combined with a single reduction at the end. Its live state is tiny — the
+// bins and the generator state — which is why the paper's Table 1 shows C3
+// checkpoints of ~1 MB against Condor's full process image: a system-level
+// checkpointer must save the whole heap including scratch memory that the
+// application has already freed. To exercise exactly that effect, the
+// kernel allocates (and frees) a large scratch block from the
+// checkpointable heap during initialization.
+func init() {
+	Register(&Kernel{
+		Name:        "EP",
+		Description: "embarrassingly parallel random pairs; one reduction at the end",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 1 << 12, ClassW: 1 << 18, ClassA: 1 << 21}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 4, ClassW: 8, ClassA: 16})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: epApp,
+	})
+}
+
+func epApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 1 << 12, ClassW: 1 << 18, ClassA: 1 << 21},
+			map[Class]int{ClassS: 4, ClassW: 8, ClassA: 16})
+		st := env.State()
+		r := env.Rank()
+
+		it := st.Int("it")
+		seed := st.Int("seed")
+		bins := st.Int64s("bins", 10).Data()
+		count := st.Int("count")
+
+		if seed.Get() == 0 {
+			seed.Set(271828183 ^ (r << 16))
+		}
+
+		// Large scratch block freed after initialization: live data drops,
+		// but a system-level checkpoint's process image would keep paying
+		// for it (the heap never shrinks).
+		if it.Get() == 0 {
+			scratch := env.Heap().Alloc("ep-scratch", 8*n)
+			data := scratch.Data()
+			s := uint64(12345 + r)
+			for i := range data {
+				s = s*6364136223846793005 + 1442695040888963407
+				data[i] = byte(s >> 56)
+			}
+			env.Heap().Free(scratch)
+		}
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		_ = restored
+		w := env.World()
+
+		next := func() float64 {
+			v := seed.Get()
+			v = (v*1103515245 + 12345) & 0x7fffffff
+			seed.Set(v)
+			return float64(v) / float64(0x7fffffff)
+		}
+
+		for it.Get() < iters {
+			for k := 0; k < n/iters; k++ {
+				x := 2*next() - 1
+				y := 2*next() - 1
+				t := x*x + y*y
+				if t <= 1.0 && t > 0 {
+					f := math.Sqrt(-2 * math.Log(t) / t)
+					gx, gy := x*f, y*f
+					m := int(math.Max(math.Abs(gx), math.Abs(gy)))
+					if m >= 0 && m < 10 {
+						bins[m]++
+						count.Add(1)
+					}
+				}
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		// Single combining reduction, as in EP's epilogue.
+		in := mpi.Int64Bytes(bins)
+		outb := make([]byte, 8*len(bins))
+		if err := w.Allreduce(in, outb, len(bins), mpi.TypeInt64, mpi.OpSum); err != nil {
+			return err
+		}
+		total := mpi.BytesInt64s(outb)
+		sum := 0.0
+		for i, v := range total {
+			sum += float64(v) * float64(i+1)
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// FT mirrors the NAS FT benchmark: a distributed FFT computed as local row
+// FFTs, a global transpose (all-to-all), local FFTs again, followed by a
+// spectral evolution step each iteration. The all-to-all transpose of the
+// complex grid is the dominant communication.
+func init() {
+	Register(&Kernel{
+		Name:        "FT",
+		Description: "transpose-based FFT: local row FFTs + alltoall transpose per step",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 32, ClassW: 128, ClassA: 256}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 4, ClassW: 8, ClassA: 12})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: ftApp,
+	})
+}
+
+// fft computes an in-place radix-2 Cooley-Tukey FFT.
+func fft(a []complex128, invert bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	if invert {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+func ftApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 32, ClassW: 128, ClassA: 256},
+			map[Class]int{ClassS: 4, ClassW: 8, ClassA: 12})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		// n must be a power of two and divisible by size.
+		for n%size != 0 {
+			n <<= 1
+		}
+		rows := n / size
+
+		it := st.Int("it")
+		// The complex grid is stored as interleaved float64 pairs.
+		raw := st.Float64s("grid", 2*rows*n).Data()
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && it.Get() == 0 {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					raw[2*(i*n+j)] = math.Sin(float64((r*rows+i)*n+j) * 0.01)
+					raw[2*(i*n+j)+1] = 0
+				}
+			}
+		}
+
+		row := make([]complex128, n)
+		sendBuf := make([]byte, 16*rows*n)
+		recvBuf := make([]byte, 16*rows*n)
+		scratch := make([]complex128, rows*n)
+
+		localFFT := func(invert bool) {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					row[j] = complex(raw[2*(i*n+j)], raw[2*(i*n+j)+1])
+				}
+				fft(row, invert)
+				for j := 0; j < n; j++ {
+					raw[2*(i*n+j)] = real(row[j])
+					raw[2*(i*n+j)+1] = imag(row[j])
+				}
+			}
+		}
+
+		transpose := func() error {
+			for q := 0; q < size; q++ {
+				for i := 0; i < rows; i++ {
+					for j := 0; j < rows; j++ {
+						scratch[q*rows*rows+i*rows+j] = complex(
+							raw[2*(i*n+q*rows+j)], raw[2*(i*n+q*rows+j)+1])
+					}
+				}
+			}
+			mpi.PutComplex128s(sendBuf, scratch)
+			if err := w.Alltoall(sendBuf, rows*rows, mpi.TypeComplex128, recvBuf); err != nil {
+				return err
+			}
+			mpi.GetComplex128s(scratch, recvBuf)
+			for q := 0; q < size; q++ {
+				blk := scratch[q*rows*rows : (q+1)*rows*rows]
+				for i := 0; i < rows; i++ {
+					for j := 0; j < rows; j++ {
+						v := blk[i*rows+j]
+						raw[2*(j*n+q*rows+i)] = real(v)
+						raw[2*(j*n+q*rows+i)+1] = imag(v)
+					}
+				}
+			}
+			return nil
+		}
+
+		for it.Get() < iters {
+			localFFT(false)
+			if err := transpose(); err != nil {
+				return err
+			}
+			localFFT(false)
+			// Spectral evolution: damp high modes.
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					k := (r*rows + i + j) % n
+					f := math.Exp(-1e-6 * float64(k*k))
+					raw[2*(i*n+j)] *= f
+					raw[2*(i*n+j)+1] *= f
+				}
+			}
+			localFFT(true)
+			if err := transpose(); err != nil {
+				return err
+			}
+			localFFT(true)
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		sum := 0.0
+		for i := 0; i < rows*n; i++ {
+			sum += raw[2*i] * float64(i%11+1) * 1e-3
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"math"
+
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// HPL mirrors the High-Performance Linpack benchmark: a right-looking LU
+// factorization with columns distributed block-cyclically; at each step the
+// panel owner factors its column block and broadcasts it, and every rank
+// updates its trailing columns. The paper places the checkpoint location
+// "at the top of the innermost driver loop in main". HPL has no global
+// barriers in its factorization loop, which is exactly why the paper calls
+// out barrier-free codes as the motivation for non-blocking coordination.
+func init() {
+	Register(&Kernel{
+		Name:        "HPL",
+		Description: "right-looking LU: panel factorization + broadcast + trailing update",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 48, ClassW: 256, ClassA: 512}, nil)
+			return Params{Class: c, N: n, Iters: 1}
+		},
+		App: hplApp,
+	})
+}
+
+func hplApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, _ := sized(p, map[Class]int{ClassS: 48, ClassW: 256, ClassA: 512},
+			map[Class]int{ClassS: 1})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		for n%size != 0 {
+			n++
+		}
+		localCols := n / size
+		// Column j lives on rank j%size at local index j/size (block size 1
+		// cyclic distribution, the paper's nb generalizes this).
+
+		k := st.Int("k")
+		a := st.Float64s("a", n*localCols).Data() // column-major local panel
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && k.Get() == 0 {
+			for lc := 0; lc < localCols; lc++ {
+				j := lc*size + r
+				for i := 0; i < n; i++ {
+					v := 1.0 / (1.0 + float64(i+j))
+					if i == j {
+						v += float64(n)
+					}
+					a[lc*n+i] = v
+				}
+			}
+		}
+
+		panel := make([]byte, 8*n)
+		col := make([]float64, n)
+
+		for k.Get() < n {
+			kk := k.Get()
+			owner := kk % size
+			if r == owner {
+				lc := kk / size
+				// Factor the panel column: scale below the diagonal.
+				piv := a[lc*n+kk]
+				if piv == 0 {
+					piv = 1e-12
+				}
+				for i := kk + 1; i < n; i++ {
+					a[lc*n+i] /= piv
+				}
+				copy(col, a[lc*n:(lc+1)*n])
+				mpi.PutFloat64s(panel, col)
+			}
+			if err := w.Bcast(panel, n, mpi.TypeFloat64, owner); err != nil {
+				return err
+			}
+			if r != owner {
+				mpi.GetFloat64s(col, panel)
+			}
+			// Trailing update on our columns right of k.
+			for lc := 0; lc < localCols; lc++ {
+				j := lc*size + r
+				if j <= kk {
+					continue
+				}
+				ajk := a[lc*n+kk]
+				for i := kk + 1; i < n; i++ {
+					a[lc*n+i] -= col[i] * ajk
+				}
+			}
+			k.Add(1)
+			if err := env.Checkpoint(); err != nil { // top of the driver loop
+				return err
+			}
+		}
+		sum := 0.0
+		for lc := 0; lc < localCols; lc++ {
+			for i := 0; i < n; i++ {
+				v := a[lc*n+i]
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					sum += v * 1e-3
+				}
+			}
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"sort"
+
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// IS mirrors the NAS IS benchmark: iterative parallel bucket sort of
+// integer keys. Each iteration counts keys per bucket, exchanges counts
+// with an Alltoall, and redistributes the keys with an Alltoallv — the
+// benchmark's signature all-to-all personalized communication.
+func init() {
+	Register(&Kernel{
+		Name:        "IS",
+		Description: "integer bucket sort: alltoall counts + alltoallv key redistribution",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 1 << 10, ClassW: 1 << 15, ClassA: 1 << 18}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 4, ClassW: 10, ClassA: 16})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: isApp,
+	})
+}
+
+func isApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 1 << 10, ClassW: 1 << 15, ClassA: 1 << 18},
+			map[Class]int{ClassS: 4, ClassW: 10, ClassA: 16})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		local := n / size
+		if local == 0 {
+			local = 1
+		}
+		const keyRange = 1 << 16
+
+		it := st.Int("it")
+		seed := st.Int("seed")
+		keys := st.Bytes("keys")
+
+		if seed.Get() == 0 {
+			seed.Set(314159*(r+1) + 271)
+		}
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && it.Get() == 0 {
+			ks := make([]int64, local)
+			v := seed.Get()
+			for i := range ks {
+				v = (v*1103515245 + 12345) & 0x7fffffff
+				ks[i] = int64(v % keyRange)
+			}
+			seed.Set(v)
+			keys.SetData(mpi.Int64Bytes(ks))
+		}
+
+		for it.Get() < iters {
+			ks := mpi.BytesInt64s(keys.Data())
+			// Bucket keys by destination rank.
+			per := keyRange / size
+			buckets := make([][]int64, size)
+			for _, k := range ks {
+				d := int(k) / per
+				if d >= size {
+					d = size - 1
+				}
+				buckets[d] = append(buckets[d], k)
+			}
+			sendCounts := make([]int, size)
+			sendDispls := make([]int, size)
+			total := 0
+			for q := 0; q < size; q++ {
+				sendCounts[q] = 8 * len(buckets[q])
+				sendDispls[q] = total
+				total += sendCounts[q]
+			}
+			sendBuf := make([]byte, total)
+			for q := 0; q < size; q++ {
+				mpi.PutInt64s(sendBuf[sendDispls[q]:], buckets[q])
+			}
+			// Exchange counts, then the keys themselves.
+			countsIn := make([]byte, 8*size)
+			countsOut := make([]byte, 8*size)
+			cs := make([]int64, size)
+			for q := range cs {
+				cs[q] = int64(sendCounts[q])
+			}
+			mpi.PutInt64s(countsIn, cs)
+			if err := w.Alltoall(countsIn, 1, mpi.TypeInt64, countsOut); err != nil {
+				return err
+			}
+			recvCounts64 := mpi.BytesInt64s(countsOut)
+			recvCounts := make([]int, size)
+			recvDispls := make([]int, size)
+			rtotal := 0
+			for q := 0; q < size; q++ {
+				recvCounts[q] = int(recvCounts64[q])
+				recvDispls[q] = rtotal
+				rtotal += recvCounts[q]
+			}
+			recvBuf := make([]byte, rtotal)
+			if err := w.Alltoallv(sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls); err != nil {
+				return err
+			}
+			got := mpi.BytesInt64s(recvBuf)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			// Perturb the keys so every iteration re-communicates, keeping
+			// values inside this rank's range most of the time.
+			for i := range got {
+				got[i] = (got[i]*31 + int64(i)) % keyRange
+			}
+			keys.SetData(mpi.Int64Bytes(got))
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		ks := mpi.BytesInt64s(keys.Data())
+		sum := 0.0
+		for i, k := range ks {
+			sum += float64(k) * float64(i%13+1) * 1e-4
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// LU mirrors the NAS LU benchmark's SSOR wavefront: the grid is partitioned
+// in row blocks, and each sweep pipelines through the ranks — receive the
+// boundary row from the rank above, relax local rows, forward the last row
+// to the rank below, then the reverse sweep. The paper places the
+// checkpoint location "at the bottom of the istep loop in the routine
+// ssor".
+func init() {
+	Register(&Kernel{
+		Name:        "LU",
+		Description: "SSOR wavefront pipelining: boundary-row pipeline down then up per step",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 64, ClassW: 384, ClassA: 768}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 8, ClassW: 20, ClassA: 40})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: luApp,
+	})
+}
+
+func luApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 64, ClassW: 384, ClassA: 768},
+			map[Class]int{ClassS: 8, ClassW: 20, ClassA: 40})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		loRow, hiRow := blockRange(n, size, r)
+		rows := hiRow - loRow
+
+		it := st.Int("it")
+		grid := st.Float64s("grid", rows*n).Data()
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && it.Get() == 0 {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					grid[i*n+j] = float64((loRow+i+j)%11) * 0.25
+				}
+			}
+		}
+
+		rowBuf := make([]byte, 8*n)
+		ghost := make([]float64, n)
+
+		relaxDown := func() error {
+			if r > 0 {
+				if _, err := w.RecvBytes(rowBuf, r-1, 31); err != nil {
+					return err
+				}
+				mpi.GetFloat64s(ghost, rowBuf)
+			} else {
+				for j := range ghost {
+					ghost[j] = 0
+				}
+			}
+			for i := 0; i < rows; i++ {
+				above := ghost
+				if i > 0 {
+					above = grid[(i-1)*n : i*n]
+				}
+				row := grid[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					left := 0.0
+					if j > 0 {
+						left = row[j-1]
+					}
+					row[j] = 0.25*(row[j]+left+above[j]) + 0.001
+				}
+			}
+			if r < size-1 {
+				mpi.PutFloat64s(rowBuf, grid[(rows-1)*n:rows*n])
+				return w.SendBytes(rowBuf, r+1, 31)
+			}
+			return nil
+		}
+
+		relaxUp := func() error {
+			if r < size-1 {
+				if _, err := w.RecvBytes(rowBuf, r+1, 32); err != nil {
+					return err
+				}
+				mpi.GetFloat64s(ghost, rowBuf)
+			} else {
+				for j := range ghost {
+					ghost[j] = 0
+				}
+			}
+			for i := rows - 1; i >= 0; i-- {
+				below := ghost
+				if i < rows-1 {
+					below = grid[(i+1)*n : (i+2)*n]
+				}
+				row := grid[i*n : (i+1)*n]
+				for j := n - 1; j >= 0; j-- {
+					right := 0.0
+					if j < n-1 {
+						right = row[j+1]
+					}
+					row[j] = 0.25*(row[j]+right+below[j]) + 0.001
+				}
+			}
+			if r > 0 {
+				mpi.PutFloat64s(rowBuf, grid[:n])
+				return w.SendBytes(rowBuf, r-1, 32)
+			}
+			return nil
+		}
+
+		for it.Get() < iters {
+			if err := relaxDown(); err != nil {
+				return err
+			}
+			if err := relaxUp(); err != nil {
+				return err
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil { // bottom of the istep loop
+				return err
+			}
+		}
+		sum := 0.0
+		for i := 0; i < rows; i++ {
+			sum += grid[i*n+(loRow+i)%n]
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

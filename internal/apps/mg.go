@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// MG mirrors the NAS MG benchmark: V-cycles over a grid hierarchy with a
+// halo exchange at every level and — uniquely among the NAS codes the paper
+// measures — an MPI_Barrier inside the computation ("only MG calls
+// MPI_Barrier during the computation").
+func init() {
+	Register(&Kernel{
+		Name:        "MG",
+		Description: "multigrid V-cycles: per-level halo exchanges plus a barrier per cycle",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 256, ClassW: 4096, ClassA: 16384}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 6, ClassW: 12, ClassA: 24})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: mgApp,
+	})
+}
+
+func mgApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 256, ClassW: 4096, ClassA: 16384},
+			map[Class]int{ClassS: 6, ClassW: 12, ClassA: 24})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		for n%(size*8) != 0 {
+			n++
+		}
+		levels := 4
+		local := n / size
+
+		it := st.Int("it")
+		// One slab per level, halved in size each time.
+		grids := make([][]float64, levels)
+		for l := 0; l < levels; l++ {
+			grids[l] = st.Float64s(levelName(l), local>>l).Data()
+		}
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && it.Get() == 0 {
+			g := grids[0]
+			for i := range g {
+				g[i] = float64((r*local+i)%13) * 0.125
+			}
+		}
+
+		smooth := func(g []float64) error {
+			m := len(g)
+			leftGhost, rightGhost := 0.0, 0.0
+			var sbuf, rbuf [8]byte
+			if r > 0 {
+				mpi.PutFloat64s(sbuf[:], g[:1])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r-1, 41,
+					rbuf[:], 1, mpi.TypeFloat64, r-1, 42); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				leftGhost = v[0]
+			}
+			if r < size-1 {
+				mpi.PutFloat64s(sbuf[:], g[m-1:])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r+1, 42,
+					rbuf[:], 1, mpi.TypeFloat64, r+1, 41); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				rightGhost = v[0]
+			}
+			prev := leftGhost
+			for i := 0; i < m; i++ {
+				next := rightGhost
+				if i < m-1 {
+					next = g[i+1]
+				}
+				cur := g[i]
+				g[i] = 0.25*prev + 0.5*cur + 0.25*next
+				prev = cur
+			}
+			return nil
+		}
+
+		for it.Get() < iters {
+			// Down-leg: smooth then restrict.
+			for l := 0; l < levels-1; l++ {
+				if err := smooth(grids[l]); err != nil {
+					return err
+				}
+				coarse, fine := grids[l+1], grids[l]
+				for i := range coarse {
+					coarse[i] = 0.5 * (fine[2*i] + fine[2*i+1])
+				}
+			}
+			if err := smooth(grids[levels-1]); err != nil {
+				return err
+			}
+			// Up-leg: prolong then smooth.
+			for l := levels - 2; l >= 0; l-- {
+				coarse, fine := grids[l+1], grids[l]
+				for i := range coarse {
+					fine[2*i] += 0.5 * coarse[i]
+					fine[2*i+1] += 0.5 * coarse[i]
+				}
+				if err := smooth(grids[l]); err != nil {
+					return err
+				}
+			}
+			// The cycle boundary barrier MG is known for.
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		sum := 0.0
+		for i, v := range grids[0] {
+			sum += v * float64(i%7+1) * 1e-2
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}
+
+func levelName(l int) string {
+	return "grid" + string(rune('0'+l))
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// SMG2000 mirrors the ASCI Purple SMG2000 benchmark: a semicoarsening
+// multigrid solver driven by a PCG iteration, characterized by many small
+// messages per cycle across several grid levels. The paper places eight
+// checkpoint locations in SMG2000 — "at the top of the while i loop in
+// hypre_PCGSolve, at the top of the for i loop in hypre_SMGSolve," and
+// several more in main — "a mixture of locations both inside and outside
+// main computation loops"; this kernel mirrors that by putting pragmas at
+// both nesting levels.
+func init() {
+	Register(&Kernel{
+		Name:        "SMG2000",
+		Description: "semicoarsening multigrid in a PCG loop: many small messages, nested pragmas",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 128, ClassW: 65536, ClassA: 262144}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 4, ClassW: 8, ClassA: 12})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: smgApp,
+	})
+}
+
+func smgApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 128, ClassW: 65536, ClassA: 262144},
+			map[Class]int{ClassS: 4, ClassW: 8, ClassA: 12})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		for n%(size*4) != 0 {
+			n++
+		}
+		local := n / size
+		levels := 3
+
+		pcgIt := st.Int("pcgIt") // outer PCG iteration
+		smgIt := st.Int("smgIt") // inner SMG cycle position
+		x := st.Float64s("x", local).Data()
+		res := st.Float64s("res", local).Data()
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && pcgIt.Get() == 0 && smgIt.Get() == 0 {
+			for i := range x {
+				x[i] = 0
+				res[i] = float64((r*local+i)%9) * 0.25
+			}
+		}
+
+		// exchange swaps one boundary value with each neighbor: the small,
+		// frequent messages characteristic of SMG.
+		exchange := func(g []float64, tag int) error {
+			var sbuf, rbuf [8]byte
+			if r > 0 {
+				mpi.PutFloat64s(sbuf[:], g[:1])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r-1, tag,
+					rbuf[:], 1, mpi.TypeFloat64, r-1, tag+1); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				g[0] += 0.1 * v[0]
+			}
+			if r < size-1 {
+				mpi.PutFloat64s(sbuf[:], g[len(g)-1:])
+				if _, err := w.Sendrecv(sbuf[:], 1, mpi.TypeFloat64, r+1, tag+1,
+					rbuf[:], 1, mpi.TypeFloat64, r+1, tag); err != nil {
+					return err
+				}
+				var v [1]float64
+				mpi.GetFloat64s(v[:], rbuf[:])
+				g[len(g)-1] += 0.1 * v[0]
+			}
+			return nil
+		}
+
+		relax := func(g []float64) {
+			for i := 1; i < len(g)-1; i++ {
+				g[i] = 0.25*g[i-1] + 0.5*g[i] + 0.25*g[i+1]
+			}
+		}
+
+		const cyclesPerPCG = 3
+		for pcgIt.Get() < iters {
+			// Inner SMG solve: several cycles, each touching all levels
+			// with small halo messages; pragma at the top of the inner loop
+			// (one of the paper's in-loop locations).
+			for smgIt.Get() < cyclesPerPCG {
+				if err := env.Checkpoint(); err != nil { // top of hypre_SMGSolve loop
+					return err
+				}
+				for l := 0; l < levels; l++ {
+					m := local >> l
+					if m < 2 {
+						break
+					}
+					sub := res[:m]
+					if err := exchange(sub, 51+2*l); err != nil {
+						return err
+					}
+					relax(sub)
+				}
+				smgIt.Add(1)
+			}
+			smgIt.Set(0)
+			// PCG update: dot product + axpy.
+			s := 0.0
+			for i := range res {
+				s += res[i] * res[i]
+			}
+			in := mpi.Float64Bytes([]float64{s})
+			outb := make([]byte, 8)
+			if err := w.Allreduce(in, outb, 1, mpi.TypeFloat64, mpi.OpSum); err != nil {
+				return err
+			}
+			rho := mpi.BytesFloat64s(outb)[0]
+			alpha := 1.0 / (1.0 + rho)
+			for i := range x {
+				x[i] += alpha * res[i]
+				res[i] *= 1 - alpha
+			}
+			pcgIt.Add(1)
+			if err := env.Checkpoint(); err != nil { // top of hypre_PCGSolve loop
+				return err
+			}
+		}
+		sum := 0.0
+		for i, v := range x {
+			sum += v * float64(i%5+1)
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

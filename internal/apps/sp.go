@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// SP mirrors the NAS SP benchmark's ADI structure: each time step sweeps
+// the grid in x (local line solves), transposes the grid across ranks with
+// an all-to-all so the y sweep is also local, sweeps in y, and transposes
+// back. The paper places the checkpoint location "at the bottom of the
+// step loop in the main routine".
+func init() {
+	Register(&Kernel{
+		Name:        "SP",
+		Description: "ADI sweeps with alltoall transposes per time step",
+		Defaults: func(c Class) Params {
+			n, _ := sized(Params{Class: c}, map[Class]int{ClassS: 32, ClassW: 128, ClassA: 256}, nil)
+			_, it := sized(Params{Class: c}, nil, map[Class]int{ClassS: 6, ClassW: 16, ClassA: 32})
+			return Params{Class: c, N: n, Iters: it}
+		},
+		App: spApp,
+	})
+}
+
+func spApp(p Params, out *Output) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		n, iters := sized(p,
+			map[Class]int{ClassS: 32, ClassW: 128, ClassA: 256},
+			map[Class]int{ClassS: 6, ClassW: 16, ClassA: 32})
+		st := env.State()
+		r, size := env.Rank(), env.Size()
+		// Pad n to a multiple of the rank count so the transpose is exact.
+		for n%size != 0 {
+			n++
+		}
+		rows := n / size
+
+		it := st.Int("it")
+		grid := st.Float64s("grid", rows*n).Data()
+
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+
+		if !restored && it.Get() == 0 {
+			for i := 0; i < rows; i++ {
+				for j := 0; j < n; j++ {
+					grid[i*n+j] = float64((r*rows+i)*3+j) * 0.0625
+				}
+			}
+		}
+
+		sweep := func(g []float64) {
+			// Thomas-like smoothing along each local row.
+			for i := 0; i < rows; i++ {
+				row := g[i*n : (i+1)*n]
+				for j := 1; j < n; j++ {
+					row[j] += 0.4 * row[j-1]
+				}
+				for j := n - 2; j >= 0; j-- {
+					row[j] += 0.2 * row[j+1]
+				}
+				for j := 0; j < n; j++ {
+					row[j] *= 0.5
+				}
+			}
+		}
+
+		sendBuf := make([]byte, 8*rows*n)
+		recvBuf := make([]byte, 8*rows*n)
+		scratch := make([]float64, rows*n)
+
+		transpose := func(g []float64) error {
+			// Chunk destined for rank q: the rows×rows block in columns
+			// [q*rows, (q+1)*rows).
+			for q := 0; q < size; q++ {
+				for i := 0; i < rows; i++ {
+					for j := 0; j < rows; j++ {
+						scratch[q*rows*rows+i*rows+j] = g[i*n+q*rows+j]
+					}
+				}
+			}
+			mpi.PutFloat64s(sendBuf, scratch)
+			if err := w.Alltoall(sendBuf, rows*rows, mpi.TypeFloat64, recvBuf); err != nil {
+				return err
+			}
+			mpi.GetFloat64s(scratch, recvBuf)
+			// Block from rank q holds their rows of our column band;
+			// transpose each block into place.
+			for q := 0; q < size; q++ {
+				blk := scratch[q*rows*rows : (q+1)*rows*rows]
+				for i := 0; i < rows; i++ {
+					for j := 0; j < rows; j++ {
+						g[j*n+q*rows+i] = blk[i*rows+j]
+					}
+				}
+			}
+			return nil
+		}
+
+		for it.Get() < iters {
+			sweep(grid) // x sweep
+			if err := transpose(grid); err != nil {
+				return err
+			}
+			sweep(grid) // y sweep (on transposed data)
+			if err := transpose(grid); err != nil {
+				return err
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil { // bottom of the step loop
+				return err
+			}
+		}
+		sum := 0.0
+		for i := range grid {
+			sum += grid[i] * float64(i%17+1) * 1e-3
+		}
+		out.Report(r, sum)
+		return nil
+	}
+}

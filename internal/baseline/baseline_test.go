@@ -1,0 +1,94 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"c3/internal/apps"
+	"c3/internal/baseline"
+	"c3/internal/cluster"
+	"c3/internal/stable"
+	"c3/internal/statesave"
+)
+
+func TestCondorModelAccountsFreedHeap(t *testing.T) {
+	m := baseline.DefaultCondorModel()
+	reg := statesave.NewRegistry()
+	heap := statesave.NewHeap()
+	reg.Register(heap.Section())
+
+	// 1 MB live, then allocate-and-free 64 MB of scratch (EP's pattern).
+	live := heap.Alloc("live", 1<<20)
+	scratch := heap.Alloc("scratch", 64<<20)
+	heap.Free(scratch)
+	_ = live
+
+	condor := m.CheckpointBytes(reg, heap)
+	c3size := baseline.C3CheckpointBytes(reg)
+
+	if c3size >= condor {
+		t.Fatalf("C3 %d >= Condor %d", c3size, condor)
+	}
+	// The Condor image must pay for the freed scratch.
+	if condor < 64<<20 {
+		t.Fatalf("Condor size %d does not include freed heap", condor)
+	}
+	// C3 pays only for live data (plus small overheads).
+	if c3size > 2<<20 {
+		t.Fatalf("C3 size %d pays for dead data", c3size)
+	}
+}
+
+func TestCondorModelSmallDeltaWithoutFrees(t *testing.T) {
+	// For codes whose heap is fully live, the reduction must be small —
+	// the paper's Table 1 shows ~0-5% for most NAS codes.
+	m := baseline.DefaultCondorModel()
+	reg := statesave.NewRegistry()
+	heap := statesave.NewHeap()
+	reg.Register(heap.Section())
+	heap.Alloc("grid", 100<<20)
+
+	condor := m.CheckpointBytes(reg, heap)
+	c3size := baseline.C3CheckpointBytes(reg)
+	reduction := float64(condor-c3size) / float64(condor)
+	if reduction > 0.05 {
+		t.Fatalf("reduction %.2f%% too large for a fully-live heap", 100*reduction)
+	}
+}
+
+func TestBlockingCheckpointerRoundTrip(t *testing.T) {
+	const ranks = 4
+	store := stable.NewMemStore()
+	k, _ := apps.Lookup("CG")
+	p := k.Defaults(apps.ClassS)
+
+	ref := apps.NewOutput()
+	if _, err := cluster.Run(cluster.Config{
+		Ranks: ranks, Direct: true, App: k.App(p, ref),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := apps.NewOutput()
+	if _, err := cluster.Run(cluster.Config{
+		Ranks:  ranks,
+		Direct: true,
+		App:    baseline.WrapBlocking(store, 3, k.App(p, out)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blocking checkpointing is semantically transparent too.
+	for r := 0; r < ranks; r++ {
+		a, _ := ref.Checksum(r)
+		b, ok := out.Checksum(r)
+		if !ok || a != b {
+			t.Fatalf("rank %d: %v vs %v", r, a, b)
+		}
+	}
+	// And it must actually have committed checkpoints on every rank.
+	for r := 0; r < ranks; r++ {
+		if _, ok, _ := store.LastCommitted(r); !ok {
+			t.Fatalf("rank %d has no blocking checkpoint", r)
+		}
+	}
+}

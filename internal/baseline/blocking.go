@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"fmt"
+
+	"c3/internal/cluster"
+	"c3/internal/stable"
+)
+
+// BlockingEnv wraps a direct (non-C3) environment with classic blocking
+// coordinated checkpointing: at a firing pragma, all processes synchronize
+// at a global barrier, save their state, and synchronize again before
+// resuming. This is the scheme the paper contrasts its non-blocking
+// protocol with — it is simple (no late/early message handling, because the
+// barriers ensure no application messages are in flight at the line for
+// bulk-synchronous codes), but it serializes every process through two
+// barriers per checkpoint and cannot be used at all when the application
+// has no globally consistent barrier points (HPL and most NAS codes,
+// Section 1).
+type BlockingEnv struct {
+	cluster.Env
+	store   stable.Store
+	every   int
+	pragmas int
+	version int
+}
+
+// WrapBlocking decorates an application so its pragmas perform blocking
+// coordinated checkpoints every n-th call into the given store. The inner
+// run must be Direct (the protocol layer would be redundant).
+func WrapBlocking(store stable.Store, every int, app func(cluster.Env) error) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		benv := &BlockingEnv{Env: env, store: store, every: every}
+		return app(benv)
+	}
+}
+
+// Checkpoint implements the blocking scheme.
+func (b *BlockingEnv) Checkpoint() error {
+	b.pragmas++
+	if b.every <= 0 || b.pragmas%b.every != 0 {
+		return nil
+	}
+	return b.CheckpointNow()
+}
+
+// CheckpointNow takes an unconditional blocking checkpoint.
+func (b *BlockingEnv) CheckpointNow() error {
+	w := b.World()
+	// Entry barrier: every process must be at its line before anyone
+	// saves, so no process state can reflect a message from beyond the
+	// line (for bulk-synchronous communication patterns).
+	if err := w.Barrier(); err != nil {
+		return err
+	}
+	b.version++
+	ck, err := b.store.Begin(b.Rank(), b.version)
+	if err != nil {
+		return err
+	}
+	if err := ck.WriteSection("app", b.State().Save()); err != nil {
+		return err
+	}
+	if err := ck.Commit(); err != nil {
+		return err
+	}
+	// Exit barrier: nobody resumes until every checkpoint is durable.
+	return w.Barrier()
+}
+
+// Restore loads the last committed version on this rank. Blocking
+// checkpoints are globally consistent by construction, so no cross-rank
+// reduction or message replay is needed — which is exactly the property the
+// scheme pays two global barriers per checkpoint for.
+func (b *BlockingEnv) Restore() (bool, error) {
+	v, ok, err := b.store.LastCommitted(b.Rank())
+	if err != nil || !ok {
+		return false, err
+	}
+	snap, err := b.store.Open(b.Rank(), v)
+	if err != nil {
+		return false, err
+	}
+	defer snap.Close()
+	img, err := snap.ReadSection("app")
+	if err != nil {
+		return false, err
+	}
+	if err := b.State().Load(img); err != nil {
+		return false, fmt.Errorf("baseline: restore version %d: %w", v, err)
+	}
+	b.version = v
+	return true, nil
+}

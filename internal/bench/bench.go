@@ -1,0 +1,172 @@
+// Package bench is the experiment harness: it regenerates every table in
+// the paper's evaluation (Section 6) from the reproduced system. One
+// function per paper table builds the same rows and columns the paper
+// reports; cmd/c3bench prints them, bench_test.go wraps them in testing.B
+// benchmarks, and EXPERIMENTS.md records the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"c3/internal/apps"
+	"c3/internal/cluster"
+	"c3/internal/transport"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteString("\n")
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Options configures the experiment sweeps.
+type Options struct {
+	// Class selects problem sizes (S for smoke runs, W for benchmarks).
+	Class apps.Class
+	// Ranks is the processor-count sweep for the parallel tables.
+	Ranks []int
+	// Kernels restricts which benchmarks run; nil means the paper's set
+	// for each table.
+	Kernels []string
+	// Latency, when true, applies the "Velocity 2"-style interconnect
+	// profile (per-message latency + finite bandwidth) instead of the
+	// "Lemieux"-style zero-added-latency profile.
+	Latency bool
+	// Repetitions averages timing runs.
+	Repetitions int
+	// DiskDir is where Configuration #3 checkpoints are written; empty
+	// means a temporary directory.
+	DiskDir string
+}
+
+func (o Options) reps() int {
+	if o.Repetitions <= 0 {
+		return 1
+	}
+	return o.Repetitions
+}
+
+func (o Options) class() apps.Class {
+	if o.Class == "" {
+		return apps.ClassW
+	}
+	return o.Class
+}
+
+func (o Options) ranks() []int {
+	if len(o.Ranks) == 0 {
+		return []int{4, 8, 16}
+	}
+	return o.Ranks
+}
+
+func (o Options) kernels(def []string) []string {
+	if len(o.Kernels) > 0 {
+		return o.Kernels
+	}
+	return def
+}
+
+func (o Options) transport() []transport.Option {
+	if !o.Latency {
+		return nil
+	}
+	// Gigabit-Ethernet-like profile relative to the in-process "Quadrics":
+	// fixed per-message latency plus ~100 MB/s of bandwidth. The latency is
+	// set high enough (200us) that the OS sleep granularity does not
+	// distort it.
+	return []transport.Option{transport.WithLatency(
+		transport.ConstantLatency(200*time.Microsecond, 100e6))}
+}
+
+// runKernel executes one kernel configuration and returns the wall time of
+// the successful attempt.
+func runKernel(k *apps.Kernel, p apps.Params, cfg cluster.Config) (time.Duration, *cluster.Result, error) {
+	out := apps.NewOutput()
+	cfg.App = k.App(p, out)
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.LastAttemptElapsed, res, nil
+}
+
+func pct(over, base time.Duration) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(over-base)/float64(base))
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+func mbs(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}
+
+// medianOf runs fn rep times and returns the median duration.
+func medianOf(reps int, fn func() (time.Duration, error)) (time.Duration, error) {
+	ds := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		ds = append(ds, d)
+	}
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[len(ds)/2], nil
+}

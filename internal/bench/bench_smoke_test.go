@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"c3/internal/apps"
+)
+
+func smokeOpts() Options {
+	return Options{Class: apps.ClassS, Ranks: []int{2}, Repetitions: 1, Kernels: []string{"CG"}}
+}
+
+func TestAllTableGeneratorsSmoke(t *testing.T) {
+	for id, gen := range Generators {
+		id, gen := id, gen
+		t.Run("table-"+id, func(t *testing.T) {
+			opts := smokeOpts()
+			if id == "1" {
+				opts.Kernels = nil // table 1 needs its own kernel set
+			}
+			tab, err := gen(opts)
+			if err != nil {
+				t.Fatalf("table %s: %v", id, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("table %s: no rows", id)
+			}
+			if s := tab.Format(); len(s) == 0 {
+				t.Fatal("empty format")
+			}
+		})
+	}
+}

@@ -1,0 +1,438 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"c3/internal/mpi"
+	"c3/internal/stable"
+	"c3/internal/statesave"
+	"c3/internal/wire"
+)
+
+// Section names within a checkpoint version.
+const (
+	secApp      = "app"      // application state (statesave registry dump)
+	secAppInc   = "appinc"   // application state, incremental encoding
+	secMPI      = "mpi"      // basic MPI state + handle tables + counters
+	secEarly    = "early"    // Early-Message-Registry (written at start)
+	secLate     = "late"     // Late-Message-Registry (written at commit)
+	secResults  = "results"  // collective result log (written at commit)
+	secRequests = "requests" // request table (written at commit)
+)
+
+// Checkpoint is the pragma: the application calls it at every potential
+// checkpoint location (#pragma ccc checkpoint). With force, a checkpoint is
+// taken unconditionally; otherwise the policy and the
+// someone-else-started-a-checkpoint condition decide (Figure 5).
+func (l *Layer) Checkpoint(force bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	l.pragmaCount++
+	if err := l.checkControl(); err != nil {
+		return err
+	}
+	if l.mode != ModeRun {
+		// A pragma reached while a checkpoint is still completing (or
+		// during recovery) does not start a new one; recovery lines never
+		// cross.
+		return nil
+	}
+	fire := force
+	if !fire && l.cfg.Policy.EveryNthPragma > 0 && l.pragmaCount%l.cfg.Policy.EveryNthPragma == 0 {
+		fire = true
+	}
+	if !fire && l.cfg.Policy.Interval > 0 && l.clock().Sub(l.lastCkptTime) >= l.cfg.Policy.Interval {
+		fire = true
+	}
+	if !fire && l.nextStartedCount > 0 {
+		fire = true // join a checkpoint another process initiated
+	}
+	if !fire {
+		return nil
+	}
+	if err := l.startCheckpoint(); err != nil {
+		return err
+	}
+	// Figure 5's post-start shortcut: if every process already started (we
+	// were the last) and no late messages are expected, the checkpoint can
+	// commit immediately.
+	return l.applyTransitions()
+}
+
+// startCheckpoint is chkpt_StartCheckpoint (Figure 5): advance the epoch,
+// save application and MPI state plus the Early-Message-Registry, send
+// Checkpoint-Initiated control messages carrying the Sent-Counts, and
+// rotate the receive counters.
+func (l *Layer) startCheckpoint() error {
+	begin := l.clock()
+	l.epoch++
+	line := l.epoch
+	l.pendingLine = line
+
+	// Prepare counters first (Figure 5): "Copy Received-Counters to
+	// Late-Received-Counters; copy Early-Received-Counters to
+	// Received-Counters; reset Early-Received-Counters." The completion
+	// condition is then LateReceived[Q] == SentCount_Q for every Q. The
+	// rotation happens before the MPI state is saved so that recovery
+	// restores the new epoch's Received counters.
+	for q := 0; q < l.n; q++ {
+		l.lateRecvd[q] = l.received[q]
+		l.received[q], l.earlyRecvd[q] = l.earlyRecvd[q], 0
+	}
+
+	ck, err := l.store.Begin(l.rank, int(line))
+	if err != nil {
+		return l.fatal(fmt.Errorf("ckpt: begin checkpoint %d: %w", line, err))
+	}
+	l.pending = ck
+
+	// Save application state: a full registry dump, or — with incremental
+	// checkpointing enabled — only the sections whose contents changed
+	// since the previous line, anchored by periodic full snapshots.
+	if k := l.cfg.FullCheckpointEvery; k > 1 {
+		cur := l.state.Sections()
+		full := l.lastSections == nil || (line-1)%uint64(k) == 0
+		var appImg []byte
+		if full {
+			appImg = statesave.EncodeIncrement(true, 0, cur)
+		} else {
+			appImg = statesave.EncodeIncrement(false, line-1, statesave.DiffSections(l.lastSections, cur))
+		}
+		l.lastSections = cur
+		if err := ck.WriteSection(secAppInc, appImg); err != nil {
+			return l.fatal(err)
+		}
+		l.stats.CheckpointBytes += uint64(len(appImg))
+	} else {
+		appImg := l.state.Save()
+		if err := ck.WriteSection(secApp, appImg); err != nil {
+			return l.fatal(err)
+		}
+		l.stats.CheckpointBytes += uint64(len(appImg))
+	}
+
+	// Save basic MPI state and the handle tables.
+	mpiImg := l.saveMPIState()
+	if err := ck.WriteSection(secMPI, mpiImg); err != nil {
+		return l.fatal(err)
+	}
+	l.stats.CheckpointBytes += uint64(len(mpiImg))
+
+	// Save and reset the Early-Message-Registry.
+	earlyImg := l.earlyReg.Serialize()
+	if err := ck.WriteSection(secEarly, earlyImg); err != nil {
+		return l.fatal(err)
+	}
+	l.stats.CheckpointBytes += uint64(len(earlyImg))
+	l.earlyReg.Reset()
+
+	// Send Checkpoint-Initiated to every other process Q with Sent-Count[Q].
+	for q := 0; q < l.n; q++ {
+		if q == l.rank {
+			continue
+		}
+		m := ctrlInitiated{Line: line, SentToYou: l.sent[q]}
+		if err := l.ctrl.SendBytes(m.encode(), q, ctrlTagInitiated); err != nil {
+			return l.fatal(err)
+		}
+	}
+
+	// Self-messages never pass through the control plane: account for them
+	// directly (an Isend to self before the line received after it is a
+	// legitimate late message).
+	l.started = make([]bool, l.n)
+	l.startedCount = 0
+	l.expectedLate = newExpected(l.n)
+	l.started[l.rank] = true
+	l.startedCount++
+	l.expectedLate[l.rank] = int64(l.sent[l.rank])
+	// Merge control messages that arrived before we started this line.
+	for q := 0; q < l.n; q++ {
+		if l.nextStarted[q] {
+			l.started[q] = true
+			l.startedCount++
+			l.expectedLate[q] = l.nextExpected[q]
+		}
+		l.sent[q] = 0
+	}
+	l.nextStarted = make([]bool, l.n)
+	l.nextStartedCount = 0
+	l.nextExpected = newExpected(l.n)
+
+	l.reqs.BeginPeriod()
+	l.results.Reset()
+	l.mode = ModeNonDetLog
+	l.stats.CheckpointsTaken++
+	l.lastCkptTime = l.clock()
+	l.stats.StartDuration += l.clock().Sub(begin)
+	return nil
+}
+
+// commitCheckpoint is chkpt_CommitCheckpoint (Figure 5): save the
+// Late-Message-Registry (plus the collective result log and the request
+// table, whose contents are only known once all late messages are in),
+// commit the version, and return to Run mode.
+func (l *Layer) commitCheckpoint() error {
+	begin := l.clock()
+	if l.pending == nil {
+		return l.fatal(fmt.Errorf("ckpt: commit without open checkpoint"))
+	}
+	lateImg := l.lateReg.Serialize()
+	if err := l.pending.WriteSection(secLate, lateImg); err != nil {
+		return l.fatal(err)
+	}
+	resImg := l.results.Serialize()
+	if err := l.pending.WriteSection(secResults, resImg); err != nil {
+		return l.fatal(err)
+	}
+	reqImg := l.reqs.Serialize(l.pendingLine)
+	if err := l.pending.WriteSection(secRequests, reqImg); err != nil {
+		return l.fatal(err)
+	}
+	l.stats.CheckpointBytes += uint64(len(lateImg) + len(resImg) + len(reqImg))
+	if err := l.pending.Commit(); err != nil {
+		return l.fatal(fmt.Errorf("ckpt: commit checkpoint %d: %w", l.pendingLine, err))
+	}
+	l.pending = nil
+	l.lateReg.Reset()
+	l.results.Reset()
+	l.reqs.EndPeriod()
+	l.mode = ModeRun
+	l.stats.CommitDuration += l.clock().Sub(begin)
+	return nil
+}
+
+// saveMPIState serializes the "basic MPI state" (Figure 5): world shape,
+// processor name, epoch, attached buffers, the handle tables, the rotated
+// receive counters, and the request-ID watermark.
+func (l *Layer) saveMPIState() []byte {
+	w := wire.NewWriter(512)
+	w.Int(l.n)
+	w.Int(l.rank)
+	w.String(l.p.Name())
+	w.U64(l.epoch)
+	w.Int(l.p.AttachedBuffer())
+	w.U64s(l.received)
+	w.Bytes32(l.comms.Serialize())
+	w.Bytes32(l.types.Serialize())
+	w.Bytes32(l.ops.Serialize())
+	return w.Bytes()
+}
+
+// Restore implements chkpt_RestoreCheckpoint (Figure 5). It is collective
+// across all ranks: it finds the most recent recovery line committed on
+// every node via a global reduction, loads the local checkpoint, rebuilds
+// MPI state, redistributes the Early-Message-Registry to form the
+// Was-Early-Registries, and enters Restore mode. It returns false if no
+// complete global line exists (the computation restarts from the
+// beginning).
+func (l *Layer) Restore() (bool, error) {
+	begin := l.clock()
+	last, ok, err := l.store.LastCommitted(l.rank)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	mine := int64(-1)
+	if ok {
+		mine = int64(last)
+	}
+	in := mpi.Int64Bytes([]int64{mine})
+	out := make([]byte, 8)
+	if err := l.ctrl.Allreduce(in, out, 1, mpi.TypeInt64, mpi.OpMin); err != nil {
+		return false, l.fatal(err)
+	}
+	line := mpi.BytesInt64s(out)[0]
+	if line < 1 {
+		return false, nil
+	}
+
+	snap, err := l.store.Open(l.rank, int(line))
+	if err != nil {
+		return false, l.fatal(fmt.Errorf("ckpt: open checkpoint %d: %w", line, err))
+	}
+	defer snap.Close()
+
+	// Restore basic MPI state and handle tables.
+	mpiImg, err := snap.ReadSection(secMPI)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	if err := l.loadMPIState(mpiImg); err != nil {
+		return false, l.fatal(err)
+	}
+
+	// Restore application state (following the incremental chain back to
+	// its full-snapshot anchor if needed).
+	if err := l.loadAppState(snap, uint64(line)); err != nil {
+		return false, l.fatal(err)
+	}
+
+	// Restore message registries.
+	lateImg, err := snap.ReadSection(secLate)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	if l.lateReg, err = LoadLateRegistry(lateImg); err != nil {
+		return false, l.fatal(err)
+	}
+	resImg, err := snap.ReadSection(secResults)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	if l.results, err = LoadResultLog(resImg); err != nil {
+		return false, l.fatal(err)
+	}
+	earlyImg, err := snap.ReadSection(secEarly)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	earlyAtLine, err := LoadEarlyRegistry(earlyImg)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+
+	// Restore the request table (crossing non-blocking requests).
+	reqImg, err := snap.ReadSection(secRequests)
+	if err != nil {
+		return false, l.fatal(err)
+	}
+	if err := l.restoreRequests(reqImg); err != nil {
+		return false, l.fatal(err)
+	}
+
+	// Distribute Early-Message-Registry entries to their senders so they
+	// can suppress the re-sends, forming each sender's Was-Early-Registry.
+	l.wasEarly = NewWasEarly()
+	l.wasEarly.AddItems(earlyAtLine.DistributionFor(l.rank)) // self-sends
+	for q := 0; q < l.n; q++ {
+		if q == l.rank {
+			continue
+		}
+		items := earlyAtLine.DistributionFor(q)
+		if err := l.ctrl.SendBytes(encodeSuppressItems(items), q, ctrlTagSuppress); err != nil {
+			return false, l.fatal(err)
+		}
+	}
+	scratch := make([]byte, 1<<20)
+	for q := 0; q < l.n; q++ {
+		if q == l.rank {
+			continue
+		}
+		st, err := l.ctrl.RecvBytes(scratch, q, ctrlTagSuppress)
+		if err != nil {
+			return false, l.fatal(err)
+		}
+		items, err := decodeSuppressItems(scratch[:st.Bytes])
+		if err != nil {
+			return false, l.fatal(err)
+		}
+		l.wasEarly.AddItems(items)
+	}
+
+	// Reset transient protocol state for the new execution.
+	l.earlyReg.Reset()
+	l.sent = make([]uint64, l.n)
+	l.lateRecvd = make([]uint64, l.n)
+	l.earlyRecvd = make([]uint64, l.n)
+	l.started = make([]bool, l.n)
+	l.startedCount = 0
+	l.expectedLate = newExpected(l.n)
+	l.nextStarted = make([]bool, l.n)
+	l.nextStartedCount = 0
+	l.nextExpected = newExpected(l.n)
+	l.pending = nil
+	l.mode = ModeRestore
+	l.stats.Restores++
+	l.stats.RestoreDuration += l.clock().Sub(begin)
+	l.lastCkptTime = l.clock()
+	l.maybeFinishRestore()
+	return true, nil
+}
+
+// loadAppState restores the registry from a snapshot: either the plain full
+// dump, or an incremental chain walked back to its full anchor and applied
+// forward.
+func (l *Layer) loadAppState(snap stable.Snapshot, line uint64) error {
+	if img, err := snap.ReadSection(secApp); err == nil {
+		return l.state.Load(img)
+	}
+	img, err := snap.ReadSection(secAppInc)
+	if err != nil {
+		return fmt.Errorf("ckpt: checkpoint %d has neither full nor incremental app state: %w", line, err)
+	}
+	var deltas []map[string]statesave.SectionImage
+	cur := line
+	for {
+		full, base, sections, err := statesave.DecodeIncrement(img)
+		if err != nil {
+			return err
+		}
+		deltas = append(deltas, sections)
+		if full {
+			break
+		}
+		baseSnap, err := l.store.Open(l.rank, int(base))
+		if err != nil {
+			return fmt.Errorf("ckpt: incremental base %d missing: %w", base, err)
+		}
+		img, err = baseSnap.ReadSection(secAppInc)
+		baseSnap.Close()
+		if err != nil {
+			return err
+		}
+		cur = base
+	}
+	_ = cur
+	// Apply from the anchor forward.
+	merged := deltas[len(deltas)-1]
+	for i := len(deltas) - 2; i >= 0; i-- {
+		merged = statesave.MergeSections(merged, deltas[i])
+	}
+	bodies := make(map[string][]byte, len(merged))
+	for name, simg := range merged {
+		bodies[name] = simg.Body
+	}
+	if err := l.state.LoadSectionBodies(bodies); err != nil {
+		return err
+	}
+	// Subsequent deltas diff against the restored line's images.
+	l.lastSections = merged
+	return nil
+}
+
+func (l *Layer) loadMPIState(data []byte) error {
+	r := wire.NewReader(data)
+	n := r.Int()
+	rank := r.Int()
+	name := r.String()
+	epoch := r.U64()
+	attached := r.Int()
+	received := r.U64s()
+	commImg := r.Bytes32()
+	typeImg := r.Bytes32()
+	opImg := r.Bytes32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("ckpt: corrupt MPI state: %w", err)
+	}
+	if n != l.n || rank != l.rank {
+		return fmt.Errorf("ckpt: checkpoint is for rank %d of %d, this process is rank %d of %d", rank, n, l.rank, l.n)
+	}
+	_ = name // informational; processor identity may change across restarts
+	l.epoch = epoch
+	if attached > 0 {
+		if err := l.p.BufferAttach(attached); err != nil {
+			return err
+		}
+	}
+	if len(received) == l.n {
+		copy(l.received, received)
+	}
+	if err := l.comms.Restore(commImg); err != nil {
+		return err
+	}
+	if err := l.types.Restore(typeImg); err != nil {
+		return err
+	}
+	return l.ops.Verify(opImg)
+}

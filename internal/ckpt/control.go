@@ -1,0 +1,47 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"c3/internal/wire"
+)
+
+// Control messages travel on the layer's private control communicator, so
+// they can never match application receives. Three kinds exist:
+//
+//   - Checkpoint-Initiated: sent to every other process by
+//     chkpt_StartCheckpoint, carrying the new line number and the sender's
+//     Sent-Count for the destination (how many messages it sent the
+//     destination in the epoch that just ended). The receiver uses the
+//     count to detect when all late messages are in.
+//   - Suppress: the Was-Early-Registry distribution exchanged during
+//     recovery (chkpt_RestoreCheckpoint).
+//   - Failure notices are not needed: the runtime tears the world down.
+const (
+	ctrlTagInitiated = 0
+	ctrlTagSuppress  = 2 // Was-Early distribution during recovery
+)
+
+// ctrlInitiated is the Checkpoint-Initiated control message.
+type ctrlInitiated struct {
+	Line uint64
+	// SentToYou is the sender's Sent-Count[destination] for the epoch that
+	// ended at the sender's line.
+	SentToYou uint64
+}
+
+func (m ctrlInitiated) encode() []byte {
+	w := wire.NewWriter(16)
+	w.U64(m.Line)
+	w.U64(m.SentToYou)
+	return w.Bytes()
+}
+
+func decodeCtrlInitiated(data []byte) (ctrlInitiated, error) {
+	r := wire.NewReader(data)
+	m := ctrlInitiated{Line: r.U64(), SentToYou: r.U64()}
+	if err := r.Err(); err != nil {
+		return m, fmt.Errorf("ckpt: corrupt control message: %w", err)
+	}
+	return m, nil
+}

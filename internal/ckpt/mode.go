@@ -1,0 +1,125 @@
+// Package ckpt implements the paper's contribution: a non-blocking,
+// coordinated, application-level checkpointing protocol for message-passing
+// programs (Sections 3–5 of Schulz et al., SC 2004).
+//
+// A Layer interposes between the application and the mpi package, exactly as
+// the C3 coordination layer sits between an application and a native MPI
+// library (Figure 1). It
+//
+//   - piggybacks the sender's epoch color and a stopped-logging bit on every
+//     application message (3 bits of information, Section 3.2);
+//   - classifies every received message as late, intra-epoch, or early by
+//     comparing the piggybacked epoch with the receiver's (Definition 1);
+//   - logs late message data and the signatures of non-deterministic
+//     (wildcard) intra-epoch receives in the Late-Message-Registry;
+//   - records early message signatures in the Early-Message-Registry, which
+//     recovery redistributes into per-sender Was-Early-Registries used to
+//     suppress re-sends;
+//   - coordinates checkpoints without global barriers via Checkpoint-
+//     Initiated control messages carrying per-destination send counts, and
+//     commits a local checkpoint when every expected late message is in;
+//   - extends the base protocol to non-blocking communication (request
+//     indirection table with test counters), derived datatypes (handle table
+//     with hierarchy), and collectives (per-stream protocol application,
+//     result logging for Allreduce, Reduce via Gather, and point-to-point
+//     emulation during recovery) per Section 4.
+package ckpt
+
+import "fmt"
+
+// Mode is a process's protocol state (the paper's Figure 3).
+type Mode uint8
+
+// Protocol modes.
+const (
+	// ModeRun is normal execution: no checkpoint is in progress locally.
+	ModeRun Mode = iota
+	// ModeNonDetLog: a local checkpoint has started; late messages and
+	// non-deterministic events are being logged.
+	ModeNonDetLog
+	// ModeRecvOnlyLog: every process has started the checkpoint, so no new
+	// early messages can be created; only late messages are still logged.
+	ModeRecvOnlyLog
+	// ModeRestore: recovering from a checkpoint; the Late-Message-Registry
+	// is replayed and Was-Early sends are suppressed.
+	ModeRestore
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRun:
+		return "Run"
+	case ModeNonDetLog:
+		return "NonDet-Log"
+	case ModeRecvOnlyLog:
+		return "RecvOnly-Log"
+	case ModeRestore:
+		return "Restore"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Class is a received message's classification relative to the receiver's
+// epoch (paper Definition 1).
+type Class uint8
+
+// Message classes.
+const (
+	// ClassIntra: sender and receiver were in the same epoch.
+	ClassIntra Class = iota
+	// ClassEarly: the sender was one epoch ahead (an "inconsistent"
+	// message in system-level terminology).
+	ClassEarly
+	// ClassLate: the sender was one epoch behind (an "in-flight" message).
+	ClassLate
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIntra:
+		return "intra-epoch"
+	case ClassEarly:
+		return "early"
+	case ClassLate:
+		return "late"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// EpochColor maps an epoch to its 2-bit color. Because a message can cross
+// at most one recovery line, sender and receiver epochs differ by at most
+// one, and three colors suffice to recover the sign of the difference
+// (Section 3.2: "if we imagine that epochs are colored red, green, and blue
+// successively").
+func EpochColor(epoch uint64) uint8 { return uint8(epoch % 3) }
+
+// ClassifyColors classifies a message from the sender's color and the
+// receiver's color.
+func ClassifyColors(sender, receiver uint8) Class {
+	switch (int(sender) - int(receiver) + 3) % 3 {
+	case 0:
+		return ClassIntra
+	case 1:
+		return ClassEarly
+	default:
+		return ClassLate
+	}
+}
+
+// ClassifyEpochs classifies using full epoch numbers; used by the wide
+// piggyback codec and by tests to validate the 2-bit color encoding.
+func ClassifyEpochs(sender, receiver uint64) (Class, error) {
+	switch {
+	case sender == receiver:
+		return ClassIntra, nil
+	case sender == receiver+1:
+		return ClassEarly, nil
+	case sender+1 == receiver:
+		return ClassLate, nil
+	default:
+		return 0, fmt.Errorf("ckpt: message crossed %d recovery lines (sender epoch %d, receiver %d)",
+			int64(sender)-int64(receiver), sender, receiver)
+	}
+}

@@ -1,0 +1,477 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"c3/internal/mpi"
+	"c3/internal/wire"
+)
+
+// Signature identifies a message stream as the paper defines it:
+// <sending node number, tag, communicator>. Ranks are communicator ranks;
+// Ctx identifies the communicator.
+type Signature struct {
+	Ctx uint32
+	Tag int32
+	Src int32
+}
+
+func (s Signature) String() string {
+	return fmt.Sprintf("(src=%d, tag=%d, ctx=%d)", s.Src, s.Tag, s.Ctx)
+}
+
+// --- Early-Message-Registry (receiver side) ---
+
+// earlyEntry records early messages received on one signature.
+type earlyEntry struct {
+	sig       Signature
+	srcWorld  int32 // world rank of the sender, for redistribution
+	destComm  int32 // the receiver's rank in the communicator, as the sender addresses it
+	count     int32
+	dataBytes int64 // payload bytes, for stats only
+}
+
+// EarlyRegistry records the signatures of early messages received before the
+// local checkpoint. It is saved with the checkpoint at StartCheckpoint and,
+// during recovery, its entries are distributed to the original senders to
+// form their Was-Early-Registries (paper Section 2.3).
+type EarlyRegistry struct {
+	entries []*earlyEntry
+	index   map[Signature]*earlyEntry
+}
+
+// NewEarlyRegistry returns an empty registry.
+func NewEarlyRegistry() *EarlyRegistry {
+	return &EarlyRegistry{index: make(map[Signature]*earlyEntry)}
+}
+
+// Add records one early message.
+func (er *EarlyRegistry) Add(sig Signature, srcWorld, destComm int, payloadBytes int) {
+	if e, ok := er.index[sig]; ok {
+		e.count++
+		e.dataBytes += int64(payloadBytes)
+		return
+	}
+	e := &earlyEntry{sig: sig, srcWorld: int32(srcWorld), destComm: int32(destComm), count: 1, dataBytes: int64(payloadBytes)}
+	er.entries = append(er.entries, e)
+	er.index[sig] = e
+}
+
+// Len returns the number of recorded messages (not distinct signatures).
+func (er *EarlyRegistry) Len() int {
+	n := 0
+	for _, e := range er.entries {
+		n += int(e.count)
+	}
+	return n
+}
+
+// Reset clears the registry (after it has been saved or distributed).
+func (er *EarlyRegistry) Reset() {
+	er.entries = nil
+	er.index = make(map[Signature]*earlyEntry)
+}
+
+// Serialize encodes the registry.
+func (er *EarlyRegistry) Serialize() []byte {
+	w := wire.NewWriter(16 + 32*len(er.entries))
+	w.U32(uint32(len(er.entries)))
+	for _, e := range er.entries {
+		w.U32(e.sig.Ctx)
+		w.I64(int64(e.sig.Tag))
+		w.I64(int64(e.sig.Src))
+		w.I64(int64(e.srcWorld))
+		w.I64(int64(e.destComm))
+		w.I64(int64(e.count))
+		w.I64(e.dataBytes)
+	}
+	return w.Bytes()
+}
+
+// LoadEarlyRegistry decodes a serialized registry.
+func LoadEarlyRegistry(data []byte) (*EarlyRegistry, error) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	er := NewEarlyRegistry()
+	for i := 0; i < n; i++ {
+		e := &earlyEntry{
+			sig: Signature{
+				Ctx: r.U32(),
+				Tag: int32(r.I64()),
+				Src: int32(r.I64()),
+			},
+			srcWorld:  int32(r.I64()),
+			destComm:  int32(r.I64()),
+			count:     int32(r.I64()),
+			dataBytes: r.I64(),
+		}
+		er.entries = append(er.entries, e)
+		er.index[e.sig] = e
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt early registry: %w", err)
+	}
+	return er, nil
+}
+
+// suppressItem is one Was-Early-Registry entry as shipped to a sender.
+type suppressItem struct {
+	Ctx      uint32
+	Tag      int32
+	DestComm int32 // the receiver's rank in the communicator
+	Count    int32
+}
+
+// DistributionFor collects the suppression items destined for one sender
+// (identified by world rank).
+func (er *EarlyRegistry) DistributionFor(srcWorld int) []suppressItem {
+	var items []suppressItem
+	for _, e := range er.entries {
+		if int(e.srcWorld) == srcWorld {
+			items = append(items, suppressItem{Ctx: e.sig.Ctx, Tag: e.sig.Tag, DestComm: e.destComm, Count: e.count})
+		}
+	}
+	return items
+}
+
+func encodeSuppressItems(items []suppressItem) []byte {
+	w := wire.NewWriter(4 + 16*len(items))
+	w.U32(uint32(len(items)))
+	for _, it := range items {
+		w.U32(it.Ctx)
+		w.I64(int64(it.Tag))
+		w.I64(int64(it.DestComm))
+		w.I64(int64(it.Count))
+	}
+	return w.Bytes()
+}
+
+func decodeSuppressItems(data []byte) ([]suppressItem, error) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	items := make([]suppressItem, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, suppressItem{
+			Ctx:      r.U32(),
+			Tag:      int32(r.I64()),
+			DestComm: int32(r.I64()),
+			Count:    int32(r.I64()),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt suppression list: %w", err)
+	}
+	return items, nil
+}
+
+// --- Was-Early-Registry (sender side, recovery only) ---
+
+// wasEarlyKey identifies a send stream as the sender sees it.
+type wasEarlyKey struct {
+	Ctx      uint32
+	Tag      int32
+	DestComm int32
+}
+
+// WasEarly holds, per send signature, how many re-sends must be suppressed
+// during recovery.
+type WasEarly struct {
+	counts map[wasEarlyKey]int32
+	total  int
+}
+
+// NewWasEarly returns an empty registry.
+func NewWasEarly() *WasEarly {
+	return &WasEarly{counts: make(map[wasEarlyKey]int32)}
+}
+
+// AddItems merges suppression items received from one recovering process.
+func (we *WasEarly) AddItems(items []suppressItem) {
+	for _, it := range items {
+		we.counts[wasEarlyKey{it.Ctx, it.Tag, it.DestComm}] += it.Count
+		we.total += int(it.Count)
+	}
+}
+
+// Match consumes one suppression slot for the given send; it reports whether
+// the send must be suppressed.
+func (we *WasEarly) Match(ctx uint32, tag, destComm int) bool {
+	k := wasEarlyKey{ctx, int32(tag), int32(destComm)}
+	if we.counts[k] > 0 {
+		we.counts[k]--
+		we.total--
+		if we.counts[k] == 0 {
+			delete(we.counts, k)
+		}
+		return true
+	}
+	return false
+}
+
+// Empty reports whether every suppression has been consumed.
+func (we *WasEarly) Empty() bool { return we.total == 0 }
+
+// Len returns the outstanding suppression count.
+func (we *WasEarly) Len() int { return we.total }
+
+// --- Late-Message-Registry ---
+
+// LateKind distinguishes the two kinds of entries the registry holds.
+type LateKind uint8
+
+// Late registry entry kinds.
+const (
+	// LateData is a late message: its payload is stored and replayed
+	// instead of a real receive during recovery.
+	LateData LateKind = iota
+	// IntraSig is the signature of an intra-epoch message consumed by a
+	// wildcard receive during non-deterministic logging; during recovery it
+	// pins the wildcard to the original match (the message itself is
+	// re-sent by the re-executing sender).
+	IntraSig
+)
+
+// LateEntry is one record in the Late-Message-Registry.
+type LateEntry struct {
+	Seq  uint64
+	Kind LateKind
+	Sig  Signature
+	Data []byte // packed user payload, LateData only
+
+	consumed bool
+}
+
+// LateRegistry is the ordered log of late messages and wildcard-receive
+// signatures for the checkpoint in progress. Entries are recorded in
+// receive order; recovery consumes them in order, per signature. "There may
+// be multiple messages with the same signature in the registry, and these
+// are maintained in the order in which they are received" (Section 2.3).
+type LateRegistry struct {
+	entries []*LateEntry
+	nextSeq uint64
+	// outstanding counts un-consumed entries, so Empty is O(1).
+	outstanding int
+	dataBytes   int64
+}
+
+// NewLateRegistry returns an empty registry.
+func NewLateRegistry() *LateRegistry {
+	return &LateRegistry{}
+}
+
+// AddData logs a late message's payload and returns its sequence number.
+func (lr *LateRegistry) AddData(sig Signature, payload []byte) uint64 {
+	e := &LateEntry{Seq: lr.nextSeq, Kind: LateData, Sig: sig, Data: append([]byte(nil), payload...)}
+	lr.nextSeq++
+	lr.entries = append(lr.entries, e)
+	lr.outstanding++
+	lr.dataBytes += int64(len(payload))
+	return e.Seq
+}
+
+// AddSig logs a wildcard-receive signature.
+func (lr *LateRegistry) AddSig(sig Signature) uint64 {
+	e := &LateEntry{Seq: lr.nextSeq, Kind: IntraSig, Sig: sig}
+	lr.nextSeq++
+	lr.entries = append(lr.entries, e)
+	lr.outstanding++
+	return e.Seq
+}
+
+// TakeMatch consumes and returns the first un-consumed entry matching the
+// receive parameters (src/tag may be mpi.AnySource/mpi.AnyTag), or nil.
+func (lr *LateRegistry) TakeMatch(ctx uint32, src, tag int) *LateEntry {
+	for _, e := range lr.entries {
+		if e.consumed {
+			continue
+		}
+		if e.Sig.Ctx != ctx {
+			continue
+		}
+		if src != mpi.AnySource && int32(src) != e.Sig.Src {
+			continue
+		}
+		if tag != mpi.AnyTag && int32(tag) != e.Sig.Tag {
+			continue
+		}
+		e.consumed = true
+		lr.outstanding--
+		return e
+	}
+	return nil
+}
+
+// PeekMatch returns the first matching un-consumed entry without consuming
+// it (for Probe during recovery).
+func (lr *LateRegistry) PeekMatch(ctx uint32, src, tag int) *LateEntry {
+	for _, e := range lr.entries {
+		if e.consumed || e.Sig.Ctx != ctx {
+			continue
+		}
+		if src != mpi.AnySource && int32(src) != e.Sig.Src {
+			continue
+		}
+		if tag != mpi.AnyTag && int32(tag) != e.Sig.Tag {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// TakeSeq consumes the entry with the given sequence number (used to replay
+// late completions of restored non-blocking requests).
+func (lr *LateRegistry) TakeSeq(seq uint64) *LateEntry {
+	for _, e := range lr.entries {
+		if e.Seq == seq {
+			if !e.consumed {
+				e.consumed = true
+				lr.outstanding--
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// Empty reports whether all entries have been consumed (recovery) or none
+// were recorded.
+func (lr *LateRegistry) Empty() bool { return lr.outstanding == 0 }
+
+// Len returns the number of un-consumed entries.
+func (lr *LateRegistry) Len() int { return lr.outstanding }
+
+// DataBytes returns the total logged payload bytes.
+func (lr *LateRegistry) DataBytes() int64 { return lr.dataBytes }
+
+// Reset clears the registry for a new checkpoint period.
+func (lr *LateRegistry) Reset() {
+	lr.entries = nil
+	lr.nextSeq = 0
+	lr.outstanding = 0
+	lr.dataBytes = 0
+}
+
+// Serialize encodes the registry.
+func (lr *LateRegistry) Serialize() []byte {
+	w := wire.NewWriter(int(64 + lr.dataBytes + int64(32*len(lr.entries))))
+	w.U32(uint32(len(lr.entries)))
+	for _, e := range lr.entries {
+		w.U64(e.Seq)
+		w.U8(uint8(e.Kind))
+		w.U32(e.Sig.Ctx)
+		w.I64(int64(e.Sig.Tag))
+		w.I64(int64(e.Sig.Src))
+		w.Bytes32(e.Data)
+	}
+	w.U64(lr.nextSeq)
+	return w.Bytes()
+}
+
+// LoadLateRegistry decodes a serialized registry; all entries load
+// un-consumed, ready for replay.
+func LoadLateRegistry(data []byte) (*LateRegistry, error) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	lr := NewLateRegistry()
+	for i := 0; i < n; i++ {
+		e := &LateEntry{
+			Seq:  r.U64(),
+			Kind: LateKind(r.U8()),
+			Sig: Signature{
+				Ctx: r.U32(),
+				Tag: int32(r.I64()),
+				Src: int32(r.I64()),
+			},
+			Data: r.Bytes32(),
+		}
+		lr.entries = append(lr.entries, e)
+		lr.outstanding++
+		lr.dataBytes += int64(len(e.Data))
+	}
+	lr.nextSeq = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt late registry: %w", err)
+	}
+	return lr, nil
+}
+
+// --- Collective result log ---
+
+// ResultLog records the results of opaque collectives (Allreduce) executed
+// by post-line processes while some participant had not yet started the
+// checkpoint (paper Section 4.3: "it is sufficient to store the final
+// result of the operation at each node and replay this from the log during
+// recovery").
+type ResultLog struct {
+	entries []resultEntry
+	pending int
+}
+
+type resultEntry struct {
+	Kind     uint8 // collective tag discriminator
+	Ctx      uint32
+	Data     []byte
+	consumed bool
+}
+
+// NewResultLog returns an empty log.
+func NewResultLog() *ResultLog { return &ResultLog{} }
+
+// Append logs one collective result.
+func (g *ResultLog) Append(kind uint8, ctx uint32, data []byte) {
+	g.entries = append(g.entries, resultEntry{Kind: kind, Ctx: ctx, Data: append([]byte(nil), data...)})
+	g.pending++
+}
+
+// Pop consumes the first un-consumed entry matching (kind, ctx).
+func (g *ResultLog) Pop(kind uint8, ctx uint32) ([]byte, bool) {
+	for i := range g.entries {
+		e := &g.entries[i]
+		if !e.consumed && e.Kind == kind && e.Ctx == ctx {
+			e.consumed = true
+			g.pending--
+			return e.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Empty reports whether all entries have been consumed.
+func (g *ResultLog) Empty() bool { return g.pending == 0 }
+
+// Len returns the number of un-consumed entries.
+func (g *ResultLog) Len() int { return g.pending }
+
+// Reset clears the log.
+func (g *ResultLog) Reset() {
+	g.entries = nil
+	g.pending = 0
+}
+
+// Serialize encodes the log.
+func (g *ResultLog) Serialize() []byte {
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(g.entries)))
+	for _, e := range g.entries {
+		w.U8(e.Kind)
+		w.U32(e.Ctx)
+		w.Bytes32(e.Data)
+	}
+	return w.Bytes()
+}
+
+// LoadResultLog decodes a serialized log.
+func LoadResultLog(data []byte) (*ResultLog, error) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	g := NewResultLog()
+	for i := 0; i < n; i++ {
+		g.entries = append(g.entries, resultEntry{Kind: r.U8(), Ctx: r.U32(), Data: r.Bytes32()})
+		g.pending++
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt result log: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,504 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"c3/internal/mpi"
+	"c3/internal/wire"
+)
+
+// This file implements the handle tables the protocol layer keeps so that
+// MPI library state can be reconstructed on recovery (paper Sections 4.2,
+// 4.4 and 5): derived datatypes (with their construction hierarchy),
+// reduction operations, and communicators. Each table stores the *recipe*
+// used to create each handle; recovery replays recipes to rebuild the
+// native MPI objects, then the application resumes holding the same integer
+// handles it held before the failure.
+
+// Type table entry kinds.
+const (
+	tkPrim uint8 = iota
+	tkContiguous
+	tkVector
+	tkIndexed
+	tkStruct
+)
+
+// Builtin datatype handles.
+const (
+	HandleByte = iota + 1
+	HandleInt64
+	HandleFloat64
+	HandleComplex128
+	firstUserTypeHandle
+)
+
+// TypeEntry is one row of the datatype handle table.
+type TypeEntry struct {
+	Handle   int
+	Kind     uint8
+	Ints     []int // kind-specific integer parameters
+	Children []int // child handles (hierarchy)
+
+	DT    *mpi.Datatype
+	Alive bool // not yet freed by the application
+	refs  int  // live types built from this one
+}
+
+// TypeTable is the datatype indirection table. "To stay independent of the
+// underlying MPI implementation, we implement a separate indirection table"
+// (Section 4.1); for datatypes the table also records the hierarchy so that
+// "during a restore all intermediate datatypes can be correctly
+// reconstructed" (Section 4.2).
+type TypeTable struct {
+	entries    map[int]*TypeEntry
+	order      []int // creation order
+	nextHandle int
+	byPtr      map[*mpi.Datatype]int
+}
+
+// NewTypeTable returns a table with the builtin primitives registered.
+func NewTypeTable() *TypeTable {
+	t := &TypeTable{
+		entries:    make(map[int]*TypeEntry),
+		nextHandle: firstUserTypeHandle,
+		byPtr:      make(map[*mpi.Datatype]int),
+	}
+	for h, dt := range map[int]*mpi.Datatype{
+		HandleByte:       mpi.TypeByte,
+		HandleInt64:      mpi.TypeInt64,
+		HandleFloat64:    mpi.TypeFloat64,
+		HandleComplex128: mpi.TypeComplex128,
+	} {
+		t.entries[h] = &TypeEntry{Handle: h, Kind: tkPrim, Ints: []int{h}, DT: dt, Alive: true}
+		t.byPtr[dt] = h
+	}
+	return t
+}
+
+// Get returns the entry for a handle.
+func (t *TypeTable) Get(handle int) (*TypeEntry, bool) {
+	e, ok := t.entries[handle]
+	return e, ok
+}
+
+// HandleFor returns the handle for a datatype created through this table
+// (or a builtin).
+func (t *TypeTable) HandleFor(dt *mpi.Datatype) (int, bool) {
+	h, ok := t.byPtr[dt]
+	return h, ok
+}
+
+// create installs an entry built from a recipe.
+func (t *TypeTable) create(kind uint8, ints []int, children []int) (int, error) {
+	dt, err := t.build(kind, ints, children)
+	if err != nil {
+		return 0, err
+	}
+	h := t.nextHandle
+	t.nextHandle++
+	e := &TypeEntry{Handle: h, Kind: kind, Ints: ints, Children: children, DT: dt, Alive: true}
+	t.entries[h] = e
+	t.order = append(t.order, h)
+	t.byPtr[dt] = h
+	for _, ch := range children {
+		t.entries[ch].refs++
+	}
+	return h, nil
+}
+
+func (t *TypeTable) build(kind uint8, ints []int, children []int) (*mpi.Datatype, error) {
+	childDT := make([]*mpi.Datatype, len(children))
+	for i, ch := range children {
+		e, ok := t.entries[ch]
+		if !ok {
+			return nil, fmt.Errorf("ckpt: datatype handle %d: unknown child %d", t.nextHandle, ch)
+		}
+		childDT[i] = e.DT
+	}
+	switch kind {
+	case tkContiguous:
+		return mpi.Contiguous(ints[0], childDT[0])
+	case tkVector:
+		return mpi.Vector(ints[0], ints[1], ints[2], childDT[0])
+	case tkIndexed:
+		n := ints[0]
+		return mpi.Indexed(ints[1:1+n], ints[1+n:1+2*n], childDT[0])
+	case tkStruct:
+		n := ints[0]
+		return mpi.Struct(ints[1:1+n], ints[1+n:1+2*n], childDT)
+	default:
+		return nil, fmt.Errorf("ckpt: unknown datatype kind %d", kind)
+	}
+}
+
+// Contiguous creates a contiguous derived type.
+func (t *TypeTable) Contiguous(count, base int) (int, error) {
+	return t.create(tkContiguous, []int{count}, []int{base})
+}
+
+// Vector creates a vector derived type.
+func (t *TypeTable) Vector(count, blockLen, stride, base int) (int, error) {
+	return t.create(tkVector, []int{count, blockLen, stride}, []int{base})
+}
+
+// Indexed creates an indexed derived type.
+func (t *TypeTable) Indexed(blockLens, displs []int, base int) (int, error) {
+	ints := append([]int{len(blockLens)}, blockLens...)
+	ints = append(ints, displs...)
+	return t.create(tkIndexed, ints, []int{base})
+}
+
+// Struct creates a struct derived type.
+func (t *TypeTable) Struct(blockLens, byteDispls []int, children []int) (int, error) {
+	ints := append([]int{len(blockLens)}, blockLens...)
+	ints = append(ints, byteDispls...)
+	return t.create(tkStruct, ints, children)
+}
+
+// Free marks a handle freed by the application. The native type is released
+// immediately, but the table row survives until no live type depends on it,
+// so the hierarchy stays reconstructible ("table entries are not actually
+// deleted until both the datatype represented by the entry and all types
+// depending on it have been deleted", Section 4.2).
+func (t *TypeTable) Free(handle int) error {
+	e, ok := t.entries[handle]
+	if !ok || handle < firstUserTypeHandle {
+		return fmt.Errorf("ckpt: free of invalid datatype handle %d", handle)
+	}
+	if !e.Alive {
+		return fmt.Errorf("ckpt: double free of datatype handle %d", handle)
+	}
+	e.Alive = false
+	delete(t.byPtr, e.DT)
+	e.DT = nil // the native type is dropped; only the recipe row remains
+	t.sweep(handle)
+	return nil
+}
+
+// sweep removes dead rows with no remaining dependents, cascading.
+func (t *TypeTable) sweep(handle int) {
+	e, ok := t.entries[handle]
+	if !ok || e.Alive || e.refs > 0 {
+		return
+	}
+	delete(t.entries, handle)
+	for i, h := range t.order {
+		if h == handle {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	for _, ch := range e.Children {
+		if c, ok := t.entries[ch]; ok {
+			c.refs--
+			if ch >= firstUserTypeHandle {
+				t.sweep(ch)
+			}
+		}
+	}
+}
+
+// Serialize encodes the user-created rows (recipes only) in creation order.
+func (t *TypeTable) Serialize() []byte {
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(t.order)))
+	for _, h := range t.order {
+		e := t.entries[h]
+		w.Int(e.Handle)
+		w.U8(e.Kind)
+		w.Bool(e.Alive)
+		w.Ints(e.Ints)
+		w.Ints(e.Children)
+	}
+	w.Int(t.nextHandle)
+	return w.Bytes()
+}
+
+// Restore merges a serialized table into the current one. Rows whose handles
+// already exist (because the application prologue re-created them before
+// Restore) are verified against the recipes; missing rows are rebuilt. This
+// reproduces C3's recovery behaviour where "this information is used to
+// recreate all datatypes before the execution of the program resumes".
+func (t *TypeTable) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		h := r.Int()
+		kind := r.U8()
+		alive := r.Bool()
+		ints := r.Ints()
+		children := r.Ints()
+		if r.Err() != nil {
+			return fmt.Errorf("ckpt: corrupt datatype table: %w", r.Err())
+		}
+		if e, ok := t.entries[h]; ok {
+			if e.Kind != kind || !intsEqual(e.Ints, ints) || !intsEqual(e.Children, children) {
+				return fmt.Errorf("ckpt: datatype handle %d recipe diverged between runs", h)
+			}
+			continue
+		}
+		dt, err := t.build(kind, ints, children)
+		if err != nil {
+			return err
+		}
+		e := &TypeEntry{Handle: h, Kind: kind, Ints: ints, Children: children, DT: dt, Alive: alive}
+		t.entries[h] = e
+		t.order = append(t.order, h)
+		if alive {
+			t.byPtr[dt] = h
+		} else {
+			e.DT = nil
+		}
+		for _, ch := range children {
+			if c, ok := t.entries[ch]; ok {
+				c.refs++
+			}
+		}
+	}
+	if nh := r.Int(); nh > t.nextHandle {
+		t.nextHandle = nh
+	}
+	return r.Err()
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Reduction operation table ---
+
+// OpTable maps handles to reduction operations. Operations are functions and
+// cannot be serialized; the table records names, and recovery verifies that
+// the application re-registered the same names in the same order (the Go
+// analogue of C3 restoring its reduction-operation handle table).
+type OpTable struct {
+	byHandle   map[int]*mpi.Op
+	names      []string
+	nextHandle int
+}
+
+// Builtin op handles (1-based, order below).
+var builtinOpNames = []string{"sum", "prod", "max", "min", "band", "bor", "bxor", "land", "lor"}
+
+// NewOpTable returns a table with the builtin operations registered.
+func NewOpTable() *OpTable {
+	t := &OpTable{byHandle: make(map[int]*mpi.Op), nextHandle: 1}
+	for _, name := range builtinOpNames {
+		op, _ := mpi.LookupOp(name)
+		t.register(op)
+	}
+	return t
+}
+
+func (t *OpTable) register(op *mpi.Op) int {
+	h := t.nextHandle
+	t.nextHandle++
+	t.byHandle[h] = op
+	t.names = append(t.names, op.Name())
+	return h
+}
+
+// Register adds a user-defined operation and returns its handle.
+func (t *OpTable) Register(op *mpi.Op) int { return t.register(op) }
+
+// Get returns the operation for a handle.
+func (t *OpTable) Get(handle int) (*mpi.Op, bool) {
+	op, ok := t.byHandle[handle]
+	return op, ok
+}
+
+// Serialize encodes the registered names.
+func (t *OpTable) Serialize() []byte {
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(t.names)))
+	for _, n := range t.names {
+		w.String(n)
+	}
+	return w.Bytes()
+}
+
+// Verify checks that the current registrations match a serialized table.
+func (t *OpTable) Verify(data []byte) error {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	if n > len(t.names) {
+		return fmt.Errorf("ckpt: checkpoint has %d reduction ops, only %d re-registered", n, len(t.names))
+	}
+	for i := 0; i < n; i++ {
+		name := r.String()
+		if t.names[i] != name {
+			return fmt.Errorf("ckpt: reduction op %d: registered %q, checkpoint has %q", i, t.names[i], name)
+		}
+	}
+	return r.Err()
+}
+
+// --- Communicator table ---
+
+// Communicator recipe kinds.
+const (
+	ckWorld uint8 = iota
+	ckDup
+	ckSplit
+)
+
+// CommEntry is one row of the communicator table.
+type CommEntry struct {
+	Handle int
+	Kind   uint8
+	Parent int
+	Color  int
+	Key    int
+
+	Comm *mpi.Comm // nil if this rank is not a member (Split with color<0)
+}
+
+// HandleWorld is the world communicator's handle.
+const HandleWorld = 1
+
+// CommTable records communicator creations so they can be replayed on
+// recovery ("any creation or deletion has to be recorded and stored as part
+// of the checkpoint. On recovery, we read this information and replay the
+// necessary MPI calls to recreate the respective structures", Section 4.4).
+type CommTable struct {
+	entries    map[int]*CommEntry
+	order      []int
+	nextHandle int
+	byCtx      map[uint32]*CommEntry
+}
+
+// NewCommTable returns a table holding the world communicator.
+func NewCommTable(world *mpi.Comm) *CommTable {
+	t := &CommTable{
+		entries:    make(map[int]*CommEntry),
+		nextHandle: HandleWorld + 1,
+		byCtx:      make(map[uint32]*CommEntry),
+	}
+	e := &CommEntry{Handle: HandleWorld, Kind: ckWorld, Comm: world}
+	t.entries[HandleWorld] = e
+	t.byCtx[world.Ctx()] = e
+	return t
+}
+
+// Get returns the entry for a handle.
+func (t *CommTable) Get(handle int) (*CommEntry, bool) {
+	e, ok := t.entries[handle]
+	return e, ok
+}
+
+// ByCtx returns the entry for a context id.
+func (t *CommTable) ByCtx(ctx uint32) (*CommEntry, bool) {
+	e, ok := t.byCtx[ctx]
+	return e, ok
+}
+
+// Dup records and performs a communicator duplication. Collective.
+func (t *CommTable) Dup(parent int) (int, error) {
+	pe, ok := t.entries[parent]
+	if !ok || pe.Comm == nil {
+		return 0, fmt.Errorf("ckpt: dup of invalid communicator handle %d", parent)
+	}
+	nc, err := pe.Comm.Dup()
+	if err != nil {
+		return 0, err
+	}
+	h := t.nextHandle
+	t.nextHandle++
+	e := &CommEntry{Handle: h, Kind: ckDup, Parent: parent, Comm: nc}
+	t.entries[h] = e
+	t.order = append(t.order, h)
+	t.byCtx[nc.Ctx()] = e
+	return h, nil
+}
+
+// Split records and performs a communicator split. Collective.
+func (t *CommTable) Split(parent, color, key int) (int, error) {
+	pe, ok := t.entries[parent]
+	if !ok || pe.Comm == nil {
+		return 0, fmt.Errorf("ckpt: split of invalid communicator handle %d", parent)
+	}
+	nc, err := pe.Comm.Split(color, key)
+	if err != nil {
+		return 0, err
+	}
+	h := t.nextHandle
+	t.nextHandle++
+	e := &CommEntry{Handle: h, Kind: ckSplit, Parent: parent, Color: color, Key: key, Comm: nc}
+	t.entries[h] = e
+	t.order = append(t.order, h)
+	if nc != nil {
+		t.byCtx[nc.Ctx()] = e
+	}
+	return h, nil
+}
+
+// Serialize encodes the non-world rows in creation order.
+func (t *CommTable) Serialize() []byte {
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(t.order)))
+	for _, h := range t.order {
+		e := t.entries[h]
+		w.Int(e.Handle)
+		w.U8(e.Kind)
+		w.Int(e.Parent)
+		w.Int(e.Color)
+		w.Int(e.Key)
+	}
+	w.Int(t.nextHandle)
+	return w.Bytes()
+}
+
+// Restore merges a serialized table, verifying rows the application already
+// re-created and replaying the rest. Replayed creations perform collective
+// MPI calls, so every recovering rank must call Restore with the same data
+// ordering — which holds because each rank saved its own identical creation
+// history.
+func (t *CommTable) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	for i := 0; i < n; i++ {
+		h := r.Int()
+		kind := r.U8()
+		parent := r.Int()
+		color := r.Int()
+		key := r.Int()
+		if r.Err() != nil {
+			return fmt.Errorf("ckpt: corrupt communicator table: %w", r.Err())
+		}
+		if e, ok := t.entries[h]; ok {
+			if e.Kind != kind || e.Parent != parent || e.Color != color || e.Key != key {
+				return fmt.Errorf("ckpt: communicator handle %d recipe diverged between runs", h)
+			}
+			continue
+		}
+		var got int
+		var err error
+		switch kind {
+		case ckDup:
+			got, err = t.Dup(parent)
+		case ckSplit:
+			got, err = t.Split(parent, color, key)
+		default:
+			err = fmt.Errorf("ckpt: unknown communicator kind %d", kind)
+		}
+		if err != nil {
+			return err
+		}
+		if got != h {
+			return fmt.Errorf("ckpt: communicator replay produced handle %d, expected %d", got, h)
+		}
+	}
+	if nh := r.Int(); nh > t.nextHandle {
+		t.nextHandle = nh
+	}
+	return r.Err()
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+
+	"c3/internal/mpi"
+	"c3/internal/statesave"
+)
+
+// directComm adapts *mpi.Comm to the Comm interface with no protocol
+// interposition: the "Original" configuration in the paper's overhead
+// tables.
+type directComm struct {
+	c    *mpi.Comm
+	reqs map[int]*mpi.Request
+	next int
+}
+
+func newDirectComm(c *mpi.Comm) *directComm {
+	return &directComm{c: c, reqs: make(map[int]*mpi.Request), next: 1}
+}
+
+func (d *directComm) Rank() int { return d.c.Rank() }
+func (d *directComm) Size() int { return d.c.Size() }
+
+func (d *directComm) Send(buf []byte, count int, dt *mpi.Datatype, dest, tag int) error {
+	return d.c.Send(buf, count, dt, dest, tag)
+}
+
+func (d *directComm) SendBytes(data []byte, dest, tag int) error {
+	return d.c.SendBytes(data, dest, tag)
+}
+
+func (d *directComm) Recv(buf []byte, count int, dt *mpi.Datatype, src, tag int) (mpi.Status, error) {
+	return d.c.Recv(buf, count, dt, src, tag)
+}
+
+func (d *directComm) RecvBytes(buf []byte, src, tag int) (mpi.Status, error) {
+	return d.c.RecvBytes(buf, src, tag)
+}
+
+func (d *directComm) Sendrecv(sendBuf []byte, sendCount int, sendType *mpi.Datatype, dest, sendTag int,
+	recvBuf []byte, recvCount int, recvType *mpi.Datatype, src, recvTag int) (mpi.Status, error) {
+	return d.c.Sendrecv(sendBuf, sendCount, sendType, dest, sendTag, recvBuf, recvCount, recvType, src, recvTag)
+}
+
+func (d *directComm) Probe(src, tag int) (mpi.Status, error) { return d.c.Probe(src, tag) }
+
+func (d *directComm) Iprobe(src, tag int) (mpi.Status, bool, error) { return d.c.Iprobe(src, tag) }
+
+func (d *directComm) track(r *mpi.Request) int {
+	id := d.next
+	d.next++
+	d.reqs[id] = r
+	return id
+}
+
+func (d *directComm) Isend(buf []byte, count int, dt *mpi.Datatype, dest, tag int) (int, error) {
+	r, err := d.c.Isend(buf, count, dt, dest, tag)
+	if err != nil {
+		return 0, err
+	}
+	return d.track(r), nil
+}
+
+func (d *directComm) Irecv(buf []byte, count int, dt *mpi.Datatype, src, tag int) (int, error) {
+	r, err := d.c.Irecv(buf, count, dt, src, tag)
+	if err != nil {
+		return 0, err
+	}
+	return d.track(r), nil
+}
+
+func (d *directComm) Wait(id int) (mpi.Status, error) {
+	r, ok := d.reqs[id]
+	if !ok {
+		return mpi.Status{}, fmt.Errorf("cluster: wait on unknown request %d", id)
+	}
+	st, err := r.Wait()
+	delete(d.reqs, id)
+	return st, err
+}
+
+func (d *directComm) Test(id int) (mpi.Status, bool, error) {
+	r, ok := d.reqs[id]
+	if !ok {
+		return mpi.Status{}, false, fmt.Errorf("cluster: test on unknown request %d", id)
+	}
+	st, done, err := r.Test()
+	if done {
+		delete(d.reqs, id)
+	}
+	return st, done, err
+}
+
+func (d *directComm) Waitall(ids []int) ([]mpi.Status, error) {
+	sts := make([]mpi.Status, len(ids))
+	for i, id := range ids {
+		st, err := d.Wait(id)
+		if err != nil {
+			return sts, err
+		}
+		sts[i] = st
+	}
+	return sts, nil
+}
+
+func (d *directComm) Waitany(ids []int) (int, mpi.Status, error) {
+	reqs := make([]*mpi.Request, len(ids))
+	for i, id := range ids {
+		reqs[i] = d.reqs[id]
+	}
+	idx, st, err := mpi.Waitany(reqs)
+	if err != nil {
+		return -1, st, err
+	}
+	if idx >= 0 {
+		delete(d.reqs, ids[idx])
+	}
+	return idx, st, err
+}
+
+func (d *directComm) Barrier() error { return d.c.Barrier() }
+
+func (d *directComm) Bcast(buf []byte, count int, dt *mpi.Datatype, root int) error {
+	return d.c.Bcast(buf, count, dt, root)
+}
+
+func (d *directComm) Gather(sendBuf []byte, sendCount int, dt *mpi.Datatype, recvBuf []byte, root int) error {
+	return d.c.Gather(sendBuf, sendCount, dt, recvBuf, sendCount, dt, root)
+}
+
+func (d *directComm) Scatter(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte, root int) error {
+	return d.c.Scatter(sendBuf, count, dt, recvBuf, count, dt, root)
+}
+
+func (d *directComm) Allgather(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte) error {
+	return d.c.Allgather(sendBuf, count, dt, recvBuf)
+}
+
+func (d *directComm) Alltoall(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte) error {
+	return d.c.Alltoall(sendBuf, count, dt, recvBuf)
+}
+
+func (d *directComm) Alltoallv(sendBuf []byte, sendCounts, sendDispls []int, recvBuf []byte, recvCounts, recvDispls []int) error {
+	return d.c.Alltoallv(sendBuf, sendCounts, sendDispls, recvBuf, recvCounts, recvDispls)
+}
+
+func (d *directComm) Reduce(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op, root int) error {
+	return d.c.Reduce(sendBuf, recvBuf, count, dt, op, root)
+}
+
+func (d *directComm) Allreduce(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op) error {
+	return d.c.Allreduce(sendBuf, recvBuf, count, dt, op)
+}
+
+func (d *directComm) Scan(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op) error {
+	return d.c.Scan(sendBuf, recvBuf, count, dt, op)
+}
+
+// directEnv is the Env implementation without checkpointing. State is
+// registered (so kernels run unmodified) but never saved; Checkpoint is a
+// no-op.
+type directEnv struct {
+	comm  *directComm
+	state *statesave.Registry
+	heap  *statesave.Heap
+	args  any
+}
+
+func (e *directEnv) Rank() int                  { return e.comm.Rank() }
+func (e *directEnv) Size() int                  { return e.comm.Size() }
+func (e *directEnv) World() Comm                { return e.comm }
+func (e *directEnv) State() *statesave.Registry { return e.state }
+func (e *directEnv) Heap() *statesave.Heap      { return e.heap }
+func (e *directEnv) Restore() (bool, error)     { return false, nil }
+func (e *directEnv) Checkpoint() error          { return nil }
+func (e *directEnv) CheckpointNow() error       { return nil }
+func (e *directEnv) Args() any                  { return e.args }

@@ -1,0 +1,83 @@
+// Package cluster is the process runtime for the reproduction: it launches
+// a world of ranks (one goroutine each), runs an application function on
+// every rank, injects fail-stop failures, and orchestrates
+// restart-and-recover cycles from the last committed recovery line.
+//
+// Applications are written against the Env and Comm interfaces, which are
+// implemented twice:
+//
+//   - the checkpointed implementation routes every operation through the
+//     ckpt protocol layer (the "C3" configuration in the paper's tables);
+//   - the direct implementation calls the mpi substrate with no
+//     interposition (the "Original" configuration).
+//
+// Running the same kernel under both implementations reproduces the
+// paper's overhead methodology.
+package cluster
+
+import (
+	"c3/internal/mpi"
+	"c3/internal/statesave"
+)
+
+// Comm is the communicator interface applications program against. Its
+// checkpointed implementation is *ckpt.WComm; the direct implementation is
+// a thin adapter over *mpi.Comm.
+type Comm interface {
+	Rank() int
+	Size() int
+
+	Send(buf []byte, count int, dt *mpi.Datatype, dest, tag int) error
+	SendBytes(data []byte, dest, tag int) error
+	Recv(buf []byte, count int, dt *mpi.Datatype, src, tag int) (mpi.Status, error)
+	RecvBytes(buf []byte, src, tag int) (mpi.Status, error)
+	Sendrecv(sendBuf []byte, sendCount int, sendType *mpi.Datatype, dest, sendTag int,
+		recvBuf []byte, recvCount int, recvType *mpi.Datatype, src, recvTag int) (mpi.Status, error)
+	Probe(src, tag int) (mpi.Status, error)
+	Iprobe(src, tag int) (mpi.Status, bool, error)
+
+	Isend(buf []byte, count int, dt *mpi.Datatype, dest, tag int) (int, error)
+	Irecv(buf []byte, count int, dt *mpi.Datatype, src, tag int) (int, error)
+	Wait(id int) (mpi.Status, error)
+	Test(id int) (mpi.Status, bool, error)
+	Waitall(ids []int) ([]mpi.Status, error)
+	Waitany(ids []int) (int, mpi.Status, error)
+
+	Barrier() error
+	Bcast(buf []byte, count int, dt *mpi.Datatype, root int) error
+	Gather(sendBuf []byte, sendCount int, dt *mpi.Datatype, recvBuf []byte, root int) error
+	Scatter(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte, root int) error
+	Allgather(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte) error
+	Alltoall(sendBuf []byte, count int, dt *mpi.Datatype, recvBuf []byte) error
+	Alltoallv(sendBuf []byte, sendCounts, sendDispls []int, recvBuf []byte, recvCounts, recvDispls []int) error
+	Reduce(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op, root int) error
+	Allreduce(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op) error
+	Scan(sendBuf, recvBuf []byte, count int, dt *mpi.Datatype, op *mpi.Op) error
+}
+
+// Env is the per-rank application environment: world access, registered
+// state, and the checkpoint pragma.
+type Env interface {
+	// Rank returns the world rank; Size the world size.
+	Rank() int
+	Size() int
+	// World returns the world communicator.
+	World() Comm
+	// State returns the application state registry; data registered there
+	// is saved at every checkpoint.
+	State() *statesave.Registry
+	// Heap returns the checkpointable heap.
+	Heap() *statesave.Heap
+	// Restore recovers state from the last committed global recovery line,
+	// if this run is a restart and a line exists. Applications call it once
+	// after registering all state; it reports whether state was restored.
+	Restore() (bool, error)
+	// Checkpoint is the pragma: a potential checkpoint location
+	// (#pragma ccc checkpoint). Whether a checkpoint is actually taken is
+	// decided by the policy and by other processes having initiated one.
+	Checkpoint() error
+	// CheckpointNow forces a checkpoint at this pragma.
+	CheckpointNow() error
+	// Args returns the application arguments from the run configuration.
+	Args() any
+}

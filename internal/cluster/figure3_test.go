@@ -1,0 +1,166 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// TestFigure3ModeTransitions walks the protocol state machine of the
+// paper's Figure 3 on a deterministic 3-rank schedule and observes every
+// transition on rank 0:
+//
+//	Run --(checkpoint condition)--> NonDet-Log
+//	NonDet-Log --(all nodes started checkpoint)--> RecvOnly-Log
+//	RecvOnly-Log --(received all late messages)--> Run
+func TestFigure3ModeTransitions(t *testing.T) {
+	modes := make(chan ckpt.Mode, 16)
+	cfg := cluster.Config{
+		Ranks: 3,
+		App: func(env cluster.Env) error {
+			st := env.State()
+			phase := st.Int("phase")
+			if _, err := env.Restore(); err != nil {
+				return err
+			}
+			w := env.World()
+			layer := cluster.LayerOf(env)
+			switch env.Rank() {
+			case 0:
+				modes <- layer.Mode() // Run
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+				modes <- layer.Mode() // NonDet-Log: rank 2 has not started
+				// Tell rank 2 it may proceed (it sends its pre-line message
+				// and then checkpoints).
+				if err := w.SendBytes([]byte{1}, 2, 5); err != nil {
+					return err
+				}
+				// Wait until both Checkpoint-Initiated messages arrive: the
+				// mode must become RecvOnly-Log, not Run, because rank 2's
+				// late message is still unreceived.
+				for layer.Mode() == ckpt.ModeNonDetLog {
+					if _, _, err := w.Iprobe(2, 6); err != nil {
+						return err
+					}
+				}
+				modes <- layer.Mode() // RecvOnly-Log
+				var buf [1]byte
+				if _, err := w.RecvBytes(buf[:], 2, 6); err != nil {
+					return err
+				}
+				modes <- layer.Mode() // Run: late message in, committed
+			case 1:
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+			case 2:
+				// Wait for rank 0's go-ahead, send a message that will be
+				// late for rank 0, then join the checkpoint.
+				var buf [1]byte
+				if _, err := w.RecvBytes(buf[:], 0, 5); err != nil {
+					return err
+				}
+				if err := w.SendBytes([]byte{9}, 0, 6); err != nil {
+					return err
+				}
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+			}
+			return layer.Sync()
+		},
+	}
+	res := run(t, cfg)
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	close(modes)
+	var got []ckpt.Mode
+	for m := range modes {
+		got = append(got, m)
+	}
+	want := []ckpt.Mode{ckpt.ModeRun, ckpt.ModeNonDetLog, ckpt.ModeRecvOnlyLog, ckpt.ModeRun}
+	if len(got) != len(want) {
+		t.Fatalf("observed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d: got %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestMessageFromStoppedLoggingSenderForcesTransition checks the subtle
+// rule in Section 3.1: a process in NonDet-Log that receives a message from
+// a process that has itself stopped logging must stop logging too —
+// otherwise the saved global state could causally depend on an unlogged
+// non-deterministic event.
+func TestMessageFromStoppedLoggingSenderForcesTransition(t *testing.T) {
+	modes := make(chan ckpt.Mode, 4)
+	cfg := cluster.Config{
+		Ranks: 3,
+		App: func(env cluster.Env) error {
+			st := env.State()
+			phase := st.Int("phase")
+			if _, err := env.Restore(); err != nil {
+				return err
+			}
+			w := env.World()
+			layer := cluster.LayerOf(env)
+			switch env.Rank() {
+			case 0:
+				// Starts the checkpoint but is kept from learning that all
+				// ranks started: no control processing happens until a
+				// receive, and the first thing it receives is rank 1's
+				// message — whose stopped-logging piggyback bit must force
+				// the transition by itself.
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+				modes <- layer.Mode() // NonDet-Log
+				var buf [1]byte
+				if _, err := w.RecvBytes(buf[:], 1, 7); err != nil {
+					return err
+				}
+				if layer.Mode() == ckpt.ModeNonDetLog {
+					return fmt.Errorf("still logging after message from stopped-logging sender")
+				}
+			case 1:
+				// Checkpoints, waits until its own line commits (it has
+				// stopped logging), then messages rank 0.
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+				for layer.Mode() != ckpt.ModeRun {
+					if _, _, err := w.Iprobe(mpi.AnySource, 99); err != nil {
+						return err
+					}
+				}
+				if err := w.SendBytes([]byte{1}, 0, 7); err != nil {
+					return err
+				}
+			case 2:
+				phase.Set(1)
+				if err := env.CheckpointNow(); err != nil {
+					return err
+				}
+			}
+			return layer.Sync()
+		},
+	}
+	run(t, cfg)
+	m := <-modes
+	if m != ckpt.ModeNonDetLog {
+		t.Skipf("rank 0 left NonDet-Log before the message arrived (mode %v); scheduling made the scenario vacuous", m)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster_test
+
+import (
+	"sync"
+	"testing"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+	"c3/internal/stable"
+)
+
+// incrementalApp has a large static section and a small hot section, the
+// state shape incremental checkpointing pays off on.
+func incrementalApp(iters int, sums *sync.Map) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		hot := st.Int("hot")
+		static := st.Float64s("static", 64*1024).Data() // 512 KB, written once
+		if _, err := env.Restore(); err != nil {
+			return err
+		}
+		w := env.World()
+		if it.Get() == 0 && static[0] == 0 {
+			for i := range static {
+				static[i] = float64(i + env.Rank())
+			}
+		}
+		for it.Get() < iters {
+			other := (env.Rank() + 1) % env.Size()
+			var in [1]byte
+			if _, err := w.Sendrecv([]byte{byte(it.Get())}, 1, mpi.TypeByte, other, 3,
+				in[:], 1, mpi.TypeByte, (env.Rank()+env.Size()-1)%env.Size(), 3); err != nil {
+				return err
+			}
+			hot.Add(int(in[0]))
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		sums.Store(env.Rank(), hot.Get()*1000000+int(static[123]))
+		return nil
+	}
+}
+
+// TestIncrementalCheckpointRecovery runs the paper's future-work extension:
+// deltas between full snapshots must recover exactly, across a failure that
+// lands several deltas past the last full checkpoint.
+func TestIncrementalCheckpointRecovery(t *testing.T) {
+	const ranks = 3
+	const iters = 10
+
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, Direct: true, App: incrementalApp(iters, &ref)})
+
+	var got sync.Map
+	res := run(t, cluster.Config{
+		Ranks:               ranks,
+		App:                 incrementalApp(iters, &got),
+		Policy:              ckpt.Policy{EveryNthPragma: 1}, // checkpoint every iteration
+		FullCheckpointEvery: 4,
+		Failures:            []cluster.FailureSpec{{Rank: 1, AtPragma: 7}},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: ref %v vs incremental-recovered %v", r, want, gotv)
+		}
+	}
+}
+
+// TestIncrementalCheckpointsAreSmaller verifies the point of the extension:
+// with a mostly-static state, the bytes written with incremental mode are a
+// fraction of the full-checkpoint bytes.
+func TestIncrementalCheckpointsAreSmaller(t *testing.T) {
+	const ranks = 2
+	const iters = 8
+
+	measure := func(fullEvery int) int64 {
+		store := stable.NewMemStore()
+		var out sync.Map
+		run(t, cluster.Config{
+			Ranks:               ranks,
+			App:                 incrementalApp(iters, &out),
+			Store:               store,
+			Policy:              ckpt.Policy{EveryNthPragma: 1},
+			FullCheckpointEvery: fullEvery,
+		})
+		return store.BytesWritten()
+	}
+
+	full := measure(0)
+	inc := measure(4)
+	if inc >= full/2 {
+		t.Fatalf("incremental checkpoints not smaller: %d vs %d bytes", inc, full)
+	}
+}
+
+// TestIncrementalRetireKeepsChain makes sure garbage collection never
+// deletes a delta's anchor: after many checkpoints, recovery must still
+// find the full snapshot its chain starts at.
+func TestIncrementalRetireKeepsChain(t *testing.T) {
+	const ranks = 2
+	const iters = 11
+	var ref, got sync.Map
+	run(t, cluster.Config{Ranks: ranks, Direct: true, App: incrementalApp(iters, &ref)})
+
+	res := run(t, cluster.Config{
+		Ranks:               ranks,
+		App:                 incrementalApp(iters, &got),
+		Policy:              ckpt.Policy{EveryNthPragma: 1},
+		FullCheckpointEvery: 3,
+		Failures:            []cluster.FailureSpec{{Rank: 0, AtPragma: 11}},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: ref %v vs recovered %v", r, want, gotv)
+		}
+	}
+}

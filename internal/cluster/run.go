@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"c3/internal/ckpt"
+	"c3/internal/mpi"
+	"c3/internal/stable"
+	"c3/internal/statesave"
+	"c3/internal/transport"
+)
+
+// ErrInjectedFailure marks a fail-stop failure produced by the failure
+// injector. The runner treats it as a hardware fault: the world is torn
+// down and all ranks restart from the last committed recovery line.
+var ErrInjectedFailure = errors.New("cluster: injected fail-stop failure")
+
+// FailureSpec schedules one fail-stop failure.
+type FailureSpec struct {
+	// Rank is the process to kill.
+	Rank int
+	// AtPragma kills the rank when its pragma-call count reaches this
+	// value (1-based), before the pragma executes. Deterministic.
+	AtPragma int
+	// AfterCheckpoints additionally requires the rank to have started at
+	// least this many checkpoints, so failures can be positioned inside
+	// logging phases. 0 means no requirement.
+	AfterCheckpoints int
+}
+
+// Config configures a run.
+type Config struct {
+	// Ranks is the world size.
+	Ranks int
+	// App is the application main, executed once per rank per attempt.
+	App func(Env) error
+	// Args is handed to the application via Env.Args.
+	Args any
+	// Store is the stable storage shared across restart attempts.
+	// Defaults to an in-memory store.
+	Store stable.Store
+	// Policy controls pragma firing.
+	Policy ckpt.Policy
+	// Direct disables the protocol layer entirely (the "Original"
+	// configuration in the paper's overhead tables).
+	Direct bool
+	// WideHeaders selects the full-epoch piggyback codec (ablation).
+	WideHeaders bool
+	// LogAllIntraSignatures logs every intra-epoch signature during
+	// non-deterministic logging (the Figure 4 pseudo-code variant).
+	LogAllIntraSignatures bool
+	// FullCheckpointEvery enables incremental checkpointing: full
+	// application-state snapshots every k-th line, content-changed sections
+	// only in between. 0 or 1 means every checkpoint is full.
+	FullCheckpointEvery int
+	// Failures schedules fail-stop failures: Failures[i] fires during
+	// attempt i. Attempts beyond the list run failure-free.
+	Failures []FailureSpec
+	// ForceRestore launches even the first attempt in restart mode, so a
+	// run can resume from checkpoints a previous Run left in Store. The
+	// restart-cost experiments (paper Tables 6 and 7) use this.
+	ForceRestore bool
+	// MaxAttempts bounds restart cycles; default len(Failures)+1.
+	MaxAttempts int
+	// TransportOptions configures the interconnect (latency models).
+	TransportOptions []transport.Option
+}
+
+// RankStats captures one rank's protocol counters after the final attempt.
+type RankStats struct {
+	Rank  int
+	Stats ckpt.Stats
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Attempts is the number of world launches (1 = no failures).
+	Attempts int
+	// Elapsed is the total wall time across attempts.
+	Elapsed time.Duration
+	// LastAttemptElapsed is the wall time of the successful attempt.
+	LastAttemptElapsed time.Duration
+	// Stats holds per-rank protocol counters from the successful attempt
+	// (empty in Direct mode).
+	Stats []RankStats
+	// Transport is the interconnect's counters from the successful attempt.
+	Transport transport.Stats
+}
+
+type rankOutcome struct {
+	rank int
+	err  error
+}
+
+// Run launches the world, runs the application on every rank, and — when an
+// injected failure brings the world down — restarts all ranks from the last
+// committed recovery line, repeating until the application completes.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("cluster: ranks must be positive")
+	}
+	if cfg.App == nil {
+		return nil, fmt.Errorf("cluster: no application")
+	}
+	store := cfg.Store
+	if store == nil {
+		store = stable.NewMemStore()
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = len(cfg.Failures) + 1
+	}
+	res := &Result{}
+	start := time.Now()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		var failer *failureInjector
+		if attempt < len(cfg.Failures) {
+			failer = &failureInjector{spec: cfg.Failures[attempt]}
+		}
+		attemptStart := time.Now()
+		outcome, stats, tstats, err := runAttempt(cfg, store, attempt > 0 || cfg.ForceRestore, failer)
+		res.Attempts++
+		if err != nil {
+			return res, err
+		}
+		injected := false
+		var firstErr error
+		for _, o := range outcome {
+			if errors.Is(o.err, ErrInjectedFailure) {
+				injected = true
+			} else if o.err != nil && !errors.Is(o.err, mpi.ErrDown) && firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", o.rank, o.err)
+			}
+		}
+		if firstErr != nil {
+			return res, firstErr
+		}
+		if injected {
+			continue // restart from the last committed line
+		}
+		// Ranks that returned ErrDown without an injected failure indicate
+		// a real breakdown (should not happen).
+		for _, o := range outcome {
+			if o.err != nil {
+				return res, fmt.Errorf("rank %d failed without injection: %w", o.rank, o.err)
+			}
+		}
+		res.Elapsed = time.Since(start)
+		res.LastAttemptElapsed = time.Since(attemptStart)
+		res.Stats = stats
+		res.Transport = tstats
+		return res, nil
+	}
+	return res, fmt.Errorf("cluster: no successful attempt in %d tries", maxAttempts)
+}
+
+func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInjector) ([]rankOutcome, []RankStats, transport.Stats, error) {
+	world := mpi.NewWorld(cfg.Ranks, mpi.WithTransportOptions(cfg.TransportOptions...))
+	outcomes := make([]rankOutcome, cfg.Ranks)
+	stats := make([]RankStats, cfg.Ranks)
+
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			err, st := runRank(cfg, world, store, r, restart, failer)
+			outcomes[r] = rankOutcome{rank: r, err: err}
+			stats[r] = RankStats{Rank: r, Stats: st}
+			if err != nil {
+				// Fail-stop: bring the whole world down so blocked ranks
+				// unblock, as a job scheduler would on node failure.
+				world.Shutdown()
+			}
+		}(r)
+	}
+	wg.Wait()
+	tstats := world.Network().Stats()
+	world.Shutdown()
+	return outcomes, stats, tstats, nil
+}
+
+func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart bool, failer *failureInjector) (error, ckpt.Stats) {
+	p := world.Proc(rank)
+	if cfg.Direct {
+		env := &directEnv{
+			comm:  newDirectComm(p.CommWorld()),
+			state: statesave.NewRegistry(),
+			heap:  statesave.NewHeap(),
+			args:  cfg.Args,
+		}
+		env.state.Register(env.heap.Section())
+		return cfg.App(env), ckpt.Stats{}
+	}
+	heap := statesave.NewHeap()
+	layer, err := ckpt.New(p, ckpt.Config{
+		Store:                 store,
+		Heap:                  heap,
+		Policy:                cfg.Policy,
+		WideHeaders:           cfg.WideHeaders,
+		LogAllIntraSignatures: cfg.LogAllIntraSignatures,
+		FullCheckpointEvery:   cfg.FullCheckpointEvery,
+	})
+	if err != nil {
+		return err, ckpt.Stats{}
+	}
+	env := &ckptEnv{
+		layer:   layer,
+		world:   layer.World(),
+		heap:    heap,
+		args:    cfg.Args,
+		restart: restart,
+		failer:  failer,
+		rank:    rank,
+		proc:    p,
+		mpiW:    world,
+	}
+	err = cfg.App(env)
+	return err, layer.Stats()
+}
+
+// failureInjector fires one scheduled fail-stop failure.
+type failureInjector struct {
+	spec    FailureSpec
+	mu      sync.Mutex
+	pragmas int
+	fired   bool
+}
+
+// shouldFire is called by the victim rank at each pragma.
+func (f *failureInjector) shouldFire(epoch uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fired {
+		return false
+	}
+	f.pragmas++
+	if f.pragmas < f.spec.AtPragma {
+		return false
+	}
+	if uint64(f.spec.AfterCheckpoints) > epoch {
+		return false
+	}
+	f.fired = true
+	return true
+}
+
+// ckptEnv is the Env implementation backed by the protocol layer.
+type ckptEnv struct {
+	layer   *ckpt.Layer
+	world   *ckpt.WComm
+	heap    *statesave.Heap
+	args    any
+	restart bool
+	failer  *failureInjector
+	rank    int
+	proc    *mpi.Proc
+	mpiW    *mpi.World
+}
+
+func (e *ckptEnv) Rank() int                  { return e.rank }
+func (e *ckptEnv) Size() int                  { return e.proc.Size() }
+func (e *ckptEnv) World() Comm                { return e.world }
+func (e *ckptEnv) State() *statesave.Registry { return e.layer.State() }
+func (e *ckptEnv) Heap() *statesave.Heap      { return e.heap }
+func (e *ckptEnv) Args() any                  { return e.args }
+
+func (e *ckptEnv) Restore() (bool, error) {
+	if !e.restart {
+		return false, nil
+	}
+	return e.layer.Restore()
+}
+
+func (e *ckptEnv) Checkpoint() error {
+	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
+		e.mpiW.Kill(e.rank)
+		return ErrInjectedFailure
+	}
+	return e.layer.Checkpoint(false)
+}
+
+func (e *ckptEnv) CheckpointNow() error {
+	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
+		e.mpiW.Kill(e.rank)
+		return ErrInjectedFailure
+	}
+	return e.layer.Checkpoint(true)
+}
+
+// Layer exposes the protocol layer for tests and tooling.
+func (e *ckptEnv) Layer() *ckpt.Layer { return e.layer }
+
+// LayerOf extracts the protocol layer from a checkpointed Env; it returns
+// nil for direct environments.
+func LayerOf(env Env) *ckpt.Layer {
+	if ce, ok := env.(*ckptEnv); ok {
+		return ce.layer
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package cluster_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/stable"
+	"c3/internal/transport"
+)
+
+// TestStressWideHeadersValidatesColorArithmetic reruns the random-schedule
+// stress under the wide piggyback codec, whose receive path cross-checks
+// the 2-bit color classification against exact epochs and fails fatally on
+// any message that crossed more than one recovery line — the protocol's
+// central invariant ("an application message can cross at most one
+// recovery line").
+func TestStressWideHeadersValidatesColorArithmetic(t *testing.T) {
+	const ranks = 5
+	const iters = 12
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+
+	var got sync.Map
+	cfg := cluster.Config{
+		Ranks:       ranks,
+		App:         stressApp(iters, ranks, &got),
+		WideHeaders: true,
+		Policy:      ckpt.Policy{EveryNthPragma: 3},
+		Failures:    []cluster.FailureSpec{{Rank: 2, AtPragma: 7}},
+	}
+	run(t, cfg)
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: %v vs %v", r, want, gotv)
+		}
+	}
+}
+
+// TestStressLogAllIntraSignatures exercises the paper's Figure 4 pseudo-code
+// variant that logs every intra-epoch signature during non-deterministic
+// logging (not only wildcard receives); replay must consume the extra
+// signature entries transparently.
+func TestStressLogAllIntraSignatures(t *testing.T) {
+	const ranks = 4
+	const iters = 10
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+
+	var got sync.Map
+	cfg := cluster.Config{
+		Ranks:                 ranks,
+		App:                   stressApp(iters, ranks, &got),
+		LogAllIntraSignatures: true,
+		Policy:                ckpt.Policy{EveryNthPragma: 3},
+		Failures:              []cluster.FailureSpec{{Rank: 1, AtPragma: 6}},
+	}
+	run(t, cfg)
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: %v vs %v", r, want, gotv)
+		}
+	}
+}
+
+// TestRecoveryFromDiskStore runs the checkpoint-failure-recover cycle
+// against the on-disk store: the recovery line must survive the rename-based
+// commit protocol and reload from files.
+func TestRecoveryFromDiskStore(t *testing.T) {
+	const ranks = 3
+	const iters = 8
+	store, err := stable.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+
+	var got sync.Map
+	res := run(t, cluster.Config{
+		Ranks:    ranks,
+		App:      stressApp(iters, ranks, &got),
+		Store:    store,
+		Policy:   ckpt.Policy{EveryNthPragma: 2},
+		Failures: []cluster.FailureSpec{{Rank: 0, AtPragma: 6}},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: %v vs %v", r, want, gotv)
+		}
+	}
+}
+
+// TestRecoveryUnderLatency runs checkpoint and recovery on a transport with
+// real per-message delay, where control messages, late messages and
+// checkpoint coordination all race against slow delivery.
+func TestRecoveryUnderLatency(t *testing.T) {
+	const ranks = 3
+	const iters = 6
+	lat := []transport.Option{transport.WithLatency(
+		transport.ConstantLatency(300*time.Microsecond, 0))}
+
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+
+	var got sync.Map
+	res := run(t, cluster.Config{
+		Ranks:            ranks,
+		App:              stressApp(iters, ranks, &got),
+		TransportOptions: lat,
+		Policy:           ckpt.Policy{EveryNthPragma: 2},
+		Failures:         []cluster.FailureSpec{{Rank: 2, AtPragma: 4}},
+	})
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: %v vs %v", r, want, gotv)
+		}
+	}
+}
+
+// TestTimerPolicy checks the time-based checkpoint trigger the paper
+// mentions ("a timer has expired").
+func TestTimerPolicy(t *testing.T) {
+	cfg := cluster.Config{
+		Ranks:  2,
+		Policy: ckpt.Policy{Interval: time.Microsecond}, // fires at every pragma
+		App: func(env cluster.Env) error {
+			st := env.State()
+			it := st.Int("it")
+			if _, err := env.Restore(); err != nil {
+				return err
+			}
+			for it.Get() < 3 {
+				it.Add(1)
+				time.Sleep(50 * time.Microsecond)
+				if err := env.Checkpoint(); err != nil {
+					return err
+				}
+			}
+			return cluster.LayerOf(env).Sync()
+		},
+	}
+	res := run(t, cfg)
+	for _, rs := range res.Stats {
+		if rs.Stats.CheckpointsTaken == 0 {
+			t.Fatalf("rank %d: timer policy took no checkpoints", rs.Rank)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package mpi
+
+import "fmt"
+
+// Internal tags for collective plumbing. They live on the communicator's
+// collective context plane, so they can never match user point-to-point
+// traffic; distinct tags per collective keep interleaved collectives of
+// different kinds from cross-matching.
+const (
+	tagBarrier = MaxUserTag + 1 + iota
+	tagBcast
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagScan
+	tagCtxAlloc
+)
+
+// Barrier blocks until every rank in the communicator has entered it.
+// It uses the dissemination algorithm: log2(n) rounds of pairwise messages.
+func (c *Comm) Barrier() error {
+	n := c.Size()
+	var empty []byte
+	buf := make([]byte, 0)
+	for k := 1; k < n; k <<= 1 {
+		dst := (c.myRank + k) % n
+		src := (c.myRank - k + n) % n
+		wr := c.group[dst]
+		if err := c.proc.send(wr, tagBarrier, c.collCtx(), empty); err != nil {
+			return err
+		}
+		if _, err := c.proc.recvInternal(buf, src, tagBarrier, c, c.collCtx()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bcastBytes broadcasts buf (len fixed on all ranks) from root over the
+// collective plane using a binomial tree.
+func (c *Comm) bcastBytes(buf []byte, root, tag int) error {
+	n := c.Size()
+	vr := (c.myRank - root + n) % n // virtual rank: root becomes 0
+
+	// Receive from parent (all ranks except virtual 0).
+	if vr != 0 {
+		parent := (parentOf(vr) + root) % n
+		st, err := c.proc.recvInternal(buf, parent, tag, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != len(buf) {
+			return fmt.Errorf("%w: bcast expected %d bytes, got %d", ErrTruncate, len(buf), st.Bytes)
+		}
+	}
+	// Forward to children.
+	for _, child := range childrenOf(vr, n) {
+		dst := (child + root) % n
+		wr := c.group[dst]
+		if err := c.proc.send(wr, tag, c.collCtx(), append([]byte(nil), buf...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parentOf returns the binomial-tree parent of virtual rank vr (vr > 0):
+// clear the lowest set bit.
+func parentOf(vr int) int { return vr & (vr - 1) }
+
+// childrenOf returns the binomial-tree children of virtual rank vr in a tree
+// of n nodes: vr | (1<<k) for k above vr's lowest set bit boundary.
+func childrenOf(vr, n int) []int {
+	var kids []int
+	for bit := 1; ; bit <<= 1 {
+		if vr&bit != 0 {
+			break
+		}
+		child := vr | bit
+		if child >= n {
+			break
+		}
+		if child == vr {
+			break
+		}
+		kids = append(kids, child)
+	}
+	return kids
+}
+
+// Bcast broadcasts count elements of dt from root's buf into every rank's
+// buf.
+func (c *Comm) Bcast(buf []byte, count int, dt *Datatype, root int) error {
+	var packed []byte
+	var err error
+	if c.myRank == root {
+		packed, err = dt.Pack(buf, count)
+		if err != nil {
+			return err
+		}
+	} else {
+		packed = make([]byte, count*dt.Size())
+	}
+	if err := c.bcastBytes(packed, root, tagBcast); err != nil {
+		return err
+	}
+	if c.myRank != root {
+		if _, err := dt.Unpack(packed, buf, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherBytes gathers fixed-size chunks from all ranks into all at root,
+// ordered by comm rank. len(mine) must be identical on all ranks and
+// len(all) = n*len(mine) at root.
+func (c *Comm) gatherBytes(mine []byte, all []byte, root, tag int) error {
+	n := c.Size()
+	chunk := len(mine)
+	if c.myRank != root {
+		wr := c.group[root]
+		return c.proc.send(wr, tag, c.collCtx(), append([]byte(nil), mine...))
+	}
+	if len(all) < n*chunk {
+		return fmt.Errorf("%w: gather buffer %d < %d", ErrInvalid, len(all), n*chunk)
+	}
+	copy(all[root*chunk:], mine)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		st, err := c.proc.recvInternal(all[r*chunk:(r+1)*chunk], r, tag, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != chunk {
+			return fmt.Errorf("%w: gather chunk from %d: %d bytes, want %d", ErrTruncate, r, st.Bytes, chunk)
+		}
+	}
+	return nil
+}
+
+// Gather collects sendCount elements of sendType from every rank into
+// root's recvBuf, ordered by rank. recvCount is the per-rank element count
+// at the root (must equal sendCount in elements of recvType's size).
+func (c *Comm) Gather(sendBuf []byte, sendCount int, sendType *Datatype, recvBuf []byte, recvCount int, recvType *Datatype, root int) error {
+	packed, err := sendType.Pack(sendBuf, sendCount)
+	if err != nil {
+		return err
+	}
+	chunk := sendCount * sendType.Size()
+	var all []byte
+	if c.myRank == root {
+		if recvCount*recvType.Size() != chunk {
+			return fmt.Errorf("%w: gather recv %d bytes/rank, send %d", ErrInvalid, recvCount*recvType.Size(), chunk)
+		}
+		all = make([]byte, c.Size()*chunk)
+	}
+	if err := c.gatherBytes(packed, all, root, tagGather); err != nil {
+		return err
+	}
+	if c.myRank == root {
+		for r := 0; r < c.Size(); r++ {
+			if _, err := recvType.Unpack(all[r*chunk:(r+1)*chunk], recvBuf[r*recvCount*recvType.Extent():], recvCount); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Gatherv collects variable-sized byte chunks at root. counts and displs are
+// in bytes and only consulted at the root.
+func (c *Comm) Gatherv(mine []byte, recvBuf []byte, counts, displs []int, root int) error {
+	n := c.Size()
+	if c.myRank != root {
+		wr := c.group[root]
+		return c.proc.send(wr, tagGather, c.collCtx(), append([]byte(nil), mine...))
+	}
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("%w: gatherv counts/displs length", ErrInvalid)
+	}
+	copy(recvBuf[displs[root]:displs[root]+counts[root]], mine)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		st, err := c.proc.recvInternal(recvBuf[displs[r]:displs[r]+counts[r]], r, tagGather, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != counts[r] {
+			return fmt.Errorf("%w: gatherv from %d: %d bytes, want %d", ErrTruncate, r, st.Bytes, counts[r])
+		}
+	}
+	return nil
+}
+
+// Scatter distributes per-rank chunks from root's sendBuf: rank r receives
+// recvCount elements of recvType taken from root's slot r.
+func (c *Comm) Scatter(sendBuf []byte, sendCount int, sendType *Datatype, recvBuf []byte, recvCount int, recvType *Datatype, root int) error {
+	n := c.Size()
+	chunk := recvCount * recvType.Size()
+	if c.myRank == root {
+		if sendCount*sendType.Size() != chunk {
+			return fmt.Errorf("%w: scatter send %d bytes/rank, recv %d", ErrInvalid, sendCount*sendType.Size(), chunk)
+		}
+		for r := 0; r < n; r++ {
+			packed, err := sendType.Pack(sendBuf[r*sendCount*sendType.Extent():], sendCount)
+			if err != nil {
+				return err
+			}
+			if r == root {
+				if _, err := recvType.Unpack(packed, recvBuf, recvCount); err != nil {
+					return err
+				}
+				continue
+			}
+			wr := c.group[r]
+			if err := c.proc.send(wr, tagScatter, c.collCtx(), packed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	packed := make([]byte, chunk)
+	st, err := c.proc.recvInternal(packed, root, tagScatter, c, c.collCtx())
+	if err != nil {
+		return err
+	}
+	if st.Bytes != chunk {
+		return fmt.Errorf("%w: scatter chunk %d bytes, want %d", ErrTruncate, st.Bytes, chunk)
+	}
+	_, err = recvType.Unpack(packed, recvBuf, recvCount)
+	return err
+}
+
+// Allgather collects count elements of dt from every rank into every rank's
+// recvBuf (rank-ordered). Implemented as gather to rank 0 plus broadcast.
+func (c *Comm) Allgather(sendBuf []byte, count int, dt *Datatype, recvBuf []byte) error {
+	packed, err := dt.Pack(sendBuf, count)
+	if err != nil {
+		return err
+	}
+	chunk := count * dt.Size()
+	all := make([]byte, c.Size()*chunk)
+	if err := c.gatherBytes(packed, all, 0, tagAllgather); err != nil {
+		return err
+	}
+	if err := c.bcastBytes(all, 0, tagAllgather); err != nil {
+		return err
+	}
+	for r := 0; r < c.Size(); r++ {
+		if _, err := dt.Unpack(all[r*chunk:(r+1)*chunk], recvBuf[r*count*dt.Extent():], count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoall exchanges fixed-size chunks: rank r's slot j of sendBuf goes to
+// rank j's slot r of recvBuf. count is elements of dt per chunk.
+func (c *Comm) Alltoall(sendBuf []byte, count int, dt *Datatype, recvBuf []byte) error {
+	n := c.Size()
+	span := count * dt.Extent()
+	chunk := count * dt.Size()
+	for k := 0; k < n; k++ {
+		dst := (c.myRank + k) % n
+		packed, err := dt.Pack(sendBuf[dst*span:], count)
+		if err != nil {
+			return err
+		}
+		if dst == c.myRank {
+			if _, err := dt.Unpack(packed, recvBuf[dst*span:], count); err != nil {
+				return err
+			}
+			continue
+		}
+		wr := c.group[dst]
+		if err := c.proc.send(wr, tagAlltoall, c.collCtx(), packed); err != nil {
+			return err
+		}
+	}
+	tmp := make([]byte, chunk)
+	for k := 1; k < n; k++ {
+		src := (c.myRank - k + n) % n
+		st, err := c.proc.recvInternal(tmp, src, tagAlltoall, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != chunk {
+			return fmt.Errorf("%w: alltoall chunk from %d: %d bytes, want %d", ErrTruncate, src, st.Bytes, chunk)
+		}
+		if _, err := dt.Unpack(tmp, recvBuf[src*span:], count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoallv exchanges variable-sized byte chunks. sendCounts/sendDispls and
+// recvCounts/recvDispls are in bytes.
+func (c *Comm) Alltoallv(sendBuf []byte, sendCounts, sendDispls []int, recvBuf []byte, recvCounts, recvDispls []int) error {
+	n := c.Size()
+	if len(sendCounts) != n || len(sendDispls) != n || len(recvCounts) != n || len(recvDispls) != n {
+		return fmt.Errorf("%w: alltoallv counts/displs length", ErrInvalid)
+	}
+	for k := 0; k < n; k++ {
+		dst := (c.myRank + k) % n
+		chunk := sendBuf[sendDispls[dst] : sendDispls[dst]+sendCounts[dst]]
+		if dst == c.myRank {
+			if sendCounts[dst] != recvCounts[dst] {
+				return fmt.Errorf("%w: alltoallv self chunk %d != %d", ErrInvalid, sendCounts[dst], recvCounts[dst])
+			}
+			copy(recvBuf[recvDispls[dst]:recvDispls[dst]+recvCounts[dst]], chunk)
+			continue
+		}
+		wr := c.group[dst]
+		if err := c.proc.send(wr, tagAlltoall, c.collCtx(), append([]byte(nil), chunk...)); err != nil {
+			return err
+		}
+	}
+	for k := 1; k < n; k++ {
+		src := (c.myRank - k + n) % n
+		dst := recvBuf[recvDispls[src] : recvDispls[src]+recvCounts[src]]
+		st, err := c.proc.recvInternal(dst, src, tagAlltoall, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != recvCounts[src] {
+			return fmt.Errorf("%w: alltoallv chunk from %d: %d bytes, want %d", ErrTruncate, src, st.Bytes, recvCounts[src])
+		}
+	}
+	return nil
+}
+
+// Reduce combines count elements of dt from every rank with op; the result
+// lands in root's recvBuf. Contributions are folded in ascending rank order,
+// so floating-point results are deterministic.
+func (c *Comm) Reduce(sendBuf []byte, recvBuf []byte, count int, dt *Datatype, op *Op, root int) error {
+	packed, err := dt.Pack(sendBuf, count)
+	if err != nil {
+		return err
+	}
+	chunk := count * dt.Size()
+	if c.myRank != root {
+		wr := c.group[root]
+		return c.proc.send(wr, tagReduce, c.collCtx(), packed)
+	}
+	n := c.Size()
+	acc := make([]byte, chunk)
+	contrib := make([]byte, chunk)
+	for r := 0; r < n; r++ {
+		if r == root {
+			copy(contrib, packed)
+		} else {
+			st, err := c.proc.recvInternal(contrib, r, tagReduce, c, c.collCtx())
+			if err != nil {
+				return err
+			}
+			if st.Bytes != chunk {
+				return fmt.Errorf("%w: reduce chunk from %d: %d bytes, want %d", ErrTruncate, r, st.Bytes, chunk)
+			}
+		}
+		if r == 0 {
+			copy(acc, contrib)
+			continue
+		}
+		// Left fold in rank order: acc = op(acc, x_r). Op.Apply computes
+		// inout = f(in, inout), so fold into the contribution and swap.
+		if err := op.Apply(acc, contrib, dt, count); err != nil {
+			return err
+		}
+		acc, contrib = contrib, acc
+	}
+	_, err = dt.Unpack(acc, recvBuf, count)
+	return err
+}
+
+// Allreduce combines contributions with op and distributes the result to
+// every rank: Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(sendBuf []byte, recvBuf []byte, count int, dt *Datatype, op *Op) error {
+	if err := c.Reduce(sendBuf, recvBuf, count, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvBuf, count, dt, 0)
+}
+
+// AllreduceAux combines count elements with op while simultaneously
+// reducing an auxiliary int64 with MIN, in the same collective round. The
+// checkpoint protocol layer uses the auxiliary value to detect whether an
+// Allreduce crossed a recovery line (minimum participant epoch) without
+// paying for a second collective.
+func (c *Comm) AllreduceAux(sendBuf, recvBuf []byte, count int, dt *Datatype, op *Op, aux int64) (int64, error) {
+	packed, err := dt.Pack(sendBuf, count)
+	if err != nil {
+		return 0, err
+	}
+	chunk := 8 + count*dt.Size()
+	mine := make([]byte, chunk)
+	PutInt64s(mine[:8], []int64{aux})
+	copy(mine[8:], packed)
+
+	n := c.Size()
+	if c.myRank != 0 {
+		wr := c.group[0]
+		if err := c.proc.send(wr, tagReduce, c.collCtx(), mine); err != nil {
+			return 0, err
+		}
+	} else {
+		acc := make([]byte, chunk)
+		contrib := make([]byte, chunk)
+		for r := 0; r < n; r++ {
+			if r == 0 {
+				copy(contrib, mine)
+			} else {
+				st, err := c.proc.recvInternal(contrib, r, tagReduce, c, c.collCtx())
+				if err != nil {
+					return 0, err
+				}
+				if st.Bytes != chunk {
+					return 0, fmt.Errorf("%w: allreduce-aux chunk from %d: %d bytes, want %d", ErrTruncate, r, st.Bytes, chunk)
+				}
+			}
+			if r == 0 {
+				copy(acc, contrib)
+				continue
+			}
+			// Fold into contrib (op.Apply writes its inout), then swap so
+			// acc always holds the running result — aux included.
+			if BytesInt64s(acc[:8])[0] < BytesInt64s(contrib[:8])[0] {
+				copy(contrib[:8], acc[:8])
+			}
+			if err := op.Apply(acc[8:], contrib[8:], dt, count); err != nil {
+				return 0, err
+			}
+			acc, contrib = contrib, acc
+		}
+		copy(mine, acc)
+	}
+	if err := c.bcastBytes(mine, 0, tagBcast); err != nil {
+		return 0, err
+	}
+	if _, err := dt.Unpack(mine[8:], recvBuf, count); err != nil {
+		return 0, err
+	}
+	return BytesInt64s(mine[:8])[0], nil
+}
+
+// Scan computes the inclusive prefix reduction: rank r's recvBuf holds
+// op(x_0, ..., x_r). Implemented as a rank-ordered chain, matching the
+// strictly ordered dependency structure the paper relies on in Section 4.3.
+func (c *Comm) Scan(sendBuf []byte, recvBuf []byte, count int, dt *Datatype, op *Op) error {
+	packed, err := dt.Pack(sendBuf, count)
+	if err != nil {
+		return err
+	}
+	chunk := count * dt.Size()
+	acc := make([]byte, chunk)
+	if c.myRank == 0 {
+		copy(acc, packed)
+	} else {
+		st, err := c.proc.recvInternal(acc, c.myRank-1, tagScan, c, c.collCtx())
+		if err != nil {
+			return err
+		}
+		if st.Bytes != chunk {
+			return fmt.Errorf("%w: scan partial: %d bytes, want %d", ErrTruncate, st.Bytes, chunk)
+		}
+		// acc = op(prefix, mine): inout starts as mine.
+		mine := append([]byte(nil), packed...)
+		if err := op.Apply(acc, mine, dt, count); err != nil {
+			return err
+		}
+		acc = mine
+	}
+	if c.myRank < c.Size()-1 {
+		wr := c.group[c.myRank+1]
+		if err := c.proc.send(wr, tagScan, c.collCtx(), append([]byte(nil), acc...)); err != nil {
+			return err
+		}
+	}
+	_, err = dt.Unpack(acc, recvBuf, count)
+	return err
+}

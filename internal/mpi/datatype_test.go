@@ -1,0 +1,199 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContiguousPackUnpack(t *testing.T) {
+	ct, err := Contiguous(3, TypeFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Size() != 24 || ct.Extent() != 24 {
+		t.Fatalf("size=%d extent=%d", ct.Size(), ct.Extent())
+	}
+	src := Float64Bytes([]float64{1, 2, 3, 4, 5, 6})
+	packed, err := ct.Pack(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(packed, src) {
+		t.Fatal("contiguous pack should be identity")
+	}
+	dst := make([]byte, len(src))
+	if _, err := ct.Unpack(packed, dst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestVectorPack(t *testing.T) {
+	// A column of a 4x4 row-major float64 matrix: count=4, blockLen=1, stride=4.
+	vt, err := Vector(4, 1, 4, TypeFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Size() != 32 {
+		t.Fatalf("size=%d", vt.Size())
+	}
+	if vt.Extent() != ((3*4)+1)*8 {
+		t.Fatalf("extent=%d", vt.Extent())
+	}
+	mat := make([]float64, 16)
+	for i := range mat {
+		mat[i] = float64(i)
+	}
+	src := Float64Bytes(mat)
+	packed, err := vt.Pack(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := BytesFloat64s(packed)
+	want := []float64{0, 4, 8, 12}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("col[%d]=%v want %v", i, col[i], want[i])
+		}
+	}
+	// Unpack into a zeroed matrix and verify placement.
+	dst := make([]byte, len(src))
+	if _, err := vt.Unpack(packed, dst, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := BytesFloat64s(dst)
+	for i := 0; i < 16; i++ {
+		wantV := 0.0
+		if i%4 == 0 {
+			wantV = float64(i)
+		}
+		if out[i] != wantV {
+			t.Fatalf("dst[%d]=%v want %v", i, out[i], wantV)
+		}
+	}
+}
+
+func TestVectorOverlapRejected(t *testing.T) {
+	if _, err := Vector(2, 3, 2, TypeByte); err == nil {
+		t.Fatal("overlapping vector accepted")
+	}
+}
+
+func TestIndexedPackUnpack(t *testing.T) {
+	it, err := Indexed([]int{2, 1}, []int{0, 5}, TypeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Size() != 24 || it.Extent() != 48 {
+		t.Fatalf("size=%d extent=%d", it.Size(), it.Extent())
+	}
+	src := Int64Bytes([]int64{10, 11, 12, 13, 14, 15})
+	packed, err := it.Pack(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BytesInt64s(packed)
+	want := []int64{10, 11, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packed[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	dst := make([]byte, 48)
+	if _, err := it.Unpack(packed, dst, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := BytesInt64s(dst)
+	if out[0] != 10 || out[1] != 11 || out[5] != 15 {
+		t.Fatalf("unpacked %v", out)
+	}
+}
+
+func TestStructHierarchy(t *testing.T) {
+	// struct { int64 header; float64 values[3] } — a type built from a
+	// contiguous child, exercising the datatype hierarchy.
+	vals, err := Contiguous(3, TypeFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Struct([]int{1, 1}, []int{0, 8}, []*Datatype{TypeInt64, vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 32 || st.Extent() != 32 {
+		t.Fatalf("size=%d extent=%d", st.Size(), st.Extent())
+	}
+	src := make([]byte, 32)
+	PutInt64s(src[0:8], []int64{7})
+	PutFloat64s(src[8:32], []float64{1.5, 2.5, 3.5})
+	packed, err := st.Pack(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 32)
+	if _, err := st.Unpack(packed, dst, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("struct round trip mismatch")
+	}
+}
+
+func TestPackUnpackPropertyRoundTrip(t *testing.T) {
+	// Property: for random vector shapes and random payloads, Unpack(Pack(x))
+	// restores exactly the bytes Pack visited.
+	f := func(countU, blockU, padU uint8, seed int64) bool {
+		count := int(countU%5) + 1
+		block := int(blockU%4) + 1
+		stride := block + int(padU%3)
+		vt, err := Vector(count, block, stride, TypeFloat64)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, vt.Extent()+64)
+		rng.Read(src)
+		packed, err := vt.Pack(src, 1)
+		if err != nil {
+			return false
+		}
+		if len(packed) != vt.Size() {
+			return false
+		}
+		dst := make([]byte, len(src))
+		if _, err := vt.Unpack(packed, dst, 1); err != nil {
+			return false
+		}
+		repacked, err := vt.Pack(dst, 1)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(packed, repacked)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedSliceHelpers(t *testing.T) {
+	fs := []float64{1.25, -2.5, 3e100}
+	if got := BytesFloat64s(Float64Bytes(fs)); got[0] != fs[0] || got[1] != fs[1] || got[2] != fs[2] {
+		t.Fatalf("float64 round trip %v", got)
+	}
+	is := []int64{-1, 0, 1 << 62}
+	if got := BytesInt64s(Int64Bytes(is)); got[0] != is[0] || got[2] != is[2] {
+		t.Fatalf("int64 round trip %v", got)
+	}
+	cs := []complex128{1 + 2i, -3.5 - 0.25i}
+	b := make([]byte, 32)
+	PutComplex128s(b, cs)
+	out := make([]complex128, 2)
+	GetComplex128s(out, b)
+	if out[0] != cs[0] || out[1] != cs[1] {
+		t.Fatalf("complex round trip %v", out)
+	}
+}

@@ -1,0 +1,158 @@
+package mpi
+
+import "fmt"
+
+// Op is a reduction operation over primitive element types. Built-in ops
+// cover the common MPI reductions; user-defined ops are supported via NewOp
+// (the checkpoint layer records user ops in its handle table by name so they
+// can be re-bound on recovery).
+type Op struct {
+	name        string
+	commutative bool
+	// apply combines: inout[i] = f(in[i], inout[i]) for count elements of
+	// the primitive kind.
+	apply func(in, inout []byte, kind PrimKind, count int) error
+}
+
+// Name returns the operation's registered name.
+func (o *Op) Name() string { return o.name }
+
+// Commutative reports whether the operation commutes.
+func (o *Op) Commutative() bool { return o.commutative }
+
+// NewOp creates a user-defined reduction operation.
+func NewOp(name string, commutative bool, apply func(in, inout []byte, kind PrimKind, count int) error) *Op {
+	return &Op{name: name, commutative: commutative, apply: apply}
+}
+
+func numericOp(name string, f64 func(a, b float64) float64, i64 func(a, b int64) int64, c128 func(a, b complex128) complex128) *Op {
+	return &Op{
+		name:        name,
+		commutative: true,
+		apply: func(in, inout []byte, kind PrimKind, count int) error {
+			switch kind {
+			case KFloat64:
+				for i := 0; i < count; i++ {
+					a := BytesFloat64s(in[i*8 : i*8+8])[0]
+					b := BytesFloat64s(inout[i*8 : i*8+8])[0]
+					PutFloat64s(inout[i*8:i*8+8], []float64{f64(a, b)})
+				}
+			case KInt64:
+				for i := 0; i < count; i++ {
+					a := BytesInt64s(in[i*8 : i*8+8])[0]
+					b := BytesInt64s(inout[i*8 : i*8+8])[0]
+					PutInt64s(inout[i*8:i*8+8], []int64{i64(a, b)})
+				}
+			case KByte:
+				for i := 0; i < count; i++ {
+					inout[i] = byte(i64(int64(in[i]), int64(inout[i])))
+				}
+			case KComplex128:
+				if c128 == nil {
+					return fmt.Errorf("%w: op %s undefined for complex128", ErrInvalid, name)
+				}
+				a := make([]complex128, count)
+				b := make([]complex128, count)
+				GetComplex128s(a, in)
+				GetComplex128s(b, inout)
+				for i := 0; i < count; i++ {
+					b[i] = c128(a[i], b[i])
+				}
+				PutComplex128s(inout, b)
+			default:
+				return fmt.Errorf("%w: op %s unsupported kind %v", ErrInvalid, name, kind)
+			}
+			return nil
+		},
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Built-in reduction operations.
+var (
+	OpSum  = numericOp("sum", func(a, b float64) float64 { return a + b }, func(a, b int64) int64 { return a + b }, func(a, b complex128) complex128 { return a + b })
+	OpProd = numericOp("prod", func(a, b float64) float64 { return a * b }, func(a, b int64) int64 { return a * b }, func(a, b complex128) complex128 { return a * b })
+	OpMax  = numericOp("max", maxF, maxI, nil)
+	OpMin  = numericOp("min", minF, minI, nil)
+	OpBAnd = numericOp("band", nil2f("band"), func(a, b int64) int64 { return a & b }, nil)
+	OpBOr  = numericOp("bor", nil2f("bor"), func(a, b int64) int64 { return a | b }, nil)
+	OpBXor = numericOp("bxor", nil2f("bxor"), func(a, b int64) int64 { return a ^ b }, nil)
+	OpLAnd = numericOp("land", nil2f("land"), func(a, b int64) int64 { return b2i(a != 0 && b != 0) }, nil)
+	OpLOr  = numericOp("lor", nil2f("lor"), func(a, b int64) int64 { return b2i(a != 0 || b != 0) }, nil)
+)
+
+// builtinOps indexes the built-in operations by name, for handle-table
+// reconstruction on recovery.
+var builtinOps = map[string]*Op{
+	"sum": OpSum, "prod": OpProd, "max": OpMax, "min": OpMin,
+	"band": OpBAnd, "bor": OpBOr, "bxor": OpBXor, "land": OpLAnd, "lor": OpLOr,
+}
+
+// LookupOp returns the built-in op with the given name.
+func LookupOp(name string) (*Op, bool) {
+	op, ok := builtinOps[name]
+	return op, ok
+}
+
+func nil2f(name string) func(a, b float64) float64 {
+	return func(a, b float64) float64 {
+		panic(fmt.Sprintf("mpi: op %s undefined for float64", name))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Apply combines packed input into packed inout for count elements of dt,
+// which must be a primitive type (or contiguous over one).
+func (o *Op) Apply(in, inout []byte, dt *Datatype, count int) error {
+	kind, base, err := primitiveOf(dt)
+	if err != nil {
+		return err
+	}
+	return o.apply(in, inout, kind, count*base)
+}
+
+// primitiveOf resolves dt to (primitive kind, elements per dt element).
+func primitiveOf(dt *Datatype) (PrimKind, int, error) {
+	switch dt.kind {
+	case tPrim:
+		return dt.prim, 1, nil
+	case tContiguous:
+		k, n, err := primitiveOf(dt.base)
+		return k, n * dt.count, err
+	default:
+		return 0, 0, fmt.Errorf("%w: reduction requires primitive datatype", ErrInvalid)
+	}
+}

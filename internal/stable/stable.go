@@ -1,0 +1,458 @@
+// Package stable implements the stable-storage abstraction the checkpoint
+// protocol writes recovery lines to.
+//
+// A checkpoint for (rank, version) is a set of named sections written in two
+// phases, mirroring the protocol: the application state, MPI state and
+// Early-Message-Registry are written when the checkpoint starts
+// (chkpt_StartCheckpoint), and the Late-Message-Registry plus request table
+// are appended when all late messages are in (chkpt_CommitCheckpoint).
+// Commit is atomic: a checkpoint that was not committed is invisible to
+// recovery.
+//
+// Three implementations are provided, matching the paper's experimental
+// configurations (Section 6.4):
+//
+//   - DiskStore writes sections to per-rank, per-version directories with a
+//     rename-committed marker (Configuration #3, "saving application state
+//     to the local disk on each node");
+//   - MemStore keeps everything in memory (used by tests and by recovery
+//     experiments that should not touch the filesystem);
+//   - NullStore goes through all encoding work but discards the bytes
+//     (Configuration #2, "without saving any checkpoint data to disk").
+package stable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when the requested checkpoint or section is absent.
+var ErrNotFound = errors.New("stable: not found")
+
+// ErrNotCommitted is returned when opening a version that was never
+// committed.
+var ErrNotCommitted = errors.New("stable: version not committed")
+
+// Store is per-node stable storage for checkpoints. Implementations must be
+// safe for concurrent use by different ranks; a single (rank, version)
+// checkpoint is only ever touched by its own rank.
+type Store interface {
+	// Begin opens a new checkpoint for (rank, version). Any uncommitted
+	// data for the same pair is discarded.
+	Begin(rank, version int) (Checkpoint, error)
+	// LastCommitted returns the highest committed version for the rank;
+	// ok is false if none exists.
+	LastCommitted(rank int) (version int, ok bool, err error)
+	// Open returns a committed checkpoint for reading.
+	Open(rank, version int) (Snapshot, error)
+	// Retire discards committed checkpoints older than version for the
+	// rank (garbage collection after a newer global line commits).
+	Retire(rank, version int) error
+}
+
+// Checkpoint is an open, uncommitted checkpoint being written.
+type Checkpoint interface {
+	// WriteSection stores a named section. Writing a section twice
+	// replaces it.
+	WriteSection(name string, data []byte) error
+	// Commit makes the checkpoint durable and visible to recovery.
+	Commit() error
+	// Abort discards the checkpoint.
+	Abort() error
+}
+
+// Snapshot is a committed checkpoint being read.
+type Snapshot interface {
+	// ReadSection returns a section's contents.
+	ReadSection(name string) ([]byte, error)
+	// Sections lists the section names, sorted.
+	Sections() ([]string, error)
+	// Close releases resources.
+	Close() error
+}
+
+// GlobalLine computes the most recent recovery line committed on all nodes:
+// the minimum over ranks of each rank's last committed version, provided
+// every rank has one. This mirrors the "global reduction to find the last
+// checkpoint committed on all nodes" in chkpt_RestoreCheckpoint; the
+// protocol layer performs the reduction over MPI, and uses this helper for
+// the local reduction step.
+func GlobalLine(lasts []int, oks []bool) (int, bool) {
+	line := int(^uint(0) >> 1)
+	for i := range lasts {
+		if !oks[i] {
+			return 0, false
+		}
+		if lasts[i] < line {
+			line = lasts[i]
+		}
+	}
+	return line, len(lasts) > 0
+}
+
+// --- In-memory store ---
+
+type memCkpt struct {
+	sections map[string][]byte
+	commit   bool
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu    sync.Mutex
+	byKey map[[2]int]*memCkpt
+	// Bytes written accounting, for checkpoint-size experiments.
+	bytesWritten int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{byKey: make(map[[2]int]*memCkpt)}
+}
+
+// BytesWritten returns the total section bytes written so far.
+func (s *MemStore) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+type memHandle struct {
+	store *MemStore
+	key   [2]int
+	ck    *memCkpt
+}
+
+// Begin implements Store.
+func (s *MemStore) Begin(rank, version int) (Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]int{rank, version}
+	ck := &memCkpt{sections: make(map[string][]byte)}
+	s.byKey[key] = ck
+	return &memHandle{store: s, key: key, ck: ck}, nil
+}
+
+func (h *memHandle) WriteSection(name string, data []byte) error {
+	h.store.mu.Lock()
+	defer h.store.mu.Unlock()
+	if h.ck.commit {
+		return fmt.Errorf("stable: write to committed checkpoint %v", h.key)
+	}
+	h.ck.sections[name] = append([]byte(nil), data...)
+	h.store.bytesWritten += int64(len(data))
+	return nil
+}
+
+func (h *memHandle) Commit() error {
+	h.store.mu.Lock()
+	defer h.store.mu.Unlock()
+	h.ck.commit = true
+	return nil
+}
+
+func (h *memHandle) Abort() error {
+	h.store.mu.Lock()
+	defer h.store.mu.Unlock()
+	delete(h.store.byKey, h.key)
+	return nil
+}
+
+// LastCommitted implements Store.
+func (s *MemStore) LastCommitted(rank int) (int, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, ok := 0, false
+	for key, ck := range s.byKey {
+		if key[0] == rank && ck.commit && (!ok || key[1] > best) {
+			best, ok = key[1], true
+		}
+	}
+	return best, ok, nil
+}
+
+// Open implements Store.
+func (s *MemStore) Open(rank, version int) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, ok := s.byKey[[2]int{rank, version}]
+	if !ok {
+		return nil, fmt.Errorf("%w: rank %d version %d", ErrNotFound, rank, version)
+	}
+	if !ck.commit {
+		return nil, fmt.Errorf("%w: rank %d version %d", ErrNotCommitted, rank, version)
+	}
+	return &memSnap{ck: ck}, nil
+}
+
+// Retire implements Store.
+func (s *MemStore) Retire(rank, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.byKey {
+		if key[0] == rank && key[1] < version {
+			delete(s.byKey, key)
+		}
+	}
+	return nil
+}
+
+type memSnap struct{ ck *memCkpt }
+
+func (m *memSnap) ReadSection(name string) ([]byte, error) {
+	data, ok := m.ck.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: section %q", ErrNotFound, name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *memSnap) Sections() ([]string, error) {
+	names := make([]string, 0, len(m.ck.sections))
+	for n := range m.ck.sections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *memSnap) Close() error { return nil }
+
+// --- Null store (Configuration #2) ---
+
+// NullStore discards all data but counts bytes, so the full encoding cost is
+// paid without any storage cost.
+type NullStore struct {
+	mu           sync.Mutex
+	bytesWritten int64
+	committed    map[[2]int]bool
+}
+
+// NewNullStore returns a NullStore.
+func NewNullStore() *NullStore {
+	return &NullStore{committed: make(map[[2]int]bool)}
+}
+
+// BytesWritten returns the total bytes that were encoded and discarded.
+func (s *NullStore) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+type nullHandle struct {
+	store *NullStore
+	key   [2]int
+}
+
+// Begin implements Store.
+func (s *NullStore) Begin(rank, version int) (Checkpoint, error) {
+	return &nullHandle{store: s, key: [2]int{rank, version}}, nil
+}
+
+func (h *nullHandle) WriteSection(name string, data []byte) error {
+	h.store.mu.Lock()
+	h.store.bytesWritten += int64(len(data))
+	h.store.mu.Unlock()
+	return nil
+}
+
+func (h *nullHandle) Commit() error {
+	h.store.mu.Lock()
+	h.store.committed[h.key] = true
+	h.store.mu.Unlock()
+	return nil
+}
+
+func (h *nullHandle) Abort() error { return nil }
+
+// LastCommitted implements Store. A NullStore never admits to having a
+// checkpoint — it cannot be restored from.
+func (s *NullStore) LastCommitted(rank int) (int, bool, error) { return 0, false, nil }
+
+// Open implements Store.
+func (s *NullStore) Open(rank, version int) (Snapshot, error) {
+	return nil, fmt.Errorf("%w: null store holds no data", ErrNotFound)
+}
+
+// Retire implements Store.
+func (s *NullStore) Retire(rank, version int) error { return nil }
+
+// --- Disk store (Configuration #3) ---
+
+// DiskStore writes checkpoints under root/rank<r>/v<version>/, one file per
+// section, with a "COMMITTED" marker file created by atomic rename.
+type DiskStore struct {
+	root string
+}
+
+// NewDiskStore creates (if needed) and opens a store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create root: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+func (s *DiskStore) dir(rank, version int) string {
+	return filepath.Join(s.root, fmt.Sprintf("rank%04d", rank), fmt.Sprintf("v%08d", version))
+}
+
+type diskHandle struct {
+	store *DiskStore
+	rank  int
+	ver   int
+	dir   string
+}
+
+// Begin implements Store.
+func (s *DiskStore) Begin(rank, version int) (Checkpoint, error) {
+	dir := s.dir(rank, version)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, fmt.Errorf("stable: clear stale checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stable: create checkpoint dir: %w", err)
+	}
+	return &diskHandle{store: s, rank: rank, ver: version, dir: dir}, nil
+}
+
+func sectionFile(name string) string {
+	// Section names are protocol-chosen identifiers; keep them path-safe.
+	return "s_" + strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name) + ".bin"
+}
+
+func (h *diskHandle) WriteSection(name string, data []byte) error {
+	path := filepath.Join(h.dir, sectionFile(name))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("stable: write section %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("stable: commit section %q: %w", name, err)
+	}
+	return nil
+}
+
+func (h *diskHandle) Commit() error {
+	tmp := filepath.Join(h.dir, ".committing")
+	if err := os.WriteFile(tmp, []byte("ok\n"), 0o644); err != nil {
+		return fmt.Errorf("stable: write commit marker: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(h.dir, "COMMITTED")); err != nil {
+		return fmt.Errorf("stable: commit: %w", err)
+	}
+	return nil
+}
+
+func (h *diskHandle) Abort() error {
+	return os.RemoveAll(h.dir)
+}
+
+// LastCommitted implements Store.
+func (s *DiskStore) LastCommitted(rank int) (int, bool, error) {
+	rankDir := filepath.Join(s.root, fmt.Sprintf("rank%04d", rank))
+	entries, err := os.ReadDir(rankDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("stable: list versions: %w", err)
+	}
+	best, ok := 0, false
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "v") {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(e.Name(), "v%d", &v); err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(rankDir, e.Name(), "COMMITTED")); err != nil {
+			continue
+		}
+		if !ok || v > best {
+			best, ok = v, true
+		}
+	}
+	return best, ok, nil
+}
+
+// Open implements Store.
+func (s *DiskStore) Open(rank, version int) (Snapshot, error) {
+	dir := s.dir(rank, version)
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: rank %d version %d", ErrNotFound, rank, version)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "COMMITTED")); err != nil {
+		return nil, fmt.Errorf("%w: rank %d version %d", ErrNotCommitted, rank, version)
+	}
+	return &diskSnap{dir: dir}, nil
+}
+
+// Retire implements Store.
+func (s *DiskStore) Retire(rank, version int) error {
+	rankDir := filepath.Join(s.root, fmt.Sprintf("rank%04d", rank))
+	entries, err := os.ReadDir(rankDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "v") {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(e.Name(), "v%d", &v); err != nil {
+			continue
+		}
+		if v < version {
+			if err := os.RemoveAll(filepath.Join(rankDir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type diskSnap struct{ dir string }
+
+func (d *diskSnap) ReadSection(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(d.dir, sectionFile(name)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: section %q", ErrNotFound, name)
+	}
+	return data, err
+}
+
+func (d *diskSnap) Sections() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, "s_") && strings.HasSuffix(n, ".bin") {
+			names = append(names, strings.TrimSuffix(strings.TrimPrefix(n, "s_"), ".bin"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (d *diskSnap) Close() error { return nil }

@@ -1,0 +1,128 @@
+package statesave
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"c3/internal/wire"
+)
+
+// Incremental checkpointing support (the paper's Section 5 future work:
+// "We are incorporating incremental checkpointing into our system, which
+// will permit the system to save only those data that have been modified
+// since the last checkpoint").
+//
+// The unit of change detection is the registered section: a section image
+// is stored in a checkpoint only if its content differs from the previous
+// checkpoint's, identified by an FNV-64a digest. A full snapshot anchors
+// each chain; recovery loads the anchor and applies forward deltas.
+
+// SectionImage is one section's serialized body plus its digest.
+type SectionImage struct {
+	Body   []byte
+	Digest uint64
+}
+
+// Sections serializes every registered section individually, keyed by name.
+func (g *Registry) Sections() map[string]SectionImage {
+	out := make(map[string]SectionImage, len(g.sections))
+	for _, s := range g.sections {
+		w := wire.NewWriter(64 + s.LiveBytes())
+		s.Save(w)
+		h := fnv.New64a()
+		h.Write(w.Bytes())
+		out[s.Name()] = SectionImage{Body: w.Bytes(), Digest: h.Sum64()}
+	}
+	return out
+}
+
+// LoadSectionBodies restores sections from name-keyed bodies.
+func (g *Registry) LoadSectionBodies(bodies map[string][]byte) error {
+	for name, body := range bodies {
+		s, ok := g.byName[name]
+		if !ok {
+			return fmt.Errorf("statesave: image has unregistered section %q", name)
+		}
+		if err := s.Load(wire.NewReader(body)); err != nil {
+			return fmt.Errorf("statesave: section %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// DiffSections returns the sections of cur whose digests differ from prev
+// (plus sections absent from prev).
+func DiffSections(prev, cur map[string]SectionImage) map[string]SectionImage {
+	delta := make(map[string]SectionImage)
+	for name, img := range cur {
+		if p, ok := prev[name]; !ok || p.Digest != img.Digest {
+			delta[name] = img
+		}
+	}
+	return delta
+}
+
+// EncodeIncrement serializes a (possibly partial) section set with its kind
+// and base-line reference.
+func EncodeIncrement(full bool, baseLine uint64, sections map[string]SectionImage) []byte {
+	w := wire.NewWriter(256)
+	w.Bool(full)
+	w.U64(baseLine)
+	w.U32(uint32(len(sections)))
+	// Deterministic order for reproducible checkpoints.
+	names := make([]string, 0, len(sections))
+	for n := range sections {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, n := range names {
+		w.String(n)
+		w.U64(sections[n].Digest)
+		w.Bytes32(sections[n].Body)
+	}
+	return w.Bytes()
+}
+
+// DecodeIncrement parses an EncodeIncrement image.
+func DecodeIncrement(data []byte) (full bool, baseLine uint64, sections map[string]SectionImage, err error) {
+	r := wire.NewReader(data)
+	full = r.Bool()
+	baseLine = r.U64()
+	n := int(r.U32())
+	sections = make(map[string]SectionImage, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		digest := r.U64()
+		body := r.Bytes32()
+		if r.Err() != nil {
+			return false, 0, nil, fmt.Errorf("statesave: corrupt incremental image: %w", r.Err())
+		}
+		sections[name] = SectionImage{Body: body, Digest: digest}
+	}
+	return full, baseLine, sections, r.Err()
+}
+
+// MergeSections overlays delta onto base, returning a new map.
+func MergeSections(base, delta map[string]SectionImage) map[string]SectionImage {
+	out := make(map[string]SectionImage, len(base)+len(delta))
+	for n, img := range base {
+		out[n] = img
+	}
+	for n, img := range delta {
+		out[n] = img
+	}
+	return out
+}
+
+// TotalBytes sums section body sizes.
+func TotalBytes(sections map[string]SectionImage) int {
+	t := 0
+	for _, img := range sections {
+		t += len(img.Body)
+	}
+	return t
+}

@@ -1,0 +1,225 @@
+package statesave
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c3/internal/wire"
+)
+
+func TestRegistryCellsRoundTrip(t *testing.T) {
+	g := NewRegistry()
+	it := g.Int("it")
+	x := g.Float64("x")
+	ok := g.Bool("ok")
+	fs := g.Float64s("fs", 4)
+	is := g.Int64s("is", 3)
+	bs := g.Bytes("bs")
+
+	it.Set(42)
+	x.Set(2.5)
+	ok.Set(true)
+	copy(fs.Data(), []float64{1, 2, 3, 4})
+	copy(is.Data(), []int64{-1, 0, 1})
+	bs.SetData([]byte("hello"))
+
+	img := g.Save()
+
+	// A "restarted" program re-registers the same cells, then loads.
+	g2 := NewRegistry()
+	it2 := g2.Int("it")
+	x2 := g2.Float64("x")
+	ok2 := g2.Bool("ok")
+	fs2 := g2.Float64s("fs", 4)
+	is2 := g2.Int64s("is", 3)
+	bs2 := g2.Bytes("bs")
+	if err := g2.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if it2.Get() != 42 || x2.Get() != 2.5 || !ok2.Get() {
+		t.Fatalf("scalars: %d %v %v", it2.Get(), x2.Get(), ok2.Get())
+	}
+	if fs2.Data()[3] != 4 || is2.Data()[0] != -1 || string(bs2.Data()) != "hello" {
+		t.Fatal("slices not restored")
+	}
+}
+
+func TestLoadKeepsSliceIdentity(t *testing.T) {
+	g := NewRegistry()
+	fs := g.Float64s("v", 3)
+	copy(fs.Data(), []float64{7, 8, 9})
+	img := g.Save()
+
+	g2 := NewRegistry()
+	fs2 := g2.Float64s("v", 3)
+	alias := fs2.Data() // the application's live view
+	if err := g2.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	// Restoration must land in the same backing array the app holds.
+	if alias[0] != 7 || alias[2] != 9 {
+		t.Fatalf("restore did not preserve slice identity: %v", alias)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate registration")
+		}
+	}()
+	g := NewRegistry()
+	g.Register(g.Int("a")) // Int registers; Register again must panic
+}
+
+func TestLoadRejectsUnknownSection(t *testing.T) {
+	g := NewRegistry()
+	g.Int("known")
+	img := g.Save()
+
+	g2 := NewRegistry() // nothing registered
+	if err := g2.Load(img); err == nil {
+		t.Fatal("unknown section accepted")
+	}
+}
+
+func TestLiveBytesAccounting(t *testing.T) {
+	g := NewRegistry()
+	g.Int("a")           // 8
+	g.Float64s("f", 100) // 800
+	g.Bytes("b").SetData(make([]byte, 50))
+	if got := g.LiveBytes(); got != 8+800+50 {
+		t.Fatalf("live bytes %d", got)
+	}
+}
+
+func TestCustomSection(t *testing.T) {
+	val := 0
+	g := NewRegistry()
+	g.Register(NewCustom("c", func() int { return 8 },
+		func(w *wire.Writer) { w.Int(val) },
+		func(r *wire.Reader) error { val = r.Int(); return r.Err() }))
+	val = 99
+	img := g.Save()
+	val = 0
+	if err := g.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if val != 99 {
+		t.Fatalf("custom value %d", val)
+	}
+}
+
+func TestHeapLiveAndHighWater(t *testing.T) {
+	h := NewHeap()
+	a := h.Alloc("a", 100)
+	b := h.Alloc("b", 200)
+	if h.LiveBytes() != 300 || h.HighWater() != 300 {
+		t.Fatalf("live=%d hw=%d", h.LiveBytes(), h.HighWater())
+	}
+	h.Free(a)
+	if h.LiveBytes() != 200 {
+		t.Fatalf("live after free %d", h.LiveBytes())
+	}
+	if h.HighWater() != 300 {
+		t.Fatalf("high water dropped to %d", h.HighWater())
+	}
+	if h.FreedBytes() != 100 {
+		t.Fatalf("freed %d", h.FreedBytes())
+	}
+	c := h.Alloc("c", 250)
+	if h.HighWater() != 450 {
+		t.Fatalf("high water %d", h.HighWater())
+	}
+	_ = b
+	_ = c
+}
+
+func TestHeapRestoreBothOrders(t *testing.T) {
+	h := NewHeap()
+	blk := h.Alloc("data", 4)
+	copy(blk.Data(), []byte{1, 2, 3, 4})
+	img := h.Save()
+
+	// Alloc before Load: contents copied into the existing block.
+	h2 := NewHeap()
+	b2 := h2.Alloc("data", 4)
+	if err := h2.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Data()[3] != 4 {
+		t.Fatal("load-after-alloc failed")
+	}
+
+	// Load before Alloc: contents parked and claimed by the allocation.
+	h3 := NewHeap()
+	if err := h3.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	b3 := h3.Alloc("data", 4)
+	if b3.Data()[0] != 1 {
+		t.Fatal("alloc-after-load failed")
+	}
+}
+
+func TestHeapDoubleAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate allocation name")
+		}
+	}()
+	h := NewHeap()
+	h.Alloc("x", 1)
+	h.Alloc("x", 1)
+}
+
+func TestHeapSectionIntegration(t *testing.T) {
+	g := NewRegistry()
+	h := NewHeap()
+	g.Register(h.Section())
+	blk := h.Alloc("grid", 16)
+	blk.Data()[0] = 42
+	img := g.Save()
+
+	g2 := NewRegistry()
+	h2 := NewHeap()
+	g2.Register(h2.Section())
+	b2 := h2.Alloc("grid", 16)
+	if err := g2.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Data()[0] != 42 {
+		t.Fatal("heap section restore failed")
+	}
+}
+
+func TestRegistrySaveLoadProperty(t *testing.T) {
+	f := func(vals []float64, n uint8) bool {
+		g := NewRegistry()
+		fs := g.Float64s("v", len(vals))
+		copy(fs.Data(), vals)
+		c := g.Int("n")
+		c.Set(int(n))
+		img := g.Save()
+
+		g2 := NewRegistry()
+		fs2 := g2.Float64s("v", len(vals))
+		c2 := g2.Int("n")
+		if err := g2.Load(img); err != nil {
+			return false
+		}
+		if c2.Get() != int(n) {
+			return false
+		}
+		for i, v := range vals {
+			got := fs2.Data()[i]
+			if got != v && !(v != v && got != got) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

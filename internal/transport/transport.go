@@ -1,0 +1,324 @@
+// Package transport provides the in-process interconnect under the MPI
+// substrate.
+//
+// The network connects n endpoints (one per rank). Delivery is reliable and
+// FIFO per (source, destination) pair, which is exactly the guarantee the MPI
+// layer needs to implement non-overtaking message matching. Cross-pair
+// ordering is unspecified, as on a real interconnect.
+//
+// A LatencyModel can inject per-message and per-byte delays so that
+// benchmarks can emulate interconnects with different characteristics (the
+// paper evaluates on a Quadrics cluster and a Gigabit Ethernet cluster).
+// With zero latency, sends enqueue directly into the destination inbox;
+// with nonzero latency, each destination has a delivery goroutine that
+// imposes the delay while preserving per-pair FIFO order.
+//
+// Endpoints can be killed (fail-stop) — a killed endpoint's blocking
+// receives return ErrDown and messages addressed to it are dropped, which
+// models a crashed cluster node.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDown is returned by receive operations on a killed or shut-down
+// endpoint, and by Send when the network has been shut down.
+var ErrDown = errors.New("transport: endpoint down")
+
+// Class distinguishes payload classes. The checkpointing layer uses Control
+// for protocol coordination messages; everything else is Data.
+type Class uint8
+
+// Message classes.
+const (
+	Data Class = iota
+	Control
+)
+
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Message is one unit of delivery. Payload is opaque to the transport.
+type Message struct {
+	From    int
+	To      int
+	Class   Class
+	Payload any
+}
+
+// LatencyModel computes the artificial delivery delay for a message of the
+// given size in bytes. A nil model means zero delay.
+type LatencyModel func(from, to int, bytes int) time.Duration
+
+// ConstantLatency returns a model with a fixed per-message delay plus a
+// per-byte cost derived from the given bandwidth (bytes/second).
+// bandwidth <= 0 means infinite bandwidth.
+func ConstantLatency(perMessage time.Duration, bandwidth float64) LatencyModel {
+	return func(_, _ int, bytes int) time.Duration {
+		d := perMessage
+		if bandwidth > 0 {
+			d += time.Duration(float64(bytes) / bandwidth * float64(time.Second))
+		}
+		return d
+	}
+}
+
+// Stats aggregates delivery counters for the whole network.
+type Stats struct {
+	MessagesSent     uint64
+	MessagesDropped  uint64 // addressed to killed endpoints
+	ControlMessages  uint64
+	DataMessages     uint64
+	DeliveredPayload uint64 // bytes, when the payload exposes a size
+}
+
+// Sizer lets payloads report their size for Stats and latency computation.
+type Sizer interface{ TransportSize() int }
+
+// Network is the interconnect among n endpoints.
+type Network struct {
+	n       int
+	eps     []*Endpoint
+	latency LatencyModel
+
+	down atomic.Bool
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency installs a latency model.
+func WithLatency(m LatencyModel) Option {
+	return func(nw *Network) { nw.latency = m }
+}
+
+// NewNetwork creates a network with n endpoints, numbered 0..n-1.
+func NewNetwork(n int, opts ...Option) *Network {
+	if n <= 0 {
+		panic("transport: network size must be positive")
+	}
+	nw := &Network{n: n}
+	for _, o := range opts {
+		o(nw)
+	}
+	nw.eps = make([]*Endpoint, n)
+	for i := range nw.eps {
+		nw.eps[i] = newEndpoint(nw, i)
+	}
+	return nw
+}
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return nw.n }
+
+// Endpoint returns the endpoint for the given rank.
+func (nw *Network) Endpoint(rank int) *Endpoint { return nw.eps[rank] }
+
+// Stats returns a snapshot of the delivery counters.
+func (nw *Network) Stats() Stats {
+	nw.statMu.Lock()
+	defer nw.statMu.Unlock()
+	return nw.stats
+}
+
+// Send delivers msg to its destination endpoint. It never blocks: queues are
+// unbounded (the MPI layer above implements eager buffered sends).
+func (nw *Network) Send(msg Message) error {
+	if nw.down.Load() {
+		return ErrDown
+	}
+	if msg.To < 0 || msg.To >= nw.n {
+		return fmt.Errorf("transport: destination %d out of range [0,%d)", msg.To, nw.n)
+	}
+	dst := nw.eps[msg.To]
+
+	size := 0
+	if s, ok := msg.Payload.(Sizer); ok {
+		size = s.TransportSize()
+	}
+	nw.statMu.Lock()
+	nw.stats.MessagesSent++
+	if msg.Class == Control {
+		nw.stats.ControlMessages++
+	} else {
+		nw.stats.DataMessages++
+	}
+	nw.stats.DeliveredPayload += uint64(size)
+	nw.statMu.Unlock()
+
+	if nw.latency == nil {
+		if !dst.push(msg) {
+			nw.noteDropped()
+		}
+		return nil
+	}
+	delay := nw.latency(msg.From, msg.To, size)
+	dst.pushDelayed(msg, delay)
+	return nil
+}
+
+func (nw *Network) noteDropped() {
+	nw.statMu.Lock()
+	nw.stats.MessagesDropped++
+	nw.statMu.Unlock()
+}
+
+// Kill marks the endpoint as failed: pending and future receives return
+// ErrDown and messages addressed to it are dropped. Kill models a fail-stop
+// node crash and is irreversible for this network instance.
+func (nw *Network) Kill(rank int) { nw.eps[rank].kill() }
+
+// Shutdown kills every endpoint and refuses further sends. It is used to
+// tear down the world after a failure so that all ranks unblock.
+func (nw *Network) Shutdown() {
+	nw.down.Store(true)
+	for _, ep := range nw.eps {
+		ep.kill()
+	}
+}
+
+// Endpoint is one rank's attachment point. Receive operations must be called
+// from a single goroutine (the rank's); push may be called from any.
+type Endpoint struct {
+	nw   *Network
+	rank int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	killed bool
+
+	// delay holds the delayed-delivery worker state; created lazily on the
+	// first delayed push so zero-latency networks pay nothing.
+	delayOnce sync.Once
+	delayCh   chan delayed
+}
+
+type delayed struct {
+	msg Message
+	due time.Time
+}
+
+func newEndpoint(nw *Network, rank int) *Endpoint {
+	ep := &Endpoint{nw: nw, rank: rank}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// Rank returns the endpoint's rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// push enqueues directly. It reports false if the endpoint is killed.
+func (ep *Endpoint) push(msg Message) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.killed {
+		return false
+	}
+	ep.queue = append(ep.queue, msg)
+	ep.cond.Signal()
+	return true
+}
+
+// pushDelayed routes the message through the delivery worker, which imposes
+// the latency while preserving arrival order at this endpoint.
+func (ep *Endpoint) pushDelayed(msg Message, delay time.Duration) {
+	ep.delayOnce.Do(func() {
+		ep.delayCh = make(chan delayed, 1024)
+		go ep.deliveryLoop()
+	})
+	select {
+	case ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)}:
+	default:
+		// Channel full: fall back to blocking send from a helper goroutine so
+		// the sender never blocks. Order is still preserved because only this
+		// path runs when the channel is full and the channel itself is FIFO.
+		ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)}
+	}
+}
+
+func (ep *Endpoint) deliveryLoop() {
+	for d := range ep.delayCh {
+		if wait := time.Until(d.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		if !ep.push(d.msg) {
+			ep.nw.noteDropped()
+		}
+		ep.mu.Lock()
+		dead := ep.killed
+		ep.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// Recv blocks until a message is available or the endpoint is killed.
+func (ep *Endpoint) Recv() (Message, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for len(ep.queue) == 0 {
+		if ep.killed {
+			return Message{}, ErrDown
+		}
+		ep.cond.Wait()
+	}
+	msg := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return msg, nil
+}
+
+// TryRecv returns the next message without blocking. ok reports whether a
+// message was available.
+func (ep *Endpoint) TryRecv() (msg Message, ok bool, err error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.killed {
+		return Message{}, false, ErrDown
+	}
+	if len(ep.queue) == 0 {
+		return Message{}, false, nil
+	}
+	msg = ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return msg, true, nil
+}
+
+// Pending reports the number of queued, undelivered messages.
+func (ep *Endpoint) Pending() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+func (ep *Endpoint) kill() {
+	ep.mu.Lock()
+	ep.killed = true
+	ep.queue = nil
+	ep.mu.Unlock()
+	ep.cond.Broadcast()
+}
+
+// Killed reports whether the endpoint has been killed.
+func (ep *Endpoint) Killed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.killed
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type testPayload struct {
+	seq  int
+	size int
+}
+
+func (p testPayload) TransportSize() int { return p.size }
+
+func TestFIFOPerPair(t *testing.T) {
+	nw := NewNetwork(2)
+	const k = 500
+	for i := 0; i < k; i++ {
+		if err := nw.Send(Message{From: 0, To: 1, Payload: testPayload{seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ep := nw.Endpoint(1)
+	for i := 0; i < k; i++ {
+		msg, err := ep.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := msg.Payload.(testPayload).seq; got != i {
+			t.Fatalf("message %d arrived as %d", i, got)
+		}
+	}
+}
+
+func TestFIFOPerPairConcurrentSenders(t *testing.T) {
+	const senders = 4
+	const k = 200
+	nw := NewNetwork(senders + 1)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < k; i++ {
+				_ = nw.Send(Message{From: s, To: senders, Payload: testPayload{seq: s*10000 + i}})
+			}
+		}(s)
+	}
+	ep := nw.Endpoint(senders)
+	next := make([]int, senders)
+	for n := 0; n < senders*k; n++ {
+		msg, err := ep.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := msg.Payload.(testPayload).seq
+		s, i := seq/10000, seq%10000
+		if i != next[s] {
+			t.Fatalf("sender %d: got %d want %d", s, i, next[s])
+		}
+		next[s]++
+	}
+	wg.Wait()
+}
+
+func TestTryRecvAndPending(t *testing.T) {
+	nw := NewNetwork(2)
+	ep := nw.Endpoint(1)
+	if _, ok, err := ep.TryRecv(); ok || err != nil {
+		t.Fatalf("empty tryrecv: ok=%v err=%v", ok, err)
+	}
+	_ = nw.Send(Message{From: 0, To: 1, Payload: testPayload{}})
+	if ep.Pending() != 1 {
+		t.Fatalf("pending %d", ep.Pending())
+	}
+	if _, ok, err := ep.TryRecv(); !ok || err != nil {
+		t.Fatalf("tryrecv: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKillUnblocksAndDrops(t *testing.T) {
+	nw := NewNetwork(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.Endpoint(1).Recv()
+		done <- err
+	}()
+	nw.Kill(1)
+	if err := <-done; err == nil {
+		t.Fatal("recv on killed endpoint returned nil")
+	}
+	// Sends to the dead endpoint are dropped, not errors (fail-stop).
+	if err := nw.Send(Message{From: 0, To: 1, Payload: testPayload{}}); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats().MessagesDropped != 1 {
+		t.Fatalf("drops %d", nw.Stats().MessagesDropped)
+	}
+}
+
+func TestShutdownStopsSends(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.Shutdown()
+	if err := nw.Send(Message{From: 0, To: 1}); err == nil {
+		t.Fatal("send after shutdown succeeded")
+	}
+}
+
+func TestLatencyPreservesOrderAndDelays(t *testing.T) {
+	nw := NewNetwork(2, WithLatency(ConstantLatency(2*time.Millisecond, 0)))
+	start := time.Now()
+	const k = 5
+	for i := 0; i < k; i++ {
+		_ = nw.Send(Message{From: 0, To: 1, Payload: testPayload{seq: i}})
+	}
+	ep := nw.Endpoint(1)
+	for i := 0; i < k; i++ {
+		msg, err := ep.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := msg.Payload.(testPayload).seq; got != i {
+			t.Fatalf("order violated with latency: %d vs %d", got, i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("no latency applied: %v", elapsed)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	nw := NewNetwork(3)
+	_ = nw.Send(Message{From: 0, To: 1, Class: Data, Payload: testPayload{size: 100}})
+	_ = nw.Send(Message{From: 0, To: 2, Class: Control, Payload: testPayload{size: 10}})
+	st := nw.Stats()
+	if st.MessagesSent != 2 || st.DataMessages != 1 || st.ControlMessages != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.DeliveredPayload != 110 {
+		t.Fatalf("payload bytes %d", st.DeliveredPayload)
+	}
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	m := ConstantLatency(time.Millisecond, 1e6) // 1 MB/s
+	d := m(0, 1, 1000)
+	if d < time.Millisecond+900*time.Microsecond {
+		t.Fatalf("bandwidth term missing: %v", d)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Data.String() != "data" || Control.String() != "control" {
+		t.Fatal("class strings")
+	}
+	if s := Class(9).String(); s == "" {
+		t.Fatal("unknown class string empty")
+	}
+	_ = fmt.Sprintf("%v %v", Data, Control)
+}

@@ -1,0 +1,293 @@
+// Package wire implements the binary encoding used for checkpoint files,
+// message logs and control messages.
+//
+// The format is deliberately simple and deterministic: fixed-width
+// little-endian integers, IEEE-754 floats, and length-prefixed byte strings.
+// A Writer accumulates into a buffer and carries a sticky error; a Reader
+// decodes from a byte slice and likewise carries a sticky error, so call
+// sites can chain operations and check the error once (the errWriter idiom).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is reported when a Reader runs out of input mid-value.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrTooLong is reported when a length prefix exceeds MaxLen.
+var ErrTooLong = errors.New("wire: length prefix too large")
+
+// MaxLen bounds any single length-prefixed value. It exists to turn file
+// corruption into an error instead of an enormous allocation.
+const MaxLen = 1 << 31
+
+// Writer encodes values into an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+	err error
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Bytes returns the encoded bytes. The slice aliases the Writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the Writer for reuse, keeping the allocation.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.err = nil
+}
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a fixed-width 32-bit unsigned integer.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a fixed-width 64-bit unsigned integer.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 appends a 64-bit signed integer.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as a 64-bit signed integer.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 appends a float64 in IEEE-754 bit representation.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes32 appends a length-prefixed byte string.
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// I64s appends a length-prefixed slice of 64-bit signed integers.
+func (w *Writer) I64s(vs []int64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// U64s appends a length-prefixed slice of 64-bit unsigned integers.
+func (w *Writer) U64s(vs []uint64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Ints appends a length-prefixed slice of ints.
+func (w *Writer) Ints(vs []int) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// F64s appends a length-prefixed slice of float64s.
+func (w *Writer) F64s(vs []float64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Reader decodes values from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", ErrShortBuffer, r.pos)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 decodes a single byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 decodes a fixed-width 32-bit unsigned integer.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 decodes a fixed-width 64-bit unsigned integer.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 decodes a 64-bit signed integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int decodes an int stored as a 64-bit signed integer.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 decodes a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+func (r *Reader) length() int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > MaxLen || n > r.Remaining() {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %d bytes with %d remaining", ErrTooLong, n, r.Remaining())
+		}
+		return 0
+	}
+	return n
+}
+
+// Bytes32 decodes a length-prefixed byte string. The result is a copy.
+func (r *Reader) Bytes32() []byte {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	if r.err != nil {
+		return ""
+	}
+	b := r.take(n)
+	return string(b)
+}
+
+// I64s decodes a length-prefixed slice of 64-bit signed integers.
+func (r *Reader) I64s() []int64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.I64()
+	}
+	return vs
+}
+
+// U64s decodes a length-prefixed slice of 64-bit unsigned integers.
+func (r *Reader) U64s() []uint64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.U64()
+	}
+	return vs
+}
+
+// Ints decodes a length-prefixed slice of ints.
+func (r *Reader) Ints() []int {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.Int()
+	}
+	return vs
+}
+
+// F64s decodes a length-prefixed slice of float64s.
+func (r *Reader) F64s() []float64 {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.F64()
+	}
+	return vs
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 63)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(math.Pi)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("u8 = %x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("u32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<63 {
+		t.Fatalf("u64 = %x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Fatalf("int = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("f64 = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d", r.Remaining())
+	}
+}
+
+func TestSliceRoundTripProperty(t *testing.T) {
+	f := func(bs []byte, is []int64, fs []float64, s string) bool {
+		w := NewWriter(0)
+		w.Bytes32(bs)
+		w.I64s(is)
+		w.F64s(fs)
+		w.String(s)
+		us := make([]uint64, len(is))
+		for i, v := range is {
+			us[i] = uint64(v)
+		}
+		w.U64s(us)
+		ints := make([]int, len(is))
+		for i, v := range is {
+			ints[i] = int(v)
+		}
+		w.Ints(ints)
+
+		r := NewReader(w.Bytes())
+		if !bytes.Equal(r.Bytes32(), bs) && len(bs) > 0 {
+			return false
+		}
+		gotI := r.I64s()
+		if len(gotI) != len(is) {
+			return false
+		}
+		for i := range is {
+			if gotI[i] != is[i] {
+				return false
+			}
+		}
+		gotF := r.F64s()
+		if len(gotF) != len(fs) {
+			return false
+		}
+		for i := range fs {
+			if gotF[i] != fs[i] && !(math.IsNaN(gotF[i]) && math.IsNaN(fs[i])) {
+				return false
+			}
+		}
+		if r.String() != s {
+			return false
+		}
+		gotU := r.U64s()
+		for i := range us {
+			if gotU[i] != us[i] {
+				return false
+			}
+		}
+		gotInts := r.Ints()
+		for i := range ints {
+			if gotInts[i] != ints[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortBufferDetected(t *testing.T) {
+	w := NewWriter(16)
+	w.U64(42)
+	r := NewReader(w.Bytes()[:4])
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("short read not detected")
+	}
+	// Sticky: further reads keep failing.
+	_ = r.U32()
+	if r.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	w := NewWriter(16)
+	w.U32(0xFFFFFFF0) // absurd length prefix
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Fatalf("corrupt prefix yielded %d bytes", len(got))
+	}
+	if r.Err() == nil {
+		t.Fatal("corrupt length not detected")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(1)
+	if w.Len() != 8 {
+		t.Fatalf("len %d", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Err() != nil {
+		t.Fatal("reset failed")
+	}
+}
