@@ -109,6 +109,15 @@ func BenchmarkAblationBlocking(b *testing.B) {
 	runTable(b, "ablation-blocking", opts)
 }
 
+// BenchmarkAblationAsyncCommit compares blocking against asynchronous
+// checkpoint commit on the same delayed store, plus the diskless
+// replicated configuration.
+func BenchmarkAblationAsyncCommit(b *testing.B) {
+	opts := benchOpts()
+	opts.Ranks = []int{4}
+	runTable(b, "ablation-async", opts)
+}
+
 // --- Protocol micro-benchmarks ---
 
 // BenchmarkPiggybackNarrow measures the 1-byte (3-bit) codec round trip.

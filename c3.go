@@ -29,6 +29,11 @@
 //	res, err := c3.Run(c3.Config{Ranks: 8, App: app,
 //	    Policy: c3.Policy{EveryNthPragma: 10}})
 //
+// Checkpoints go to a pluggable stable store (memory, disk, or the
+// diskless replicated store from NewReplicatedStore); with
+// Policy.AsyncCommit the write-out runs on a per-rank background committer
+// so the application resumes immediately after local capture.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured evaluation.
 package c3
@@ -161,6 +166,25 @@ var (
 	// NewDiskStore returns an on-disk checkpoint store with atomic commit
 	// (the paper's Configuration #3).
 	NewDiskStore = stable.NewDiskStore
+	// NewReplicatedStore returns the diskless, ReStore-style store: each
+	// rank's checkpoints live in node memory with fragments replicated to
+	// its +1/+2 neighbors, and a failed rank's lines are reassembled from
+	// surviving peers. Pair it with Policy.AsyncCommit for checkpointing
+	// that neither blocks the application nor touches a disk.
+	NewReplicatedStore = stable.NewReplicatedStore
+	// NewDelayedStore wraps a store with an artificial write cost, for
+	// experiments that emulate slow stable storage deterministically.
+	NewDelayedStore = stable.NewDelayedStore
+)
+
+// Replicated-store options.
+var (
+	// WithFragments sets how many pieces each checkpoint is split into
+	// before replication.
+	WithFragments = stable.WithFragments
+	// WithReplicationLatency applies a latency model to the replication
+	// interconnect.
+	WithReplicationLatency = stable.WithReplicationLatency
 )
 
 // WithLatency configures an artificial interconnect latency model for the

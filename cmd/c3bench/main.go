@@ -7,6 +7,7 @@
 //	c3bench -table 2 -ranks 4,8,16,32  # overhead sweep
 //	c3bench -table 1 -class A          # checkpoint sizes at a larger class
 //	c3bench -table ablation-piggyback  # design-choice ablations
+//	c3bench -table ablation-async      # blocking vs async commit pipeline
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, or all")
+		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, or all")
 		class   = flag.String("class", "W", "problem class: S, W, or A")
 		ranks   = flag.String("ranks", "4,8,16", "comma-separated rank counts for parallel tables")
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: the paper's set per table)")
@@ -63,7 +64,7 @@ func main() {
 	for _, id := range ids {
 		gen, ok := bench.Generators[id]
 		if !ok {
-			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking)", id)
+			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async)", id)
 		}
 		t, err := gen(opts)
 		if err != nil {

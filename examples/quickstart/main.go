@@ -2,11 +2,15 @@
 //
 // Four ranks pass a token around a ring, folding it into a running sum.
 // Every iteration ends with a checkpoint pragma; the policy takes a
-// checkpoint every 3 pragmas. A fail-stop failure is injected on rank 2
-// mid-run: the whole world is torn down and restarted, recovery finds the
-// last recovery line committed on all ranks, restores the registered state,
+// checkpoint every 3 pragmas, and commits it through the asynchronous
+// pipeline into the diskless replicated store (each rank's checkpoint
+// fragments live in its +1/+2 neighbors' memories). A fail-stop failure is
+// injected on rank 2 mid-run: the whole world is torn down — including
+// rank 2's node memory and the checkpoints in it — and restarted; recovery
+// finds the last recovery line committed on all ranks, reassembles rank
+// 2's checkpoint from the surviving peers, restores the registered state,
 // replays logged late messages and suppresses re-sends of early ones, and
-// the program finishes as if nothing had happened.
+// the program finishes as if nothing had happened. No disk is touched.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -64,10 +68,18 @@ func main() {
 		return nil
 	}
 
+	// Diskless stable storage: checkpoints live in node memory, replicated
+	// to each rank's +1/+2 neighbors over the replication interconnect.
+	store := c3.NewReplicatedStore(ranks)
+	defer store.Close()
+
 	res, err := c3.Run(c3.Config{
-		Ranks:  ranks,
-		App:    app,
-		Policy: c3.Policy{EveryNthPragma: 3},
+		Ranks: ranks,
+		App:   app,
+		Store: store,
+		// AsyncCommit hands the captured checkpoint to a background
+		// committer, so the ring resumes immediately after local capture.
+		Policy: c3.Policy{EveryNthPragma: 3, AsyncCommit: true},
 		// Kill rank 2 at its 7th pragma — after at least one recovery
 		// line has committed.
 		Failures: []c3.FailureSpec{{Rank: 2, AtPragma: 7}},
@@ -79,7 +91,8 @@ func main() {
 		res.Attempts, res.LastAttemptElapsed)
 	for _, rs := range res.Stats {
 		s := rs.Stats
-		fmt.Printf("rank %d: %d checkpoints, %d late logged, %d replayed, %d re-sends suppressed\n",
-			rs.Rank, s.CheckpointsTaken, s.LateLogged, s.ReplayedLate, s.SuppressedSends)
+		fmt.Printf("rank %d: %d checkpoints (%d async), %d late logged, %d replayed, %d re-sends suppressed\n",
+			rs.Rank, s.CheckpointsTaken, s.AsyncCommits, s.LateLogged, s.ReplayedLate, s.SuppressedSends)
 	}
+	fmt.Printf("replicated recoveries from peer memory: %d\n", store.Reassemblies())
 }

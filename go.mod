@@ -1,0 +1,3 @@
+module c3
+
+go 1.24

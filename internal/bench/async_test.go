@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/stable"
+)
+
+// computeApp is a deterministic workload with real time between pragmas:
+// each of the iters iterations "computes" for step (modeled as a sleep, so
+// the available overlap window is exact), then hits a checkpoint pragma.
+// The registered state is large enough that checkpoint writes are not
+// trivial.
+func computeApp(iters int, step time.Duration) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		data := st.Float64s("data", 1<<13).Data()
+		if _, err := env.Restore(); err != nil {
+			return err
+		}
+		for it.Get() < iters {
+			time.Sleep(step)
+			data[it.Get()%len(data)] += 1
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// TestAsyncCheckpointCostBelowBlocking is the acceptance check for the
+// async pipeline: on the same slow stable store and the same workload, the
+// checkpoint overhead of asynchronous commit must be strictly below the
+// blocking configuration's, because the stable-storage writes overlap the
+// inter-checkpoint computation instead of stalling it.
+func TestAsyncCheckpointCostBelowBlocking(t *testing.T) {
+	const (
+		ranks = 2
+		iters = 8
+		step  = 10 * time.Millisecond
+		delay = 4 * time.Millisecond // per stable-storage write
+	)
+	measure := func(async bool) time.Duration {
+		t.Helper()
+		cfg := cluster.Config{
+			Ranks:  ranks,
+			App:    computeApp(iters, step),
+			Store:  stable.NewDelayedStore(stable.NewMemStore(), delay, 0),
+			Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: async},
+		}
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			t.Fatalf("async=%v: %v", async, err)
+		}
+		if async {
+			var n uint64
+			for _, rs := range res.Stats {
+				n += rs.Stats.AsyncCommits
+			}
+			if n == 0 {
+				t.Fatal("async run took no checkpoints through the pipeline")
+			}
+		}
+		return res.LastAttemptElapsed
+	}
+
+	// Three checkpoints fire (pragmas 2, 4, 6; the one at 8 starts after
+	// the loop's work is done); each writes 7 sections + commit, so the
+	// blocking run stalls the app for roughly 3*8*delay = 96ms that the
+	// async run overlaps with the 20ms compute windows between lines.
+	blocking := measure(false)
+	async := measure(true)
+	t.Logf("blocking=%v async=%v (compute floor ≈ %v)", blocking, async, time.Duration(iters)*step)
+	if async >= blocking {
+		t.Fatalf("async commit (%v) must beat blocking commit (%v) on a slow store", async, blocking)
+	}
+}

@@ -81,11 +81,24 @@ func (l *Layer) startCheckpoint() error {
 		l.received[q], l.earlyRecvd[q] = l.earlyRecvd[q], 0
 	}
 
-	ck, err := l.store.Begin(l.rank, int(line))
-	if err != nil {
-		return l.fatal(fmt.Errorf("ckpt: begin checkpoint %d: %w", line, err))
+	// In async mode the store is never touched on this thread: sections are
+	// captured into a commit job the background committer writes out.
+	// writeSection abstracts over the two destinations.
+	var writeSection func(name string, data []byte) error
+	if l.committer != nil {
+		l.pendingJob = &commitJob{line: line}
+		writeSection = func(name string, data []byte) error {
+			l.pendingJob.sections = append(l.pendingJob.sections, namedSection{name: name, data: data})
+			return nil
+		}
+	} else {
+		ck, err := l.store.Begin(l.rank, int(line))
+		if err != nil {
+			return l.fatal(fmt.Errorf("ckpt: begin checkpoint %d: %w", line, err))
+		}
+		l.pending = ck
+		writeSection = ck.WriteSection
 	}
-	l.pending = ck
 
 	// Save application state: a full registry dump, or — with incremental
 	// checkpointing enabled — only the sections whose contents changed
@@ -100,13 +113,13 @@ func (l *Layer) startCheckpoint() error {
 			appImg = statesave.EncodeIncrement(false, line-1, statesave.DiffSections(l.lastSections, cur))
 		}
 		l.lastSections = cur
-		if err := ck.WriteSection(secAppInc, appImg); err != nil {
+		if err := writeSection(secAppInc, appImg); err != nil {
 			return l.fatal(err)
 		}
 		l.stats.CheckpointBytes += uint64(len(appImg))
 	} else {
 		appImg := l.state.Save()
-		if err := ck.WriteSection(secApp, appImg); err != nil {
+		if err := writeSection(secApp, appImg); err != nil {
 			return l.fatal(err)
 		}
 		l.stats.CheckpointBytes += uint64(len(appImg))
@@ -114,14 +127,14 @@ func (l *Layer) startCheckpoint() error {
 
 	// Save basic MPI state and the handle tables.
 	mpiImg := l.saveMPIState()
-	if err := ck.WriteSection(secMPI, mpiImg); err != nil {
+	if err := writeSection(secMPI, mpiImg); err != nil {
 		return l.fatal(err)
 	}
 	l.stats.CheckpointBytes += uint64(len(mpiImg))
 
 	// Save and reset the Early-Message-Registry.
 	earlyImg := l.earlyReg.Serialize()
-	if err := ck.WriteSection(secEarly, earlyImg); err != nil {
+	if err := writeSection(secEarly, earlyImg); err != nil {
 		return l.fatal(err)
 	}
 	l.stats.CheckpointBytes += uint64(len(earlyImg))
@@ -175,26 +188,43 @@ func (l *Layer) startCheckpoint() error {
 // commit the version, and return to Run mode.
 func (l *Layer) commitCheckpoint() error {
 	begin := l.clock()
-	if l.pending == nil {
+	if l.pending == nil && l.pendingJob == nil {
 		return l.fatal(fmt.Errorf("ckpt: commit without open checkpoint"))
 	}
 	lateImg := l.lateReg.Serialize()
-	if err := l.pending.WriteSection(secLate, lateImg); err != nil {
-		return l.fatal(err)
-	}
 	resImg := l.results.Serialize()
-	if err := l.pending.WriteSection(secResults, resImg); err != nil {
-		return l.fatal(err)
-	}
 	reqImg := l.reqs.Serialize(l.pendingLine)
-	if err := l.pending.WriteSection(secRequests, reqImg); err != nil {
-		return l.fatal(err)
-	}
 	l.stats.CheckpointBytes += uint64(len(lateImg) + len(resImg) + len(reqImg))
-	if err := l.pending.Commit(); err != nil {
-		return l.fatal(fmt.Errorf("ckpt: commit checkpoint %d: %w", l.pendingLine, err))
+	if l.committer != nil {
+		// Async: the line is protocol-complete; hand the full capture to the
+		// background committer. The FIFO pipeline guarantees the previous
+		// line is durable before this one commits at the store.
+		job := l.pendingJob
+		l.pendingJob = nil
+		job.sections = append(job.sections,
+			namedSection{name: secLate, data: lateImg},
+			namedSection{name: secResults, data: resImg},
+			namedSection{name: secRequests, data: reqImg})
+		job.retireBelow = l.pendingRetire
+		l.pendingRetire = 0
+		if err := l.committer.enqueue(job); err != nil {
+			return l.fatal(fmt.Errorf("ckpt: async commit checkpoint %d: %w", l.pendingLine, err))
+		}
+	} else {
+		if err := l.pending.WriteSection(secLate, lateImg); err != nil {
+			return l.fatal(err)
+		}
+		if err := l.pending.WriteSection(secResults, resImg); err != nil {
+			return l.fatal(err)
+		}
+		if err := l.pending.WriteSection(secRequests, reqImg); err != nil {
+			return l.fatal(err)
+		}
+		if err := l.pending.Commit(); err != nil {
+			return l.fatal(fmt.Errorf("ckpt: commit checkpoint %d: %w", l.pendingLine, err))
+		}
+		l.pending = nil
 	}
-	l.pending = nil
 	l.lateReg.Reset()
 	l.results.Reset()
 	l.reqs.EndPeriod()
@@ -229,6 +259,12 @@ func (l *Layer) saveMPIState() []byte {
 // beginning).
 func (l *Layer) Restore() (bool, error) {
 	begin := l.clock()
+	// Commit fence: the global reduction must not observe the store while an
+	// asynchronously captured line is still in flight, or ranks would
+	// disagree on what "last committed" means.
+	if err := l.DrainCommits(); err != nil {
+		return false, err
+	}
 	last, ok, err := l.store.LastCommitted(l.rank)
 	if err != nil {
 		return false, l.fatal(err)
@@ -342,6 +378,8 @@ func (l *Layer) Restore() (bool, error) {
 	l.nextStartedCount = 0
 	l.nextExpected = newExpected(l.n)
 	l.pending = nil
+	l.pendingJob = nil
+	l.pendingRetire = 0
 	l.mode = ModeRestore
 	l.stats.Restores++
 	l.stats.RestoreDuration += l.clock().Sub(begin)

@@ -1,0 +1,206 @@
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"c3/internal/stable"
+)
+
+// This file implements the asynchronous checkpoint-commit pipeline (the
+// paper's Section 5 future work, after Kohl et al.'s asynchronous write-out
+// argument): instead of writing a recovery line's sections to stable
+// storage on the application thread, the layer captures the fully
+// serialized snapshot in memory and hands it to a per-rank background
+// committer goroutine. The application resumes as soon as local capture is
+// done; the committer performs Begin/WriteSection/Commit (and garbage
+// collection) off the critical path.
+//
+// The pipeline is double-buffered: one job may be in flight at the store
+// while the next line's capture is queued behind it. A third line blocks at
+// enqueue until the oldest job retires, bounding memory to two serialized
+// snapshots. Because a single worker drains a FIFO queue, checkpoint k is
+// always durably committed before checkpoint k+1's store commit begins —
+// the commit fence that preserves the paper's recovery-line ordering:
+// recovery can never observe line k+1 without line k on the same rank.
+
+// namedSection is one serialized checkpoint section awaiting write-out.
+type namedSection struct {
+	name string
+	data []byte
+}
+
+// asyncPipelineDepth is the most protocol-committed lines the pipeline can
+// hold before they are durable: one in flight at the store plus one in the
+// double buffer. A fail-stop failure discards all of them, so a rank's
+// durable watermark can trail its epoch by asyncPipelineDepth+1 lines —
+// the garbage-collection floor in enterRecvOnlyLog accounts for that.
+const asyncPipelineDepth = 2
+
+// commitJob carries one recovery line's complete serialized checkpoint.
+type commitJob struct {
+	line     uint64
+	sections []namedSection
+	// retireBelow, when positive, garbage-collects this rank's committed
+	// versions below it after the commit succeeds (the Retire that sync
+	// mode performs inline in enterRecvOnlyLog).
+	retireBelow int
+}
+
+// committer is the per-rank background commit pipeline.
+type committer struct {
+	store stable.Store
+	rank  int
+
+	// jobs has capacity 1: with the worker holding one job, at most two
+	// lines are outstanding (the double buffer).
+	jobs chan *commitJob
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int   // jobs enqueued but not yet retired
+	aborted bool  // fail-stop: discard all outstanding work
+	err     error // sticky first store error
+
+	// Counters merged into the layer's Stats.
+	asyncCommits  uint64
+	writeDuration time.Duration // time the worker spent at the store
+	stallDuration time.Duration // time the app blocked on the full pipeline
+}
+
+func newCommitter(store stable.Store, rank int) *committer {
+	c := &committer{store: store, rank: rank, jobs: make(chan *commitJob, asyncPipelineDepth-1)}
+	c.cond = sync.NewCond(&c.mu)
+	go c.run()
+	return c
+}
+
+// enqueue hands a captured line to the pipeline, blocking only when two
+// lines are already outstanding. It is called from the rank's goroutine.
+func (c *committer) enqueue(job *commitJob) error {
+	c.mu.Lock()
+	if c.aborted {
+		c.mu.Unlock()
+		return nil // fail-stop already declared; the line is lost by design
+	}
+	if err := c.err; err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.pending++
+	c.mu.Unlock()
+
+	begin := time.Now()
+	c.jobs <- job // blocks while the double buffer is full
+	stall := time.Since(begin)
+
+	c.mu.Lock()
+	c.stallDuration += stall
+	c.mu.Unlock()
+	return nil
+}
+
+// run is the worker: it retires jobs in FIFO order, so line k commits at
+// the store strictly before line k+1 (the commit fence).
+func (c *committer) run() {
+	for job := range c.jobs {
+		committed, err := c.write(job)
+		c.mu.Lock()
+		if err != nil && c.err == nil && !c.aborted {
+			c.err = err
+		}
+		if committed {
+			c.asyncCommits++
+		}
+		c.pending--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// stopped reports whether the pipeline must discard further jobs: after a
+// fail-stop abort, or after a store error — committing line k+1 once line
+// k failed would leave a gap the fence forbids.
+func (c *committer) stopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborted || c.err != nil
+}
+
+// write performs one line's store interaction, checking for abort between
+// steps so a fail-stop failure mid-commit leaves the version uncommitted.
+// committed reports whether the line became durable — a discarded job is
+// not an error, but it must not advance the durable watermark.
+func (c *committer) write(job *commitJob) (committed bool, err error) {
+	if c.stopped() {
+		return false, nil
+	}
+	begin := time.Now()
+	defer func() {
+		c.mu.Lock()
+		c.writeDuration += time.Since(begin)
+		c.mu.Unlock()
+	}()
+	ck, err := c.store.Begin(c.rank, int(job.line))
+	if err != nil {
+		return false, fmt.Errorf("ckpt: async begin checkpoint %d: %w", job.line, err)
+	}
+	for _, s := range job.sections {
+		if c.stopped() {
+			return false, ck.Abort()
+		}
+		if err := ck.WriteSection(s.name, s.data); err != nil {
+			_ = ck.Abort()
+			return false, fmt.Errorf("ckpt: async write section %q of checkpoint %d: %w", s.name, job.line, err)
+		}
+	}
+	if c.stopped() {
+		return false, ck.Abort()
+	}
+	if err := ck.Commit(); err != nil {
+		return false, fmt.Errorf("ckpt: async commit checkpoint %d: %w", job.line, err)
+	}
+	if job.retireBelow > 0 {
+		_ = c.store.Retire(c.rank, job.retireBelow)
+	}
+	return true, nil
+}
+
+// drain blocks until every enqueued line is durable (or the pipeline was
+// aborted) and returns the first store error. It is the commit fence
+// exposed to Restore, Sync and the runtime's end-of-attempt teardown.
+func (c *committer) drain() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.pending > 0 && !c.aborted {
+		c.cond.Wait()
+	}
+	return c.err
+}
+
+// abort models the rank's fail-stop failure: all outstanding (not yet
+// durable) lines are discarded, and the call returns only when the worker
+// has stopped touching the store — so the runtime can wipe node-local
+// storage without a racing write resurrecting data.
+func (c *committer) abort() {
+	c.mu.Lock()
+	c.aborted = true
+	c.mu.Unlock()
+	// Unclog the queue: the worker discards jobs once aborted is set, and
+	// pending reaches zero when the in-flight job notices the flag.
+	c.mu.Lock()
+	for c.pending > 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// close shuts the pipeline down after a final drain (or abort). The layer
+// must not enqueue afterwards.
+func (c *committer) close() {
+	close(c.jobs)
+}

@@ -21,6 +21,13 @@ type Policy struct {
 	// Interval takes a checkpoint when this much time has passed since the
 	// previous one (0 disables timer-based checkpoints).
 	Interval time.Duration
+	// AsyncCommit enables the asynchronous commit pipeline: checkpoint
+	// sections are captured in memory and written to stable storage by a
+	// per-rank background committer, so the application resumes immediately
+	// after local capture. A FIFO single-worker pipeline preserves the
+	// recovery-line ordering (line k is durable before line k+1 commits),
+	// and Restore/Sync fence on the pipeline before reading the store.
+	AsyncCommit bool
 }
 
 // Config configures a protocol layer.
@@ -101,6 +108,13 @@ type Layer struct {
 	pending     stable.Checkpoint
 	pendingLine uint64
 
+	// Asynchronous commit pipeline state (Policy.AsyncCommit). pendingJob
+	// accumulates the serialized sections of the line in progress;
+	// pendingRetire defers the garbage-collection floor to the committer.
+	committer     *committer
+	pendingJob    *commitJob
+	pendingRetire int
+
 	// Incremental checkpointing state: the previous line's section images.
 	lastSections map[string]statesave.SectionImage
 
@@ -133,6 +147,10 @@ type Stats struct {
 	StartDuration    time.Duration
 	CommitDuration   time.Duration
 	RestoreDuration  time.Duration
+	// Async-commit pipeline counters (zero when Policy.AsyncCommit is off).
+	AsyncCommits       uint64        // lines committed by the background worker
+	AsyncWriteDuration time.Duration // store time spent off the critical path
+	CommitStallLatency time.Duration // app time blocked on the full pipeline
 }
 
 // New creates the protocol layer for one rank. It is collective: every rank
@@ -198,6 +216,9 @@ func New(p *mpi.Proc, cfg Config) (*Layer, error) {
 	l.ctrl = ctrl
 	l.comms = NewCommTable(p.CommWorld())
 	l.world = &WComm{l: l, c: p.CommWorld(), handle: HandleWorld}
+	if cfg.Policy.AsyncCommit {
+		l.committer = newCommitter(l.store, l.rank)
+	}
 	return l, nil
 }
 
@@ -224,8 +245,63 @@ func (l *Layer) Mode() Mode { return l.mode }
 // Epoch returns the current epoch number.
 func (l *Layer) Epoch() uint64 { return l.epoch }
 
-// Stats returns a copy of the layer's counters.
-func (l *Layer) Stats() Stats { return l.stats }
+// Stats returns a copy of the layer's counters, merged with the background
+// committer's (which advance concurrently while a commit is in flight).
+func (l *Layer) Stats() Stats {
+	st := l.stats
+	if c := l.committer; c != nil {
+		c.mu.Lock()
+		st.AsyncCommits = c.asyncCommits
+		st.AsyncWriteDuration = c.writeDuration
+		st.CommitStallLatency = c.stallDuration
+		c.mu.Unlock()
+	}
+	return st
+}
+
+// DrainCommits is the commit fence: it blocks until every enqueued
+// recovery line is durable at the stable store, returning the first store
+// error. It is a no-op without AsyncCommit.
+func (l *Layer) DrainCommits() error {
+	if l.committer == nil {
+		return nil
+	}
+	if err := l.committer.drain(); err != nil {
+		return l.fatal(err)
+	}
+	return nil
+}
+
+// AbortCommits models this rank's fail-stop failure for the async
+// pipeline: outstanding (not yet durable) lines are discarded, and the
+// call returns only once the committer has stopped touching the store, so
+// the runtime can wipe node-local storage without a racing write
+// resurrecting lost data.
+func (l *Layer) AbortCommits() {
+	if l.committer != nil {
+		l.committer.abort()
+	}
+}
+
+// Close tears the layer's background resources down at the end of an
+// attempt. When abort is set the pipeline is discarded (fail-stop);
+// otherwise it is drained so final checkpoints reach the store.
+func (l *Layer) Close(abort bool) error {
+	if l.committer == nil {
+		return nil
+	}
+	var err error
+	if abort {
+		l.committer.abort()
+	} else {
+		err = l.committer.drain()
+	}
+	l.committer.close()
+	if err != nil {
+		return l.fatal(err)
+	}
+	return nil
+}
 
 // State returns the application state registry.
 func (l *Layer) State() *statesave.Registry { return l.state }
@@ -336,10 +412,29 @@ func (l *Layer) enterRecvOnlyLog() {
 	// the delta chain stays reachable.
 	if l.epoch >= 2 {
 		floor := l.epoch - 1
+		if l.committer != nil {
+			// With the async pipeline, "everyone started line L" no longer
+			// implies everyone durably committed L-1: a peer can have up to
+			// two protocol-committed lines still in flight (one at the
+			// store, one double-buffered), and a fail-stop failure discards
+			// both — its durable watermark can trail its epoch by three
+			// lines. Keep two extra lines so the global recovery line is
+			// never garbage-collected out from under a failed peer.
+			if floor <= asyncPipelineDepth {
+				return
+			}
+			floor -= asyncPipelineDepth
+		}
 		if k := uint64(l.cfg.FullCheckpointEvery); k > 1 {
 			floor = floor - (floor-1)%k
 		}
-		_ = l.store.Retire(l.rank, int(floor))
+		if l.committer != nil {
+			// Defer the (possibly disk-touching) garbage collection to the
+			// background committer; it runs after this line commits.
+			l.pendingRetire = int(floor)
+		} else {
+			_ = l.store.Retire(l.rank, int(floor))
+		}
 	}
 }
 
@@ -625,6 +720,14 @@ func (l *Layer) Sync() error {
 			}
 		}
 		if err := l.checkControl(); err != nil {
+			return err
+		}
+		// With the async pipeline, "committed" additionally means durable at
+		// the store. Fencing before the round-two tokens go out makes those
+		// tokens certify durability: a process that has collected every
+		// round-two token knows all its peers' pending lines are on stable
+		// storage.
+		if err := l.DrainCommits(); err != nil {
 			return err
 		}
 	}

@@ -217,8 +217,19 @@ func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart
 		rank:    rank,
 		proc:    p,
 		mpiW:    world,
+		store:   store,
 	}
 	err = cfg.App(env)
+	// End-of-attempt pipeline teardown: a rank that fail-stopped discards
+	// its in-flight async commits (the failure already aborted them);
+	// every other rank drains so its final lines are durable before the
+	// store is read again — even when the attempt ended with ErrDown
+	// because some other rank was killed, since stable storage outlives
+	// the interconnect.
+	closeErr := layer.Close(errors.Is(err, ErrInjectedFailure))
+	if err == nil {
+		err = closeErr
+	}
 	return err, layer.Stats()
 }
 
@@ -259,6 +270,21 @@ type ckptEnv struct {
 	rank    int
 	proc    *mpi.Proc
 	mpiW    *mpi.World
+	store   stable.Store
+}
+
+// injectFailure models the fail-stop failure of this rank's node, in
+// hardware order: the async commit pipeline stops mid-write (an
+// uncommitted line is lost, never half-visible), node-local checkpoint
+// memory is wiped for stores that live on the node, and the rank drops off
+// the interconnect.
+func (e *ckptEnv) injectFailure() error {
+	e.layer.AbortCommits()
+	if nf, ok := e.store.(stable.NodeFailer); ok {
+		nf.FailNode(e.rank)
+	}
+	e.mpiW.Kill(e.rank)
+	return ErrInjectedFailure
 }
 
 func (e *ckptEnv) Rank() int                  { return e.rank }
@@ -277,16 +303,14 @@ func (e *ckptEnv) Restore() (bool, error) {
 
 func (e *ckptEnv) Checkpoint() error {
 	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
-		e.mpiW.Kill(e.rank)
-		return ErrInjectedFailure
+		return e.injectFailure()
 	}
 	return e.layer.Checkpoint(false)
 }
 
 func (e *ckptEnv) CheckpointNow() error {
 	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
-		e.mpiW.Kill(e.rank)
-		return ErrInjectedFailure
+		return e.injectFailure()
 	}
 	return e.layer.Checkpoint(true)
 }

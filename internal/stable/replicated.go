@@ -1,0 +1,633 @@
+package stable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"c3/internal/transport"
+	"c3/internal/wire"
+)
+
+// ReplicatedStore is a diskless, ReStore-style stable store: every rank
+// keeps its own checkpoints in node-local memory and, at commit time,
+// spreads the checkpoint's fragments to its +1/+2 neighbor ranks over a
+// dedicated replication interconnect (an internal/transport network, so
+// replication traffic has FIFO ordering, latency modeling and delivery
+// counters like any other interconnect in the reproduction).
+//
+// Failure model: when the runtime injects a fail-stop failure it calls
+// FailNode, which wipes everything in the failed node's memory — its own
+// checkpoints and the replica fragments it held for peers — and invalidates
+// replication messages still in flight toward it (they belong to the dead
+// incarnation). The restarted rank's recovery then finds no local copy and
+// reassembles its last committed line from the fragments surviving on peer
+// nodes; a committed line is lost only if the owner and both replica
+// holders fail together.
+//
+// Commit is synchronous-replicated: it returns once every live neighbor has
+// acknowledged the fragments and the commit marker, so a line reported
+// committed is immediately recoverable from peers. Combined with the ckpt
+// layer's asynchronous commit pipeline, the acknowledgment wait happens on
+// the background committer, off the application's critical path.
+type ReplicatedStore struct {
+	n         int
+	fragments int
+	net       *transport.Network
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nodes    []*replNode
+	awaiting map[replAckKey]bool
+	closed   bool
+
+	bytesWritten    int64
+	replicatedBytes int64
+	reassemblies    int64
+
+	wg sync.WaitGroup
+}
+
+// replNode is one rank's memory: its own checkpoints plus holdings for
+// peers. incarnation advances on FailNode so in-flight replication traffic
+// addressed to the dead incarnation is dropped instead of resurrecting
+// state the failure destroyed.
+type replNode struct {
+	incarnation uint64
+	local       map[int]*memCkpt
+	frags       map[replFragKey][]byte
+	commits     map[replCommitKey]replCommitRec
+}
+
+type replFragKey struct {
+	owner, version, idx int
+}
+
+type replCommitKey struct {
+	owner, version int
+}
+
+// replCommitRec is the commit marker replicated alongside the fragments:
+// the fragment count and blob digest recovery validates reassembly against.
+type replCommitRec struct {
+	frags int
+	total int
+	sum   uint64
+}
+
+type replAckKey struct {
+	owner, version, from int
+}
+
+// Replication message kinds.
+const (
+	replMsgFrag uint8 = iota + 1
+	replMsgCommit
+	replMsgAck
+)
+
+// replPayload lets the transport count and delay replication bytes.
+type replPayload []byte
+
+// TransportSize implements transport.Sizer.
+func (p replPayload) TransportSize() int { return len(p) }
+
+// ReplicatedOption configures a ReplicatedStore.
+type ReplicatedOption func(*replicatedConfig)
+
+type replicatedConfig struct {
+	fragments int
+	netOpts   []transport.Option
+}
+
+// WithFragments sets how many pieces each checkpoint blob is split into
+// before replication (default 2). More fragments spread replication load in
+// finer grains; every fragment still goes to both neighbors.
+func WithFragments(k int) ReplicatedOption {
+	return func(c *replicatedConfig) { c.fragments = k }
+}
+
+// WithReplicationLatency applies a latency model to the replication
+// interconnect, so experiments can price remote-memory checkpointing
+// against local disk.
+func WithReplicationLatency(m transport.LatencyModel) ReplicatedOption {
+	return func(c *replicatedConfig) { c.netOpts = append(c.netOpts, transport.WithLatency(m)) }
+}
+
+// NewReplicatedStore creates a replicated in-memory store for a world of n
+// ranks. The store owns n replication daemons (one per node); call Close
+// when done with it.
+func NewReplicatedStore(n int, opts ...ReplicatedOption) *ReplicatedStore {
+	if n <= 0 {
+		panic("stable: replicated store needs a positive world size")
+	}
+	cfg := replicatedConfig{fragments: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.fragments < 1 {
+		cfg.fragments = 1
+	}
+	s := &ReplicatedStore{
+		n:         n,
+		fragments: cfg.fragments,
+		net:       transport.NewNetwork(n, cfg.netOpts...),
+		nodes:     make([]*replNode, n),
+		awaiting:  make(map[replAckKey]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.nodes {
+		s.nodes[i] = newReplNode()
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.daemon(i)
+	}
+	return s
+}
+
+func newReplNode() *replNode {
+	return &replNode{
+		local:   make(map[int]*memCkpt),
+		frags:   make(map[replFragKey][]byte),
+		commits: make(map[replCommitKey]replCommitRec),
+	}
+}
+
+// Close shuts the replication fabric and daemons down. Outstanding commits
+// unblock with their current acknowledgment state.
+func (s *ReplicatedStore) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.net.Shutdown()
+	s.wg.Wait()
+}
+
+// neighbors returns the ranks that replicate rank's checkpoints: the next
+// two ranks around the ring (one for a two-rank world, none alone).
+func (s *ReplicatedStore) neighbors(rank int) []int {
+	var ns []int
+	for d := 1; d <= 2 && d < s.n; d++ {
+		ns = append(ns, (rank+d)%s.n)
+	}
+	return ns
+}
+
+// NetworkStats returns the replication interconnect's delivery counters.
+func (s *ReplicatedStore) NetworkStats() transport.Stats { return s.net.Stats() }
+
+// BytesWritten returns the section bytes written to node-local memory.
+func (s *ReplicatedStore) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesWritten
+}
+
+// ReplicatedBytes returns the fragment bytes shipped to peer nodes.
+func (s *ReplicatedStore) ReplicatedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicatedBytes
+}
+
+// Reassemblies reports how many checkpoints were rebuilt from peer
+// fragments because the owner's local copy was gone — the disk-free
+// recovery path.
+func (s *ReplicatedStore) Reassemblies() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reassemblies
+}
+
+// FailNode implements NodeFailer: the node's memory is lost and in-flight
+// replication traffic toward it belongs to a dead incarnation.
+func (s *ReplicatedStore) FailNode(rank int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes[rank].incarnation++
+	s.nodes[rank].local = make(map[int]*memCkpt)
+	s.nodes[rank].frags = make(map[replFragKey][]byte)
+	s.nodes[rank].commits = make(map[replCommitKey]replCommitRec)
+	s.cond.Broadcast() // release commits waiting on this node's acks
+}
+
+// --- Write path ---
+
+type replHandle struct {
+	store    *ReplicatedStore
+	rank     int
+	version  int
+	sections map[string][]byte
+	done     bool
+}
+
+// Begin implements Store.
+func (s *ReplicatedStore) Begin(rank, version int) (Checkpoint, error) {
+	s.mu.Lock()
+	delete(s.nodes[rank].local, version) // discard uncommitted stale data
+	s.mu.Unlock()
+	return &replHandle{store: s, rank: rank, version: version, sections: make(map[string][]byte)}, nil
+}
+
+func (h *replHandle) WriteSection(name string, data []byte) error {
+	if h.done {
+		return fmt.Errorf("stable: write to finished checkpoint (%d,%d)", h.rank, h.version)
+	}
+	h.sections[name] = append([]byte(nil), data...)
+	h.store.mu.Lock()
+	h.store.bytesWritten += int64(len(data))
+	h.store.mu.Unlock()
+	return nil
+}
+
+func (h *replHandle) Abort() error {
+	h.done = true
+	return nil
+}
+
+// Commit installs the checkpoint in node-local memory, ships its fragments
+// and commit marker to the +1/+2 neighbors, and waits until every live
+// neighbor has acknowledged them.
+func (h *replHandle) Commit() error {
+	if h.done {
+		return fmt.Errorf("stable: commit of finished checkpoint (%d,%d)", h.rank, h.version)
+	}
+	h.done = true
+	s := h.store
+
+	blob := encodeReplSections(h.sections)
+	frags := splitFragments(blob, s.fragments)
+	rec := replCommitRec{frags: len(frags), total: len(blob), sum: replSum(blob)}
+
+	s.mu.Lock()
+	neighbors := s.neighbors(h.rank)
+	type target struct {
+		rank int
+		inc  uint64
+	}
+	targets := make([]target, 0, len(neighbors))
+	for _, nb := range neighbors {
+		targets = append(targets, target{rank: nb, inc: s.nodes[nb].incarnation})
+		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
+		s.replicatedBytes += int64(len(blob))
+	}
+	s.mu.Unlock()
+
+	dropAwaiting := func() {
+		for _, t := range targets {
+			delete(s.awaiting, replAckKey{owner: h.rank, version: h.version, from: t.rank})
+		}
+	}
+	for _, t := range targets {
+		for idx, frag := range frags {
+			msg := encodeReplFrag(h.rank, h.version, t.inc, idx, frag)
+			if err := s.net.Send(transport.Message{From: h.rank, To: t.rank, Class: transport.Data, Payload: msg}); err != nil {
+				s.mu.Lock()
+				dropAwaiting()
+				s.mu.Unlock()
+				return fmt.Errorf("stable: replicate fragment: %w", err)
+			}
+		}
+		// The marker travels after the fragments on the same FIFO pair, so a
+		// stored marker implies the fragments preceding it were delivered.
+		msg := encodeReplCommit(h.rank, h.version, t.inc, rec)
+		if err := s.net.Send(transport.Message{From: h.rank, To: t.rank, Class: transport.Control, Payload: msg}); err != nil {
+			s.mu.Lock()
+			dropAwaiting()
+			s.mu.Unlock()
+			return fmt.Errorf("stable: replicate commit marker: %w", err)
+		}
+	}
+
+	// Wait for each neighbor's acknowledgment; a neighbor that fails (its
+	// incarnation advances) is excused — the commit then relies on the
+	// local copy plus the remaining replica. Only then does the version
+	// become locally committed, so a failed Commit never leaves a version
+	// visible to LastCommitted.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		pending := 0
+		for _, t := range targets {
+			key := replAckKey{owner: h.rank, version: h.version, from: t.rank}
+			if !s.awaiting[key] && s.nodes[t.rank].incarnation == t.inc && !s.closed {
+				pending++
+			}
+		}
+		if pending == 0 {
+			break
+		}
+		s.cond.Wait()
+	}
+	dropAwaiting()
+	s.nodes[h.rank].local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	return nil
+}
+
+// --- Replication daemon ---
+
+// daemon is node rank's replication endpoint: it stores incoming fragments
+// and commit markers in the node's memory and acknowledges them, and
+// routes acknowledgments back to waiting commits.
+func (s *ReplicatedStore) daemon(rank int) {
+	defer s.wg.Done()
+	ep := s.net.Endpoint(rank)
+	for {
+		msg, err := ep.Recv()
+		if err != nil {
+			return // network shut down
+		}
+		data, ok := msg.Payload.(replPayload)
+		if !ok || len(data) == 0 {
+			continue
+		}
+		switch data[0] {
+		case replMsgFrag:
+			owner, version, inc, idx, frag, err := decodeReplFrag(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			if s.nodes[rank].incarnation == inc {
+				s.nodes[rank].frags[replFragKey{owner: owner, version: version, idx: idx}] = frag
+			}
+			s.mu.Unlock()
+		case replMsgCommit:
+			owner, version, inc, rec, err := decodeReplCommit(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			live := s.nodes[rank].incarnation == inc
+			if live {
+				s.nodes[rank].commits[replCommitKey{owner: owner, version: version}] = rec
+			}
+			s.mu.Unlock()
+			if live {
+				ack := encodeReplAck(owner, version, rank)
+				_ = s.net.Send(transport.Message{From: rank, To: owner, Class: transport.Control, Payload: ack})
+			}
+		case replMsgAck:
+			owner, version, from, err := decodeReplAck(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			key := replAckKey{owner: owner, version: version, from: from}
+			if _, waiting := s.awaiting[key]; waiting {
+				s.awaiting[key] = true
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// --- Read path ---
+
+// LastCommitted implements Store: the newest version committed locally or,
+// when the local memory was lost, the newest version whose fragments and
+// commit marker survive on peers.
+func (s *ReplicatedStore) LastCommitted(rank int) (int, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, ok := 0, false
+	for v, ck := range s.nodes[rank].local {
+		if ck.commit && (!ok || v > best) {
+			best, ok = v, true
+		}
+	}
+	for v, rec := range s.peerCommitted(rank) {
+		if (!ok || v > best) && s.fragsComplete(rank, v, rec) {
+			best, ok = v, true
+		}
+	}
+	return best, ok, nil
+}
+
+// peerCommitted collects commit markers held on any node for the owner.
+func (s *ReplicatedStore) peerCommitted(owner int) map[int]replCommitRec {
+	out := make(map[int]replCommitRec)
+	for _, node := range s.nodes {
+		for key, rec := range node.commits {
+			if key.owner == owner {
+				out[key.version] = rec
+			}
+		}
+	}
+	return out
+}
+
+// fragsComplete reports whether every fragment of (owner, version) exists
+// somewhere among the nodes.
+func (s *ReplicatedStore) fragsComplete(owner, version int, rec replCommitRec) bool {
+	for idx := 0; idx < rec.frags; idx++ {
+		found := false
+		for _, node := range s.nodes {
+			if _, ok := node.frags[replFragKey{owner: owner, version: version, idx: idx}]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Open implements Store. When the owner's local copy is gone, the
+// checkpoint is reassembled from peer fragments, validated against the
+// commit marker, and re-installed in the owner's memory (the restarted
+// node re-hosting its line, as ReStore's re-distribution does).
+func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ck, ok := s.nodes[rank].local[version]; ok {
+		if !ck.commit {
+			return nil, fmt.Errorf("%w: rank %d version %d", ErrNotCommitted, rank, version)
+		}
+		return &memSnap{ck: ck}, nil
+	}
+	rec, ok := s.peerCommitted(rank)[version]
+	if !ok {
+		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
+	}
+	blob := make([]byte, 0, rec.total)
+	for idx := 0; idx < rec.frags; idx++ {
+		frag, ok := s.findFrag(rank, version, idx)
+		if !ok {
+			return nil, fmt.Errorf("%w: rank %d version %d fragment %d lost on all nodes", ErrNotFound, rank, version, idx)
+		}
+		blob = append(blob, frag...)
+	}
+	if len(blob) != rec.total || replSum(blob) != rec.sum {
+		return nil, fmt.Errorf("stable: rank %d version %d reassembly mismatch (%d/%d bytes)", rank, version, len(blob), rec.total)
+	}
+	sections, err := decodeReplSections(blob)
+	if err != nil {
+		return nil, fmt.Errorf("stable: rank %d version %d: %w", rank, version, err)
+	}
+	ck := &memCkpt{sections: sections, commit: true}
+	s.nodes[rank].local[version] = ck
+	s.reassemblies++
+	return &memSnap{ck: ck}, nil
+}
+
+func (s *ReplicatedStore) findFrag(owner, version, idx int) ([]byte, bool) {
+	for _, node := range s.nodes {
+		if frag, ok := node.frags[replFragKey{owner: owner, version: version, idx: idx}]; ok {
+			return frag, true
+		}
+	}
+	return nil, false
+}
+
+// Retire implements Store: it prunes the rank's old local versions and the
+// fragments and markers peers hold for them.
+func (s *ReplicatedStore) Retire(rank, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.nodes[rank].local {
+		if v < version {
+			delete(s.nodes[rank].local, v)
+		}
+	}
+	for _, node := range s.nodes {
+		for key := range node.frags {
+			if key.owner == rank && key.version < version {
+				delete(node.frags, key)
+			}
+		}
+		for key := range node.commits {
+			if key.owner == rank && key.version < version {
+				delete(node.commits, key)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Blob and message codecs ---
+
+// encodeReplSections flattens a section map into one replication blob.
+func encodeReplSections(sections map[string][]byte) []byte {
+	names := make([]string, 0, len(sections))
+	size := 0
+	for n, d := range sections {
+		names = append(names, n)
+		size += len(n) + len(d) + 16
+	}
+	sort.Strings(names)
+	w := wire.NewWriter(16 + size)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		w.String(n)
+		w.Bytes32(sections[n])
+	}
+	return w.Bytes()
+}
+
+func decodeReplSections(blob []byte) (map[string][]byte, error) {
+	r := wire.NewReader(blob)
+	n := int(r.U32())
+	sections := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		data := r.Bytes32()
+		if r.Err() != nil {
+			break
+		}
+		sections[name] = append([]byte(nil), data...)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("corrupt replication blob: %w", err)
+	}
+	return sections, nil
+}
+
+// splitFragments cuts the blob into k nearly equal pieces (fewer when the
+// blob is shorter than k bytes; always at least one, possibly empty).
+func splitFragments(blob []byte, k int) [][]byte {
+	if k > len(blob) {
+		k = len(blob)
+	}
+	if k < 1 {
+		k = 1
+	}
+	frags := make([][]byte, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*len(blob)/k, (i+1)*len(blob)/k
+		frags = append(frags, blob[lo:hi])
+	}
+	return frags
+}
+
+// replSum is a simple FNV-1a digest for reassembly validation.
+func replSum(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	sum := uint64(offset)
+	for _, c := range b {
+		sum = (sum ^ uint64(c)) * prime
+	}
+	return sum
+}
+
+// The fragment count travels only in the commit marker (the authoritative
+// record reassembly validates against), not in every fragment.
+func encodeReplFrag(owner, version int, inc uint64, idx int, frag []byte) replPayload {
+	w := wire.NewWriter(32 + len(frag))
+	w.U8(replMsgFrag)
+	w.Int(owner)
+	w.Int(version)
+	w.U64(inc)
+	w.Int(idx)
+	w.Bytes32(frag)
+	return replPayload(w.Bytes())
+}
+
+func decodeReplFrag(data replPayload) (owner, version int, inc uint64, idx int, frag []byte, err error) {
+	r := wire.NewReader(data[1:])
+	owner, version = r.Int(), r.Int()
+	inc = r.U64()
+	idx = r.Int()
+	frag = append([]byte(nil), r.Bytes32()...)
+	return owner, version, inc, idx, frag, r.Err()
+}
+
+func encodeReplCommit(owner, version int, inc uint64, rec replCommitRec) replPayload {
+	w := wire.NewWriter(48)
+	w.U8(replMsgCommit)
+	w.Int(owner)
+	w.Int(version)
+	w.U64(inc)
+	w.Int(rec.frags)
+	w.Int(rec.total)
+	w.U64(rec.sum)
+	return replPayload(w.Bytes())
+}
+
+func decodeReplCommit(data replPayload) (owner, version int, inc uint64, rec replCommitRec, err error) {
+	r := wire.NewReader(data[1:])
+	owner, version = r.Int(), r.Int()
+	inc = r.U64()
+	rec = replCommitRec{frags: r.Int(), total: r.Int(), sum: r.U64()}
+	return owner, version, inc, rec, r.Err()
+}
+
+func encodeReplAck(owner, version, from int) replPayload {
+	w := wire.NewWriter(24)
+	w.U8(replMsgAck)
+	w.Int(owner)
+	w.Int(version)
+	w.Int(from)
+	return replPayload(w.Bytes())
+}
+
+func decodeReplAck(data replPayload) (owner, version, from int, err error) {
+	r := wire.NewReader(data[1:])
+	owner, version, from = r.Int(), r.Int(), r.Int()
+	return owner, version, from, r.Err()
+}

@@ -1,0 +1,221 @@
+package stable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"c3/internal/transport"
+)
+
+func writeCommitted(t *testing.T, s Store, rank, version int, sections map[string][]byte) {
+	t.Helper()
+	ck, err := s.Begin(rank, version)
+	if err != nil {
+		t.Fatalf("Begin(%d,%d): %v", rank, version, err)
+	}
+	for name, data := range sections {
+		if err := ck.WriteSection(name, data); err != nil {
+			t.Fatalf("WriteSection(%q): %v", name, err)
+		}
+	}
+	if err := ck.Commit(); err != nil {
+		t.Fatalf("Commit(%d,%d): %v", rank, version, err)
+	}
+}
+
+func TestReplicatedRoundtrip(t *testing.T) {
+	s := NewReplicatedStore(4)
+	defer s.Close()
+	sections := map[string][]byte{"app": []byte("state"), "mpi": []byte{1, 2, 3}}
+	writeCommitted(t, s, 1, 1, sections)
+
+	v, ok, err := s.LastCommitted(1)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+	snap, err := s.Open(1, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	got, err := snap.ReadSection("app")
+	if err != nil || string(got) != "state" {
+		t.Fatalf("ReadSection(app) = %q,%v", got, err)
+	}
+	if s.Reassemblies() != 0 {
+		t.Fatalf("local read must not reassemble; got %d", s.Reassemblies())
+	}
+	if st := s.NetworkStats(); st.MessagesSent == 0 {
+		t.Fatalf("replication must go over the transport; stats = %+v", st)
+	}
+}
+
+func TestReplicatedRecoversAfterNodeLoss(t *testing.T) {
+	s := NewReplicatedStore(4)
+	defer s.Close()
+	for v := 1; v <= 3; v++ {
+		writeCommitted(t, s, 2, v, map[string][]byte{"app": []byte{byte(v), byte(v * 7)}})
+	}
+
+	// Fail-stop: rank 2's memory (and everything it held for peers) is gone.
+	s.FailNode(2)
+
+	v, ok, err := s.LastCommitted(2)
+	if err != nil || !ok || v != 3 {
+		t.Fatalf("LastCommitted after loss = %d,%v,%v; want 3,true,nil", v, ok, err)
+	}
+	snap, err := s.Open(2, 3)
+	if err != nil {
+		t.Fatalf("Open after loss: %v", err)
+	}
+	got, err := snap.ReadSection("app")
+	if err != nil || len(got) != 2 || got[0] != 3 || got[1] != 21 {
+		t.Fatalf("reassembled section = %v, %v", got, err)
+	}
+	snap.Close()
+	if s.Reassemblies() == 0 {
+		t.Fatal("expected a peer reassembly")
+	}
+	// The rebuilt line is re-hosted locally: a second open is local.
+	if _, err := s.Open(2, 3); err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	if s.Reassemblies() != 1 {
+		t.Fatalf("re-open must use the re-hosted copy; reassemblies = %d", s.Reassemblies())
+	}
+}
+
+func TestReplicatedNodeLossLosesPeerHoldings(t *testing.T) {
+	// In a 3-rank world, rank 0 replicates to 1 and 2. Failing both
+	// neighbors (after failing 0) leaves no copy anywhere.
+	s := NewReplicatedStore(3)
+	defer s.Close()
+	writeCommitted(t, s, 0, 1, map[string][]byte{"app": []byte("x")})
+	s.FailNode(0)
+	s.FailNode(1)
+	s.FailNode(2)
+	if _, ok, err := s.LastCommitted(0); err != nil || ok {
+		t.Fatalf("triple failure must lose the line; got ok=%v err=%v", ok, err)
+	}
+	if _, err := s.Open(0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open after triple failure = %v; want ErrNotFound", err)
+	}
+}
+
+func TestReplicatedSurvivesOneNeighborLoss(t *testing.T) {
+	s := NewReplicatedStore(4)
+	defer s.Close()
+	writeCommitted(t, s, 0, 1, map[string][]byte{"app": []byte("payload")})
+	s.FailNode(0) // owner's memory gone
+	s.FailNode(1) // one of the two replica holders gone too
+	snap, err := s.Open(0, 1)
+	if err != nil {
+		t.Fatalf("Open with one surviving replica: %v", err)
+	}
+	defer snap.Close()
+	got, _ := snap.ReadSection("app")
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReplicatedRetirePrunesPeerFragments(t *testing.T) {
+	s := NewReplicatedStore(3)
+	defer s.Close()
+	writeCommitted(t, s, 0, 1, map[string][]byte{"app": []byte("old")})
+	writeCommitted(t, s, 0, 2, map[string][]byte{"app": []byte("new")})
+	if err := s.Retire(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.FailNode(0)
+	if v, ok, _ := s.LastCommitted(0); !ok || v != 2 {
+		t.Fatalf("after retire+loss LastCommitted = %d,%v; want 2", v, ok)
+	}
+	if _, err := s.Open(0, 1); err == nil {
+		t.Fatal("retired version must be gone from peers too")
+	}
+}
+
+func TestReplicatedUncommittedInvisible(t *testing.T) {
+	s := NewReplicatedStore(2)
+	defer s.Close()
+	ck, err := s.Begin(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.WriteSection("app", []byte("half")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.LastCommitted(0); ok {
+		t.Fatal("uncommitted checkpoint visible")
+	}
+	if err := ck.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.LastCommitted(0); ok {
+		t.Fatal("aborted checkpoint visible")
+	}
+}
+
+func TestReplicatedDegenerateWorlds(t *testing.T) {
+	// n=1: no neighbors; the store is plain local memory.
+	s1 := NewReplicatedStore(1)
+	defer s1.Close()
+	writeCommitted(t, s1, 0, 1, map[string][]byte{"app": []byte("solo")})
+	if v, ok, _ := s1.LastCommitted(0); !ok || v != 1 {
+		t.Fatalf("n=1 LastCommitted = %d,%v", v, ok)
+	}
+
+	// n=2: a single replica on the one neighbor still allows recovery.
+	s2 := NewReplicatedStore(2)
+	defer s2.Close()
+	writeCommitted(t, s2, 0, 1, map[string][]byte{"app": []byte("pair")})
+	s2.FailNode(0)
+	snap, err := s2.Open(0, 1)
+	if err != nil {
+		t.Fatalf("n=2 recovery: %v", err)
+	}
+	snap.Close()
+}
+
+func TestReplicatedWithLatencyModelCommitIsDurable(t *testing.T) {
+	// Even with replication latency, Commit must not return before the
+	// fragments are acknowledged — recovery immediately after a commit plus
+	// owner failure must succeed.
+	s := NewReplicatedStore(4, WithReplicationLatency(
+		transport.ConstantLatency(2*time.Millisecond, 0)))
+	defer s.Close()
+	writeCommitted(t, s, 1, 1, map[string][]byte{"app": []byte("durable")})
+	s.FailNode(1)
+	snap, err := s.Open(1, 1)
+	if err != nil {
+		t.Fatalf("commit returned before replication was durable: %v", err)
+	}
+	snap.Close()
+}
+
+func TestReplicatedManyFragments(t *testing.T) {
+	s := NewReplicatedStore(5, WithFragments(7))
+	defer s.Close()
+	big := make([]byte, 10_000)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	writeCommitted(t, s, 3, 9, map[string][]byte{"heap": big, "tiny": {1}})
+	s.FailNode(3)
+	snap, err := s.Open(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	got, err := snap.ReadSection("heap")
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("heap = %d bytes, %v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}

@@ -55,6 +55,15 @@ type Store interface {
 	Retire(rank, version int) error
 }
 
+// NodeFailer is implemented by stores that co-locate checkpoint data with
+// compute nodes (ReplicatedStore). The runtime calls FailNode when it
+// injects a fail-stop failure, so the store loses everything held in the
+// failed node's memory — local checkpoints and replica fragments alike —
+// and recovery must reassemble the rank's lines from surviving peers.
+type NodeFailer interface {
+	FailNode(rank int)
+}
+
 // Checkpoint is an open, uncommitted checkpoint being written.
 type Checkpoint interface {
 	// WriteSection stores a named section. Writing a section twice
