@@ -66,6 +66,11 @@ type RankStats = cluster.RankStats
 // FailureSpec schedules one injected fail-stop failure.
 type FailureSpec = cluster.FailureSpec
 
+// Schedule is a recorded deterministic-scheduler execution (one decision
+// trace per restart attempt). Set Config.Seed to run under the virtual
+// scheduler and record one; set Config.Replay to re-execute it.
+type Schedule = cluster.Schedule
+
 // Policy decides when a checkpoint pragma actually takes a checkpoint.
 type Policy = ckpt.Policy
 

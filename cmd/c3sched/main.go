@@ -1,0 +1,240 @@
+// Command c3sched explores protocol interleavings under the deterministic
+// virtual schedule engine.
+//
+// Usage:
+//
+//	c3sched sweep   [-scenario name|all] [-from N] [-seeds N] [-stop] [-out dir]
+//	c3sched replay  [-scenario name] [-seed N | -in file]
+//	c3sched shrink  [-scenario name] [-seed N | -in file] [-budget N] -out file
+//	c3sched list
+//
+// sweep runs seeds [from, from+seeds) over a scenario (or all scenarios)
+// and reports failing seeds; with -out, each failure's full decision trace
+// is written as a replayable schedule file. replay re-executes a seed or a
+// schedule file and reports the outcome — a failing seed reproduces
+// byte-for-byte. shrink minimizes a failing schedule to the forced context
+// switches the failure needs and writes the result; the minimized file can
+// be committed as a regression test input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"c3/internal/cluster"
+	"c3/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "shrink":
+		err = cmdShrink(os.Args[2:])
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "c3sched:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  c3sched sweep   [-scenario name|all] [-from N] [-seeds N] [-stop] [-out dir]
+  c3sched replay  [-scenario name] [-seed N | -in file]
+  c3sched shrink  [-scenario name] [-seed N | -in file] [-budget N] -out file
+  c3sched list`)
+}
+
+func cmdList() error {
+	for _, sc := range sched.Scenarios {
+		fmt.Printf("%-22s ranks=%d iters=%d failures=%d policy.n=%d async=%v\n",
+			sc.Name, sc.Ranks, sc.Iters, len(sc.Failures), sc.Policy.EveryNthPragma, sc.Policy.AsyncCommit)
+	}
+	return nil
+}
+
+func scenarioArg(name string) ([]sched.Scenario, error) {
+	if name == "all" {
+		return sched.Scenarios, nil
+	}
+	sc, ok := sched.ScenarioByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (see c3sched list)", name)
+	}
+	return []sched.Scenario{sc}, nil
+}
+
+// oneScenario is scenarioArg for subcommands that operate on exactly one
+// scenario (replay, shrink) — "all" is sweep-only.
+func oneScenario(name string) (sched.Scenario, error) {
+	if name == "all" {
+		return sched.Scenario{}, fmt.Errorf("-scenario all is only valid for sweep; name one scenario (see c3sched list)")
+	}
+	sc, ok := sched.ScenarioByName(name)
+	if !ok {
+		return sched.Scenario{}, fmt.Errorf("unknown scenario %q (see c3sched list)", name)
+	}
+	return sc, nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	scenario := fs.String("scenario", "all", "scenario name or all")
+	from := fs.Int64("from", 1, "first seed")
+	seeds := fs.Int64("seeds", 100, "number of seeds")
+	stop := fs.Bool("stop", false, "stop at the first failure")
+	out := fs.String("out", "", "directory for failing schedule files")
+	_ = fs.Parse(args)
+
+	scs, err := scenarioArg(*scenario)
+	if err != nil {
+		return err
+	}
+	exit := 0
+	for _, sc := range scs {
+		ref, err := sched.Reference(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %s: reference: %w", sc.Name, err)
+		}
+		res := sched.Sweep(sc, ref, *from, *seeds, *stop)
+		fmt.Printf("%-22s seeds [%d,%d): ran %d, failures %d\n",
+			sc.Name, *from, *from+*seeds, res.Ran, len(res.Failures))
+		for _, o := range res.Failures {
+			fmt.Printf("  seed %-8d attempts=%d %s\n", o.Seed, o.Attempts, o.Reason)
+			for r, gw := range o.Divergent {
+				fmt.Printf("    rank %d: recovered %d, expected %d\n", r, gw[0], gw[1])
+			}
+			if *out != "" && o.Schedule != nil {
+				path := filepath.Join(*out, fmt.Sprintf("%s-seed%d.sched", sc.Name, o.Seed))
+				if err := os.WriteFile(path, sched.MarshalSchedule(o.Schedule), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("    trace written to %s\n", path)
+			}
+		}
+		if len(res.Failures) > 0 {
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// loadOrRun resolves the -seed/-in pair into an outcome plus its schedule.
+func loadRun(sc sched.Scenario, ref map[int]int, seed int64, in string) (sched.Outcome, error) {
+	if in != "" {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		s, err := sched.UnmarshalSchedule(data)
+		if err != nil {
+			return sched.Outcome{}, err
+		}
+		return sched.RunSchedule(sc, ref, s), nil
+	}
+	if seed == 0 {
+		return sched.Outcome{}, fmt.Errorf("a nonzero -seed or an -in schedule file is required (seed 0 disables the virtual scheduler)")
+	}
+	return sched.RunSeed(sc, ref, seed), nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	scenario := fs.String("scenario", "two-failures", "scenario name")
+	seed := fs.Int64("seed", 0, "seed to run")
+	in := fs.String("in", "", "schedule file to replay")
+	_ = fs.Parse(args)
+
+	sc, err := oneScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	ref, err := sched.Reference(sc)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	o, err := loadRun(sc, ref, *seed, *in)
+	if err != nil {
+		return err
+	}
+	if !o.Failed {
+		fmt.Printf("%s: PASS (attempts=%d)\n", sc.Name, o.Attempts)
+		return nil
+	}
+	fmt.Printf("%s: FAIL: %s (attempts=%d)\n", sc.Name, o.Reason, o.Attempts)
+	for r, gw := range o.Divergent {
+		fmt.Printf("  rank %d: recovered %d, expected %d\n", r, gw[0], gw[1])
+	}
+	os.Exit(1)
+	return nil
+}
+
+func cmdShrink(args []string) error {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	scenario := fs.String("scenario", "two-failures", "scenario name")
+	seed := fs.Int64("seed", 0, "failing seed to shrink")
+	in := fs.String("in", "", "failing schedule file to shrink")
+	budget := fs.Int("budget", 600, "max replays")
+	out := fs.String("out", "", "output schedule file (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("shrink: -out is required")
+	}
+
+	sc, err := oneScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	ref, err := sched.Reference(sc)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	o, err := loadRun(sc, ref, *seed, *in)
+	if err != nil {
+		return err
+	}
+	if !o.Failed {
+		return fmt.Errorf("shrink: input does not fail (%s seed %d)", sc.Name, o.Seed)
+	}
+	if o.Schedule == nil {
+		return fmt.Errorf("shrink: no recorded schedule")
+	}
+	before := countDecisions(o.Schedule)
+	min, used, err := sched.Shrink(sc, ref, o.Schedule, *budget)
+	if err != nil {
+		return err
+	}
+	after := countDecisions(min)
+	if err := os.WriteFile(*out, sched.MarshalSchedule(min), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: shrunk %d -> %d decisions in %d replays; wrote %s\n",
+		sc.Name, before, after, used, *out)
+	return nil
+}
+
+func countDecisions(s *cluster.Schedule) int {
+	n := 0
+	for _, t := range s.Attempts {
+		n += len(t.Decisions)
+	}
+	return n
+}

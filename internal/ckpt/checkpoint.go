@@ -175,6 +175,14 @@ func (l *Layer) startCheckpoint() error {
 
 	l.reqs.BeginPeriod()
 	l.results.Reset()
+	// Begin the period with an empty Late-Message-Registry. After a
+	// recovery, the registry still holds the previous line's replayed
+	// (consumed) entries — maybeFinishRestore only requires them consumed,
+	// not removed. Without this reset they are serialized into the line
+	// committed below and a second recovery replays them again, delivering
+	// message data that is already part of the restored state (the
+	// recovery-line checksum divergence the schedule explorer pinned down).
+	l.lateReg.Reset()
 	l.mode = ModeNonDetLog
 	l.stats.CheckpointsTaken++
 	l.lastCkptTime = l.clock()
@@ -280,7 +288,27 @@ func (l *Layer) Restore() (bool, error) {
 	}
 	line := mpi.BytesInt64s(out)[0]
 	if line < 1 {
+		// No complete global line: the world restarts from scratch — a new
+		// execution generation whose line numbers restart at 1. Checkpoints
+		// left over from the dead generation must go now, or a rank that
+		// keeps (say) an old line 1 while failing before re-committing it
+		// would later pair it with its peers' re-executed line 1.
+		if err := l.store.Truncate(l.rank, 0); err != nil {
+			return false, l.fatal(fmt.Errorf("ckpt: truncate dead generation: %w", err))
+		}
 		return false, nil
+	}
+
+	// Truncate the dead generation: every version above the agreed line was
+	// committed by the execution that just failed (or an even older one) and
+	// will be re-written by the re-execution. A rank whose failure discarded
+	// in-flight async commits can hold an OLDER generation's checkpoint at
+	// the same version number than its peers — without truncation, a later
+	// recovery would assemble a recovery line from mixed generations, whose
+	// registries and states are mutually inconsistent (wrong Was-Early
+	// suppressions deadlock the world; stale payload replays diverge it).
+	if err := l.store.Truncate(l.rank, int(line)); err != nil {
+		return false, l.fatal(fmt.Errorf("ckpt: truncate above line %d: %w", line, err))
 	}
 
 	snap, err := l.store.Open(l.rank, int(line))

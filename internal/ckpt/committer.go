@@ -63,16 +63,40 @@ type committer struct {
 	aborted bool  // fail-stop: discard all outstanding work
 	err     error // sticky first store error
 
+	// Virtual mode (deterministic schedule engine): no worker goroutine
+	// exists. Jobs queue in vqueue and are written by pump, which the layer
+	// calls from the rank's own goroutine at protocol operations — the
+	// pipeline's visible semantics (bounded depth, lines lost on abort,
+	// durable after drain) are preserved, but WHEN a line becomes durable
+	// is a pure function of the schedule instead of worker timing.
+	virtual bool
+	vqueue  []*commitJob
+	vstamp  []int64 // pump counter value at each job's enqueue
+	pumps   int64
+
 	// Counters merged into the layer's Stats.
 	asyncCommits  uint64
 	writeDuration time.Duration // time the worker spent at the store
 	stallDuration time.Duration // time the app blocked on the full pipeline
 }
 
+// virtualCommitAge is how many pump calls (protocol operations) a line
+// stays in the virtual pipeline before pump writes it out — long enough
+// that fail-stop failures routinely catch lines mid-pipeline, exactly the
+// window the real worker exposes.
+const virtualCommitAge = 24
+
 func newCommitter(store stable.Store, rank int) *committer {
 	c := &committer{store: store, rank: rank, jobs: make(chan *commitJob, asyncPipelineDepth-1)}
 	c.cond = sync.NewCond(&c.mu)
 	go c.run()
+	return c
+}
+
+// newVirtualCommitter creates the deterministic variant driven by pump.
+func newVirtualCommitter(store stable.Store, rank int) *committer {
+	c := &committer{store: store, rank: rank, virtual: true}
+	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
@@ -87,6 +111,19 @@ func (c *committer) enqueue(job *commitJob) error {
 	if err := c.err; err != nil {
 		c.mu.Unlock()
 		return err
+	}
+	if c.virtual {
+		c.vqueue = append(c.vqueue, job)
+		c.vstamp = append(c.vstamp, c.pumps)
+		c.mu.Unlock()
+		// The real pipeline blocks when a third line arrives; the virtual
+		// one retires the oldest inline at the same point.
+		for c.vqueueLen() > asyncPipelineDepth {
+			if err := c.flushOldest(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	c.pending++
 	c.mu.Unlock()
@@ -170,10 +207,71 @@ func (c *committer) write(job *commitJob) (committed bool, err error) {
 	return true, nil
 }
 
+// vqueueLen returns the virtual pipeline's depth.
+func (c *committer) vqueueLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vqueue)
+}
+
+// flushOldest writes the oldest virtual job out. No-op on an empty queue.
+func (c *committer) flushOldest() error {
+	c.mu.Lock()
+	if len(c.vqueue) == 0 || c.aborted {
+		c.mu.Unlock()
+		return c.err
+	}
+	job := c.vqueue[0]
+	c.vqueue = c.vqueue[1:]
+	c.vstamp = c.vstamp[1:]
+	c.mu.Unlock()
+	committed, err := c.write(job)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil && c.err == nil && !c.aborted {
+		c.err = err
+	}
+	if committed {
+		c.asyncCommits++
+	}
+	return c.err
+}
+
+// pump advances the virtual pipeline: called by the layer at protocol
+// operations, it retires jobs that have aged past virtualCommitAge pumps.
+// A no-op for the real (worker-goroutine) pipeline.
+func (c *committer) pump() error {
+	if !c.virtual {
+		return nil
+	}
+	for {
+		c.mu.Lock()
+		c.pumps++
+		ripe := len(c.vqueue) > 0 && c.pumps-c.vstamp[0] >= virtualCommitAge && !c.aborted
+		c.mu.Unlock()
+		if !ripe {
+			return nil
+		}
+		if err := c.flushOldest(); err != nil {
+			return err
+		}
+	}
+}
+
 // drain blocks until every enqueued line is durable (or the pipeline was
 // aborted) and returns the first store error. It is the commit fence
 // exposed to Restore, Sync and the runtime's end-of-attempt teardown.
 func (c *committer) drain() error {
+	if c.virtual {
+		for c.vqueueLen() > 0 {
+			if err := c.flushOldest(); err != nil {
+				return err
+			}
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for c.pending > 0 && !c.aborted {
@@ -189,6 +287,13 @@ func (c *committer) drain() error {
 func (c *committer) abort() {
 	c.mu.Lock()
 	c.aborted = true
+	if c.virtual {
+		// The virtual pipeline's outstanding lines vanish with the node.
+		c.vqueue = nil
+		c.vstamp = nil
+		c.mu.Unlock()
+		return
+	}
 	c.mu.Unlock()
 	// Unclog the queue: the worker discards jobs once aborted is set, and
 	// pending reaches zero when the in-flight job notices the flag.
@@ -202,5 +307,8 @@ func (c *committer) abort() {
 // close shuts the pipeline down after a final drain (or abort). The layer
 // must not enqueue afterwards.
 func (c *committer) close() {
+	if c.virtual {
+		return
+	}
 	close(c.jobs)
 }

@@ -56,6 +56,12 @@ type Config struct {
 	FullCheckpointEvery int
 	// Clock abstracts time for the timer policy; nil means time.Now.
 	Clock func() time.Time
+	// Deterministic declares that the layer runs under the virtual schedule
+	// engine (cluster.Config.Seed / trace replay): the async commit pipeline
+	// is driven inline from the rank's own protocol operations instead of a
+	// worker goroutine, so durability timing is a pure function of the
+	// schedule. Callers should also supply a logical Clock.
+	Deterministic bool
 }
 
 // Layer is the per-process coordination layer: the C3 runtime that sits
@@ -217,7 +223,11 @@ func New(p *mpi.Proc, cfg Config) (*Layer, error) {
 	l.comms = NewCommTable(p.CommWorld())
 	l.world = &WComm{l: l, c: p.CommWorld(), handle: HandleWorld}
 	if cfg.Policy.AsyncCommit {
-		l.committer = newCommitter(l.store, l.rank)
+		if cfg.Deterministic {
+			l.committer = newVirtualCommitter(l.store, l.rank)
+		} else {
+			l.committer = newCommitter(l.store, l.rank)
+		}
 	}
 	return l, nil
 }
@@ -331,6 +341,12 @@ func (l *Layer) fatal(err error) error {
 func (l *Layer) checkControl() error {
 	if l.err != nil {
 		return l.err
+	}
+	if l.committer != nil {
+		// Advance the virtual commit pipeline (no-op for the real one).
+		if err := l.committer.pump(); err != nil {
+			return l.fatal(err)
+		}
 	}
 	for {
 		st, found, err := l.ctrl.Iprobe(mpi.AnySource, mpi.AnyTag)
@@ -580,7 +596,13 @@ func (l *Layer) recvUser(c *mpi.Comm, capBytes, src, tag int, coll bool) (recvRe
 	if err != nil {
 		return recvResult{}, err
 	}
-	return l.finishRecv(c, st, staging, wildcard, coll)
+	res, err := l.finishRecv(c, st, staging, wildcard, coll)
+	if err != nil {
+		return res, err
+	}
+	// Blocking receives have no request-table entry to record; the
+	// transition (possibly a commit) can run immediately.
+	return res, l.applyTransitions()
 }
 
 // finishRecv strips the header from a raw arrival and performs the
@@ -658,9 +680,14 @@ func (l *Layer) accountRecv(c *mpi.Comm, st mpi.Status, hdr Header, payload []by
 		l.stats.LateLogged++
 		l.stats.LateLoggedBytes += uint64(len(payload))
 	}
-	if err := l.applyTransitions(); err != nil {
-		return 0, 0, err
-	}
+	// NOTE: deliberately no applyTransitions here. If this late message is
+	// the last one expected, the transition commits the checkpoint — and
+	// the request table is serialized at commit. A non-blocking completion
+	// must first record how its request completed (completeRecvEntry), or
+	// the table would save the request as still pending and recovery would
+	// re-post a real receive instead of replaying the logged payload,
+	// shifting the whole stream by one message. Callers run the transition
+	// once the completion is fully recorded.
 	return cls, seq, nil
 }
 

@@ -352,11 +352,17 @@ func (lr *LateRegistry) Reset() {
 	lr.dataBytes = 0
 }
 
-// Serialize encodes the registry.
+// Serialize encodes the registry's un-consumed entries. A consumed entry
+// has already been delivered by recovery replay, so its data is part of
+// every state saved afterwards — serializing it into a recovery line would
+// make a later recovery apply the message twice.
 func (lr *LateRegistry) Serialize() []byte {
 	w := wire.NewWriter(int(64 + lr.dataBytes + int64(32*len(lr.entries))))
-	w.U32(uint32(len(lr.entries)))
+	w.U32(uint32(lr.outstanding))
 	for _, e := range lr.entries {
+		if e.consumed {
+			continue
+		}
 		w.U64(e.Seq)
 		w.U8(uint8(e.Kind))
 		w.U32(e.Sig.Ctx)

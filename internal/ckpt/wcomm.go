@@ -386,9 +386,15 @@ func (l *Layer) completeRecvEntry(e *ReqEntry, st mpi.Status) error {
 		e.CompletedBy = cbAtLine
 	}
 	if e.buf != nil && e.dt != nil {
-		return deliverPayload(res.payload, e.buf, e.dt)
+		if err := deliverPayload(res.payload, e.buf, e.dt); err != nil {
+			return err
+		}
 	}
-	return nil
+	// Run protocol transitions only now that the completion kind is
+	// recorded in the table entry: if this receive was the last expected
+	// late message, the transition commits the checkpoint and serializes
+	// the request table, which must see CompletedBy/LateSeq.
+	return l.applyTransitions()
 }
 
 // Test progresses the request without blocking. During recovery, the

@@ -7,6 +7,7 @@ import (
 
 	"c3/internal/ckpt"
 	"c3/internal/cluster"
+	"c3/internal/sched"
 	"c3/internal/stable"
 )
 
@@ -74,12 +75,12 @@ func (h *commitLogHandle) Abort() error { return h.inner.Abort() }
 func TestAsyncCommitMatchesBlocking(t *testing.T) {
 	const ranks, iters = 5, 12
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:  ranks,
-		App:    stressApp(iters, ranks, &got),
+		App:    sched.StressApp(iters, &got),
 		Policy: ckpt.Policy{EveryNthPragma: 3, AsyncCommit: true},
 	}
 	res := run(t, cfg)
@@ -109,7 +110,7 @@ func TestAsyncCommitFenceOrdering(t *testing.T) {
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:  ranks,
-		App:    stressApp(iters, ranks, &got),
+		App:    sched.StressApp(iters, &got),
 		Store:  store,
 		Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true},
 	}
@@ -133,13 +134,13 @@ func TestAsyncCommitFenceOrdering(t *testing.T) {
 func TestAsyncFailureMidCommit(t *testing.T) {
 	const ranks, iters = 3, 12
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	store := newCommitLogStore(stable.NewDelayedStore(stable.NewMemStore(), 5*time.Millisecond, 0))
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:    ranks,
-		App:      stressApp(iters, ranks, &got),
+		App:      sched.StressApp(iters, &got),
 		Store:    store,
 		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true},
 		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5, AfterCheckpoints: 2}},
@@ -183,7 +184,7 @@ func TestAsyncRetireKeepsFailedPeersLine(t *testing.T) {
 		var got sync.Map
 		cfg := cluster.Config{
 			Ranks:    3,
-			App:      stressApp(20, 3, &got),
+			App:      sched.StressApp(20, &got),
 			Store:    stable.NewDelayedStore(stable.NewMemStore(), 3*time.Millisecond, 0),
 			Policy:   ckpt.Policy{EveryNthPragma: 1, AsyncCommit: true},
 			Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 15, AfterCheckpoints: 5}},
@@ -199,14 +200,14 @@ func TestAsyncRetireKeepsFailedPeersLine(t *testing.T) {
 func TestAsyncReplicatedSurvivesFailure(t *testing.T) {
 	const ranks, iters = 5, 12
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	store := stable.NewReplicatedStore(ranks)
 	defer store.Close()
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:    ranks,
-		App:      stressApp(iters, ranks, &got),
+		App:      sched.StressApp(iters, &got),
 		Store:    store,
 		Policy:   ckpt.Policy{EveryNthPragma: 3, AsyncCommit: true},
 		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 8, AfterCheckpoints: 2}},
@@ -246,14 +247,14 @@ func TestAsyncReplicatedSurvivesFailure(t *testing.T) {
 func TestReplicatedBlockingCommitAlsoRecovers(t *testing.T) {
 	const ranks, iters = 4, 10
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	store := stable.NewReplicatedStore(ranks)
 	defer store.Close()
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:    ranks,
-		App:      stressApp(iters, ranks, &got),
+		App:      sched.StressApp(iters, &got),
 		Store:    store,
 		Policy:   ckpt.Policy{EveryNthPragma: 3},
 		Failures: []cluster.FailureSpec{{Rank: 0, AtPragma: 7, AfterCheckpoints: 1}},

@@ -67,6 +67,44 @@ type Config struct {
 	MaxAttempts int
 	// TransportOptions configures the interconnect (latency models).
 	TransportOptions []transport.Option
+	// Seed, when nonzero, runs the world under the deterministic virtual
+	// schedule engine (transport.Scheduler): rank interleaving, message
+	// delivery order, pragma timing, failure injection points, and async
+	// commit durability all become a pure function of the seed. Each
+	// restart attempt runs under a sub-seed derived from (Seed, attempt).
+	// Latency models are ignored in this mode; time is logical.
+	Seed int64
+	// Replay, when non-nil, re-executes a recorded schedule instead of
+	// drawing decisions from Seed. Attempts beyond the recording fall back
+	// to sub-seeds of Replay.Seed, so edited (shrunk) schedules still
+	// yield a total, deterministic run.
+	Replay *Schedule
+}
+
+// Schedule is a recorded virtual-schedule execution: the decision trace of
+// every restart attempt. Feeding it back through Config.Replay re-executes
+// the run; internal/sched shrinks failing schedules to minimal form.
+type Schedule struct {
+	Seed     int64
+	Attempts []*transport.Trace
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{Seed: s.Seed}
+	for _, t := range s.Attempts {
+		c.Attempts = append(c.Attempts, t.Clone())
+	}
+	return c
+}
+
+// attemptSeed derives the virtual scheduler's sub-seed for one restart
+// attempt (splitmix64 over the run seed and attempt index).
+func attemptSeed(seed int64, attempt int) int64 {
+	z := uint64(seed) + uint64(attempt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // RankStats captures one rank's protocol counters after the final attempt.
@@ -88,6 +126,10 @@ type Result struct {
 	Stats []RankStats
 	// Transport is the interconnect's counters from the successful attempt.
 	Transport transport.Stats
+	// Schedule is the recorded decision trace of every attempt when the
+	// run used the virtual schedule engine (Config.Seed or Config.Replay);
+	// nil under real scheduling.
+	Schedule *Schedule
 }
 
 type rankOutcome struct {
@@ -114,14 +156,33 @@ func Run(cfg Config) (*Result, error) {
 		maxAttempts = len(cfg.Failures) + 1
 	}
 	res := &Result{}
+	virtual := cfg.Seed != 0 || cfg.Replay != nil
+	if virtual {
+		seed := cfg.Seed
+		if cfg.Replay != nil {
+			seed = cfg.Replay.Seed
+		}
+		res.Schedule = &Schedule{Seed: seed}
+	}
 	start := time.Now()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var failer *failureInjector
 		if attempt < len(cfg.Failures) {
 			failer = &failureInjector{spec: cfg.Failures[attempt]}
 		}
+		var sch *transport.Scheduler
+		if virtual {
+			if cfg.Replay != nil && attempt < len(cfg.Replay.Attempts) {
+				sch = transport.NewReplayScheduler(cfg.Ranks, cfg.Replay.Attempts[attempt])
+			} else {
+				sch = transport.NewScheduler(cfg.Ranks, attemptSeed(res.Schedule.Seed, attempt))
+			}
+		}
 		attemptStart := time.Now()
-		outcome, stats, tstats, err := runAttempt(cfg, store, attempt > 0 || cfg.ForceRestore, failer)
+		outcome, stats, tstats, err := runAttempt(cfg, store, attempt > 0 || cfg.ForceRestore, failer, sch)
+		if sch != nil {
+			res.Schedule.Attempts = append(res.Schedule.Attempts, sch.Trace())
+		}
 		res.Attempts++
 		if err != nil {
 			return res, err
@@ -157,8 +218,12 @@ func Run(cfg Config) (*Result, error) {
 	return res, fmt.Errorf("cluster: no successful attempt in %d tries", maxAttempts)
 }
 
-func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInjector) ([]rankOutcome, []RankStats, transport.Stats, error) {
-	world := mpi.NewWorld(cfg.Ranks, mpi.WithTransportOptions(cfg.TransportOptions...))
+func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInjector, sch *transport.Scheduler) ([]rankOutcome, []RankStats, transport.Stats, error) {
+	wopts := []mpi.WorldOption{mpi.WithTransportOptions(cfg.TransportOptions...)}
+	if sch != nil {
+		wopts = append(wopts, mpi.WithScheduler(sch))
+	}
+	world := mpi.NewWorld(cfg.Ranks, wopts...)
 	outcomes := make([]rankOutcome, cfg.Ranks)
 	stats := make([]RankStats, cfg.Ranks)
 
@@ -167,6 +232,12 @@ func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInj
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			if sch != nil {
+				sch.Start(r)
+				// Exit runs after the Shutdown below, so the teardown is
+				// part of the schedule too.
+				defer sch.Exit(r)
+			}
 			err, st := runRank(cfg, world, store, r, restart, failer)
 			outcomes[r] = rankOutcome{rank: r, err: err}
 			stats[r] = RankStats{Rank: r, Stats: st}
@@ -196,14 +267,21 @@ func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart
 		return cfg.App(env), ckpt.Stats{}
 	}
 	heap := statesave.NewHeap()
-	layer, err := ckpt.New(p, ckpt.Config{
+	lcfg := ckpt.Config{
 		Store:                 store,
 		Heap:                  heap,
 		Policy:                cfg.Policy,
 		WideHeaders:           cfg.WideHeaders,
 		LogAllIntraSignatures: cfg.LogAllIntraSignatures,
 		FullCheckpointEvery:   cfg.FullCheckpointEvery,
-	})
+	}
+	if s := world.Scheduler(); s != nil {
+		// Virtual schedule engine: logical time and an inline-driven commit
+		// pipeline keep the protocol a pure function of the schedule.
+		lcfg.Clock = s.Now
+		lcfg.Deterministic = true
+	}
+	layer, err := ckpt.New(p, lcfg)
 	if err != nil {
 		return err, ckpt.Stats{}
 	}

@@ -1,0 +1,173 @@
+package cluster_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/sched"
+)
+
+// TestRegressionStaleLateRegistrySchedule replays the minimized failing
+// schedule the explorer distilled from seed 4 of the two-failures scenario
+// (testdata/stale-latereg-seed4.sched, shrunk from 634 recorded decisions
+// to 2 forced preemptions).
+//
+// Against the pre-fix protocol the schedule deterministically reproduced
+// the recovery-line checksum divergence: after the first recovery, the
+// Late-Message-Registry still held the replayed (consumed) entries of the
+// restored line; the next line's commit serialized them alongside its real
+// late messages, and the second recovery replayed message payloads that
+// were already part of the restored state. The fix resets the registry at
+// every period start (and Serialize skips consumed entries); this test
+// pins both.
+func TestRegressionStaleLateRegistrySchedule(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "stale-latereg-seed4.sched"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := sched.UnmarshalSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks, iters = 5, 12
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref), Seed: 1})
+
+	var got sync.Map
+	res := run(t, cluster.Config{
+		Ranks:    ranks,
+		App:      sched.StressApp(iters, &got),
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2},
+		Replay:   schedule,
+	})
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (both failures must fire under this schedule)", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, _ := got.Load(r)
+		if want != gotv {
+			t.Errorf("rank %d checksum diverged under the minimized schedule: failure-free %v, recovered %v", r, want, gotv)
+		}
+	}
+}
+
+// TestRegressionMixedGenerationRecoveryLine pins the second defect the
+// explorer found (two-failures-async, seed 4): a rank that fail-stops with
+// recovery lines still in its async commit pipeline keeps an older
+// generation's checkpoint at the same version number its surviving peers
+// re-commit, and — without the truncate-on-restore fix — a later recovery
+// assembles a "global" line from mixed generations, whose Was-Early
+// registries suppress sends the peers actually need (a stall) or replay
+// stale payloads (a divergence).
+func TestRegressionMixedGenerationRecoveryLine(t *testing.T) {
+	const ranks, iters = 5, 12
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref), Seed: 1})
+
+	var got sync.Map
+	run(t, cluster.Config{
+		Ranks:    ranks,
+		App:      sched.StressApp(iters, &got),
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true},
+		Seed:     4,
+	})
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, _ := got.Load(r)
+		if want != gotv {
+			t.Errorf("rank %d checksum diverged: failure-free %v, recovered %v", r, want, gotv)
+		}
+	}
+}
+
+// TestSeededRunsAreReproducible asserts the engine's core contract: the
+// same seed yields byte-for-byte the same decision trace and the same
+// results, and a recorded schedule replays to the identical execution.
+func TestSeededRunsAreReproducible(t *testing.T) {
+	const ranks, iters, seed = 5, 10, 12345
+	cfg := func(sums *sync.Map) cluster.Config {
+		return cluster.Config{
+			Ranks:    ranks,
+			App:      sched.StressApp(iters, sums),
+			Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 4}},
+			Policy:   ckpt.Policy{EveryNthPragma: 2},
+			Seed:     seed,
+		}
+	}
+	var s1, s2 sync.Map
+	r1 := run(t, cfg(&s1))
+	r2 := run(t, cfg(&s2))
+	if r1.Schedule == nil || r2.Schedule == nil {
+		t.Fatal("seeded runs must record their schedule")
+	}
+	if !reflect.DeepEqual(r1.Schedule, r2.Schedule) {
+		t.Fatal("same seed produced different decision traces")
+	}
+	for r := 0; r < ranks; r++ {
+		v1, _ := s1.Load(r)
+		v2, _ := s2.Load(r)
+		if v1 != v2 {
+			t.Fatalf("rank %d: same seed produced different checksums (%v vs %v)", r, v1, v2)
+		}
+	}
+
+	// Replaying the recording reproduces the run exactly.
+	var s3 sync.Map
+	c := cfg(&s3)
+	c.Seed = 0
+	c.Replay = r1.Schedule
+	r3 := run(t, c)
+	if !reflect.DeepEqual(r1.Schedule, r3.Schedule) {
+		t.Fatal("trace replay produced a different decision trace")
+	}
+	for r := 0; r < ranks; r++ {
+		v1, _ := s1.Load(r)
+		v3, _ := s3.Load(r)
+		if v1 != v3 {
+			t.Fatalf("rank %d: replay produced a different checksum (%v vs %v)", r, v1, v3)
+		}
+	}
+}
+
+// TestSeededStressSweep runs a small deterministic seed battery over the
+// stress scenario in both commit modes — the in-tree slice of the nightly
+// c3sched sweep.
+func TestSeededStressSweep(t *testing.T) {
+	const ranks, iters = 5, 12
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			var ref sync.Map
+			run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref), Seed: 1})
+			for seed := int64(1); seed <= 6; seed++ {
+				var got sync.Map
+				run(t, cluster.Config{
+					Ranks:    ranks,
+					App:      sched.StressApp(iters, &got),
+					Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+					Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: mode.async},
+					Seed:     seed,
+				})
+				for r := 0; r < ranks; r++ {
+					want, _ := ref.Load(r)
+					gotv, _ := got.Load(r)
+					if want != gotv {
+						t.Errorf("seed %d rank %d: checksum diverged (failure-free %v, recovered %v)", seed, r, want, gotv)
+					}
+				}
+			}
+		})
+	}
+}

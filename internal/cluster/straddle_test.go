@@ -1,0 +1,93 @@
+package cluster_test
+
+import (
+	"sync"
+	"testing"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/sched"
+)
+
+// These tests cover non-blocking receives posted before a recovery line and
+// completed after it: every iteration of sched.StraddleApp passes a
+// checkpoint pragma between Irecv and Wait, so each recovery line has one
+// crossing request per rank (paper Section 4.1's request-table case). The
+// pre-fix protocol lost the completion kind of a crossing request when the
+// completing late message was also the last expected one (the commit
+// serialized the request table before the completion was recorded), which
+// shifted the message stream by one on recovery.
+
+func straddleRef(t *testing.T, ranks, iters int) *sync.Map {
+	t.Helper()
+	var ref sync.Map
+	run(t, cluster.Config{Ranks: ranks, App: sched.StraddleApp(iters, &ref), Seed: 1})
+	return &ref
+}
+
+func checkStraddle(t *testing.T, ranks int, ref, got *sync.Map, label string) {
+	t.Helper()
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok {
+			t.Fatalf("%s: rank %d has no result", label, r)
+		}
+		if want != gotv {
+			t.Errorf("%s: rank %d checksum diverged: failure-free %v, recovered %v", label, r, want, gotv)
+		}
+	}
+}
+
+// TestIrecvStraddlesRecoveryLine exercises crossing requests under real
+// (OS) scheduling with failures, in both commit modes.
+func TestIrecvStraddlesRecoveryLine(t *testing.T) {
+	const ranks, iters = 5, 12
+	ref := straddleRef(t, ranks, iters)
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			var got sync.Map
+			res := run(t, cluster.Config{
+				Ranks:    ranks,
+				App:      sched.StraddleApp(iters, &got),
+				Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+				Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: mode.async},
+			})
+			if res.Attempts < 2 {
+				t.Fatalf("attempts = %d, want at least one recovery", res.Attempts)
+			}
+			checkStraddle(t, ranks, ref, &got, mode.name)
+		})
+	}
+}
+
+// TestIrecvStraddleSeeded sweeps the same scenario under the deterministic
+// engine — including seed 4, which reproduced the lost-completion-kind
+// defect before the fix.
+func TestIrecvStraddleSeeded(t *testing.T) {
+	const ranks, iters = 5, 12
+	ref := straddleRef(t, ranks, iters)
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{{"sync", false}, {"async", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				var got sync.Map
+				run(t, cluster.Config{
+					Ranks:    ranks,
+					App:      sched.StraddleApp(iters, &got),
+					Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+					Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: mode.async},
+					Seed:     seed,
+				})
+				checkStraddle(t, ranks, ref, &got, mode.name)
+			}
+		})
+	}
+}

@@ -6,102 +6,8 @@ import (
 
 	"c3/internal/ckpt"
 	"c3/internal/cluster"
-	"c3/internal/mpi"
+	"c3/internal/sched"
 )
-
-// stressApp is a deterministic pseudo-random communication workload: every
-// iteration each rank exchanges payloads with two neighbors, folds received
-// data into a running checksum, and periodically participates in an
-// Allreduce; pragmas sit at the iteration boundary. All state that matters —
-// iteration counter, checksum, RNG state — is registered, so recovery must
-// reproduce the failure-free checksums exactly.
-func stressApp(iters, ranks int, sums *sync.Map) func(cluster.Env) error {
-	return func(env cluster.Env) error {
-		st := env.State()
-		it := st.Int("it")
-		sum := st.Int("sum")
-		rng := st.Int("rng")
-		if rng.Get() == 0 {
-			rng.Set(1000003*env.Rank() + 17)
-		}
-		if _, err := env.Restore(); err != nil {
-			return err
-		}
-		w := env.World()
-		r, n := env.Rank(), env.Size()
-		next := func() int {
-			v := rng.Get()
-			v = (v*1103515245 + 12345) & 0x7fffffff
-			rng.Set(v)
-			return v
-		}
-		for it.Get() < iters {
-			right := (r + 1) % n
-			left := (r - 1 + n) % n
-			right2 := (r + 2) % n
-			left2 := (r - 2 + 2*n) % n
-			size1 := 1 + next()%64
-			size2 := 1 + next()%16
-			out1 := make([]byte, size1)
-			out2 := make([]byte, size2)
-			for i := range out1 {
-				out1[i] = byte(next())
-			}
-			for i := range out2 {
-				out2[i] = byte(next())
-			}
-			in1 := make([]byte, 64)
-			in2 := make([]byte, 16)
-			// Post the receives, send, then complete: messages routinely
-			// straddle recovery lines because pragma timing differs by rank.
-			rid1, err := w.Irecv(in1, 64, mpi.TypeByte, left, 11)
-			if err != nil {
-				return err
-			}
-			rid2, err := w.Irecv(in2, 16, mpi.TypeByte, left2, 12)
-			if err != nil {
-				return err
-			}
-			if err := w.SendBytes(out1, right, 11); err != nil {
-				return err
-			}
-			if err := w.SendBytes(out2, right2, 12); err != nil {
-				return err
-			}
-			st1, err := w.Wait(rid1)
-			if err != nil {
-				return err
-			}
-			st2, err := w.Wait(rid2)
-			if err != nil {
-				return err
-			}
-			acc := sum.Get()
-			for i := 0; i < st1.Bytes; i++ {
-				acc = acc*31 + int(in1[i])
-			}
-			for i := 0; i < st2.Bytes; i++ {
-				acc = acc*37 + int(in2[i])
-			}
-			sum.Set(acc & 0xffffffff)
-
-			if it.Get()%3 == 2 {
-				in := mpi.Int64Bytes([]int64{int64(sum.Get())})
-				out := make([]byte, 8)
-				if err := w.Allreduce(in, out, 1, mpi.TypeInt64, mpi.OpBXor); err != nil {
-					return err
-				}
-				sum.Set(int(mpi.BytesInt64s(out)[0]) & 0xffffffff)
-			}
-			it.Add(1)
-			if err := env.Checkpoint(); err != nil {
-				return err
-			}
-		}
-		sums.Store(r, sum.Get())
-		return nil
-	}
-}
 
 func TestStressRandomScheduleWithFailures(t *testing.T) {
 	const ranks = 5
@@ -110,7 +16,7 @@ func TestStressRandomScheduleWithFailures(t *testing.T) {
 	var ref sync.Map
 	refCfg := cluster.Config{
 		Ranks: ranks,
-		App:   stressApp(iters, ranks, &ref),
+		App:   sched.StressApp(iters, &ref),
 	}
 	run(t, refCfg)
 
@@ -132,7 +38,7 @@ func TestStressRandomScheduleWithFailures(t *testing.T) {
 			var got sync.Map
 			cfg := cluster.Config{
 				Ranks:    ranks,
-				App:      stressApp(iters, ranks, &got),
+				App:      sched.StressApp(iters, &got),
 				Failures: tc.failures,
 				Policy:   ckpt.Policy{EveryNthPragma: tc.policy},
 			}

@@ -7,6 +7,7 @@ import (
 
 	"c3/internal/ckpt"
 	"c3/internal/cluster"
+	"c3/internal/sched"
 	"c3/internal/stable"
 	"c3/internal/transport"
 )
@@ -21,12 +22,12 @@ func TestStressWideHeadersValidatesColorArithmetic(t *testing.T) {
 	const ranks = 5
 	const iters = 12
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:       ranks,
-		App:         stressApp(iters, ranks, &got),
+		App:         sched.StressApp(iters, &got),
 		WideHeaders: true,
 		Policy:      ckpt.Policy{EveryNthPragma: 3},
 		Failures:    []cluster.FailureSpec{{Rank: 2, AtPragma: 7}},
@@ -49,12 +50,12 @@ func TestStressLogAllIntraSignatures(t *testing.T) {
 	const ranks = 4
 	const iters = 10
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	var got sync.Map
 	cfg := cluster.Config{
 		Ranks:                 ranks,
-		App:                   stressApp(iters, ranks, &got),
+		App:                   sched.StressApp(iters, &got),
 		LogAllIntraSignatures: true,
 		Policy:                ckpt.Policy{EveryNthPragma: 3},
 		Failures:              []cluster.FailureSpec{{Rank: 1, AtPragma: 6}},
@@ -80,12 +81,12 @@ func TestRecoveryFromDiskStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	var got sync.Map
 	res := run(t, cluster.Config{
 		Ranks:    ranks,
-		App:      stressApp(iters, ranks, &got),
+		App:      sched.StressApp(iters, &got),
 		Store:    store,
 		Policy:   ckpt.Policy{EveryNthPragma: 2},
 		Failures: []cluster.FailureSpec{{Rank: 0, AtPragma: 6}},
@@ -112,12 +113,12 @@ func TestRecoveryUnderLatency(t *testing.T) {
 		transport.ConstantLatency(300*time.Microsecond, 0))}
 
 	var ref sync.Map
-	run(t, cluster.Config{Ranks: ranks, App: stressApp(iters, ranks, &ref)})
+	run(t, cluster.Config{Ranks: ranks, App: sched.StressApp(iters, &ref)})
 
 	var got sync.Map
 	res := run(t, cluster.Config{
 		Ranks:            ranks,
-		App:              stressApp(iters, ranks, &got),
+		App:              sched.StressApp(iters, &got),
 		TransportOptions: lat,
 		Policy:           ckpt.Policy{EveryNthPragma: 2},
 		Failures:         []cluster.FailureSpec{{Rank: 2, AtPragma: 4}},

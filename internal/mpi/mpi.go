@@ -119,6 +119,14 @@ func WithTransportOptions(opts ...transport.Option) WorldOption {
 	return func(c *worldConfig) { c.transportOpts = append(c.transportOpts, opts...) }
 }
 
+// WithScheduler installs a virtual schedule engine on the world's network:
+// rank interleaving, message delivery order, and logical time all become a
+// pure function of the engine's seed (or replayed trace). The runtime must
+// bracket each rank goroutine with Scheduler().Start/Exit.
+func WithScheduler(s *transport.Scheduler) WorldOption {
+	return func(c *worldConfig) { c.transportOpts = append(c.transportOpts, transport.WithScheduler(s)) }
+}
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...WorldOption) *World {
 	var cfg worldConfig
@@ -147,6 +155,10 @@ func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
 // Network exposes the underlying transport (for stats and failure
 // injection by the cluster runtime).
 func (w *World) Network() *transport.Network { return w.nw }
+
+// Scheduler returns the network's virtual schedule engine, nil under real
+// scheduling.
+func (w *World) Scheduler() *transport.Scheduler { return w.nw.Scheduler() }
 
 // Kill fail-stops one rank.
 func (w *World) Kill(rank int) { w.nw.Kill(rank) }
@@ -257,13 +269,18 @@ func (p *Proc) send(destWorld, tag int, ctx uint32, data []byte) error {
 }
 
 // drainOne pulls one message from the transport and dispatches it. With
-// block=false it returns (false, nil) when nothing is pending.
+// block=false it returns (false, nil) when nothing is pending. A virtual-
+// scheduler stall is passed through unchanged so diagnosability survives
+// the layers above (it is a protocol deadlock, not a node failure).
 func (p *Proc) drainOne(block bool) (bool, error) {
 	var msg transport.Message
 	var err error
 	if block {
 		msg, err = p.ep.Recv()
 		if err != nil {
+			if errors.Is(err, transport.ErrStalled) {
+				return false, err
+			}
 			return false, ErrDown
 		}
 	} else {

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"c3/internal/cluster"
+	"c3/internal/transport"
+)
+
+// The schedule file format is line-oriented text, stable enough to commit
+// as testdata:
+//
+//	c3sched-schedule v1
+//	seed <run seed>
+//	attempt <index> seed <sub-seed>
+//	d <step> <kind> <rank> <next>
+//	...
+//
+// Kinds are the DecisionKind strings (start, preempt, block, exit).
+
+const scheduleMagic = "c3sched-schedule v1"
+
+// MarshalSchedule encodes a schedule in the text format.
+func MarshalSchedule(s *cluster.Schedule) []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, scheduleMagic)
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	for i, t := range s.Attempts {
+		fmt.Fprintf(&b, "attempt %d seed %d\n", i, t.Seed)
+		for _, d := range t.Decisions {
+			fmt.Fprintf(&b, "d %d %s %d %d\n", d.Step, d.Kind, d.Rank, d.Next)
+		}
+	}
+	return b.Bytes()
+}
+
+func parseKind(s string) (transport.DecisionKind, error) {
+	switch s {
+	case "start":
+		return transport.DecisionStart, nil
+	case "preempt":
+		return transport.DecisionPreempt, nil
+	case "block":
+		return transport.DecisionBlock, nil
+	case "exit":
+		return transport.DecisionExit, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown decision kind %q", s)
+	}
+}
+
+// UnmarshalSchedule decodes the text format.
+func UnmarshalSchedule(data []byte) (*cluster.Schedule, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != scheduleMagic {
+		return nil, fmt.Errorf("sched: not a %s file", scheduleMagic)
+	}
+	s := &cluster.Schedule{}
+	var cur *transport.Trace
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sched: line %d: malformed seed", line)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			s.Seed = v
+		case "attempt":
+			if len(fields) != 4 || fields[2] != "seed" {
+				return nil, fmt.Errorf("sched: line %d: malformed attempt header", line)
+			}
+			v, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			cur = &transport.Trace{Seed: v}
+			s.Attempts = append(s.Attempts, cur)
+		case "d":
+			if cur == nil {
+				return nil, fmt.Errorf("sched: line %d: decision before attempt header", line)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("sched: line %d: malformed decision", line)
+			}
+			step, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			kind, err := parseKind(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			rank, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			next, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("sched: line %d: %w", line, err)
+			}
+			cur.Decisions = append(cur.Decisions, transport.Decision{Step: step, Kind: kind, Rank: rank, Next: next})
+		default:
+			return nil, fmt.Errorf("sched: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

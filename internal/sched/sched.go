@@ -1,0 +1,401 @@
+// Package sched is the schedule explorer for the deterministic virtual
+// schedule engine (transport.Scheduler): it sweeps seeds over failure
+// scenarios, detects recovery divergence, and shrinks a failing schedule to
+// a minimal interleaving that can be committed as a regression test.
+//
+// The methodology follows the related C/R literature: in-flight message
+// capture across a recovery line is the hard correctness case, and it is
+// only tractable with controlled, reproducible replay. Every run here is a
+// pure function of (scenario, seed) — a failing seed reproduces
+// byte-for-byte, and its recorded decision trace can be edited down while
+// preserving the failure.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+	"c3/internal/mpi"
+)
+
+// Scenario is one stress workload configuration explored under many seeds.
+type Scenario struct {
+	Name     string
+	Ranks    int
+	Iters    int
+	Failures []cluster.FailureSpec
+	Policy   ckpt.Policy
+	// App builds the workload; nil means StressApp.
+	App func(iters int, sums *sync.Map) func(cluster.Env) error
+}
+
+func (sc Scenario) app(sums *sync.Map) func(cluster.Env) error {
+	if sc.App != nil {
+		return sc.App(sc.Iters, sums)
+	}
+	return StressApp(sc.Iters, sums)
+}
+
+// Scenarios is the registry swept by cmd/c3sched. The first four mirror
+// the cluster stress test; the async variants drive the virtual commit
+// pipeline through the same interleavings.
+var Scenarios = []Scenario{
+	{Name: "one-failure-mid", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 7}},
+		Policy:   ckpt.Policy{EveryNthPragma: 4}},
+	{Name: "one-failure-early", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 0, AtPragma: 2}},
+		Policy:   ckpt.Policy{EveryNthPragma: 3}},
+	{Name: "two-failures", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2}},
+	{Name: "failure-every-rank", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{
+			{Rank: 0, AtPragma: 3}, {Rank: 1, AtPragma: 4}, {Rank: 2, AtPragma: 5},
+			{Rank: 3, AtPragma: 9}, {Rank: 4, AtPragma: 11}},
+		Policy: ckpt.Policy{EveryNthPragma: 3}},
+	{Name: "two-failures-async", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	{Name: "every-rank-async", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{
+			{Rank: 0, AtPragma: 3}, {Rank: 1, AtPragma: 4}, {Rank: 2, AtPragma: 5},
+			{Rank: 3, AtPragma: 9}, {Rank: 4, AtPragma: 11}},
+		Policy: ckpt.Policy{EveryNthPragma: 3, AsyncCommit: true}},
+	{Name: "straddle-sync", Ranks: 5, Iters: 12, App: StraddleApp,
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2}},
+	{Name: "straddle-async", Ranks: 5, Iters: 12, App: StraddleApp,
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+}
+
+// ScenarioByName looks a scenario up in the registry.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// StressApp is the deterministic pseudo-random communication workload the
+// explorer (and the cluster stress test) runs: every iteration each rank
+// exchanges payloads with two neighbors via Irecv/Send/Wait, folds received
+// data into a running checksum, and every third iteration participates in
+// an Allreduce; pragmas sit at the iteration boundary. All state that
+// matters — iteration counter, checksum, RNG state — is registered, so
+// recovery must reproduce the failure-free checksums exactly.
+func StressApp(iters int, sums *sync.Map) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		sum := st.Int("sum")
+		rng := st.Int("rng")
+		if rng.Get() == 0 {
+			rng.Set(1000003*env.Rank() + 17)
+		}
+		if _, err := env.Restore(); err != nil {
+			return err
+		}
+		w := env.World()
+		r, n := env.Rank(), env.Size()
+		next := func() int {
+			v := rng.Get()
+			v = (v*1103515245 + 12345) & 0x7fffffff
+			rng.Set(v)
+			return v
+		}
+		for it.Get() < iters {
+			right := (r + 1) % n
+			left := (r - 1 + n) % n
+			right2 := (r + 2) % n
+			left2 := (r - 2 + 2*n) % n
+			size1 := 1 + next()%64
+			size2 := 1 + next()%16
+			out1 := make([]byte, size1)
+			out2 := make([]byte, size2)
+			for i := range out1 {
+				out1[i] = byte(next())
+			}
+			for i := range out2 {
+				out2[i] = byte(next())
+			}
+			in1 := make([]byte, 64)
+			in2 := make([]byte, 16)
+			rid1, err := w.Irecv(in1, 64, mpi.TypeByte, left, 11)
+			if err != nil {
+				return err
+			}
+			rid2, err := w.Irecv(in2, 16, mpi.TypeByte, left2, 12)
+			if err != nil {
+				return err
+			}
+			if err := w.SendBytes(out1, right, 11); err != nil {
+				return err
+			}
+			if err := w.SendBytes(out2, right2, 12); err != nil {
+				return err
+			}
+			st1, err := w.Wait(rid1)
+			if err != nil {
+				return err
+			}
+			st2, err := w.Wait(rid2)
+			if err != nil {
+				return err
+			}
+			acc := sum.Get()
+			for i := 0; i < st1.Bytes; i++ {
+				acc = acc*31 + int(in1[i])
+			}
+			for i := 0; i < st2.Bytes; i++ {
+				acc = acc*37 + int(in2[i])
+			}
+			sum.Set(acc & 0xffffffff)
+
+			if it.Get()%3 == 2 {
+				in := mpi.Int64Bytes([]int64{int64(sum.Get())})
+				out := make([]byte, 8)
+				if err := w.Allreduce(in, out, 1, mpi.TypeInt64, mpi.OpBXor); err != nil {
+					return err
+				}
+				sum.Set(int(mpi.BytesInt64s(out)[0]) & 0xffffffff)
+			}
+			it.Add(1)
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		sums.Store(r, sum.Get())
+		return nil
+	}
+}
+
+// StraddleApp is the crossing-request workload: every iteration posts the
+// neighbor receive first, passes a checkpoint pragma with the request still
+// pending, then sends and completes it — so non-blocking requests routinely
+// straddle recovery lines (the paper's Section 4.1 request-table case). The
+// receive buffer and request ID live in registered state; on recovery the
+// buffer is re-bound to the restored crossing request with
+// ReattachRecvBuffer, mirroring how C3 relies on checkpointed buffers
+// keeping their addresses.
+func StraddleApp(iters int, sums *sync.Map) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		sum := st.Int("sum")
+		rid := st.Int("rid")
+		inflight := st.Bool("inflight")
+		buf := st.Bytes("buf")
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+		r, n := env.Rank(), env.Size()
+		payloadFor := func(rank, iter int) []byte {
+			out := make([]byte, 8+(rank*7+iter*13)%24)
+			for i := range out {
+				out[i] = byte(rank*31 + iter*17 + i)
+			}
+			return out
+		}
+		// A fired pragma always sits between Irecv and Wait, so a restored
+		// line always has one crossing receive in flight.
+		resume := restored && inflight.Get()
+		if resume {
+			if err := cluster.LayerOf(env).ReattachRecvBuffer(rid.Get(), buf.Data(), len(buf.Data()), mpi.TypeByte); err != nil {
+				return err
+			}
+		}
+		for it.Get() < iters {
+			left, right := (r-1+n)%n, (r+1)%n
+			if !resume {
+				buf.SetData(make([]byte, 32))
+				id, err := w.Irecv(buf.Data(), 32, mpi.TypeByte, left, 7)
+				if err != nil {
+					return err
+				}
+				rid.Set(id)
+				inflight.Set(true)
+				if err := env.Checkpoint(); err != nil {
+					return err
+				}
+			}
+			resume = false
+			if err := w.SendBytes(payloadFor(r, it.Get()), right, 7); err != nil {
+				return err
+			}
+			stt, err := w.Wait(rid.Get())
+			if err != nil {
+				return err
+			}
+			inflight.Set(false)
+			data := buf.Data()
+			acc := sum.Get()
+			for i := 0; i < stt.Bytes; i++ {
+				acc = acc*131 + int(data[i])
+			}
+			sum.Set(acc & 0xffffffff)
+			it.Add(1)
+		}
+		sums.Store(r, sum.Get())
+		return nil
+	}
+}
+
+// Reference computes the scenario's failure-free per-rank checksums. The
+// workload is deterministic per rank, so the result is independent of the
+// schedule; it runs once under a fixed seed.
+func Reference(sc Scenario) (map[int]int, error) {
+	var sums sync.Map
+	cfg := cluster.Config{
+		Ranks: sc.Ranks,
+		App:   sc.app(&sums),
+		Seed:  1,
+	}
+	if _, err := cluster.Run(cfg); err != nil {
+		return nil, err
+	}
+	ref := make(map[int]int, sc.Ranks)
+	for r := 0; r < sc.Ranks; r++ {
+		v, ok := sums.Load(r)
+		if !ok {
+			return nil, fmt.Errorf("sched: reference run produced no result for rank %d", r)
+		}
+		ref[r] = v.(int)
+	}
+	return ref, nil
+}
+
+// Outcome reports one explored run.
+type Outcome struct {
+	Seed     int64
+	Failed   bool
+	Reason   string
+	Attempts int
+	// Divergent maps rank -> [recovered, expected] for checksum mismatches.
+	Divergent map[int][2]int
+	// Schedule is the recorded decision trace (replayable).
+	Schedule *cluster.Schedule
+}
+
+// runTimeout bounds one virtual run. Stalls (every rank blocked) are
+// detected by the engine itself and fail fast; this guard only catches
+// app-level livelock (a rank spinning without ever blocking). Note that a
+// timed-out run's goroutines are abandoned, not cancelled — cluster.Run
+// has no stop hook — so each timeout leaks a spinning world for the rest
+// of the process. Acceptable for a last-resort guard on a sweep binary;
+// do not lower this far enough to trip on slow-but-live runs.
+const runTimeout = 2 * time.Minute
+
+// runConfig executes one scenario run (seeded or replayed) and classifies
+// the outcome.
+func runConfig(sc Scenario, ref map[int]int, cfg cluster.Config) Outcome {
+	var sums sync.Map
+	cfg.Ranks = sc.Ranks
+	cfg.App = sc.app(&sums)
+	cfg.Failures = sc.Failures
+	cfg.Policy = sc.Policy
+
+	out := Outcome{Seed: cfg.Seed}
+	type done struct {
+		res *cluster.Result
+		err error
+	}
+	ch := make(chan done, 1)
+	go func() {
+		res, err := cluster.Run(cfg)
+		ch <- done{res, err}
+	}()
+	select {
+	case d := <-ch:
+		if d.res != nil {
+			out.Attempts = d.res.Attempts
+			out.Schedule = d.res.Schedule
+		}
+		if d.err != nil {
+			out.Failed = true
+			out.Reason = d.err.Error()
+			return out
+		}
+	case <-time.After(runTimeout):
+		out.Failed = true
+		out.Reason = "timeout (app-level livelock?)"
+		return out
+	}
+	out.Divergent = make(map[int][2]int)
+	for r := 0; r < sc.Ranks; r++ {
+		v, ok := sums.Load(r)
+		if !ok {
+			out.Failed = true
+			out.Reason = fmt.Sprintf("rank %d produced no result", r)
+			return out
+		}
+		if got := v.(int); got != ref[r] {
+			out.Divergent[r] = [2]int{got, ref[r]}
+		}
+	}
+	if len(out.Divergent) > 0 {
+		out.Failed = true
+		out.Reason = fmt.Sprintf("checksum divergence on %d ranks", len(out.Divergent))
+	}
+	return out
+}
+
+// RunSeed executes the scenario under one seed. Seed 0 is rejected: it is
+// cluster.Config's "virtual engine off" value, and running it would
+// silently fall back to nondeterministic OS scheduling where byte-for-byte
+// reproduction is promised.
+func RunSeed(sc Scenario, ref map[int]int, seed int64) Outcome {
+	if seed == 0 {
+		return Outcome{Seed: 0, Failed: true,
+			Reason: "seed 0 is reserved (it disables the virtual scheduler); use a nonzero seed"}
+	}
+	o := runConfig(sc, ref, cluster.Config{Seed: seed})
+	o.Seed = seed
+	return o
+}
+
+// RunSchedule replays a recorded (possibly edited) schedule.
+func RunSchedule(sc Scenario, ref map[int]int, s *cluster.Schedule) Outcome {
+	o := runConfig(sc, ref, cluster.Config{Replay: s})
+	o.Seed = s.Seed
+	return o
+}
+
+// SweepResult summarizes a seed sweep.
+type SweepResult struct {
+	Ran      int
+	Failures []Outcome
+}
+
+// Sweep runs seeds [from, from+n) and collects failing outcomes, skipping
+// the reserved seed 0. With stopAtFirst it returns at the first failure.
+func Sweep(sc Scenario, ref map[int]int, from, n int64, stopAtFirst bool) SweepResult {
+	var res SweepResult
+	for seed := from; seed < from+n; seed++ {
+		if seed == 0 {
+			continue
+		}
+		o := RunSeed(sc, ref, seed)
+		res.Ran++
+		if o.Failed {
+			res.Failures = append(res.Failures, o)
+			if stopAtFirst {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// ErrNotReproducible reports that a recorded schedule no longer fails when
+// replayed (the defect is schedule-external, or already fixed).
+var ErrNotReproducible = errors.New("sched: schedule does not reproduce the failure")

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"c3/internal/cluster"
+	"c3/internal/transport"
+)
+
+func TestScheduleMarshalRoundtrip(t *testing.T) {
+	s := &cluster.Schedule{
+		Seed: 42,
+		Attempts: []*transport.Trace{
+			{Seed: 7, Decisions: []transport.Decision{
+				{Step: 1, Kind: transport.DecisionStart, Rank: -1, Next: 2},
+				{Step: 50, Kind: transport.DecisionPreempt, Rank: 0, Next: 4},
+				{Step: 92, Kind: transport.DecisionBlock, Rank: 3, Next: 1},
+				{Step: 130, Kind: transport.DecisionExit, Rank: 4, Next: -1},
+			}},
+			{Seed: -3},
+		},
+	}
+	got, err := UnmarshalSchedule(MarshalSchedule(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("roundtrip mismatch:\n  in:  %+v\n  out: %+v", s, got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a schedule",
+		"c3sched-schedule v1\nseed x\n",
+		"c3sched-schedule v1\nd 1 start -1 0\n", // decision before attempt
+		"c3sched-schedule v1\nattempt 0 seed 1\nd 1 bogus -1 0\n",
+	} {
+		if _, err := UnmarshalSchedule([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalSchedule(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	if len(Scenarios) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, sc := range Scenarios {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if _, ok := ScenarioByName(sc.Name); !ok {
+			t.Fatalf("ScenarioByName(%q) not found", sc.Name)
+		}
+	}
+	if _, ok := ScenarioByName("no-such-scenario"); ok {
+		t.Fatal("ScenarioByName invented a scenario")
+	}
+}
+
+// TestSweepAndShrinkContract runs a tiny sweep on the two-failures scenario
+// (which must be clean after the protocol fixes) and verifies Shrink
+// rejects a passing schedule with ErrNotReproducible.
+func TestSweepAndShrinkContract(t *testing.T) {
+	sc, ok := ScenarioByName("two-failures")
+	if !ok {
+		t.Fatal("two-failures scenario missing")
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Sweep(sc, ref, 1, 3, false)
+	if res.Ran != 3 {
+		t.Fatalf("ran %d seeds, want 3", res.Ran)
+	}
+	for _, o := range res.Failures {
+		t.Errorf("seed %d failed: %s (divergent=%v)", o.Seed, o.Reason, o.Divergent)
+	}
+
+	o := RunSeed(sc, ref, 1)
+	if o.Failed {
+		t.Fatalf("seed 1 failed: %s", o.Reason)
+	}
+	if o.Schedule == nil {
+		t.Fatal("outcome has no recorded schedule")
+	}
+	if _, _, err := Shrink(sc, ref, o.Schedule, 10); err != ErrNotReproducible {
+		t.Fatalf("Shrink on a passing schedule: err = %v, want ErrNotReproducible", err)
+	}
+}

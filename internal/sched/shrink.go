@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"c3/internal/cluster"
+	"c3/internal/transport"
+)
+
+// Shrink minimizes a failing schedule to a (locally) minimal interleaving.
+//
+// Candidate edits delete recorded decisions; a deleted choice point falls
+// back to the engine's default policy at replay (keep running / grant the
+// lowest READY rank), and trailing decisions whose steps no longer match
+// are skipped. An edit is kept only when the replay still fails, so the
+// decisions that survive are exactly the forced context switches the
+// failure needs. budget bounds the number of replays; the count used is
+// returned alongside the minimized schedule.
+//
+// It returns ErrNotReproducible when the input schedule's replay does not
+// fail to begin with.
+func Shrink(sc Scenario, ref map[int]int, failing *cluster.Schedule, budget int) (*cluster.Schedule, int, error) {
+	used := 0
+	stillFails := func(s *cluster.Schedule) bool {
+		used++
+		return RunSchedule(sc, ref, s).Failed
+	}
+	if !stillFails(failing) {
+		return nil, used, ErrNotReproducible
+	}
+	cur := failing.Clone()
+
+	// Phase 1: drop whole attempts (replaced by pure default scheduling),
+	// later attempts first — the failure usually needs only the attempts
+	// around the mis-handled recovery line.
+	for ai := len(cur.Attempts) - 1; ai >= 0; ai-- {
+		if used >= budget || len(cur.Attempts[ai].Decisions) == 0 {
+			continue
+		}
+		cand := cur.Clone()
+		cand.Attempts[ai].Decisions = nil
+		if stillFails(cand) {
+			cur = cand
+		}
+	}
+
+	// Phase 2: ddmin-style chunk deletion within each attempt.
+	for ai := range cur.Attempts {
+		cur.Attempts[ai].Decisions = shrinkDecisions(
+			cur.Attempts[ai].Decisions,
+			func(ds []transport.Decision) bool {
+				if used >= budget {
+					return false
+				}
+				cand := cur.Clone()
+				cand.Attempts[ai].Decisions = ds
+				return stillFails(cand)
+			})
+	}
+	return cur, used, nil
+}
+
+// shrinkDecisions removes chunks of decisions while ok keeps reporting the
+// failure, halving the chunk size down to single decisions.
+func shrinkDecisions(ds []transport.Decision, ok func([]transport.Decision) bool) []transport.Decision {
+	for chunk := (len(ds) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(ds); {
+			end := start + chunk
+			if end > len(ds) {
+				end = len(ds)
+			}
+			cand := make([]transport.Decision, 0, len(ds)-(end-start))
+			cand = append(cand, ds[:start]...)
+			cand = append(cand, ds[end:]...)
+			if ok(cand) {
+				ds = cand
+				// Same start now addresses the next chunk.
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return ds
+}

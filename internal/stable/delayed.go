@@ -58,6 +58,11 @@ func (s *DelayedStore) Retire(rank, version int) error {
 	return s.inner.Retire(rank, version)
 }
 
+// Truncate implements Store.
+func (s *DelayedStore) Truncate(rank, version int) error {
+	return s.inner.Truncate(rank, version)
+}
+
 // FailNode forwards to the inner store when it co-locates data with nodes.
 func (s *DelayedStore) FailNode(rank int) {
 	if nf, ok := s.inner.(NodeFailer); ok {

@@ -510,6 +510,32 @@ func (s *ReplicatedStore) Retire(rank, version int) error {
 	return nil
 }
 
+// Truncate implements Store: it drops the rank's versions above the
+// recovery line everywhere — local memory, peer fragments, and peer commit
+// markers — so a dead generation's lines cannot resurface.
+func (s *ReplicatedStore) Truncate(rank, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.nodes[rank].local {
+		if v > version {
+			delete(s.nodes[rank].local, v)
+		}
+	}
+	for _, node := range s.nodes {
+		for key := range node.frags {
+			if key.owner == rank && key.version > version {
+				delete(node.frags, key)
+			}
+		}
+		for key := range node.commits {
+			if key.owner == rank && key.version > version {
+				delete(node.commits, key)
+			}
+		}
+	}
+	return nil
+}
+
 // --- Blob and message codecs ---
 
 // encodeReplSections flattens a section map into one replication blob.

@@ -53,6 +53,16 @@ type Store interface {
 	// Retire discards committed checkpoints older than version for the
 	// rank (garbage collection after a newer global line commits).
 	Retire(rank, version int) error
+	// Truncate discards committed checkpoints NEWER than version for the
+	// rank. Recovery calls it after the world agrees on a recovery line:
+	// versions above the line belong to the execution generation that just
+	// died and will be re-written by the re-execution. Leaving them in
+	// place is unsound — a rank that failed with lines still in its async
+	// commit pipeline keeps an older generation's checkpoint at the same
+	// version number, and a later recovery would assemble a "global" line
+	// from mutually inconsistent generations (the mixed-generation stall
+	// the schedule explorer pinned down).
+	Truncate(rank, version int) error
 }
 
 // NodeFailer is implemented by stores that co-locate checkpoint data with
@@ -211,6 +221,18 @@ func (s *MemStore) Retire(rank, version int) error {
 	return nil
 }
 
+// Truncate implements Store.
+func (s *MemStore) Truncate(rank, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.byKey {
+		if key[0] == rank && key[1] > version {
+			delete(s.byKey, key)
+		}
+	}
+	return nil
+}
+
 type memSnap struct{ ck *memCkpt }
 
 func (m *memSnap) ReadSection(name string) ([]byte, error) {
@@ -291,6 +313,9 @@ func (s *NullStore) Open(rank, version int) (Snapshot, error) {
 
 // Retire implements Store.
 func (s *NullStore) Retire(rank, version int) error { return nil }
+
+// Truncate implements Store.
+func (s *NullStore) Truncate(rank, version int) error { return nil }
 
 // --- Disk store (Configuration #3) ---
 
@@ -430,6 +455,33 @@ func (s *DiskStore) Retire(rank, version int) error {
 			continue
 		}
 		if v < version {
+			if err := os.RemoveAll(filepath.Join(rankDir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Truncate implements Store.
+func (s *DiskStore) Truncate(rank, version int) error {
+	rankDir := filepath.Join(s.root, fmt.Sprintf("rank%04d", rank))
+	entries, err := os.ReadDir(rankDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "v") {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(e.Name(), "v%d", &v); err != nil {
+			continue
+		}
+		if v > version {
 			if err := os.RemoveAll(filepath.Join(rankDir, e.Name())); err != nil {
 				return err
 			}

@@ -1,0 +1,417 @@
+// Virtual schedule engine: a deterministic, seeded replacement for the Go
+// scheduler's interleaving of rank goroutines.
+//
+// Problem: with n rank goroutines exchanging messages through the network,
+// the order in which sends from different (src, dst) pairs interleave — and
+// the timing of checkpoint pragmas relative to message arrivals — is decided
+// by the runtime scheduler. A protocol bug that needs one specific
+// interleaving to manifest surfaces only probabilistically (the seed's
+// stress test diverged in ~40% of -race runs and 0% of plain runs), and a
+// failing run cannot be re-executed for diagnosis.
+//
+// The engine fixes this by serializing all ranks onto a single virtual
+// processor with explicitly scheduled context switches:
+//
+//   - Exactly one registered rank runs at a time (it holds the token).
+//     Everything a rank does between two transport operations is invisible
+//     to other ranks, so serializing the transport operations serializes
+//     every cross-rank interaction.
+//   - At every transport operation the engine may preempt the running rank
+//     (seeded coin), and must switch when the rank blocks in Recv with an
+//     empty queue. The choice of which READY rank runs next is seeded too.
+//   - Message delivery is instantaneous under the token, so per-pair FIFO
+//     is trivially preserved while cross-pair arrival order is exactly the
+//     (seeded) order in which sends execute.
+//   - Time is logical: one tick per scheduling step. Latency models are
+//     ignored in virtual mode.
+//
+// Every scheduling choice is recorded as a Decision. A recorded Trace can
+// be replayed — the engine then consumes decisions instead of drawing from
+// the RNG — and edited: decisions that no longer match the execution (after
+// shrinking removed some) fall back to a deterministic default policy, so
+// any edited trace still yields a total, deterministic schedule. The
+// schedule explorer in internal/sched uses this to shrink a failing seed's
+// trace to a minimal interleaving.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrStalled is returned by receive operations when the virtual scheduler
+// detects a global stall: every registered rank is blocked waiting for a
+// message and no message can ever arrive. Under real scheduling this is a
+// hang; the engine turns it into a diagnosable failure.
+var ErrStalled = errors.New("transport: virtual schedule stalled (all ranks blocked)")
+
+// DecisionKind labels one scheduling choice.
+type DecisionKind uint8
+
+// Decision kinds.
+const (
+	// DecisionStart grants the token for the first time, once every rank
+	// has registered.
+	DecisionStart DecisionKind = iota
+	// DecisionPreempt is a voluntary context switch at a transport
+	// operation: the running rank moves to READY and Next runs.
+	DecisionPreempt
+	// DecisionBlock is a forced switch: the running rank blocked in Recv
+	// and Next runs.
+	DecisionBlock
+	// DecisionExit is a forced switch: the running rank finished and Next
+	// runs (-1 when no rank remains).
+	DecisionExit
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionStart:
+		return "start"
+	case DecisionPreempt:
+		return "preempt"
+	case DecisionBlock:
+		return "block"
+	case DecisionExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Decision is one recorded scheduling choice. Step is the value of the
+// engine's operation counter when the choice was taken: every transport
+// operation increments the counter exactly once, so (Step, Kind) identifies
+// the choice point uniquely within a deterministic execution.
+type Decision struct {
+	Step int64
+	Kind DecisionKind
+	Rank int // rank that yielded (-1 for DecisionStart)
+	Next int // rank granted the token (-1 when none remained)
+}
+
+// Trace is the decision sequence of one world's execution (one restart
+// attempt). Replaying it against the same application reproduces the
+// execution; replaying an edited copy yields the closest deterministic
+// schedule (unmatched choice points use the default policy: keep running,
+// and grant the lowest-numbered READY rank on forced switches).
+type Trace struct {
+	Seed      int64
+	Decisions []Decision
+}
+
+// Clone returns a deep copy.
+func (t *Trace) Clone() *Trace {
+	return &Trace{Seed: t.Seed, Decisions: append([]Decision(nil), t.Decisions...)}
+}
+
+// rankState is a registered rank's scheduling state.
+type rankState uint8
+
+const (
+	rsUnregistered rankState = iota
+	rsReady                  // wants the token
+	rsRunning                // holds the token
+	rsBlocked                // waiting for a message (or a wake condition)
+	rsDone                   // exited
+)
+
+// Scheduler is the virtual schedule engine for one Network. Install it with
+// WithScheduler; the runtime must call Start from every rank goroutine
+// before its first operation and Exit after its last.
+type Scheduler struct {
+	n            int
+	preemptDenom int // preempt with probability 1/preemptDenom at each op
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	rng   *rand.Rand
+	state []rankState
+
+	registered int
+	stalled    bool
+
+	step  int64 // transport-operation counter (logical time)
+	seed  int64
+	trace []Decision // recording (always on)
+
+	replay    []Decision // consumed from the front when non-nil at creation
+	replaying bool
+	diverged  int // replay decisions that could not be honored
+}
+
+// defaultPreemptDenom gives each transport operation a 1-in-4 chance of a
+// voluntary context switch — frequent enough to explore interleavings
+// within an iteration, rare enough that runs stay fast.
+const defaultPreemptDenom = 4
+
+// NewScheduler creates an engine for n ranks with the given seed.
+func NewScheduler(n int, seed int64) *Scheduler {
+	s := &Scheduler{
+		n:            n,
+		preemptDenom: defaultPreemptDenom,
+		rng:          rand.New(rand.NewSource(seed)),
+		state:        make([]rankState, n),
+		seed:         seed,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// NewReplayScheduler creates an engine that re-executes a recorded trace.
+// No randomness is consumed: choice points matching the next trace decision
+// honor it; all others use the default policy.
+func NewReplayScheduler(n int, t *Trace) *Scheduler {
+	s := NewScheduler(n, t.Seed)
+	s.replay = append([]Decision(nil), t.Decisions...)
+	s.replaying = true
+	return s
+}
+
+// WithScheduler installs a virtual schedule engine on the network. Latency
+// models are ignored while a scheduler is installed (time is logical).
+func WithScheduler(s *Scheduler) Option {
+	return func(nw *Network) { nw.sched = s }
+}
+
+// Trace returns the recorded decision sequence so far.
+func (s *Scheduler) Trace() *Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Trace{Seed: s.seed, Decisions: append([]Decision(nil), s.trace...)}
+}
+
+// Divergences reports how many replayed decisions could not be honored
+// (their choice point never matched, or the chosen rank was not READY).
+// Zero on a faithful replay of an unedited trace.
+func (s *Scheduler) Divergences() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diverged
+}
+
+// Steps returns the operation counter (logical time).
+func (s *Scheduler) Steps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step
+}
+
+// Now is a logical clock for timer-based policies layered above the
+// transport: one scheduling step is one millisecond of virtual time.
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Unix(0, s.step*int64(time.Millisecond))
+}
+
+// Stalled reports whether the engine declared a global stall.
+func (s *Scheduler) Stalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalled
+}
+
+// Start registers the calling goroutine as rank r and blocks until the
+// engine grants it the token for the first time. Every rank must call Start
+// before its first transport operation; the first grant is issued once all
+// n ranks have registered.
+func (s *Scheduler) Start(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state[r] = rsReady
+	s.registered++
+	if s.registered == s.n {
+		first := s.choose(DecisionStart, -1)
+		if first >= 0 {
+			s.grant(first)
+		}
+		s.cond.Broadcast()
+	}
+	for s.state[r] != rsRunning {
+		s.cond.Wait()
+	}
+}
+
+// Exit deregisters rank r. If r holds the token it is passed on; if r was
+// the last runnable rank, remaining blocked ranks are stalled out.
+func (s *Scheduler) Exit(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	held := s.state[r] == rsRunning
+	s.state[r] = rsDone
+	if held {
+		next := s.choose(DecisionExit, r)
+		if next >= 0 {
+			s.grant(next)
+		} else if s.anyBlocked() {
+			s.declareStall()
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// point is the per-operation choice point: called (with the engine's lock
+// held by no one) at the top of every transport operation executed by rank
+// r. It increments logical time and may context-switch.
+func (s *Scheduler) point(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step++
+	if s.state[r] != rsRunning {
+		// A non-registered caller (tooling goroutine) or a rank racing its
+		// own kill; no scheduling decision to take.
+		return
+	}
+	var preempt bool
+	if s.replaying {
+		preempt = s.replayWants(DecisionPreempt)
+	} else {
+		preempt = s.rng.Intn(s.preemptDenom) == 0
+	}
+	if !preempt {
+		return
+	}
+	s.state[r] = rsReady
+	// r itself is READY, so choose always finds a rank (possibly r again).
+	s.grant(s.choose(DecisionPreempt, r))
+	s.cond.Broadcast()
+	for s.state[r] != rsRunning {
+		s.cond.Wait()
+	}
+}
+
+// block parks rank r until it is granted the token again (after wake marked
+// it READY). It returns ErrStalled when the engine declared a global stall
+// while r was parked.
+func (s *Scheduler) block(r int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.step++
+	if s.state[r] != rsRunning {
+		return nil
+	}
+	s.state[r] = rsBlocked
+	next := s.choose(DecisionBlock, r)
+	if next >= 0 {
+		s.grant(next)
+		s.cond.Broadcast()
+	} else {
+		s.declareStall()
+	}
+	for s.state[r] != rsRunning {
+		s.cond.Wait()
+	}
+	if s.stalled {
+		return ErrStalled
+	}
+	return nil
+}
+
+// wake marks a BLOCKED rank READY (a message arrived for it, or its
+// endpoint was killed). The rank runs when the token next reaches it.
+func (s *Scheduler) wake(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state[r] == rsBlocked {
+		s.state[r] = rsReady
+	}
+}
+
+// grant hands the token to rank r. Caller holds s.mu.
+func (s *Scheduler) grant(r int) { s.state[r] = rsRunning }
+
+// choose picks the next rank to run among READY ranks and records the
+// decision. It returns -1 when no rank is READY. Caller holds s.mu.
+func (s *Scheduler) choose(kind DecisionKind, from int) int {
+	ready := s.readyRanks()
+	var next int
+	switch {
+	case len(ready) == 0:
+		next = -1
+	case s.replaying:
+		next = ready[0] // default policy: lowest READY rank
+		if d, ok := s.replayTake(kind); ok {
+			honored := false
+			for _, r := range ready {
+				if r == d.Next {
+					next = d.Next
+					honored = true
+					break
+				}
+			}
+			if !honored {
+				s.diverged++
+			}
+		}
+	default:
+		next = ready[s.rng.Intn(len(ready))]
+	}
+	s.trace = append(s.trace, Decision{Step: s.step, Kind: kind, Rank: from, Next: next})
+	return next
+}
+
+// readyRanks lists READY ranks in ascending order. Caller holds s.mu.
+func (s *Scheduler) readyRanks() []int {
+	var ready []int
+	for r, st := range s.state {
+		if st == rsReady {
+			ready = append(ready, r)
+		}
+	}
+	return ready
+}
+
+// replayWants reports whether the trace's next decision is (s.step, kind),
+// without consuming it. Caller holds s.mu.
+func (s *Scheduler) replayWants(kind DecisionKind) bool {
+	s.skipStaleReplay()
+	return len(s.replay) > 0 && s.replay[0].Step == s.step && s.replay[0].Kind == kind
+}
+
+// replayTake consumes the trace's next decision if it matches the current
+// choice point. Caller holds s.mu.
+func (s *Scheduler) replayTake(kind DecisionKind) (Decision, bool) {
+	s.skipStaleReplay()
+	if len(s.replay) > 0 && s.replay[0].Step == s.step && s.replay[0].Kind == kind {
+		d := s.replay[0]
+		s.replay = s.replay[1:]
+		return d, true
+	}
+	return Decision{}, false
+}
+
+// skipStaleReplay drops decisions whose step has already passed — the
+// execution diverged from the trace (expected after shrinking edits).
+// Caller holds s.mu.
+func (s *Scheduler) skipStaleReplay() {
+	for len(s.replay) > 0 && s.replay[0].Step < s.step {
+		s.replay = s.replay[1:]
+		s.diverged++
+	}
+}
+
+// anyBlocked reports whether any rank is BLOCKED. Caller holds s.mu.
+func (s *Scheduler) anyBlocked() bool {
+	for _, st := range s.state {
+		if st == rsBlocked {
+			return true
+		}
+	}
+	return false
+}
+
+// declareStall poisons the engine: every blocked rank is woken to observe
+// ErrStalled. Caller holds s.mu.
+func (s *Scheduler) declareStall() {
+	s.stalled = true
+	for r, st := range s.state {
+		if st == rsBlocked || st == rsReady {
+			s.state[r] = rsRunning // poisoned grant; block() returns ErrStalled
+		}
+	}
+	s.cond.Broadcast()
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// runPingRing runs n ranks passing a token around a ring under the given
+// scheduler, with each rank recording the order it saw messages in. It
+// returns a per-rank receive log usable as an execution fingerprint.
+func runPingRing(t *testing.T, n, rounds int, s *Scheduler) [][]int {
+	t.Helper()
+	nw := NewNetwork(n, WithScheduler(s))
+	logs := make([][]int, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s.Start(r)
+			defer s.Exit(r)
+			ep := nw.Endpoint(r)
+			next := (r + 1) % n
+			for i := 0; i < rounds; i++ {
+				if err := nw.Send(Message{From: r, To: next, Payload: i*n + r}); err != nil {
+					t.Errorf("rank %d send: %v", r, err)
+					return
+				}
+				msg, err := ep.Recv()
+				if err != nil {
+					t.Errorf("rank %d recv: %v", r, err)
+					return
+				}
+				logs[r] = append(logs[r], msg.Payload.(int))
+			}
+		}(r)
+	}
+	wg.Wait()
+	return logs
+}
+
+func equalLogs(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSchedulerDeterministicPerSeed(t *testing.T) {
+	const n, rounds = 4, 20
+	first := runPingRing(t, n, rounds, NewScheduler(n, 42))
+	for i := 0; i < 3; i++ {
+		again := runPingRing(t, n, rounds, NewScheduler(n, 42))
+		if !equalLogs(first, again) {
+			t.Fatalf("run %d under seed 42 differed from the first", i)
+		}
+	}
+}
+
+func TestSchedulerTraceReplayIsFaithful(t *testing.T) {
+	const n, rounds = 4, 20
+	s := NewScheduler(n, 7)
+	orig := runPingRing(t, n, rounds, s)
+	trace := s.Trace()
+	if len(trace.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+
+	rs := NewReplayScheduler(n, trace)
+	replayed := runPingRing(t, n, rounds, rs)
+	if !equalLogs(orig, replayed) {
+		t.Fatal("replay produced a different execution")
+	}
+	if d := rs.Divergences(); d != 0 {
+		t.Fatalf("faithful replay reported %d divergences", d)
+	}
+}
+
+func TestSchedulerSeedsDiffer(t *testing.T) {
+	const n, rounds = 4, 30
+	s1 := NewScheduler(n, 1)
+	runPingRing(t, n, rounds, s1)
+	s2 := NewScheduler(n, 2)
+	runPingRing(t, n, rounds, s2)
+	t1, t2 := s1.Trace(), s2.Trace()
+	if len(t1.Decisions) == len(t2.Decisions) {
+		same := true
+		for i := range t1.Decisions {
+			if t1.Decisions[i] != t2.Decisions[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 1 and 2 produced identical decision traces")
+		}
+	}
+}
+
+func TestSchedulerEditedReplayStillTerminates(t *testing.T) {
+	const n, rounds = 4, 20
+	s := NewScheduler(n, 9)
+	runPingRing(t, n, rounds, s)
+	trace := s.Trace()
+	// Drop every other decision; replay must still complete (default policy
+	// fills the gaps) rather than wedge.
+	var edited Trace
+	edited.Seed = trace.Seed
+	for i, d := range trace.Decisions {
+		if i%2 == 0 {
+			edited.Decisions = append(edited.Decisions, d)
+		}
+	}
+	runPingRing(t, n, rounds, NewReplayScheduler(n, &edited))
+}
+
+func TestSchedulerDetectsStall(t *testing.T) {
+	const n = 3
+	s := NewScheduler(n, 5)
+	nw := NewNetwork(n, WithScheduler(s))
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s.Start(r)
+			defer s.Exit(r)
+			// Nobody ever sends: a global deadlock the engine must turn
+			// into ErrStalled instead of hanging the test binary.
+			_, errs[r] = nw.Endpoint(r).Recv()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("rank %d: got %v, want ErrStalled", r, err)
+		}
+	}
+	if !s.Stalled() {
+		t.Fatal("scheduler does not report the stall")
+	}
+}
+
+func TestSchedulerLogicalClockAdvances(t *testing.T) {
+	const n = 2
+	s := NewScheduler(n, 3)
+	runPingRing(t, n, 5, s)
+	if s.Steps() == 0 {
+		t.Fatal("logical time did not advance")
+	}
+	if !s.Now().After(NewScheduler(n, 3).Now()) {
+		t.Fatal("Now() does not reflect elapsed steps")
+	}
+}

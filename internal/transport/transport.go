@@ -93,6 +93,7 @@ type Network struct {
 	n       int
 	eps     []*Endpoint
 	latency LatencyModel
+	sched   *Scheduler // non-nil: virtual deterministic scheduling
 
 	down atomic.Bool
 
@@ -126,6 +127,10 @@ func NewNetwork(n int, opts ...Option) *Network {
 
 // Size returns the number of endpoints.
 func (nw *Network) Size() int { return nw.n }
+
+// Scheduler returns the installed virtual schedule engine, or nil when the
+// network runs under real (OS) scheduling.
+func (nw *Network) Scheduler() *Scheduler { return nw.sched }
 
 // Endpoint returns the endpoint for the given rank.
 func (nw *Network) Endpoint(rank int) *Endpoint { return nw.eps[rank] }
@@ -162,6 +167,16 @@ func (nw *Network) Send(msg Message) error {
 	nw.stats.DeliveredPayload += uint64(size)
 	nw.statMu.Unlock()
 
+	if nw.sched != nil {
+		// Virtual mode: the send is a scheduling point, delivery is
+		// instantaneous under the token (latency models are ignored; time
+		// is logical). Per-pair FIFO holds because pushes are serialized.
+		nw.sched.point(msg.From)
+		if !dst.push(msg) {
+			nw.noteDropped()
+		}
+		return nil
+	}
 	if nw.latency == nil {
 		if !dst.push(msg) {
 			nw.noteDropped()
@@ -227,12 +242,16 @@ func (ep *Endpoint) Rank() int { return ep.rank }
 // push enqueues directly. It reports false if the endpoint is killed.
 func (ep *Endpoint) push(msg Message) bool {
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
 	if ep.killed {
+		ep.mu.Unlock()
 		return false
 	}
 	ep.queue = append(ep.queue, msg)
 	ep.cond.Signal()
+	ep.mu.Unlock()
+	if s := ep.nw.sched; s != nil {
+		s.wake(ep.rank)
+	}
 	return true
 }
 
@@ -272,6 +291,9 @@ func (ep *Endpoint) deliveryLoop() {
 
 // Recv blocks until a message is available or the endpoint is killed.
 func (ep *Endpoint) Recv() (Message, error) {
+	if s := ep.nw.sched; s != nil {
+		return ep.recvVirtual(s)
+	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	for len(ep.queue) == 0 {
@@ -285,9 +307,36 @@ func (ep *Endpoint) Recv() (Message, error) {
 	return msg, nil
 }
 
+// recvVirtual is Recv under the virtual schedule engine: an empty queue
+// yields the token instead of waiting on the condition variable, so the
+// engine decides which rank's progress makes the message arrive.
+func (ep *Endpoint) recvVirtual(s *Scheduler) (Message, error) {
+	s.point(ep.rank)
+	for {
+		ep.mu.Lock()
+		if len(ep.queue) > 0 {
+			msg := ep.queue[0]
+			ep.queue = ep.queue[1:]
+			ep.mu.Unlock()
+			return msg, nil
+		}
+		killed := ep.killed
+		ep.mu.Unlock()
+		if killed {
+			return Message{}, ErrDown
+		}
+		if err := s.block(ep.rank); err != nil {
+			return Message{}, err
+		}
+	}
+}
+
 // TryRecv returns the next message without blocking. ok reports whether a
 // message was available.
 func (ep *Endpoint) TryRecv() (msg Message, ok bool, err error) {
+	if s := ep.nw.sched; s != nil {
+		s.point(ep.rank)
+	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.killed {
@@ -314,6 +363,9 @@ func (ep *Endpoint) kill() {
 	ep.queue = nil
 	ep.mu.Unlock()
 	ep.cond.Broadcast()
+	if s := ep.nw.sched; s != nil {
+		s.wake(ep.rank)
+	}
 }
 
 // Killed reports whether the endpoint has been killed.
