@@ -1,0 +1,225 @@
+// Command c3node runs the reproduction as a real multi-process cluster:
+// one OS process per rank, TCP between ranks, and real SIGKILL as the
+// failure injector. The same binary is both the launcher (default) and the
+// per-rank worker (-worker, spawned by re-exec), mirroring how an MPI
+// launcher re-executes its own image on every node.
+//
+// Usage:
+//
+//	c3node -ranks 4 -kernel CG -class S -every 3
+//	    launch 4 worker processes over TCP with the diskless replicated
+//	    store and run CG to completion
+//
+//	c3node -ranks 4 -kernel CG -class S -every 3 -kill rank=1,at=5,after=1
+//	    additionally SIGKILL rank 1's process at its 5th pragma once it has
+//	    started at least one checkpoint (mid-logging-phase); the dead rank
+//	    is re-executed, reassembles its checkpoints from its +1/+2
+//	    neighbors over TCP, and the world recovers from the last committed
+//	    recovery line
+//
+//	c3node -ranks 4 -kernel LU -store /tmp/ckpts ...
+//	    use a shared-directory disk store instead of the diskless
+//	    replicated store
+//
+// The launcher's final line, "checksums=[...]", is identical between a
+// failure-free run and a run that survived a SIGKILL — the convergence
+// check the CI smoke job performs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"c3/internal/apps"
+	"c3/internal/ckpt"
+	"c3/internal/cluster"
+)
+
+func main() {
+	if hasFlag("-worker") {
+		workerMain()
+		return
+	}
+	launcherMain()
+}
+
+func hasFlag(name string) bool {
+	for _, a := range os.Args[1:] {
+		if a == name || a == name+"=true" || strings.TrimPrefix(a, "-") == strings.TrimPrefix(name, "-") {
+			return true
+		}
+	}
+	return false
+}
+
+// parseKill parses "rank=R,at=P[,after=K]".
+func parseKill(s string) (*cluster.FailureSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec := &cluster.FailureSpec{AtPragma: 1}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed kill spec component %q", part)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("kill spec %q: %w", part, err)
+		}
+		switch kv[0] {
+		case "rank":
+			spec.Rank = v
+		case "at":
+			spec.AtPragma = v
+		case "after":
+			spec.AfterCheckpoints = v
+		default:
+			return nil, fmt.Errorf("unknown kill spec key %q", kv[0])
+		}
+	}
+	return spec, nil
+}
+
+func launcherMain() {
+	var (
+		ranks    = flag.Int("ranks", 4, "number of ranks (one process each)")
+		kernel   = flag.String("kernel", "CG", "kernel to run (see c3run -list)")
+		class    = flag.String("class", "S", "problem class: S, W, or A")
+		every    = flag.Int("every", 3, "take a checkpoint every N pragmas")
+		async    = flag.Bool("async", false, "asynchronous commit pipeline")
+		kill     = flag.String("kill", "", "failure spec rank=R,at=P[,after=K]: SIGKILL that rank's process at that pragma")
+		storeDir = flag.String("store", "", "shared checkpoint directory (default: diskless replicated store over TCP)")
+		verbose  = flag.Bool("v", false, "log launcher progress to stderr")
+	)
+	flag.Parse()
+
+	if _, ok := apps.Lookup(*kernel); !ok {
+		fatalf("unknown kernel %q (use c3run -list)", *kernel)
+	}
+	killSpec, err := parseKill(*kill)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := cluster.LaunchConfig{
+		Ranks: *ranks,
+		Disk:  *storeDir != "",
+		Args: func(rank int, mpiAddrs, replAddrs []string) []string {
+			args := []string{
+				"-worker",
+				"-rank", strconv.Itoa(rank),
+				"-ranks", strconv.Itoa(*ranks),
+				"-peers", strings.Join(mpiAddrs, ","),
+				"-kernel", *kernel,
+				"-class", *class,
+				"-every", strconv.Itoa(*every),
+			}
+			if *async {
+				args = append(args, "-async")
+			}
+			if *storeDir != "" {
+				args = append(args, "-store", *storeDir)
+			} else {
+				args = append(args, "-repl-peers", strings.Join(replAddrs, ","))
+			}
+			if killSpec != nil && killSpec.Rank == rank {
+				args = append(args, "-kill", *kill)
+			}
+			return args
+		},
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "c3node: "+format+"\n", args...)
+		}
+	}
+
+	res, err := cluster.Launch(cfg)
+	if err != nil {
+		fatalf("launch: %v", err)
+	}
+	fmt.Printf("kernel %s class %s on %d processes: %d attempt(s), %d re-exec(s)\n",
+		*kernel, *class, *ranks, res.Attempts, res.Restarts)
+	sums := make([]string, *ranks)
+	for r := 0; r < *ranks; r++ {
+		sums[r] = res.Results[r]
+		fmt.Printf("  rank %d checksum: %s\n", r, sums[r])
+	}
+	fmt.Printf("checksums=[%s]\n", strings.Join(sums, ","))
+}
+
+func workerMain() {
+	fs := flag.NewFlagSet("c3node-worker", flag.ExitOnError)
+	var (
+		_         = fs.Bool("worker", true, "worker mode (internal)")
+		rank      = fs.Int("rank", 0, "this process's rank")
+		ranks     = fs.Int("ranks", 1, "world size")
+		peers     = fs.String("peers", "", "comma-separated MPI-plane addresses, one per rank")
+		replPeers = fs.String("repl-peers", "", "comma-separated replication-plane addresses")
+		kernel    = fs.String("kernel", "CG", "kernel to run")
+		class     = fs.String("class", "S", "problem class")
+		every     = fs.Int("every", 3, "checkpoint every N pragmas")
+		async     = fs.Bool("async", false, "asynchronous commit pipeline")
+		kill      = fs.String("kill", "", "failure spec for this rank")
+		storeDir  = fs.String("store", "", "shared checkpoint directory")
+	)
+	_ = fs.Parse(os.Args[1:])
+
+	k, ok := apps.Lookup(*kernel)
+	if !ok {
+		fatalf("worker: unknown kernel %q", *kernel)
+	}
+	p := k.Defaults(apps.Class(*class))
+	out := apps.NewOutput()
+	killSpec, err := parseKill(*kill)
+	if err != nil {
+		fatalf("worker: %v", err)
+	}
+
+	nc := cluster.NodeConfig{
+		Rank:     *rank,
+		Ranks:    *ranks,
+		MPIAddrs: splitAddrs(*peers),
+		App:      k.App(p, out),
+		Policy:   ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},
+		Kill:     killSpec,
+		In:       os.Stdin,
+		Out:      os.Stdout,
+		Result: func() string {
+			v, ok := out.Checksum(*rank)
+			if !ok {
+				return "?"
+			}
+			return strconv.FormatFloat(v, 'x', -1, 64)
+		},
+	}
+	if *storeDir != "" {
+		nc.StorePath = *storeDir
+	} else {
+		nc.ReplAddrs = splitAddrs(*replPeers)
+	}
+	if os.Getenv("C3NODE_TRACE") != "" {
+		nc.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "c3node-worker: "+format+"\n", args...)
+		}
+	}
+	if err := cluster.RunNode(nc); err != nil {
+		fatalf("worker rank %d: %v", *rank, err)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "c3node: "+format+"\n", args...)
+	os.Exit(1)
+}

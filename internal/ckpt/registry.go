@@ -91,7 +91,7 @@ func (er *EarlyRegistry) Serialize() []byte {
 // LoadEarlyRegistry decodes a serialized registry.
 func LoadEarlyRegistry(data []byte) (*EarlyRegistry, error) {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(52) // minimum bytes per serialized entry
 	er := NewEarlyRegistry()
 	for i := 0; i < n; i++ {
 		e := &earlyEntry{
@@ -148,7 +148,7 @@ func encodeSuppressItems(items []suppressItem) []byte {
 
 func decodeSuppressItems(data []byte) ([]suppressItem, error) {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(28) // minimum bytes per serialized item
 	items := make([]suppressItem, 0, n)
 	for i := 0; i < n; i++ {
 		items = append(items, suppressItem{
@@ -378,7 +378,7 @@ func (lr *LateRegistry) Serialize() []byte {
 // un-consumed, ready for replay.
 func LoadLateRegistry(data []byte) (*LateRegistry, error) {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(33) // minimum bytes per serialized entry
 	lr := NewLateRegistry()
 	for i := 0; i < n; i++ {
 		e := &LateEntry{
@@ -470,7 +470,7 @@ func (g *ResultLog) Serialize() []byte {
 // LoadResultLog decodes a serialized log.
 func LoadResultLog(data []byte) (*ResultLog, error) {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(9) // minimum bytes per serialized entry
 	g := NewResultLog()
 	for i := 0; i < n; i++ {
 		g.entries = append(g.entries, resultEntry{Kind: r.U8(), Ctx: r.U32(), Data: r.Bytes32()})

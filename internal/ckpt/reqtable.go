@@ -224,7 +224,9 @@ type restoredEntry struct {
 // Deserialize decodes a table image.
 func deserializeReqTable(data []byte) ([]restoredEntry, int, [][]int, error) {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	// Each serialized entry occupies at least 112 bytes; clamping the count
+	// keeps a corrupt image from pre-allocating an enormous slice.
+	n := r.Count(112)
 	entries := make([]restoredEntry, 0, n)
 	for i := 0; i < n; i++ {
 		var e restoredEntry
@@ -247,7 +249,7 @@ func deserializeReqTable(data []byte) ([]restoredEntry, int, [][]int, error) {
 		entries = append(entries, e)
 	}
 	idAtLine := r.Int()
-	na := int(r.U32())
+	na := r.Count(4)
 	anyReplay := make([][]int, 0, na)
 	for i := 0; i < na; i++ {
 		anyReplay = append(anyReplay, r.Ints())

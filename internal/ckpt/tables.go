@@ -116,16 +116,42 @@ func (t *TypeTable) build(kind uint8, ints []int, children []int) (*mpi.Datatype
 		}
 		childDT[i] = e.DT
 	}
+	// Recipes may come off a deserialized checkpoint, so their shapes must
+	// be validated before indexing — a corrupt row is an error, not a panic.
+	malformed := func() error {
+		return fmt.Errorf("ckpt: datatype handle %d: malformed kind-%d recipe (%d ints, %d children)",
+			t.nextHandle, kind, len(ints), len(children))
+	}
 	switch kind {
 	case tkContiguous:
+		if len(ints) < 1 || len(childDT) < 1 {
+			return nil, malformed()
+		}
 		return mpi.Contiguous(ints[0], childDT[0])
 	case tkVector:
+		if len(ints) < 3 || len(childDT) < 1 {
+			return nil, malformed()
+		}
 		return mpi.Vector(ints[0], ints[1], ints[2], childDT[0])
 	case tkIndexed:
+		if len(ints) < 1 || len(childDT) < 1 {
+			return nil, malformed()
+		}
+		// Compare against (len-1)/2 rather than 1+2*n: the latter overflows
+		// for huge decoded n and would wave the corrupt recipe through.
 		n := ints[0]
+		if n < 0 || n > (len(ints)-1)/2 {
+			return nil, malformed()
+		}
 		return mpi.Indexed(ints[1:1+n], ints[1+n:1+2*n], childDT[0])
 	case tkStruct:
+		if len(ints) < 1 {
+			return nil, malformed()
+		}
 		n := ints[0]
+		if n < 0 || n > (len(ints)-1)/2 || len(childDT) < n {
+			return nil, malformed()
+		}
 		return mpi.Struct(ints[1:1+n], ints[1+n:1+2*n], childDT)
 	default:
 		return nil, fmt.Errorf("ckpt: unknown datatype kind %d", kind)
@@ -222,7 +248,7 @@ func (t *TypeTable) Serialize() []byte {
 // recreate all datatypes before the execution of the program resumes".
 func (t *TypeTable) Restore(data []byte) error {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(18) // minimum bytes per serialized row
 	for i := 0; i < n; i++ {
 		h := r.Int()
 		kind := r.U8()
@@ -329,7 +355,7 @@ func (t *OpTable) Serialize() []byte {
 // Verify checks that the current registrations match a serialized table.
 func (t *OpTable) Verify(data []byte) error {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(4) // minimum bytes per serialized name
 	if n > len(t.names) {
 		return fmt.Errorf("ckpt: checkpoint has %d reduction ops, only %d re-registered", n, len(t.names))
 	}
@@ -464,7 +490,7 @@ func (t *CommTable) Serialize() []byte {
 // history.
 func (t *CommTable) Restore(data []byte) error {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(33) // minimum bytes per serialized row
 	for i := 0; i < n; i++ {
 		h := r.Int()
 		kind := r.U8()

@@ -1,0 +1,408 @@
+package cluster
+
+// The multi-process launcher: spawns one worker process per rank (the
+// workers call RunNode), coordinates attempts over the workers' stdin and
+// stdout pipes, and injects failures as real SIGKILLs. When a worker dies,
+// the launcher aborts the survivors' attempt, re-executes the dead rank,
+// and starts the next attempt in restore mode — the whole world rolls back
+// to the last committed recovery line, exactly like the in-process runner,
+// except the failed process really died and its memory really is gone.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LaunchConfig configures a multi-process run.
+type LaunchConfig struct {
+	// Ranks is the world size (one process per rank).
+	Ranks int
+	// Exe is the worker executable; empty means this executable
+	// (os.Executable), the re-exec idiom c3node uses.
+	Exe string
+	// Args builds the argument list for one rank's worker process; the
+	// launcher passes the freshly allocated MPI-plane and replication-plane
+	// address lists. Workers must speak the RunNode pipe protocol.
+	Args func(rank int, mpiAddrs, replAddrs []string) []string
+	// Env is extra environment for the workers, appended to os.Environ().
+	Env []string
+	// Disk, when true, allocates no replication addresses (workers are
+	// expected to share a DiskStore via Args/StorePath).
+	Disk bool
+	// MaxRestarts bounds recovery cycles (default 3).
+	MaxRestarts int
+	// Timeout bounds the whole run (default 2 minutes).
+	Timeout time.Duration
+	// Stderr receives the workers' stderr (default os.Stderr).
+	Stderr io.Writer
+	// Log, when non-nil, receives launcher progress lines.
+	Log func(format string, args ...any)
+}
+
+// LaunchResult reports a completed multi-process run.
+type LaunchResult struct {
+	// Attempts is the number of world launches (1 = no failures).
+	Attempts int
+	// Restarts is the number of worker processes re-executed after death.
+	Restarts int
+	// Results holds each rank's reported result string from the successful
+	// attempt.
+	Results map[int]string
+	// Stats holds each rank's reported store statistics line (for the
+	// diskless store: "reassemblies=<n>", counting checkpoints rebuilt from
+	// peer fragments over the wire).
+	Stats map[int]string
+}
+
+// launchEvent is one line from a worker, or its death.
+type launchEvent struct {
+	rank   int
+	fields []string // fields[0] is the event kind; "exit" is synthesized
+}
+
+type workerProc struct {
+	rank   int
+	cmd    *exec.Cmd
+	stdin  io.Writer
+	dead   bool
+	exited chan struct{} // closed once the process has been reaped
+}
+
+func (w *workerProc) command(format string, args ...any) {
+	fmt.Fprintf(w.stdin, format+"\n", args...)
+}
+
+type launcher struct {
+	cfg       LaunchConfig
+	mpiAddrs  []string
+	replAddrs []string
+	workers   []*workerProc
+	events    chan launchEvent
+	deadline  time.Time
+}
+
+func (l *launcher) logf(format string, args ...any) {
+	if l.cfg.Log != nil {
+		l.cfg.Log(format, args...)
+	}
+}
+
+// freeAddrs reserves k distinct localhost TCP addresses by binding and
+// releasing ephemeral ports. The tiny reuse race is acceptable for a
+// launcher that immediately hands the addresses to its children.
+func freeAddrs(k int) ([]string, error) {
+	addrs := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, ln.Addr().String())
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// Launch runs a multi-process world to completion.
+func Launch(cfg LaunchConfig) (*LaunchResult, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("cluster: launch needs a positive rank count")
+	}
+	if cfg.Args == nil {
+		return nil, fmt.Errorf("cluster: launch needs an Args builder")
+	}
+	if cfg.Exe == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resolve executable: %w", err)
+		}
+		cfg.Exe = exe
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+
+	mpiAddrs, err := freeAddrs(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	var replAddrs []string
+	if !cfg.Disk {
+		if replAddrs, err = freeAddrs(cfg.Ranks); err != nil {
+			return nil, err
+		}
+	}
+	l := &launcher{
+		cfg:       cfg,
+		mpiAddrs:  mpiAddrs,
+		replAddrs: replAddrs,
+		workers:   make([]*workerProc, cfg.Ranks),
+		events:    make(chan launchEvent, 64),
+		deadline:  time.Now().Add(cfg.Timeout),
+	}
+	defer l.cleanup()
+
+	for r := 0; r < cfg.Ranks; r++ {
+		if err := l.spawn(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.awaitEach("ready", l.allRanks()); err != nil {
+		return nil, err
+	}
+	return l.drive()
+}
+
+func (l *launcher) allRanks() map[int]bool {
+	m := make(map[int]bool, l.cfg.Ranks)
+	for r := 0; r < l.cfg.Ranks; r++ {
+		m[r] = true
+	}
+	return m
+}
+
+// spawn starts (or re-executes) one rank's worker process.
+func (l *launcher) spawn(rank int) error {
+	cmd := exec.Command(l.cfg.Exe, l.cfg.Args(rank, l.mpiAddrs, l.replAddrs)...)
+	cmd.Env = append(os.Environ(), l.cfg.Env...)
+	cmd.Stderr = l.cfg.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: start rank %d worker: %w", rank, err)
+	}
+	w := &workerProc{rank: rank, cmd: cmd, stdin: stdin, exited: make(chan struct{})}
+	l.workers[rank] = w
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64*1024), 64*1024)
+		for sc.Scan() {
+			if f := strings.Fields(sc.Text()); len(f) > 0 {
+				l.events <- launchEvent{rank: rank, fields: f}
+			}
+		}
+		// Pipe closed: the process exited (or was SIGKILLed).
+		_ = cmd.Wait()
+		close(w.exited)
+		l.events <- launchEvent{rank: rank, fields: []string{"exit"}}
+	}()
+	l.logf("rank %d: worker pid %d", rank, cmd.Process.Pid)
+	return nil
+}
+
+func (l *launcher) cleanup() {
+	for _, w := range l.workers {
+		if w == nil || w.dead {
+			continue
+		}
+		w.command("quit")
+	}
+	grace := time.Now().Add(2 * time.Second)
+	for _, w := range l.workers {
+		if w == nil || w.dead {
+			continue
+		}
+		select {
+		case <-w.exited:
+		case <-time.After(time.Until(grace)):
+			_ = w.cmd.Process.Kill()
+			<-w.exited
+		}
+	}
+}
+
+// nextEvent waits for the next worker event, killing the run at the global
+// deadline.
+func (l *launcher) nextEvent() (launchEvent, error) {
+	select {
+	case ev := <-l.events:
+		return ev, nil
+	case <-time.After(time.Until(l.deadline)):
+		return launchEvent{}, fmt.Errorf("cluster: launch timed out after %v", l.cfg.Timeout)
+	}
+}
+
+// handleCommon processes events that can arrive in any phase. It reports
+// whether the event was consumed.
+func (l *launcher) handleCommon(ev launchEvent) (consumed bool, err error) {
+	switch ev.fields[0] {
+	case "victim":
+		// The failure spec fired inside the worker, which is now frozen at
+		// the exact protocol point: deliver the real SIGKILL.
+		w := l.workers[ev.rank]
+		l.logf("rank %d: victim — delivering SIGKILL to pid %d", ev.rank, w.cmd.Process.Pid)
+		if err := w.cmd.Process.Kill(); err != nil {
+			return true, fmt.Errorf("cluster: SIGKILL rank %d: %w", ev.rank, err)
+		}
+		return true, nil
+	case "error":
+		return true, fmt.Errorf("cluster: rank %d: %s", ev.rank, strings.Join(ev.fields[1:], " "))
+	}
+	return false, nil
+}
+
+// awaitEach consumes events until every rank in want has produced the
+// given event kind.
+func (l *launcher) awaitEach(kind string, want map[int]bool) error {
+	for len(want) > 0 {
+		ev, err := l.nextEvent()
+		if err != nil {
+			return err
+		}
+		if consumed, err := l.handleCommon(ev); err != nil {
+			return err
+		} else if consumed {
+			continue
+		}
+		if ev.fields[0] == kind && want[ev.rank] {
+			delete(want, ev.rank)
+			continue
+		}
+		if ev.fields[0] == "exit" {
+			return fmt.Errorf("cluster: rank %d worker died while awaiting %q", ev.rank, kind)
+		}
+	}
+	return nil
+}
+
+// drive runs attempts until one completes on every rank, recovering from
+// worker deaths in between.
+func (l *launcher) drive() (*LaunchResult, error) {
+	res := &LaunchResult{Results: make(map[int]string), Stats: make(map[int]string)}
+	restore := 0
+	for attempt := 0; ; attempt++ {
+		res.Attempts++
+		l.logf("attempt %d (restore=%d)", attempt, restore)
+		for _, w := range l.workers {
+			w.command("run %d %d", attempt, restore)
+		}
+		done := make(map[int]string)
+		var died []int
+		for len(done) < l.cfg.Ranks && len(died) == 0 {
+			ev, err := l.nextEvent()
+			if err != nil {
+				return res, err
+			}
+			if consumed, err := l.handleCommon(ev); err != nil {
+				return res, err
+			} else if consumed {
+				continue
+			}
+			switch ev.fields[0] {
+			case "done":
+				if len(ev.fields) >= 2 && ev.fields[1] == strconv.Itoa(attempt) {
+					result := ""
+					if len(ev.fields) >= 3 {
+						result = ev.fields[2]
+					}
+					done[ev.rank] = result
+				}
+			case "stat":
+				if len(ev.fields) >= 3 && ev.fields[1] == strconv.Itoa(attempt) {
+					res.Stats[ev.rank] = strings.Join(ev.fields[2:], " ")
+				}
+			case "exit":
+				l.workers[ev.rank].dead = true
+				died = append(died, ev.rank)
+				l.logf("rank %d: worker died", ev.rank)
+			case "down":
+				// The rank observed the world going down; recovery follows
+				// once the death event arrives.
+			}
+		}
+		if len(done) == l.cfg.Ranks {
+			res.Results = done
+			return res, nil
+		}
+
+		// Recovery: tear the survivors' attempt down, re-exec the dead.
+		res.Restarts += len(died)
+		if res.Restarts > l.cfg.MaxRestarts {
+			return res, fmt.Errorf("cluster: %d worker deaths exceed MaxRestarts=%d", res.Restarts, l.cfg.MaxRestarts)
+		}
+		survivors := make(map[int]bool)
+		for _, w := range l.workers {
+			if !w.dead {
+				survivors[w.rank] = true
+				w.command("abort %d", attempt)
+			}
+		}
+		moreDied, err := l.awaitAborted(attempt, survivors)
+		if err != nil {
+			return res, err
+		}
+		for _, r := range moreDied {
+			l.workers[r].dead = true
+			l.logf("rank %d: worker died during abort", r)
+			died = append(died, r)
+		}
+		res.Restarts += len(moreDied)
+		if res.Restarts > l.cfg.MaxRestarts {
+			return res, fmt.Errorf("cluster: %d worker deaths exceed MaxRestarts=%d", res.Restarts, l.cfg.MaxRestarts)
+		}
+		for _, r := range died {
+			l.logf("rank %d: re-executing", r)
+			if err := l.spawn(r); err != nil {
+				return res, err
+			}
+		}
+		ready := make(map[int]bool)
+		for _, r := range died {
+			ready[r] = true
+		}
+		if err := l.awaitEach("ready", ready); err != nil {
+			return res, err
+		}
+		restore = 1
+	}
+}
+
+// awaitAborted waits for each survivor to acknowledge the abort token. A
+// survivor dying during the abort is tolerated: it is reported back so
+// the caller adds it to the re-exec set (MaxRestarts still bounds total
+// deaths).
+func (l *launcher) awaitAborted(token int, want map[int]bool) (died []int, err error) {
+	tok := strconv.Itoa(token)
+	for len(want) > 0 {
+		ev, err := l.nextEvent()
+		if err != nil {
+			return died, err
+		}
+		if consumed, err := l.handleCommon(ev); err != nil {
+			return died, err
+		} else if consumed {
+			continue
+		}
+		switch ev.fields[0] {
+		case "aborted":
+			if len(ev.fields) >= 2 && ev.fields[1] == tok && want[ev.rank] {
+				delete(want, ev.rank)
+			}
+		case "exit":
+			if want[ev.rank] {
+				delete(want, ev.rank)
+				died = append(died, ev.rank)
+			}
+		}
+	}
+	return died, nil
+}

@@ -1,0 +1,285 @@
+package cluster
+
+// This file is the per-process half of the multi-process deployment mode:
+// one OS process per rank (a "node"), real TCP between them, and real
+// SIGKILL as the failure injector. RunNode hosts one rank and takes orders
+// from the launcher (launch.go) over its stdin/stdout pipes:
+//
+//	launcher -> node:  run <attempt> <restore>   start an attempt
+//	                   abort <token>             tear the current attempt down
+//	                   quit                      exit
+//	node -> launcher:  ready                     store + meshes are up
+//	                   victim                    failure spec fired; awaiting SIGKILL
+//	                   stat <attempt> <k=v...>   store statistics for the attempt
+//	                   done <attempt> <result>   attempt completed
+//	                   down <attempt>            attempt ended with the world down
+//	                   aborted <token>           abort acknowledged, attempt torn down
+//	                   error <msg>               fatal node error
+//
+// A node outlives its attempts: the replicated store's memory (and its
+// replication TCP mesh) persists across world restarts, exactly like a
+// cluster node whose surviving RAM holds checkpoint replicas while the MPI
+// job is relaunched. Only a node that really dies — the SIGKILLed victim —
+// loses its memory, and its re-executed replacement reassembles its
+// checkpoints from peers over the wire.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"c3/internal/ckpt"
+	"c3/internal/mpi"
+	"c3/internal/stable"
+	"c3/internal/transport/tcp"
+)
+
+// NodeConfig configures one rank's process.
+type NodeConfig struct {
+	// Rank is the hosted rank; Ranks the world size.
+	Rank, Ranks int
+	// MPIAddrs are the per-rank addresses of the MPI-plane TCP meshes (one
+	// fresh mesh per attempt, tagged with the attempt's generation).
+	MPIAddrs []string
+	// ReplAddrs, when non-empty, are the per-rank addresses of the
+	// long-lived replication mesh backing a diskless stable.DistStore.
+	ReplAddrs []string
+	// StorePath is the shared-filesystem DiskStore root used when
+	// ReplAddrs is empty.
+	StorePath string
+	// App is the application main, run once per attempt.
+	App func(Env) error
+	// Args is handed to the application via Env.Args.
+	Args any
+	// Result, when non-nil, is evaluated after a successful attempt and
+	// reported to the launcher with the done event.
+	Result func() string
+	// Policy controls pragma firing.
+	Policy ckpt.Policy
+	// FullCheckpointEvery enables incremental checkpointing (see Config).
+	FullCheckpointEvery int
+	// Kill schedules this node's own failure: when the spec fires (on the
+	// first attempt), the node reports itself as the victim and blocks,
+	// awaiting the launcher's real SIGKILL.
+	Kill *FailureSpec
+	// DialWindow bounds first-connection retries (start-up ordering).
+	DialWindow time.Duration
+	// In and Out are the control pipes (the launcher's end of stdin/stdout).
+	In  io.Reader
+	Out io.Writer
+	// Log, when non-nil, receives node progress lines (stderr tracing).
+	Log func(format string, args ...any)
+}
+
+// node is the running state of one rank's process.
+type node struct {
+	cfg   NodeConfig
+	store stable.Store
+	dist  *stable.DistStore // non-nil when diskless
+
+	outMu sync.Mutex
+
+	statMu    sync.Mutex
+	lastStats ckpt.Stats // the protocol counters of the last finished attempt
+}
+
+// RunNode hosts one rank until quit or stdin EOF. It is the body of
+// `c3node -worker`.
+func RunNode(cfg NodeConfig) error {
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks || cfg.Ranks <= 0 {
+		return fmt.Errorf("cluster: node rank %d of %d", cfg.Rank, cfg.Ranks)
+	}
+	if cfg.App == nil {
+		return fmt.Errorf("cluster: node has no application")
+	}
+	if cfg.DialWindow == 0 {
+		cfg.DialWindow = 10 * time.Second
+	}
+	w := &node{cfg: cfg}
+
+	switch {
+	case len(cfg.ReplAddrs) > 0:
+		rmesh, err := tcp.New(cfg.Rank, cfg.ReplAddrs, tcp.WithDialWindow(cfg.DialWindow))
+		if err != nil {
+			w.emit("error %v", err)
+			return err
+		}
+		var dopts []stable.DistOption
+		if cfg.Log != nil {
+			dopts = append(dopts, stable.WithDistLog(cfg.Log))
+		}
+		w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, rmesh, dopts...)
+		w.store = w.dist
+		defer w.dist.Close()
+	case cfg.StorePath != "":
+		disk, err := stable.NewDiskStore(cfg.StorePath)
+		if err != nil {
+			w.emit("error %v", err)
+			return err
+		}
+		w.store = disk
+	default:
+		err := fmt.Errorf("cluster: node needs ReplAddrs or StorePath")
+		w.emit("error %v", err)
+		return err
+	}
+
+	cmds := make(chan []string)
+	go func() {
+		sc := bufio.NewScanner(cfg.In)
+		sc.Buffer(make([]byte, 64*1024), 64*1024)
+		for sc.Scan() {
+			if f := strings.Fields(sc.Text()); len(f) > 0 {
+				if cfg.Log != nil {
+					cfg.Log("rank %d <- %s", cfg.Rank, strings.Join(f, " "))
+				}
+				cmds <- f
+			}
+		}
+		close(cmds)
+	}()
+
+	w.emit("ready")
+	for cmd := range cmds {
+		switch cmd[0] {
+		case "run":
+			if len(cmd) < 3 {
+				w.emit("error malformed run command")
+				continue
+			}
+			attempt, _ := strconv.Atoi(cmd[1])
+			restore := cmd[2] == "1"
+			w.runAttempt(attempt, restore, cmds)
+		case "abort":
+			w.emit("aborted %s", tokenOf(cmd))
+		case "quit":
+			return nil
+		}
+	}
+	return nil
+}
+
+func tokenOf(cmd []string) string {
+	if len(cmd) > 1 {
+		return cmd[1]
+	}
+	return "?"
+}
+
+func (w *node) emit(format string, args ...any) {
+	w.outMu.Lock()
+	defer w.outMu.Unlock()
+	fmt.Fprintf(w.cfg.Out, format+"\n", args...)
+	if w.cfg.Log != nil {
+		w.cfg.Log("rank %d -> "+format, append([]any{w.cfg.Rank}, args...)...)
+	}
+}
+
+// runAttempt executes one world launch, staying responsive to abort
+// commands while the application runs.
+func (w *node) runAttempt(attempt int, restore bool, cmds <-chan []string) {
+	if w.dist != nil {
+		w.dist.Resume()
+	}
+	mesh, err := tcp.New(w.cfg.Rank, w.cfg.MPIAddrs,
+		tcp.WithGeneration(uint64(attempt+1)), tcp.WithDialWindow(w.cfg.DialWindow))
+	if err != nil {
+		w.emit("error %v", err)
+		return
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.attemptBody(mesh, attempt, restore) }()
+
+	for {
+		select {
+		case err := <-done:
+			w.finishMesh(mesh)
+			switch {
+			case err == nil:
+				result := ""
+				if w.cfg.Result != nil {
+					result = w.cfg.Result()
+				}
+				reasm := int64(0)
+				if w.dist != nil {
+					reasm = w.dist.Reassemblies()
+				}
+				w.statMu.Lock()
+				st := w.lastStats
+				w.statMu.Unlock()
+				// Recovery provenance: did this attempt restore from a line,
+				// and how many checkpoints were reassembled from peer
+				// fragments over the wire.
+				w.emit("stat %d reassemblies=%d restores=%d checkpoints=%d", attempt, reasm, st.Restores, st.CheckpointsTaken)
+				w.emit("done %d %s", attempt, result)
+			case errors.Is(err, mpi.ErrDown):
+				w.emit("down %d", attempt)
+			default:
+				w.emit("error rank %d attempt %d: %v", w.cfg.Rank, attempt, err)
+			}
+			return
+		case cmd, ok := <-cmds:
+			if !ok || cmd[0] == "quit" {
+				w.teardown(mesh)
+				<-done
+				return
+			}
+			if cmd[0] == "abort" {
+				w.teardown(mesh)
+				<-done
+				w.finishMesh(mesh)
+				w.emit("aborted %s", tokenOf(cmd))
+				return
+			}
+			w.emit("error unexpected %q during attempt", cmd[0])
+		}
+	}
+}
+
+// teardown brings the current attempt down: the MPI mesh dies (all blocked
+// operations return ErrDown) and any commit blocked on a dead neighbor's
+// acknowledgment is released.
+func (w *node) teardown(mesh *tcp.Mesh) {
+	mesh.Shutdown()
+	if w.dist != nil {
+		w.dist.Interrupt()
+	}
+}
+
+func (w *node) finishMesh(mesh *tcp.Mesh) {
+	mesh.Close()
+}
+
+// attemptBody is one rank's share of one world launch — the multi-process
+// analogue of runAttempt in run.go, reusing the same per-rank protocol
+// bring-up (runRank).
+func (w *node) attemptBody(mesh *tcp.Mesh, attempt int, restore bool) error {
+	world := mpi.NewWorld(w.cfg.Ranks, mpi.WithInterconnect(mesh))
+	cfg := Config{
+		Ranks:               w.cfg.Ranks,
+		App:                 w.cfg.App,
+		Args:                w.cfg.Args,
+		Policy:              w.cfg.Policy,
+		FullCheckpointEvery: w.cfg.FullCheckpointEvery,
+		// The failure fires at the exact protocol point the spec names, but
+		// the death itself is real: announce, then freeze until SIGKILL.
+		failAction: func() error {
+			w.emit("victim")
+			select {}
+		},
+	}
+	var failer *failureInjector
+	if w.cfg.Kill != nil && attempt == 0 && w.cfg.Kill.Rank == w.cfg.Rank {
+		failer = &failureInjector{spec: *w.cfg.Kill}
+	}
+	err, st := runRank(cfg, world, w.store, w.cfg.Rank, restore, failer)
+	w.statMu.Lock()
+	w.lastStats = st
+	w.statMu.Unlock()
+	return err
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// to sub-seeds of Replay.Seed, so edited (shrunk) schedules still
 	// yield a total, deterministic run.
 	Replay *Schedule
+	// failAction, when non-nil, replaces the in-process fail-stop injection
+	// when a scheduled failure fires. The multi-process node runtime uses it
+	// to announce itself as the victim and await a real SIGKILL.
+	failAction func() error
 }
 
 // Schedule is a recorded virtual-schedule execution: the decision trace of
@@ -286,16 +290,17 @@ func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart
 		return err, ckpt.Stats{}
 	}
 	env := &ckptEnv{
-		layer:   layer,
-		world:   layer.World(),
-		heap:    heap,
-		args:    cfg.Args,
-		restart: restart,
-		failer:  failer,
-		rank:    rank,
-		proc:    p,
-		mpiW:    world,
-		store:   store,
+		layer:      layer,
+		world:      layer.World(),
+		heap:       heap,
+		args:       cfg.Args,
+		restart:    restart,
+		failer:     failer,
+		failAction: cfg.failAction,
+		rank:       rank,
+		proc:       p,
+		mpiW:       world,
+		store:      store,
 	}
 	err = cfg.App(env)
 	// End-of-attempt pipeline teardown: a rank that fail-stopped discards
@@ -339,16 +344,17 @@ func (f *failureInjector) shouldFire(epoch uint64) bool {
 
 // ckptEnv is the Env implementation backed by the protocol layer.
 type ckptEnv struct {
-	layer   *ckpt.Layer
-	world   *ckpt.WComm
-	heap    *statesave.Heap
-	args    any
-	restart bool
-	failer  *failureInjector
-	rank    int
-	proc    *mpi.Proc
-	mpiW    *mpi.World
-	store   stable.Store
+	layer      *ckpt.Layer
+	world      *ckpt.WComm
+	heap       *statesave.Heap
+	args       any
+	restart    bool
+	failer     *failureInjector
+	failAction func() error
+	rank       int
+	proc       *mpi.Proc
+	mpiW       *mpi.World
+	store      stable.Store
 }
 
 // injectFailure models the fail-stop failure of this rank's node, in
@@ -379,16 +385,26 @@ func (e *ckptEnv) Restore() (bool, error) {
 	return e.layer.Restore()
 }
 
+// fireFailure runs the configured failure action: the in-process fail-stop
+// injection by default, or failAction (await a real SIGKILL) in the
+// multi-process runtime.
+func (e *ckptEnv) fireFailure() error {
+	if e.failAction != nil {
+		return e.failAction()
+	}
+	return e.injectFailure()
+}
+
 func (e *ckptEnv) Checkpoint() error {
 	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
-		return e.injectFailure()
+		return e.fireFailure()
 	}
 	return e.layer.Checkpoint(false)
 }
 
 func (e *ckptEnv) CheckpointNow() error {
 	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
-		return e.injectFailure()
+		return e.fireFailure()
 	}
 	return e.layer.Checkpoint(true)
 }

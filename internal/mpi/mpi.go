@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"c3/internal/transport"
+	"c3/internal/wire"
 )
 
 // Wildcards for receive matching. They are valid only where documented:
@@ -93,11 +94,39 @@ type Envelope struct {
 // TransportSize implements transport.Sizer.
 func (e *Envelope) TransportSize() int { return len(e.Data) }
 
-// World is a set of communicating processes. It owns the transport network
-// and a Proc per rank.
+// WireKind implements transport.WirePayload.
+func (e *Envelope) WireKind() uint8 { return transport.WireKindEnvelope }
+
+// MarshalWire implements transport.WirePayload.
+func (e *Envelope) MarshalWire() []byte {
+	w := wire.NewWriter(24 + len(e.Data))
+	w.U32(uint32(e.SrcWorld))
+	w.I64(int64(e.Tag))
+	w.U32(e.Ctx)
+	w.Bytes32(e.Data)
+	return w.Bytes()
+}
+
+func init() {
+	transport.RegisterWireDecoder(transport.WireKindEnvelope, func(data []byte) (any, error) {
+		r := wire.NewReader(data)
+		e := &Envelope{SrcWorld: int(r.U32())}
+		e.Tag = int(r.I64())
+		e.Ctx = r.U32()
+		e.Data = r.Bytes32()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("mpi: corrupt envelope frame: %w", err)
+		}
+		return e, nil
+	})
+}
+
+// World is a set of communicating processes. It owns the transport
+// interconnect and a Proc per rank (with a remote interconnect, only the
+// locally hosted rank's Proc is usable).
 type World struct {
 	n     int
-	nw    *transport.Network
+	nw    transport.Interconnect
 	procs []*Proc
 
 	// ctxCounter allocates communicator context ids; see Comm. Each
@@ -111,6 +140,7 @@ type WorldOption func(*worldConfig)
 
 type worldConfig struct {
 	transportOpts []transport.Option
+	ic            transport.Interconnect
 }
 
 // WithTransportOptions forwards options to the underlying network, for
@@ -127,15 +157,29 @@ func WithScheduler(s *transport.Scheduler) WorldOption {
 	return func(c *worldConfig) { c.transportOpts = append(c.transportOpts, transport.WithScheduler(s)) }
 }
 
+// WithInterconnect runs the world over an externally constructed
+// interconnect (for example a tcp.Mesh hosting one rank of a multi-process
+// world) instead of a fresh in-memory network. Transport options and
+// WithScheduler are ignored when an interconnect is supplied.
+func WithInterconnect(ic transport.Interconnect) WorldOption {
+	return func(c *worldConfig) { c.ic = ic }
+}
+
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts ...WorldOption) *World {
 	var cfg worldConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
+	ic := cfg.ic
+	if ic == nil {
+		ic = transport.NewNetwork(n, cfg.transportOpts...)
+	} else if ic.Size() != n {
+		panic(fmt.Sprintf("mpi: interconnect has %d ranks, world wants %d", ic.Size(), n))
+	}
 	w := &World{
 		n:          n,
-		nw:         transport.NewNetwork(n, cfg.transportOpts...),
+		nw:         ic,
 		ctxCounter: 2, // ctx 0/1 are the world communicator's planes
 	}
 	w.procs = make([]*Proc, n)
@@ -152,9 +196,9 @@ func (w *World) Size() int { return w.n }
 // used only from that rank's goroutine.
 func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
 
-// Network exposes the underlying transport (for stats and failure
-// injection by the cluster runtime).
-func (w *World) Network() *transport.Network { return w.nw }
+// Network exposes the underlying transport interconnect (for stats and
+// failure injection by the cluster runtime).
+func (w *World) Network() transport.Interconnect { return w.nw }
 
 // Scheduler returns the network's virtual schedule engine, nil under real
 // scheduling.
@@ -171,7 +215,7 @@ type Proc struct {
 	world *World
 	rank  int
 	name  string
-	ep    *transport.Endpoint
+	ep    transport.Port
 
 	// Receive-side matching state. Arrival order is preserved in
 	// unexpected; posted holds pending non-blocking receives in post order.

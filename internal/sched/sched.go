@@ -72,6 +72,12 @@ var Scenarios = []Scenario{
 	{Name: "straddle-async", Ranks: 5, Iters: 12, App: StraddleApp,
 		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 4}},
 		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	{Name: "collective-straddle-sync", Ranks: 5, Iters: 12, App: CollectiveStraddleApp,
+		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 5}, {Rank: 4, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2}},
+	{Name: "collective-straddle-async", Ranks: 5, Iters: 12, App: CollectiveStraddleApp,
+		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 5}, {Rank: 4, AtPragma: 4}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
 }
 
 // ScenarioByName looks a scenario up in the registry.
@@ -243,6 +249,94 @@ func StraddleApp(iters int, sums *sync.Map) func(cluster.Env) error {
 				acc = acc*131 + int(data[i])
 			}
 			sum.Set(acc & 0xffffffff)
+			it.Add(1)
+		}
+		sums.Store(r, sum.Get())
+		return nil
+	}
+}
+
+// CollectiveStraddleApp is the collective-plane straddle workload: each
+// iteration does a rank-skewed amount of point-to-point chatter, passes the
+// checkpoint pragma, and then immediately runs a train of collectives
+// (Allreduce, Scan, and a rotating-root Bcast). Because ranks reach the
+// pragma at different logical times, a checkpoint line routinely cuts
+// through the collectives' internal message plane: a rank that has started
+// the line receives collective-plane traffic from ranks that have not
+// (late messages on the collective context), and the collective result log
+// must carry straddling results across recovery. This covers the plane the
+// Irecv-straddle workload cannot — its crossings live on the
+// point-to-point context only.
+func CollectiveStraddleApp(iters int, sums *sync.Map) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		sum := st.Int("sum")
+		inColl := st.Bool("inColl") // pragma passed, this iteration's collectives pending
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		w := env.World()
+		r, n := env.Rank(), env.Size()
+		scratch8 := make([]byte, 8)
+		// The pragma sits between an iteration's point-to-point phase and its
+		// collective phase, so every recovery line restores to inColl=true:
+		// the re-execution must skip the already-counted pre-pragma exchange
+		// and resume directly at the collectives the line cut through.
+		resume := restored && inColl.Get()
+		for it.Get() < iters {
+			i := it.Get()
+			if !resume {
+				// One matched neighbor exchange per iteration, then
+				// rank-skewed self-traffic: each rank passes a different
+				// number of scheduling points before the pragma, so lines
+				// start at staggered points (self-messages are rank-local,
+				// so the skew cannot deadlock).
+				right, left := (r+1)%n, (r-1+n)%n
+				out := mpi.Int64Bytes([]int64{int64(r*1000 + i*10)})
+				in := make([]byte, 8)
+				if _, err := w.Sendrecv(out, 1, mpi.TypeInt64, right, 21,
+					in, 1, mpi.TypeInt64, left, 21); err != nil {
+					return err
+				}
+				sum.Set((sum.Get()*31 + int(mpi.BytesInt64s(in)[0])) & 0xffffffff)
+				for k := 0; k < (r+i)%3; k++ {
+					if err := w.SendBytes([]byte{byte(k)}, r, 23); err != nil {
+						return err
+					}
+					if _, err := w.RecvBytes(make([]byte, 1), r, 23); err != nil {
+						return err
+					}
+				}
+				inColl.Set(true)
+				if err := env.Checkpoint(); err != nil {
+					return err
+				}
+			}
+			resume = false
+			// The collective train right after the pragma: its messages
+			// straddle the line whenever peers are still pre-pragma.
+			in := mpi.Int64Bytes([]int64{int64(sum.Get())})
+			if err := w.Allreduce(in, scratch8, 1, mpi.TypeInt64, mpi.OpBXor); err != nil {
+				return err
+			}
+			allred := int(mpi.BytesInt64s(scratch8)[0])
+			if err := w.Scan(in, scratch8, 1, mpi.TypeInt64, mpi.OpSum); err != nil {
+				return err
+			}
+			scanned := int(mpi.BytesInt64s(scratch8)[0])
+			root := i % n
+			bcast := mpi.Int64Bytes([]int64{-1})
+			if r == root {
+				bcast = mpi.Int64Bytes([]int64{int64(root*7919 + i)}) // pure function of (root, i)
+			}
+			if err := w.Bcast(bcast, 1, mpi.TypeInt64, root); err != nil {
+				return err
+			}
+			rooted := int(mpi.BytesInt64s(bcast)[0])
+			sum.Set((sum.Get()*37 + allred*5 + scanned*3 + rooted) & 0xffffffff)
+			inColl.Set(false)
 			it.Add(1)
 		}
 		sums.Store(r, sum.Get())

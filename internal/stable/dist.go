@@ -1,0 +1,644 @@
+package stable
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"c3/internal/transport"
+)
+
+// DistStore is the multi-process form of ReplicatedStore: one instance per
+// OS process, holding exactly one node's memory (its own checkpoints plus
+// the fragments and commit markers it replicates for its -1/-2 ring
+// predecessors). Instances communicate over a transport.Interconnect —
+// a tcp.Mesh in real deployments, an in-memory Network in tests.
+//
+// The write path speaks exactly ReplicatedStore's wire protocol: at commit
+// the blob's fragments are shipped to the +1/+2 ring neighbors followed by
+// a commit marker on the same FIFO pair, and the commit blocks until every
+// neighbor acknowledged (or a timeout excuses a dead one). The read path,
+// which in ReplicatedStore inspects all nodes' memory directly, becomes a
+// query protocol: a restarted process with empty memory asks its peers
+// which committed versions they hold for it and fetches the fragments, so
+// diskless recovery works across real process boundaries — a rank that was
+// SIGKILLed reassembles its last committed line entirely over the wire.
+//
+// Failure model: a process that dies takes its node memory with it — no
+// FailNode call is needed, real death *is* the wipe. A committed line is
+// lost only if the owner and both replica holders die together.
+type DistStore struct {
+	self      int
+	n         int
+	fragments int
+	net       transport.Interconnect
+
+	ackTimeout   time.Duration
+	queryTimeout time.Duration
+	logf         func(format string, args ...any)
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	node        *replNode
+	awaiting    map[replAckKey]bool
+	interrupted bool
+	closed      bool
+
+	bytesWritten    int64
+	replicatedBytes int64
+	reassemblies    int64
+
+	reqMu   sync.Mutex
+	nextReq uint64
+	waiters map[uint64]chan replPayload
+
+	wg sync.WaitGroup
+}
+
+// DistOption configures a DistStore.
+type DistOption func(*DistStore)
+
+// WithDistFragments sets how many pieces each checkpoint blob is split
+// into before replication (default 2).
+func WithDistFragments(k int) DistOption {
+	return func(s *DistStore) {
+		if k >= 1 {
+			s.fragments = k
+		}
+	}
+}
+
+// WithAckTimeout bounds how long a commit waits for a neighbor's
+// acknowledgment before excusing it as dead (default 5s). The local copy
+// still commits; the line then relies on the surviving replicas.
+func WithAckTimeout(d time.Duration) DistOption {
+	return func(s *DistStore) { s.ackTimeout = d }
+}
+
+// WithQueryTimeout bounds how long recovery reads wait for peer responses
+// (default 3s).
+func WithQueryTimeout(d time.Duration) DistOption {
+	return func(s *DistStore) { s.queryTimeout = d }
+}
+
+// WithDistLog installs a diagnostic logger for replication and recovery
+// events.
+func WithDistLog(logf func(format string, args ...any)) DistOption {
+	return func(s *DistStore) { s.logf = logf }
+}
+
+// NewDistStore creates the store for local rank self of an n-rank world,
+// attached to the given replication interconnect. The store owns one
+// replication daemon; call Close when done.
+func NewDistStore(self, n int, net transport.Interconnect, opts ...DistOption) *DistStore {
+	if n <= 0 || self < 0 || self >= n {
+		panic(fmt.Sprintf("stable: dist store rank %d of %d", self, n))
+	}
+	s := &DistStore{
+		self:         self,
+		n:            n,
+		fragments:    2,
+		net:          net,
+		ackTimeout:   5 * time.Second,
+		queryTimeout: 3 * time.Second,
+		node:         newReplNode(),
+		awaiting:     make(map[replAckKey]bool),
+		waiters:      make(map[uint64]chan replPayload),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.daemon()
+	return s
+}
+
+// Close shuts the store and its interconnect down.
+func (s *DistStore) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.net.Shutdown()
+	s.wg.Wait()
+}
+
+// Interrupt releases commits blocked on neighbor acknowledgments (they
+// keep their local copy and return). The multi-process runtime calls it
+// when an attempt is aborted, so a committer waiting on a dead neighbor
+// cannot stall the restart; call Resume before the next attempt.
+func (s *DistStore) Interrupt() {
+	s.mu.Lock()
+	s.interrupted = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Resume clears an Interrupt.
+func (s *DistStore) Resume() {
+	s.mu.Lock()
+	s.interrupted = false
+	s.mu.Unlock()
+}
+
+// Reassemblies reports how many checkpoints were rebuilt from peer
+// fragments over the wire.
+func (s *DistStore) Reassemblies() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reassemblies
+}
+
+// ReplicatedBytes returns the fragment bytes shipped to peer nodes.
+func (s *DistStore) ReplicatedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicatedBytes
+}
+
+// neighbors returns the +1/+2 ring successors that replicate self's lines.
+func (s *DistStore) neighbors() []int {
+	var ns []int
+	for d := 1; d <= 2 && d < s.n; d++ {
+		ns = append(ns, (s.self+d)%s.n)
+	}
+	return ns
+}
+
+func (s *DistStore) send(to int, class transport.Class, p replPayload) {
+	_ = s.net.Send(transport.Message{From: s.self, To: to, Class: class, Payload: p})
+}
+
+// --- Write path ---
+
+type distHandle struct {
+	store    *DistStore
+	rank     int
+	version  int
+	sections map[string][]byte
+	done     bool
+}
+
+// Begin implements Store.
+func (s *DistStore) Begin(rank, version int) (Checkpoint, error) {
+	if rank != s.self {
+		return nil, fmt.Errorf("stable: dist store hosts rank %d, cannot write rank %d", s.self, rank)
+	}
+	s.mu.Lock()
+	delete(s.node.local, version)
+	s.mu.Unlock()
+	return &distHandle{store: s, rank: rank, version: version, sections: make(map[string][]byte)}, nil
+}
+
+func (h *distHandle) WriteSection(name string, data []byte) error {
+	if h.done {
+		return fmt.Errorf("stable: write to finished checkpoint (%d,%d)", h.rank, h.version)
+	}
+	h.sections[name] = append([]byte(nil), data...)
+	h.store.mu.Lock()
+	h.store.bytesWritten += int64(len(data))
+	h.store.mu.Unlock()
+	return nil
+}
+
+func (h *distHandle) Abort() error {
+	h.done = true
+	return nil
+}
+
+// Commit ships fragments and the commit marker to the ring neighbors and
+// waits for their acknowledgments; a neighbor that never answers within
+// the ack timeout (it is dead, or the world is being torn down) is
+// excused. Only then does the version become locally committed.
+func (h *distHandle) Commit() error {
+	if h.done {
+		return fmt.Errorf("stable: commit of finished checkpoint (%d,%d)", h.rank, h.version)
+	}
+	h.done = true
+	s := h.store
+
+	blob := encodeReplSections(h.sections)
+	frags := splitFragments(blob, s.fragments)
+	rec := replCommitRec{frags: len(frags), total: len(blob), sum: replSum(blob)}
+	targets := s.neighbors()
+
+	s.mu.Lock()
+	for _, nb := range targets {
+		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
+		s.replicatedBytes += int64(len(blob))
+	}
+	s.mu.Unlock()
+
+	for _, nb := range targets {
+		for idx, frag := range frags {
+			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, idx, frag))
+		}
+		// The marker travels after the fragments on the same FIFO pair, so
+		// a stored marker implies the fragments preceding it arrived.
+		s.send(nb, transport.Control, encodeReplCommit(h.rank, h.version, 0, rec))
+	}
+
+	deadline := time.Now().Add(s.ackTimeout)
+	wake := time.AfterFunc(s.ackTimeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer wake.Stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		pending := 0
+		for _, nb := range targets {
+			if !s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] {
+				pending++
+			}
+		}
+		if pending == 0 || s.interrupted || s.closed || !time.Now().Before(deadline) {
+			break
+		}
+		s.cond.Wait()
+	}
+	for _, nb := range targets {
+		delete(s.awaiting, replAckKey{owner: h.rank, version: h.version, from: nb})
+	}
+	s.node.local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	return nil
+}
+
+// --- Daemon ---
+
+// daemon is the node's replication endpoint: it stores incoming fragments
+// and markers, acknowledges commits, answers recovery queries, applies
+// prunes, and routes acknowledgments and query responses to waiters.
+func (s *DistStore) daemon() {
+	defer s.wg.Done()
+	ep := s.net.Endpoint(s.self)
+	for {
+		msg, err := ep.Recv()
+		if err != nil {
+			return // interconnect shut down
+		}
+		data, ok := msg.Payload.(replPayload)
+		if !ok || len(data) == 0 {
+			continue
+		}
+		switch data[0] {
+		case replMsgFrag:
+			owner, version, _, idx, frag, err := decodeReplFrag(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			s.node.frags[replFragKey{owner: owner, version: version, idx: idx}] = frag
+			s.mu.Unlock()
+		case replMsgCommit:
+			owner, version, _, rec, err := decodeReplCommit(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			s.node.commits[replCommitKey{owner: owner, version: version}] = rec
+			s.mu.Unlock()
+			s.send(msg.From, transport.Control, encodeReplAck(owner, version, s.self))
+		case replMsgAck:
+			owner, version, from, err := decodeReplAck(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			key := replAckKey{owner: owner, version: version, from: from}
+			if _, waiting := s.awaiting[key]; waiting {
+				s.awaiting[key] = true
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		case distMsgQueryLast:
+			reqID, owner, err := decodeDistQueryLast(data)
+			if err != nil {
+				continue
+			}
+			if s.logf != nil {
+				s.logf("dist: rank %d answering query owner=%d from rank %d", s.self, owner, msg.From)
+			}
+			s.send(msg.From, transport.Control, s.answerQueryLast(reqID, owner))
+		case distMsgQueryFrag:
+			reqID, owner, version, idx, err := decodeDistQueryFrag(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			frag, found := s.node.frags[replFragKey{owner: owner, version: version, idx: idx}]
+			s.mu.Unlock()
+			s.send(msg.From, transport.Control, encodeDistRespFrag(reqID, found, frag))
+		case distMsgRespLast, distMsgRespFrag:
+			reqID, ok := peekDistReqID(data)
+			if !ok {
+				continue
+			}
+			s.reqMu.Lock()
+			ch := s.waiters[reqID]
+			s.reqMu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- data:
+				default: // waiter gave up or buffer full; drop
+				}
+			}
+		case distMsgPrune:
+			owner, version, above, err := decodeDistPrune(data)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			for key := range s.node.frags {
+				if key.owner == owner && ((above && key.version > version) || (!above && key.version < version)) {
+					delete(s.node.frags, key)
+				}
+			}
+			for key := range s.node.commits {
+				if key.owner == owner && ((above && key.version > version) || (!above && key.version < version)) {
+					delete(s.node.commits, key)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// answerQueryLast reports every (version, marker, held fragment indexes)
+// this node holds for the owner.
+func (s *DistStore) answerQueryLast(reqID uint64, owner int) replPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var entries []distLastEntry
+	for key, rec := range s.node.commits {
+		if key.owner != owner {
+			continue
+		}
+		e := distLastEntry{version: key.version, rec: rec}
+		for idx := 0; idx < rec.frags; idx++ {
+			if _, ok := s.node.frags[replFragKey{owner: owner, version: key.version, idx: idx}]; ok {
+				e.held = append(e.held, idx)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return encodeDistRespLast(reqID, entries)
+}
+
+// --- Read path (recovery queries) ---
+
+// distLastEntry is one peer's report about (owner, version).
+type distLastEntry struct {
+	version int
+	rec     replCommitRec
+	held    []int // fragment indexes the peer holds
+}
+
+// remoteLine aggregates peer reports for one version.
+type remoteLine struct {
+	rec     replCommitRec
+	holders map[int][]int // fragment idx -> peers holding it
+}
+
+// newRequest registers a response channel for a fresh request id.
+func (s *DistStore) newRequest(buf int) (uint64, chan replPayload) {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	s.nextReq++
+	id := s.nextReq
+	ch := make(chan replPayload, buf)
+	s.waiters[id] = ch
+	return id, ch
+}
+
+func (s *DistStore) dropRequest(id uint64) {
+	s.reqMu.Lock()
+	delete(s.waiters, id)
+	s.reqMu.Unlock()
+}
+
+// queryPeers asks every peer what it holds for owner and merges the
+// responses, waiting until all peers answered or the query timeout passed.
+func (s *DistStore) queryPeers(owner int) map[int]*remoteLine {
+	reqID, ch := s.newRequest(s.n)
+	defer s.dropRequest(reqID)
+	peers := 0
+	for q := 0; q < s.n; q++ {
+		if q == s.self {
+			continue
+		}
+		s.send(q, transport.Control, encodeDistQueryLast(reqID, owner))
+		peers++
+	}
+	lines := make(map[int]*remoteLine)
+	deadline := time.After(s.queryTimeout)
+	for answered := 0; answered < peers; {
+		select {
+		case data := <-ch:
+			if len(data) == 0 || data[0] != distMsgRespLast {
+				continue
+			}
+			_, entries, err := decodeDistRespLast(data)
+			if err != nil {
+				continue
+			}
+			if s.logf != nil {
+				s.logf("dist: rank %d query owner=%d: peer response with %d entries", s.self, owner, len(entries))
+			}
+			// The response's From is not carried in the payload; holders are
+			// identified by a follow-up fragment query fan-out, so here we
+			// only record which versions exist and how complete they are.
+			for _, e := range entries {
+				rl := lines[e.version]
+				if rl == nil {
+					rl = &remoteLine{rec: e.rec, holders: make(map[int][]int)}
+					lines[e.version] = rl
+				}
+				for _, idx := range e.held {
+					rl.holders[idx] = append(rl.holders[idx], -1)
+				}
+			}
+			answered++
+		case <-deadline:
+			if s.logf != nil {
+				s.logf("dist: rank %d query owner=%d timed out with %d/%d peers answered", s.self, owner, answered, peers)
+			}
+			return lines
+		}
+	}
+	return lines
+}
+
+// complete reports whether every fragment of the line was seen somewhere.
+func (rl *remoteLine) complete() bool {
+	for idx := 0; idx < rl.rec.frags; idx++ {
+		if len(rl.holders[idx]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LastCommitted implements Store: the newest locally committed version or,
+// when local memory is empty (a restarted process), the newest version
+// whose marker and full fragment set survive on peers.
+func (s *DistStore) LastCommitted(rank int) (int, bool, error) {
+	if rank == s.self {
+		s.mu.Lock()
+		best, ok := 0, false
+		for v, ck := range s.node.local {
+			if ck.commit && (!ok || v > best) {
+				best, ok = v, true
+			}
+		}
+		s.mu.Unlock()
+		if ok {
+			return best, true, nil
+		}
+	}
+	lines := s.queryPeers(rank)
+	versions := make([]int, 0, len(lines))
+	for v := range lines {
+		versions = append(versions, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(versions)))
+	for _, v := range versions {
+		if lines[v].complete() {
+			return v, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Open implements Store. A missing local copy is reassembled from peer
+// fragments fetched over the wire, validated against the commit marker,
+// and re-installed locally (the restarted node re-hosting its line).
+func (s *DistStore) Open(rank, version int) (Snapshot, error) {
+	s.mu.Lock()
+	if rank == s.self {
+		if ck, ok := s.node.local[version]; ok {
+			s.mu.Unlock()
+			if !ck.commit {
+				return nil, fmt.Errorf("%w: rank %d version %d", ErrNotCommitted, rank, version)
+			}
+			return &memSnap{ck: ck}, nil
+		}
+	}
+	s.mu.Unlock()
+
+	lines := s.queryPeers(rank)
+	rl, ok := lines[version]
+	if !ok {
+		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
+	}
+	blob := make([]byte, 0, rl.rec.total)
+	for idx := 0; idx < rl.rec.frags; idx++ {
+		frag, ok := s.fetchFrag(rank, version, idx)
+		if !ok {
+			return nil, fmt.Errorf("%w: rank %d version %d fragment %d unreachable on all peers", ErrNotFound, rank, version, idx)
+		}
+		blob = append(blob, frag...)
+	}
+	if len(blob) != rl.rec.total || replSum(blob) != rl.rec.sum {
+		return nil, fmt.Errorf("stable: rank %d version %d reassembly mismatch (%d/%d bytes)", rank, version, len(blob), rl.rec.total)
+	}
+	sections, err := decodeReplSections(blob)
+	if err != nil {
+		return nil, fmt.Errorf("stable: rank %d version %d: %w", rank, version, err)
+	}
+	ck := &memCkpt{sections: sections, commit: true}
+	s.mu.Lock()
+	if rank == s.self {
+		s.node.local[version] = ck
+	}
+	s.reassemblies++
+	s.mu.Unlock()
+	return &memSnap{ck: ck}, nil
+}
+
+// fetchFrag asks each peer in turn for one fragment.
+func (s *DistStore) fetchFrag(owner, version, idx int) ([]byte, bool) {
+	for q := 0; q < s.n; q++ {
+		if q == s.self {
+			continue
+		}
+		reqID, ch := s.newRequest(1)
+		s.send(q, transport.Control, encodeDistQueryFrag(reqID, owner, version, idx))
+		select {
+		case data := <-ch:
+			s.dropRequest(reqID)
+			_, found, frag, err := decodeDistRespFrag(data)
+			if err == nil && found {
+				return frag, true
+			}
+		case <-time.After(s.queryTimeout):
+			s.dropRequest(reqID)
+		}
+	}
+	return nil, false
+}
+
+// Retire implements Store: prune old local versions and tell peers to drop
+// the fragments and markers they hold below the floor.
+func (s *DistStore) Retire(rank, version int) error {
+	return s.prune(rank, version, false)
+}
+
+// Truncate implements Store: drop versions above the recovery line — local
+// memory and peer holdings — so a dead generation cannot resurface.
+func (s *DistStore) Truncate(rank, version int) error {
+	return s.prune(rank, version, true)
+}
+
+func (s *DistStore) prune(rank, version int, above bool) error {
+	if rank == s.self {
+		s.mu.Lock()
+		for v := range s.node.local {
+			if (above && v > version) || (!above && v < version) {
+				delete(s.node.local, v)
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Prune what this node and every peer hold for the rank. FIFO ordering
+	// per pair guarantees the prune lands before any later re-committed
+	// fragments for the same versions.
+	p := encodeDistPrune(rank, version, above)
+	s.mu.Lock()
+	for key := range s.node.frags {
+		if key.owner == rank && ((above && key.version > version) || (!above && key.version < version)) {
+			delete(s.node.frags, key)
+		}
+	}
+	for key := range s.node.commits {
+		if key.owner == rank && ((above && key.version > version) || (!above && key.version < version)) {
+			delete(s.node.commits, key)
+		}
+	}
+	s.mu.Unlock()
+	for q := 0; q < s.n; q++ {
+		if q == s.self {
+			continue
+		}
+		s.send(q, transport.Control, p)
+	}
+	return nil
+}
+
+var _ Store = (*DistStore)(nil)
+
+// --- Query message codecs ---
+
+// Distributed-store message kinds (disjoint from the replMsg* range).
+const (
+	distMsgQueryLast uint8 = iota + 16
+	distMsgRespLast
+	distMsgQueryFrag
+	distMsgRespFrag
+	distMsgPrune
+)

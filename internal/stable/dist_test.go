@@ -1,0 +1,175 @@
+package stable
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"c3/internal/transport"
+)
+
+// distWorld builds n DistStores sharing one in-memory network, the
+// single-process stand-in for n processes on a TCP mesh.
+func distWorld(t *testing.T, n int, opts ...DistOption) []*DistStore {
+	t.Helper()
+	nw := transport.NewNetwork(n)
+	stores := make([]*DistStore, n)
+	for r := 0; r < n; r++ {
+		stores[r] = NewDistStore(r, n, &sharedNet{Interconnect: nw}, opts...)
+	}
+	t.Cleanup(func() {
+		nw.Shutdown()
+		for _, s := range stores {
+			s.wg.Wait()
+		}
+	})
+	return stores
+}
+
+// sharedNet lets n DistStores share one in-memory Network: Shutdown is
+// deferred to the test cleanup so closing one store does not sever the
+// others.
+type sharedNet struct{ transport.Interconnect }
+
+func (s *sharedNet) Shutdown() {}
+
+func writeDistCommitted(t *testing.T, s *DistStore, rank, version int, sections map[string][]byte) {
+	t.Helper()
+	ck, err := s.Begin(rank, version)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	for name, data := range sections {
+		if err := ck.WriteSection(name, data); err != nil {
+			t.Fatalf("WriteSection: %v", err)
+		}
+	}
+	if err := ck.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestDistStoreCommitAndLocalRead(t *testing.T) {
+	stores := distWorld(t, 4)
+	sections := map[string][]byte{"app": []byte("state-1"), "mpi": []byte("tables")}
+	writeDistCommitted(t, stores[1], 1, 1, sections)
+
+	v, ok, err := stores[1].LastCommitted(1)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+	snap, err := stores[1].Open(1, 1)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer snap.Close()
+	got, err := snap.ReadSection("app")
+	if err != nil || !bytes.Equal(got, sections["app"]) {
+		t.Fatalf("ReadSection = %q, %v", got, err)
+	}
+	if r := stores[1].Reassemblies(); r != 0 {
+		t.Fatalf("local read counted %d reassemblies", r)
+	}
+}
+
+// TestDistStoreRecoversAfterRestart models the real lifecycle on one
+// network: the owner's replacement is a brand-new DistStore with empty
+// memory, while peers retain theirs.
+func TestDistStoreRecoversAfterRestart(t *testing.T) {
+	nw := transport.NewNetwork(4)
+	shared := &sharedNet{Interconnect: nw}
+	stores := make([]*DistStore, 4)
+	for r := 0; r < 4; r++ {
+		stores[r] = NewDistStore(r, 4, shared)
+	}
+	defer func() {
+		nw.Shutdown()
+		for _, s := range stores {
+			s.wg.Wait()
+		}
+	}()
+
+	sections := map[string][]byte{"app": []byte("the quick brown fox"), "late": {1, 2, 3}}
+	writeDistCommitted(t, stores[1], 1, 1, sections)
+
+	// The owner's memory is wiped in place (the in-memory analogue of the
+	// process dying and a replacement starting empty: same daemon, no
+	// state). Endpoint queues can't be swapped mid-test, so wipe the maps.
+	s1 := stores[1]
+	s1.mu.Lock()
+	s1.node = newReplNode()
+	s1.mu.Unlock()
+
+	v, ok, err := s1.LastCommitted(1)
+	if err != nil {
+		t.Fatalf("LastCommitted: %v", err)
+	}
+	if !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v; want 1,true (from peers)", v, ok)
+	}
+	snap, err := s1.Open(1, 1)
+	if err != nil {
+		t.Fatalf("Open after wipe: %v", err)
+	}
+	defer snap.Close()
+	got, err := snap.ReadSection("app")
+	if err != nil || !bytes.Equal(got, sections["app"]) {
+		t.Fatalf("reassembled section = %q, %v", got, err)
+	}
+	if r := s1.Reassemblies(); r != 1 {
+		t.Fatalf("Reassemblies = %d, want 1", r)
+	}
+}
+
+func TestDistStoreTruncatePrunesPeers(t *testing.T) {
+	stores := distWorld(t, 4)
+	writeDistCommitted(t, stores[2], 2, 1, map[string][]byte{"a": {1}})
+	writeDistCommitted(t, stores[2], 2, 2, map[string][]byte{"a": {2}})
+	writeDistCommitted(t, stores[2], 2, 3, map[string][]byte{"a": {3}})
+
+	if err := stores[2].Truncate(2, 1); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	// Prune messages are async; wait for the peers to apply them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stores[3].mu.Lock()
+		_, has2 := stores[3].node.commits[replCommitKey{owner: 2, version: 2}]
+		_, has3 := stores[3].node.commits[replCommitKey{owner: 2, version: 3}]
+		stores[3].mu.Unlock()
+		if !has2 && !has3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("peers did not apply the truncate")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// After wiping the owner, only version 1 must be recoverable.
+	s2 := stores[2]
+	s2.mu.Lock()
+	s2.node = newReplNode()
+	s2.mu.Unlock()
+	v, ok, err := s2.LastCommitted(2)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("LastCommitted after truncate = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+}
+
+func TestDistStoreCommitExcusesDeadNeighbor(t *testing.T) {
+	stores := distWorld(t, 3, WithAckTimeout(200*time.Millisecond))
+	// Kill rank 1's endpoint so its daemon never acks: rank 0's commit
+	// replicates to ranks 1 and 2 and must not block forever.
+	stores[1].net.Kill(1)
+
+	start := time.Now()
+	writeDistCommitted(t, stores[0], 0, 1, map[string][]byte{"a": {9}})
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("commit blocked %v despite ack timeout", d)
+	}
+	v, ok, _ := stores[0].LastCommitted(0)
+	if !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v after excused commit", v, ok)
+	}
+}

@@ -1,0 +1,43 @@
+package stable
+
+import (
+	"testing"
+)
+
+// FuzzReplDecode exercises the replication and recovery-query codecs with
+// arbitrary bytes — exactly what a corrupt frame off a real socket would
+// deliver to the store daemons. No input may panic or allocate beyond the
+// input's own size class.
+func FuzzReplDecode(f *testing.F) {
+	// Corpus: real frames from a committed replication round.
+	sections := map[string][]byte{"app": []byte("application state"), "late": {1, 2, 3, 4}}
+	blob := encodeReplSections(sections)
+	f.Add([]byte(blob))
+	frags := splitFragments(blob, 2)
+	f.Add([]byte(encodeReplFrag(1, 3, 0, 0, frags[0])))
+	f.Add([]byte(encodeReplCommit(1, 3, 0, replCommitRec{frags: 2, total: len(blob), sum: replSum(blob)})))
+	f.Add([]byte(encodeReplAck(1, 3, 2)))
+	f.Add([]byte(encodeDistQueryLast(9, 1)))
+	f.Add([]byte(encodeDistRespLast(9, []distLastEntry{{version: 3, rec: replCommitRec{frags: 2, total: 10, sum: 42}, held: []int{0, 1}}})))
+	f.Add([]byte(encodeDistQueryFrag(10, 1, 3, 0)))
+	f.Add([]byte(encodeDistRespFrag(10, true, frags[1])))
+	f.Add([]byte(encodeDistPrune(1, 3, true)))
+	f.Add(blob[:len(blob)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeReplSections(data)
+		if len(data) == 0 {
+			return
+		}
+		p := replPayload(data)
+		_, _, _, _, _, _ = decodeReplFrag(p)
+		_, _, _, _, _ = decodeReplCommit(p)
+		_, _, _, _ = decodeReplAck(p)
+		_, _, _ = decodeDistQueryLast(p)
+		_, _, _ = decodeDistRespLast(p)
+		_, _, _, _, _ = decodeDistQueryFrag(p)
+		_, _, _, _ = decodeDistRespFrag(p)
+		_, _, _, _ = decodeDistPrune(p)
+		_, _ = peekDistReqID(p)
+	})
+}

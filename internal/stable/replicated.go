@@ -92,6 +92,20 @@ type replPayload []byte
 // TransportSize implements transport.Sizer.
 func (p replPayload) TransportSize() int { return len(p) }
 
+// WireKind implements transport.WirePayload, so replication traffic can
+// cross the TCP mesh in multi-process deployments unchanged.
+func (p replPayload) WireKind() uint8 { return transport.WireKindRepl }
+
+// MarshalWire implements transport.WirePayload: the payload already is its
+// own wire encoding.
+func (p replPayload) MarshalWire() []byte { return p }
+
+func init() {
+	transport.RegisterWireDecoder(transport.WireKindRepl, func(data []byte) (any, error) {
+		return replPayload(append([]byte(nil), data...)), nil
+	})
+}
+
 // ReplicatedOption configures a ReplicatedStore.
 type ReplicatedOption func(*replicatedConfig)
 
@@ -558,7 +572,7 @@ func encodeReplSections(sections map[string][]byte) []byte {
 
 func decodeReplSections(blob []byte) (map[string][]byte, error) {
 	r := wire.NewReader(blob)
-	n := int(r.U32())
+	n := r.Count(8) // minimum bytes per serialized section
 	sections := make(map[string][]byte, n)
 	for i := 0; i < n; i++ {
 		name := r.String()

@@ -368,10 +368,51 @@ func sectionFile(name string) string {
 	}, name) + ".bin"
 }
 
+// diskCrashpoint, when non-nil, is consulted before each commit stage; a
+// true return simulates the process dying at that point (the torn-commit
+// test). Stages, in order: "marker-write", "marker-rename", "dir-sync".
+var diskCrashpoint func(stage string) bool
+
+// errSimulatedCrash marks a crashpoint-triggered abort in tests.
+var errSimulatedCrash = errors.New("stable: simulated crash")
+
+// writeFileSync writes data to path and fsyncs it, so the contents are
+// durable before any rename that makes them visible.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making its entries (renames, creations)
+// durable. Required on POSIX systems: renaming the commit marker is atomic
+// in the namespace but not durable until the directory itself is synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func (h *diskHandle) WriteSection(name string, data []byte) error {
 	path := filepath.Join(h.dir, sectionFile(name))
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("stable: write section %q: %w", name, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -380,13 +421,47 @@ func (h *diskHandle) WriteSection(name string, data []byte) error {
 	return nil
 }
 
+// Commit makes the checkpoint durable against real process or machine
+// death, in write-ahead order: (1) the directory is synced so every
+// section file's rename is durable, (2) the marker's contents are written
+// and synced, (3) the marker is renamed into place, (4) the directory is
+// synced again so the rename itself is durable. A crash between any two
+// steps leaves either no marker (the version is invisible and recovery
+// uses the previous line) or a complete marker over fully durable
+// sections — never a marker naming partial data.
 func (h *diskHandle) Commit() error {
+	if err := syncDir(h.dir); err != nil {
+		return fmt.Errorf("stable: sync checkpoint dir: %w", err)
+	}
+	if diskCrashpoint != nil && diskCrashpoint("marker-write") {
+		return errSimulatedCrash
+	}
 	tmp := filepath.Join(h.dir, ".committing")
-	if err := os.WriteFile(tmp, []byte("ok\n"), 0o644); err != nil {
+	if err := writeFileSync(tmp, []byte("ok\n")); err != nil {
 		return fmt.Errorf("stable: write commit marker: %w", err)
+	}
+	if diskCrashpoint != nil && diskCrashpoint("marker-rename") {
+		return errSimulatedCrash
 	}
 	if err := os.Rename(tmp, filepath.Join(h.dir, "COMMITTED")); err != nil {
 		return fmt.Errorf("stable: commit: %w", err)
+	}
+	if diskCrashpoint != nil && diskCrashpoint("dir-sync") {
+		return errSimulatedCrash
+	}
+	if err := syncDir(h.dir); err != nil {
+		return fmt.Errorf("stable: sync commit marker: %w", err)
+	}
+	// The version directory's own entry (created by Begin) lives in the
+	// rank directory, and the rank directory's entry in the store root;
+	// without syncing those too, a machine crash after Commit returns could
+	// leave the freshly committed version's directory missing entirely —
+	// while the protocol has already retired the older lines it replaced.
+	if err := syncDir(filepath.Dir(h.dir)); err != nil {
+		return fmt.Errorf("stable: sync rank dir: %w", err)
+	}
+	if err := syncDir(h.store.root); err != nil {
+		return fmt.Errorf("stable: sync store root: %w", err)
 	}
 	return nil
 }

@@ -132,7 +132,7 @@ func (h *Heap) Save() []byte {
 // pending table for the next Alloc.
 func (h *Heap) Load(data []byte) error {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(8) // minimum bytes per serialized block
 	for i := 0; i < n; i++ {
 		name := r.String()
 		contents := r.Bytes32()

@@ -92,7 +92,7 @@ func DecodeIncrement(data []byte) (full bool, baseLine uint64, sections map[stri
 	r := wire.NewReader(data)
 	full = r.Bool()
 	baseLine = r.U64()
-	n := int(r.U32())
+	n := r.Count(16) // minimum bytes per serialized section
 	sections = make(map[string]SectionImage, n)
 	for i := 0; i < n; i++ {
 		name := r.String()

@@ -95,7 +95,7 @@ func (g *Registry) Save() []byte {
 // registered sections missing from the image are left untouched.
 func (g *Registry) Load(data []byte) error {
 	r := wire.NewReader(data)
-	n := int(r.U32())
+	n := r.Count(8) // minimum bytes per serialized section
 	for i := 0; i < n; i++ {
 		name := r.String()
 		body := r.Bytes32()

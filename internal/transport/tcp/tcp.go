@@ -1,0 +1,533 @@
+// Package tcp is the wire-level transport backend: a transport.Interconnect
+// whose ranks are separate OS processes connected by TCP sockets.
+//
+// Each process owns one Mesh hosting exactly one local rank. The mesh
+// listens on its own address, dials peers lazily on first send, and frames
+// every message with a length prefix (internal/wire encoding). Delivery
+// keeps the per-(source, destination) FIFO guarantee the MPI layer needs,
+// because each ordered pair maps to one TCP connection and frames are
+// written atomically under a per-connection lock.
+//
+// Failure model: a peer that dies takes its sockets with it. Sends toward
+// it fail, are counted as dropped, and do not error the sender — exactly
+// the in-memory Network's semantics for messages addressed to a killed
+// endpoint. When the peer is re-executed and listens again on the same
+// address, the next send re-dials, so long-lived meshes (the replicated
+// stable store's) survive rank restarts. Short-lived meshes (one per MPI
+// attempt) carry a generation number in every frame; frames from another
+// generation are discarded, so a stale in-flight message from a dead
+// attempt can never leak into its successor.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"c3/internal/transport"
+	"c3/internal/wire"
+)
+
+// maxFrame bounds one frame body, so a corrupt or hostile length prefix
+// becomes an error instead of an enormous allocation.
+const maxFrame = 1 << 28
+
+// frameHeaderLen is gen(8) + from(4) + to(4) + class(1) + kind(1).
+const frameHeaderLen = 18
+
+// Option configures a Mesh.
+type Option func(*Mesh)
+
+// WithGeneration tags every frame with gen; incoming frames from another
+// generation are dropped. Per-attempt meshes use the attempt number so a
+// restarted world never observes its predecessor's in-flight traffic.
+func WithGeneration(gen uint64) Option {
+	return func(m *Mesh) { m.gen = gen }
+}
+
+// WithDialWindow sets how long the first connection attempt to a peer keeps
+// retrying (covers start-up ordering: a peer's listener may not be up yet).
+// Re-dials after a connection loss use a much shorter window, so sends to a
+// dead rank drop quickly instead of stalling the sender.
+func WithDialWindow(d time.Duration) Option {
+	return func(m *Mesh) { m.dialWindow = d }
+}
+
+// Mesh is one process's attachment to the world: the local rank's listener
+// plus lazily dialed connections to every peer.
+type Mesh struct {
+	self       int
+	n          int
+	addrs      []string
+	gen        uint64
+	dialWindow time.Duration
+
+	ln    net.Listener
+	port  *port
+	debug bool // C3_TCP_DEBUG: trace dials, probes and write failures
+
+	mu      sync.Mutex
+	peers   map[int]*peerConn
+	inbound map[net.Conn]struct{}
+	down    atomic.Bool
+
+	statMu sync.Mutex
+	stats  transport.Stats
+
+	wg sync.WaitGroup
+}
+
+// peerConn is the outbound connection to one peer.
+type peerConn struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	connected bool // ever connected: re-dials use the short window
+}
+
+// New creates a mesh for local rank self in a world whose rank addresses
+// are addrs (len(addrs) ranks). addrs[self] may use port 0; Addr reports
+// the actually bound address.
+func New(self int, addrs []string, opts ...Option) (*Mesh, error) {
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("tcp: rank %d out of range for %d addresses", self, len(addrs))
+	}
+	m := &Mesh{
+		self:       self,
+		n:          len(addrs),
+		addrs:      append([]string(nil), addrs...),
+		dialWindow: 10 * time.Second,
+		peers:      make(map[int]*peerConn),
+		inbound:    make(map[net.Conn]struct{}),
+		port:       newPort(self),
+		debug:      os.Getenv("C3_TCP_DEBUG") != "",
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("tcp: rank %d listen %s: %w", self, addrs[self], err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the mesh's bound listen address.
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// Self returns the local rank.
+func (m *Mesh) Self() int { return m.self }
+
+// Size implements transport.Interconnect.
+func (m *Mesh) Size() int { return m.n }
+
+// Scheduler implements transport.Interconnect: a real-socket mesh never
+// runs under the virtual schedule engine.
+func (m *Mesh) Scheduler() *transport.Scheduler { return nil }
+
+// Stats implements transport.Interconnect.
+func (m *Mesh) Stats() transport.Stats {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	return m.stats
+}
+
+// Endpoint implements transport.Interconnect. Only the local rank has a
+// live port; remote ranks' receive sides live in their own processes.
+func (m *Mesh) Endpoint(rank int) transport.Port {
+	if rank == m.self {
+		return m.port
+	}
+	return deadPort{rank: rank}
+}
+
+// Kill implements transport.Interconnect: the local rank's port is killed;
+// killing a remote rank is the job scheduler's business (a real SIGKILL),
+// so it is a no-op here.
+func (m *Mesh) Kill(rank int) {
+	if rank == m.self {
+		m.port.kill()
+	}
+}
+
+// Shutdown implements transport.Interconnect: close the listener and every
+// connection and kill the local port, unblocking all receives.
+func (m *Mesh) Shutdown() {
+	if m.down.Swap(true) {
+		return
+	}
+	_ = m.ln.Close()
+	m.mu.Lock()
+	for _, p := range m.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			_ = p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	for c := range m.inbound {
+		_ = c.Close()
+	}
+	m.mu.Unlock()
+	m.port.kill()
+}
+
+// Close shuts the mesh down and waits for its background goroutines.
+func (m *Mesh) Close() {
+	m.Shutdown()
+	m.wg.Wait()
+}
+
+// Send implements transport.Interconnect.
+func (m *Mesh) Send(msg transport.Message) error {
+	if m.down.Load() {
+		return transport.ErrDown
+	}
+	if msg.To < 0 || msg.To >= m.n {
+		return fmt.Errorf("tcp: destination %d out of range [0,%d)", msg.To, m.n)
+	}
+	size := 0
+	if s, ok := msg.Payload.(transport.Sizer); ok {
+		size = s.TransportSize()
+	}
+	m.statMu.Lock()
+	m.stats.MessagesSent++
+	if msg.Class == transport.Control {
+		m.stats.ControlMessages++
+	} else {
+		m.stats.DataMessages++
+	}
+	m.stats.DeliveredPayload += uint64(size)
+	m.statMu.Unlock()
+
+	if msg.To == m.self {
+		if !m.port.push(msg) {
+			m.noteDropped()
+		}
+		return nil
+	}
+	frame, err := encodeFrame(m.gen, msg)
+	if err != nil {
+		return err
+	}
+	if !m.write(msg.To, frame) {
+		m.noteDropped()
+	}
+	return nil
+}
+
+func (m *Mesh) noteDropped() {
+	m.statMu.Lock()
+	m.stats.MessagesDropped++
+	m.statMu.Unlock()
+}
+
+// encodeFrame serializes one message into a length-prefixed frame.
+func encodeFrame(gen uint64, msg transport.Message) ([]byte, error) {
+	wp, ok := msg.Payload.(transport.WirePayload)
+	if !ok {
+		return nil, fmt.Errorf("tcp: payload %T cannot cross a wire (no WirePayload)", msg.Payload)
+	}
+	body := wp.MarshalWire()
+	if len(body) > maxFrame-frameHeaderLen {
+		// The receiver treats an oversized length prefix as stream
+		// corruption and drops the connection (losing queued frames behind
+		// it); refuse on the send side instead.
+		return nil, fmt.Errorf("tcp: %d-byte payload exceeds the %d-byte frame limit", len(body), maxFrame)
+	}
+	w := wire.NewWriter(4 + frameHeaderLen + len(body))
+	w.U32(uint32(frameHeaderLen + len(body)))
+	w.U64(gen)
+	w.U32(uint32(msg.From))
+	w.U32(uint32(msg.To))
+	w.U8(uint8(msg.Class))
+	w.U8(wp.WireKind())
+	buf := append(w.Bytes(), body...)
+	return buf, nil
+}
+
+// peer returns (creating if needed) the connection slot for a rank.
+func (m *Mesh) peer(rank int) *peerConn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peers[rank]
+	if p == nil {
+		p = &peerConn{}
+		m.peers[rank] = p
+	}
+	return p
+}
+
+// connDead probes an outbound connection for a buffered FIN or RST with a
+// non-blocking MSG_PEEK at the socket layer. Outbound connections are
+// write-only in this design (replies travel on the peer's own outbound
+// connection), so any readable event means the peer closed — in
+// particular, a SIGKILLed peer's kernel sends FIN/RST that would otherwise
+// go unnoticed until the SECOND write: TCP accepts the first write into a
+// half-open connection without error, which would silently swallow one
+// frame per dead connection. The peek bypasses the net poller (an expired
+// read deadline would short-circuit before reporting the buffered EOF) and
+// costs one syscall on the happy path.
+func connDead(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	dead := false
+	if err := raw.Control(func(fd uintptr) {
+		var buf [1]byte
+		n, _, errno := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case errno == nil && n == 0:
+			dead = true // orderly FIN buffered
+		case errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK:
+			// nothing buffered: healthy
+		case errno != nil:
+			dead = true // RST or another socket error
+		}
+	}); err != nil {
+		return false
+	}
+	return dead
+}
+
+// write delivers one frame to a peer, dialing or re-dialing as needed. It
+// reports false when the frame could not be handed to the kernel (the peer
+// is down); the message is then dropped, never queued.
+func (m *Mesh) write(rank int, frame []byte) bool {
+	debug := m.debug
+	p := m.peer(rank)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil && connDead(p.conn) {
+		if debug {
+			fmt.Fprintf(os.Stderr, "tcp[%d]: probe found dead conn to %d, redialing\n", m.self, rank)
+		}
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if p.conn == nil {
+			window := m.dialWindow
+			if p.connected {
+				// The peer was reachable before and vanished — likely dead.
+				// Don't stall the sender; a restarted peer is retried on the
+				// next send.
+				window = 250 * time.Millisecond
+			}
+			conn := m.dial(rank, window)
+			if conn == nil {
+				if debug {
+					fmt.Fprintf(os.Stderr, "tcp[%d]: dial %d failed\n", m.self, rank)
+				}
+				return false
+			}
+			p.conn = conn
+			p.connected = true
+		}
+		if _, err := p.conn.Write(frame); err == nil {
+			return true
+		} else if debug {
+			fmt.Fprintf(os.Stderr, "tcp[%d]: write to %d failed: %v\n", m.self, rank, err)
+		}
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	return false
+}
+
+// dial connects to a peer, retrying within the window (the peer's listener
+// may not be up yet during world start or rank re-execution).
+func (m *Mesh) dial(rank int, window time.Duration) net.Conn {
+	deadline := time.Now().Add(window)
+	for {
+		if m.down.Load() {
+			return nil
+		}
+		conn, err := net.DialTimeout("tcp", m.addrs[rank], window)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
+			return conn
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// acceptLoop admits inbound connections from peers.
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown)
+		}
+		m.mu.Lock()
+		m.inbound[conn] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection into the local port.
+func (m *Mesh) readLoop(conn net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		m.mu.Lock()
+		delete(m.inbound, conn)
+		m.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n < frameHeaderLen || n > maxFrame {
+			return // corrupt stream; drop the connection
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		r := wire.NewReader(body)
+		gen := r.U64()
+		from := int(r.U32())
+		to := int(r.U32())
+		class := transport.Class(r.U8())
+		kind := r.U8()
+		if r.Err() != nil {
+			return
+		}
+		if gen != m.gen || to != m.self || from < 0 || from >= m.n {
+			continue // stale generation or misrouted frame
+		}
+		payload, err := transport.DecodeWirePayload(kind, body[frameHeaderLen:])
+		if err != nil {
+			continue // unknown or corrupt payload: drop the frame, keep the conn
+		}
+		if !m.port.push(transport.Message{From: from, To: to, Class: class, Payload: payload}) {
+			m.noteDropped()
+		}
+	}
+}
+
+var _ transport.Interconnect = (*Mesh)(nil)
+
+// --- Local port ---
+
+// port is the local rank's receive queue (the socket-backed analogue of the
+// in-memory Endpoint).
+type port struct {
+	rank int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []transport.Message
+	killed bool
+}
+
+func newPort(rank int) *port {
+	p := &port{rank: rank}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Rank implements transport.Port.
+func (p *port) Rank() int { return p.rank }
+
+func (p *port) push(msg transport.Message) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed {
+		return false
+	}
+	p.queue = append(p.queue, msg)
+	p.cond.Signal()
+	return true
+}
+
+func (p *port) kill() {
+	p.mu.Lock()
+	p.killed = true
+	p.queue = nil
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Recv implements transport.Port.
+func (p *port) Recv() (transport.Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 {
+		if p.killed {
+			return transport.Message{}, transport.ErrDown
+		}
+		p.cond.Wait()
+	}
+	msg := p.queue[0]
+	p.queue = p.queue[1:]
+	return msg, nil
+}
+
+// TryRecv implements transport.Port.
+func (p *port) TryRecv() (transport.Message, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.killed {
+		return transport.Message{}, false, transport.ErrDown
+	}
+	if len(p.queue) == 0 {
+		return transport.Message{}, false, nil
+	}
+	msg := p.queue[0]
+	p.queue = p.queue[1:]
+	return msg, true, nil
+}
+
+// Pending implements transport.Port.
+func (p *port) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Killed implements transport.Port.
+func (p *port) Killed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// deadPort stands in for ranks hosted by other processes: their receive
+// sides do not exist here.
+type deadPort struct{ rank int }
+
+func (d deadPort) Rank() int { return d.rank }
+func (d deadPort) Recv() (transport.Message, error) {
+	return transport.Message{}, transport.ErrDown
+}
+func (d deadPort) TryRecv() (transport.Message, bool, error) {
+	return transport.Message{}, false, transport.ErrDown
+}
+func (d deadPort) Pending() int { return 0 }
+func (d deadPort) Killed() bool { return true }

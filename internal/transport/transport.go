@@ -88,6 +88,53 @@ type Stats struct {
 // Sizer lets payloads report their size for Stats and latency computation.
 type Sizer interface{ TransportSize() int }
 
+// Port is one rank's receive attachment on an interconnect. Receive
+// operations must be called from a single goroutine (the rank's).
+type Port interface {
+	// Rank returns the port's rank.
+	Rank() int
+	// Recv blocks until a message is available or the port is killed.
+	Recv() (Message, error)
+	// TryRecv returns the next message without blocking; ok reports whether
+	// a message was available.
+	TryRecv() (msg Message, ok bool, err error)
+	// Pending reports the number of queued, undelivered messages.
+	Pending() int
+	// Killed reports whether the port has been killed.
+	Killed() bool
+}
+
+// Interconnect is the abstraction the MPI substrate and the replicated
+// stable store program against. Three implementations exist: the in-memory
+// Network (real OS scheduling), the same Network under a virtual Scheduler
+// (deterministic logical scheduling), and the tcp.Mesh (real sockets, one
+// OS process per rank).
+//
+// Delivery is reliable and FIFO per (source, destination) pair while both
+// ends are up; messages addressed to a dead or unreachable rank are dropped
+// (counted in Stats.MessagesDropped), which models a fail-stop node crash.
+type Interconnect interface {
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers msg toward its destination. It never blocks on the
+	// destination's consumption and returns ErrDown only when the local
+	// side has been shut down.
+	Send(msg Message) error
+	// Endpoint returns the receive port for a rank. Implementations backed
+	// by one process per rank return a dead port for non-local ranks.
+	Endpoint(rank int) Port
+	// Kill fail-stops a rank (a no-op for ranks not hosted locally).
+	Kill(rank int)
+	// Shutdown tears the local side of the interconnect down; all blocked
+	// receives return ErrDown.
+	Shutdown()
+	// Stats returns a snapshot of the delivery counters.
+	Stats() Stats
+	// Scheduler returns the virtual schedule engine, nil under real (OS or
+	// socket) scheduling.
+	Scheduler() *Scheduler
+}
+
 // Network is the interconnect among n endpoints.
 type Network struct {
 	n       int
@@ -133,7 +180,9 @@ func (nw *Network) Size() int { return nw.n }
 func (nw *Network) Scheduler() *Scheduler { return nw.sched }
 
 // Endpoint returns the endpoint for the given rank.
-func (nw *Network) Endpoint(rank int) *Endpoint { return nw.eps[rank] }
+func (nw *Network) Endpoint(rank int) Port { return nw.eps[rank] }
+
+var _ Interconnect = (*Network)(nil)
 
 // Stats returns a snapshot of the delivery counters.
 func (nw *Network) Stats() Stats {

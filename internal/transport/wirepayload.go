@@ -1,0 +1,64 @@
+package transport
+
+// This file defines how message payloads cross a real wire. The in-memory
+// Network passes payloads by reference, so it never needs this; the TCP
+// mesh (transport/tcp) serializes every payload into a frame and must be
+// able to rebuild it on the receiving side without importing the packages
+// that define the payload types (they import transport, so the dependency
+// must point this way).
+//
+// A payload that can cross a wire implements WirePayload; the owning
+// package registers a matching decoder for its kind byte at init time.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wire payload kinds. Each kind is owned by the package that registers its
+// decoder; the values are part of the TCP frame format and must not be
+// reused.
+const (
+	// WireKindEnvelope is an *mpi.Envelope (registered by internal/mpi).
+	WireKindEnvelope uint8 = 1
+	// WireKindRepl is a stable-store replication payload (registered by
+	// internal/stable).
+	WireKindRepl uint8 = 2
+)
+
+// WirePayload is implemented by payloads that can cross a real wire.
+type WirePayload interface {
+	// WireKind identifies the decoder for this payload.
+	WireKind() uint8
+	// MarshalWire returns the payload's wire encoding.
+	MarshalWire() []byte
+}
+
+var (
+	wireDecMu    sync.RWMutex
+	wireDecoders = map[uint8]func(data []byte) (any, error){}
+)
+
+// RegisterWireDecoder installs the decoder for a payload kind. It panics on
+// duplicate registration — two packages claiming one kind byte is a build
+// structure bug.
+func RegisterWireDecoder(kind uint8, dec func(data []byte) (any, error)) {
+	wireDecMu.Lock()
+	defer wireDecMu.Unlock()
+	if _, dup := wireDecoders[kind]; dup {
+		panic(fmt.Sprintf("transport: duplicate wire decoder for kind %d", kind))
+	}
+	wireDecoders[kind] = dec
+}
+
+// DecodeWirePayload rebuilds a payload from its wire encoding. The data
+// slice is owned by the caller; decoders must copy what they keep.
+func DecodeWirePayload(kind uint8, data []byte) (any, error) {
+	wireDecMu.RLock()
+	dec := wireDecoders[kind]
+	wireDecMu.RUnlock()
+	if dec == nil {
+		return nil, fmt.Errorf("transport: no wire decoder for payload kind %d", kind)
+	}
+	return dec(data)
+}

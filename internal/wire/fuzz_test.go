@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader drives every decoder over arbitrary input. The invariants:
+// no panic, no allocation larger than the input could justify, and the
+// sticky error machinery always reports truncation instead of producing
+// values past the end of input.
+func FuzzReader(f *testing.F) {
+	// Seed with a well-formed image touching every encoder.
+	w := NewWriter(256)
+	w.U8(7)
+	w.Bool(true)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 40)
+	w.I64(-12345)
+	w.Int(67890)
+	w.F64(3.14159)
+	w.Bytes32([]byte("payload"))
+	w.String("section-name")
+	w.I64s([]int64{-1, 0, 1})
+	w.U64s([]uint64{2, 4, 8})
+	w.Ints([]int{-9, 9})
+	w.F64s([]float64{0.5, -0.5})
+	f.Add(w.Bytes())
+	// A hostile length prefix: claims 2^31-1 elements.
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		_ = r.U8()
+		_ = r.Bool()
+		_ = r.U32()
+		_ = r.U64()
+		_ = r.F64()
+		b := r.Bytes32()
+		if len(b) > len(data) {
+			t.Fatalf("Bytes32 produced %d bytes from %d input bytes", len(b), len(data))
+		}
+		s := r.String()
+		if len(s) > len(data) {
+			t.Fatalf("String produced %d bytes from %d input bytes", len(s), len(data))
+		}
+		for _, n := range []int{
+			len(r.I64s()), len(r.U64s()), len(r.Ints()), len(r.F64s()),
+		} {
+			if n*8 > len(data) {
+				t.Fatalf("slice decoder produced %d elements from %d input bytes", n, len(data))
+			}
+		}
+		if r.Err() == nil && r.Remaining() < 0 {
+			t.Fatal("negative remaining without error")
+		}
+
+		// Round-trip property on the tail: whatever Bytes32 decodes must
+		// re-encode identically.
+		r2 := NewReader(data)
+		if payload := r2.Bytes32(); r2.Err() == nil {
+			w := NewWriter(len(payload) + 4)
+			w.Bytes32(payload)
+			r3 := NewReader(w.Bytes())
+			if !bytes.Equal(r3.Bytes32(), payload) || r3.Err() != nil {
+				t.Fatal("Bytes32 round-trip mismatch")
+			}
+		}
+	})
+}

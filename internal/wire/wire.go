@@ -201,6 +201,29 @@ func (r *Reader) Int() int { return int(r.I64()) }
 // F64 decodes a float64.
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
+// Count decodes a u32 element count for elements occupying at least
+// elemSize bytes each and clamps it against the remaining input: a count
+// that could not possibly be satisfied by the bytes left fails with
+// ErrShortBuffer *before* any allocation, so a truncated or corrupt frame
+// off a real socket can never trigger a multi-gigabyte make().
+func (r *Reader) Count(elemSize int) int {
+	n := int(int32(r.U32()))
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n < 0 || n > r.Remaining()/elemSize {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %d elements of %d+ bytes with %d remaining at offset %d",
+				ErrShortBuffer, n, elemSize, r.Remaining(), r.pos)
+		}
+		return 0
+	}
+	return n
+}
+
 func (r *Reader) length() int {
 	n := int(r.U32())
 	if r.err != nil {
@@ -242,7 +265,7 @@ func (r *Reader) String() string {
 
 // I64s decodes a length-prefixed slice of 64-bit signed integers.
 func (r *Reader) I64s() []int64 {
-	n := r.length()
+	n := r.Count(8)
 	if r.err != nil || n == 0 {
 		return nil
 	}
@@ -255,7 +278,7 @@ func (r *Reader) I64s() []int64 {
 
 // U64s decodes a length-prefixed slice of 64-bit unsigned integers.
 func (r *Reader) U64s() []uint64 {
-	n := r.length()
+	n := r.Count(8)
 	if r.err != nil || n == 0 {
 		return nil
 	}
@@ -268,7 +291,7 @@ func (r *Reader) U64s() []uint64 {
 
 // Ints decodes a length-prefixed slice of ints.
 func (r *Reader) Ints() []int {
-	n := r.length()
+	n := r.Count(8)
 	if r.err != nil || n == 0 {
 		return nil
 	}
@@ -281,7 +304,7 @@ func (r *Reader) Ints() []int {
 
 // F64s decodes a length-prefixed slice of float64s.
 func (r *Reader) F64s() []float64 {
-	n := r.length()
+	n := r.Count(8)
 	if r.err != nil || n == 0 {
 		return nil
 	}
