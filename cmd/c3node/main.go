@@ -17,13 +17,27 @@
 //	    neighbors over TCP, and the world recovers from the last committed
 //	    recovery line
 //
+//	c3node -ranks 4 -kernel CG -class S -every 3 -self-heal \
+//	       -external-kill rank=1,after=2
+//	    self-healing mode: the launcher is a dumb respawner with NO
+//	    knowledge of the failure. It SIGKILLs rank 1 (acting as an outside
+//	    operator) once that rank has committed 2 checkpoints; the
+//	    survivors' failure detectors (heartbeats over the replication
+//	    mesh) notice, agree on an epoch-numbered dead set, elect a
+//	    coordinator, request a respawn, and recover on their own.
+//	    Heartbeat cadence and suspicion threshold are tuned with
+//	    -heartbeat and -phi; the store's recovery-query behavior with
+//	    -ack-timeout, -query-timeout and -query-retries.
+//
 //	c3node -ranks 4 -kernel LU -store /tmp/ckpts ...
 //	    use a shared-directory disk store instead of the diskless
 //	    replicated store
 //
 // The launcher's final line, "checksums=[...]", is identical between a
 // failure-free run and a run that survived a SIGKILL — the convergence
-// check the CI smoke job performs.
+// check the CI smoke jobs perform. With -v, workers log to stderr with
+// structured per-rank prefixes ("c3node[r2 t=...us]"), so interleaved
+// multi-process detector logs stay attributable.
 package main
 
 import (
@@ -32,6 +46,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"c3/internal/apps"
 	"c3/internal/ckpt"
@@ -84,6 +99,34 @@ func parseKill(s string) (*cluster.FailureSpec, error) {
 	return spec, nil
 }
 
+// parseExternalKill parses "rank=R[,after=K]" (K = committed checkpoints
+// observed before the operator's SIGKILL; 0 kills right after launch).
+func parseExternalKill(s string) (*cluster.ExternalKillSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec := &cluster.ExternalKillSpec{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed external-kill component %q", part)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("external-kill %q: %w", part, err)
+		}
+		switch kv[0] {
+		case "rank":
+			spec.Rank = v
+		case "after":
+			spec.AfterCheckpoints = v
+		default:
+			return nil, fmt.Errorf("unknown external-kill key %q (rank, after)", kv[0])
+		}
+	}
+	return spec, nil
+}
+
 func launcherMain() {
 	var (
 		ranks    = flag.Int("ranks", 4, "number of ranks (one process each)")
@@ -93,7 +136,14 @@ func launcherMain() {
 		async    = flag.Bool("async", false, "asynchronous commit pipeline")
 		kill     = flag.String("kill", "", "failure spec rank=R,at=P[,after=K]: SIGKILL that rank's process at that pragma")
 		storeDir = flag.String("store", "", "shared checkpoint directory (default: diskless replicated store over TCP)")
-		verbose  = flag.Bool("v", false, "log launcher progress to stderr")
+		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
+		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints]")
+		hb       = flag.Duration("heartbeat", 25*time.Millisecond, "self-heal: failure-detector heartbeat interval")
+		phi      = flag.Float64("phi", 5, "self-heal: accrual suspicion threshold")
+		ackTO    = flag.Duration("ack-timeout", 0, "replicated store: neighbor ack timeout (0 = default 5s)")
+		queryTO  = flag.Duration("query-timeout", 0, "replicated store: recovery query timeout (0 = default 3s)")
+		queryN   = flag.Int("query-retries", 0, "replicated store: recovery query sweeps (0 = default 1)")
+		verbose  = flag.Bool("v", false, "log launcher and worker progress to stderr (structured per-rank prefixes)")
 	)
 	flag.Parse()
 
@@ -104,10 +154,22 @@ func launcherMain() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	extKillSpec, err := parseExternalKill(*extKill)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if extKillSpec != nil && !*selfHeal {
+		fatalf("-external-kill requires -self-heal (the legacy launcher cannot recover an uncoordinated kill)")
+	}
+	if *selfHeal && *storeDir != "" {
+		fatalf("-self-heal requires the diskless replicated store (drop -store)")
+	}
 
 	cfg := cluster.LaunchConfig{
-		Ranks: *ranks,
-		Disk:  *storeDir != "",
+		Ranks:        *ranks,
+		Disk:         *storeDir != "",
+		SelfHeal:     *selfHeal,
+		ExternalKill: extKillSpec,
 		Args: func(rank int, mpiAddrs, replAddrs []string) []string {
 			args := []string{
 				"-worker",
@@ -126,8 +188,26 @@ func launcherMain() {
 			} else {
 				args = append(args, "-repl-peers", strings.Join(replAddrs, ","))
 			}
+			if *selfHeal {
+				args = append(args,
+					"-self-heal",
+					"-heartbeat", hb.String(),
+					"-phi", strconv.FormatFloat(*phi, 'g', -1, 64))
+			}
+			if *ackTO > 0 {
+				args = append(args, "-ack-timeout", ackTO.String())
+			}
+			if *queryTO > 0 {
+				args = append(args, "-query-timeout", queryTO.String())
+			}
+			if *queryN > 0 {
+				args = append(args, "-query-retries", strconv.Itoa(*queryN))
+			}
 			if killSpec != nil && killSpec.Rank == rank {
 				args = append(args, "-kill", *kill)
+			}
+			if *verbose {
+				args = append(args, "-v")
 			}
 			return args
 		},
@@ -144,12 +224,44 @@ func launcherMain() {
 	}
 	fmt.Printf("kernel %s class %s on %d processes: %d attempt(s), %d re-exec(s)\n",
 		*kernel, *class, *ranks, res.Attempts, res.Restarts)
+	if *selfHeal {
+		printSelfHealSummary(res, *ranks)
+	}
 	sums := make([]string, *ranks)
 	for r := 0; r < *ranks; r++ {
 		sums[r] = res.Results[r]
 		fmt.Printf("  rank %d checksum: %s\n", r, sums[r])
 	}
 	fmt.Printf("checksums=[%s]\n", strings.Join(sums, ","))
+}
+
+// printSelfHealSummary reports the detection -> agreement -> restore-start
+// latency decomposition measured by the workers (EXPERIMENTS.md table 8).
+func printSelfHealSummary(res *cluster.LaunchResult, ranks int) {
+	for r := 0; r < ranks; r++ {
+		stat := res.Stats[r]
+		if stat == "" {
+			continue
+		}
+		fields := map[string]int64{}
+		for _, f := range strings.Fields(stat) {
+			if kv := strings.SplitN(f, "=", 2); len(kv) == 2 {
+				if v, err := strconv.ParseInt(kv[1], 10, 64); err == nil {
+					fields[kv[0]] = v
+				}
+			}
+		}
+		if fields["suspect_us"] == 0 {
+			continue
+		}
+		line := fmt.Sprintf("  rank %d: detections=%d epochs=%d agree=+%dus restore-start=+%dus",
+			r, fields["detections"], fields["epochs"], fields["agree_us"], fields["restore_us"])
+		if !res.KillTime.IsZero() {
+			detect := time.UnixMicro(fields["suspect_us"]).Sub(res.KillTime)
+			line += fmt.Sprintf(" detect-latency=%v", detect.Round(time.Millisecond))
+		}
+		fmt.Println(line)
+	}
 }
 
 func workerMain() {
@@ -166,6 +278,13 @@ func workerMain() {
 		async     = fs.Bool("async", false, "asynchronous commit pipeline")
 		kill      = fs.String("kill", "", "failure spec for this rank")
 		storeDir  = fs.String("store", "", "shared checkpoint directory")
+		selfHeal  = fs.Bool("self-heal", false, "autonomous detection and recovery")
+		hb        = fs.Duration("heartbeat", 25*time.Millisecond, "detector heartbeat interval")
+		phi       = fs.Float64("phi", 5, "accrual suspicion threshold")
+		ackTO     = fs.Duration("ack-timeout", 0, "store neighbor ack timeout")
+		queryTO   = fs.Duration("query-timeout", 0, "store recovery query timeout")
+		queryN    = fs.Int("query-retries", 0, "store recovery query sweeps")
+		verbose   = fs.Bool("v", false, "structured per-rank stderr logging")
 	)
 	_ = fs.Parse(os.Args[1:])
 
@@ -181,14 +300,17 @@ func workerMain() {
 	}
 
 	nc := cluster.NodeConfig{
-		Rank:     *rank,
-		Ranks:    *ranks,
-		MPIAddrs: splitAddrs(*peers),
-		App:      k.App(p, out),
-		Policy:   ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},
-		Kill:     killSpec,
-		In:       os.Stdin,
-		Out:      os.Stdout,
+		Rank:         *rank,
+		Ranks:        *ranks,
+		MPIAddrs:     splitAddrs(*peers),
+		App:          k.App(p, out),
+		Policy:       ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},
+		Kill:         killSpec,
+		AckTimeout:   *ackTO,
+		QueryTimeout: *queryTO,
+		QueryRetries: *queryN,
+		In:           os.Stdin,
+		Out:          os.Stdout,
 		Result: func() string {
 			v, ok := out.Checksum(*rank)
 			if !ok {
@@ -197,14 +319,25 @@ func workerMain() {
 			return strconv.FormatFloat(v, 'x', -1, 64)
 		},
 	}
+	if *selfHeal {
+		nc.SelfHeal = &cluster.SelfHealConfig{
+			HeartbeatInterval: *hb,
+			PhiThreshold:      *phi,
+		}
+	}
 	if *storeDir != "" {
 		nc.StorePath = *storeDir
 	} else {
 		nc.ReplAddrs = splitAddrs(*replPeers)
 	}
-	if os.Getenv("C3NODE_TRACE") != "" {
+	if *verbose || os.Getenv("C3NODE_TRACE") != "" {
+		// Structured per-rank prefix with a microsecond timestamp, so the
+		// interleaved stderr of many workers stays attributable and
+		// ordering within one rank is visible.
+		start := time.Now()
 		nc.Log = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "c3node-worker: "+format+"\n", args...)
+			fmt.Fprintf(os.Stderr, "c3node[r%d t=%8dus] "+format+"\n",
+				append([]any{*rank, time.Since(start).Microseconds()}, args...)...)
 		}
 	}
 	if err := cluster.RunNode(nc); err != nil {

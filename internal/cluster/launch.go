@@ -1,12 +1,24 @@
 package cluster
 
 // The multi-process launcher: spawns one worker process per rank (the
-// workers call RunNode), coordinates attempts over the workers' stdin and
-// stdout pipes, and injects failures as real SIGKILLs. When a worker dies,
-// the launcher aborts the survivors' attempt, re-executes the dead rank,
-// and starts the next attempt in restore mode — the whole world rolls back
-// to the last committed recovery line, exactly like the in-process runner,
-// except the failed process really died and its memory really is gone.
+// workers call RunNode) and coordinates over the workers' stdin and stdout
+// pipes. Two coordination modes exist:
+//
+//   - Legacy (default): the launcher is an omniscient oracle. It injects
+//     failures as real SIGKILLs via the victim protocol, aborts the
+//     survivors' attempt when a worker dies, re-executes the dead rank,
+//     and starts the next attempt in restore mode.
+//
+//   - Self-healing (LaunchConfig.SelfHeal): the launcher is a dumb
+//     respawner exposing exactly one recovery primitive — spawn(rank). It
+//     broadcasts the initial run, then only reacts: a "respawn r" request
+//     from the survivors' elected coordinator re-executes rank r (the new
+//     process is told to "join" and adopts the agreed epoch from its
+//     peers); everything else — detection, agreement, commit interruption,
+//     restore-line negotiation, attempt sequencing — happens among the
+//     workers themselves (internal/detect). The launcher can still play
+//     the role of an outside operator: ExternalKill delivers an
+//     uncoordinated SIGKILL mid-run, the headline self-healing scenario.
 
 import (
 	"bufio"
@@ -36,6 +48,14 @@ type LaunchConfig struct {
 	// Disk, when true, allocates no replication addresses (workers are
 	// expected to share a DiskStore via Args/StorePath).
 	Disk bool
+	// SelfHeal runs the launcher as a dumb respawner: recovery is
+	// coordinated by the workers (which must run with NodeConfig.SelfHeal).
+	SelfHeal bool
+	// ExternalKill, in self-healing mode, makes the launcher act as an
+	// outside operator: it SIGKILLs the configured rank mid-run with no
+	// failure spec inside the worker and no recovery coordination — the
+	// survivors must detect and recover on their own.
+	ExternalKill *ExternalKillSpec
 	// MaxRestarts bounds recovery cycles (default 3).
 	MaxRestarts int
 	// Timeout bounds the whole run (default 2 minutes).
@@ -57,14 +77,30 @@ type LaunchResult struct {
 	Results map[int]string
 	// Stats holds each rank's reported store statistics line (for the
 	// diskless store: "reassemblies=<n>", counting checkpoints rebuilt from
-	// peer fragments over the wire).
+	// peer fragments over the wire; in self-healing mode additionally
+	// detections=, epochs=, suspect_us=, agree_us= and restore_us=).
 	Stats map[int]string
+	// KillTime is when the external SIGKILL was delivered (zero if none).
+	// Compared against the workers' reported suspect_us timestamps it
+	// yields the end-to-end detection latency (same host, same clock).
+	KillTime time.Time
+}
+
+// ExternalKillSpec schedules the launcher-as-operator SIGKILL.
+type ExternalKillSpec struct {
+	// Rank is the process to kill.
+	Rank int
+	// AfterCheckpoints delivers the kill once the rank has reported this
+	// many committed checkpoints (0: immediately after the run starts, i.e.
+	// before the rank's first committed line — the from-scratch case).
+	AfterCheckpoints int
 }
 
 // launchEvent is one line from a worker, or its death.
 type launchEvent struct {
 	rank   int
-	fields []string // fields[0] is the event kind; "exit" is synthesized
+	proc   *workerProc // the worker incarnation that produced the event
+	fields []string    // fields[0] is the event kind; "exit" is synthesized
 }
 
 type workerProc struct {
@@ -155,6 +191,15 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 	}
 	defer l.cleanup()
 
+	if cfg.ExternalKill != nil {
+		if !cfg.SelfHeal {
+			return nil, fmt.Errorf("cluster: ExternalKill requires SelfHeal (the legacy launcher would never recover an uncoordinated kill)")
+		}
+		if r := cfg.ExternalKill.Rank; r < 0 || r >= cfg.Ranks {
+			return nil, fmt.Errorf("cluster: ExternalKill rank %d out of range [0,%d)", r, cfg.Ranks)
+		}
+	}
+
 	for r := 0; r < cfg.Ranks; r++ {
 		if err := l.spawn(r); err != nil {
 			return nil, err
@@ -162,6 +207,9 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 	}
 	if err := l.awaitEach("ready", l.allRanks()); err != nil {
 		return nil, err
+	}
+	if cfg.SelfHeal {
+		return l.driveSelfHeal()
 	}
 	return l.drive()
 }
@@ -197,13 +245,13 @@ func (l *launcher) spawn(rank int) error {
 		sc.Buffer(make([]byte, 64*1024), 64*1024)
 		for sc.Scan() {
 			if f := strings.Fields(sc.Text()); len(f) > 0 {
-				l.events <- launchEvent{rank: rank, fields: f}
+				l.events <- launchEvent{rank: rank, proc: w, fields: f}
 			}
 		}
 		// Pipe closed: the process exited (or was SIGKILLed).
 		_ = cmd.Wait()
 		close(w.exited)
-		l.events <- launchEvent{rank: rank, fields: []string{"exit"}}
+		l.events <- launchEvent{rank: rank, proc: w, fields: []string{"exit"}}
 	}()
 	l.logf("rank %d: worker pid %d", rank, cmd.Process.Pid)
 	return nil
@@ -321,6 +369,9 @@ func (l *launcher) drive() (*LaunchResult, error) {
 					res.Stats[ev.rank] = strings.Join(ev.fields[2:], " ")
 				}
 			case "exit":
+				if ev.proc != l.workers[ev.rank] {
+					continue // a dead predecessor's event, not the current worker
+				}
 				l.workers[ev.rank].dead = true
 				died = append(died, ev.rank)
 				l.logf("rank %d: worker died", ev.rank)
@@ -376,6 +427,148 @@ func (l *launcher) drive() (*LaunchResult, error) {
 	}
 }
 
+// driveSelfHeal is the dumb-respawner event loop: broadcast the initial
+// run, then only react. Recovery sequencing lives in the workers; the
+// launcher's sole primitives are spawn(rank) on a coordinator's request
+// and — when configured — the operator's external SIGKILL.
+func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
+	res := &LaunchResult{Results: make(map[int]string), Stats: make(map[int]string)}
+	for _, w := range l.workers {
+		w.command("run 0 0")
+	}
+
+	ek := l.cfg.ExternalKill
+	killed := false
+	kill := func(rank int) error {
+		w := l.workers[rank]
+		l.logf("rank %d: external SIGKILL to pid %d", rank, w.cmd.Process.Pid)
+		res.KillTime = time.Now()
+		killed = true
+		return w.cmd.Process.Kill()
+	}
+	if ek != nil && ek.AfterCheckpoints <= 0 {
+		// Kill before the rank's first committed line: the from-scratch case.
+		if err := kill(ek.Rank); err != nil {
+			return res, err
+		}
+	}
+
+	ckpts := 0
+	doneAttempt := make(map[int]int)
+	respawnPending := make(map[int]bool)
+	for {
+		ev, err := l.nextEvent()
+		if err != nil {
+			return res, err
+		}
+		switch ev.fields[0] {
+		case "error":
+			return res, fmt.Errorf("cluster: rank %d: %s", ev.rank, strings.Join(ev.fields[1:], " "))
+		case "victim":
+			// A worker froze at its own failure spec. The launcher plays
+			// operator and delivers the SIGKILL, but — unlike legacy mode —
+			// coordinates nothing afterwards: the survivors must notice.
+			res.KillTime = time.Now()
+			killed = true
+			w := l.workers[ev.rank]
+			l.logf("rank %d: victim — delivering SIGKILL to pid %d (self-heal: no coordination follows)", ev.rank, w.cmd.Process.Pid)
+			if err := w.cmd.Process.Kill(); err != nil {
+				return res, fmt.Errorf("cluster: SIGKILL rank %d: %w", ev.rank, err)
+			}
+		case "ckpt":
+			if ek != nil && !killed && ev.rank == ek.Rank {
+				ckpts++
+				if ckpts >= ek.AfterCheckpoints {
+					if err := kill(ek.Rank); err != nil {
+						return res, err
+					}
+				}
+			}
+		case "respawn":
+			if len(ev.fields) < 2 {
+				continue
+			}
+			r, err := strconv.Atoi(ev.fields[1])
+			if err != nil || r < 0 || r >= l.cfg.Ranks {
+				continue
+			}
+			if respawnPending[r] {
+				continue // duplicate request (e.g. re-elected coordinator)
+			}
+			w := l.workers[r]
+			if !w.dead {
+				// The coordinator's agreement can outrun our exit event; give
+				// the process a moment to be reaped before declaring the
+				// request bogus (respawning a live rank would collide on its
+				// listen addresses).
+				select {
+				case <-w.exited:
+					w.dead = true
+				case <-time.After(5 * time.Second):
+					return res, fmt.Errorf("cluster: rank %d requested respawn of rank %d, which is still alive", ev.rank, r)
+				}
+			}
+			res.Restarts++
+			if res.Restarts > l.cfg.MaxRestarts {
+				return res, fmt.Errorf("cluster: %d respawns exceed MaxRestarts=%d", res.Restarts, l.cfg.MaxRestarts)
+			}
+			l.logf("rank %d: respawning on rank %d's request", r, ev.rank)
+			if err := l.spawn(r); err != nil {
+				return res, err
+			}
+			respawnPending[r] = true
+		case "ready":
+			if respawnPending[ev.rank] {
+				delete(respawnPending, ev.rank)
+				l.workers[ev.rank].command("join")
+			}
+		case "stat":
+			if len(ev.fields) >= 3 {
+				res.Stats[ev.rank] = strings.Join(ev.fields[2:], " ")
+			}
+		case "done":
+			if len(ev.fields) < 2 {
+				continue
+			}
+			a, err := strconv.Atoi(ev.fields[1])
+			if err != nil {
+				continue
+			}
+			doneAttempt[ev.rank] = a
+			result := ""
+			if len(ev.fields) >= 3 {
+				result = ev.fields[2]
+			}
+			res.Results[ev.rank] = result
+			// Complete once every rank has finished the same attempt. A rank
+			// that finished an earlier attempt before a late failure re-runs
+			// and reports again, so the map converges on the final attempt.
+			if len(doneAttempt) == l.cfg.Ranks {
+				same := true
+				for _, da := range doneAttempt {
+					if da != a {
+						same = false
+						break
+					}
+				}
+				if same {
+					res.Attempts = a + 1
+					return res, nil
+				}
+			}
+		case "exit":
+			if ev.proc != l.workers[ev.rank] {
+				continue // stale incarnation: its replacement already runs
+			}
+			l.workers[ev.rank].dead = true
+			l.logf("rank %d: worker died", ev.rank)
+		case "down":
+			// A survivor observed the world going down; the detector drives
+			// what happens next.
+		}
+	}
+}
+
 // awaitAborted waits for each survivor to acknowledge the abort token. A
 // survivor dying during the abort is tolerated: it is reported back so
 // the caller adds it to the re-exec set (MaxRestarts still bounds total
@@ -398,7 +591,7 @@ func (l *launcher) awaitAborted(token int, want map[int]bool) (died []int, err e
 				delete(want, ev.rank)
 			}
 		case "exit":
-			if want[ev.rank] {
+			if ev.proc == l.workers[ev.rank] && want[ev.rank] {
 				delete(want, ev.rank)
 				died = append(died, ev.rank)
 			}

@@ -7,9 +7,13 @@ package cluster
 //
 //	launcher -> node:  run <attempt> <restore>   start an attempt
 //	                   abort <token>             tear the current attempt down
+//	                   join                      adopt the world's state from
+//	                                             peers (self-heal respawn)
 //	                   quit                      exit
 //	node -> launcher:  ready                     store + meshes are up
 //	                   victim                    failure spec fired; awaiting SIGKILL
+//	                   ckpt <attempt> <version>  a checkpoint committed (self-heal)
+//	                   respawn <rank>            coordinator requests a re-exec
 //	                   stat <attempt> <k=v...>   store statistics for the attempt
 //	                   done <attempt> <result>   attempt completed
 //	                   down <attempt>            attempt ended with the world down
@@ -22,6 +26,20 @@ package cluster
 // job is relaunched. Only a node that really dies — the SIGKILLed victim —
 // loses its memory, and its re-executed replacement reassembles its
 // checkpoints from peers over the wire.
+//
+// Two coordination modes exist. In the legacy launcher-driven mode the
+// launcher is an omniscient oracle: it delivers the SIGKILL itself, aborts
+// the survivors, re-execs the dead rank, and broadcasts the next attempt.
+// In self-healing mode (NodeConfig.SelfHeal) the node shares its long-lived
+// replication mesh between the distributed store and a failure detector
+// (internal/detect) through a transport.Demux: survivors detect a death via
+// phi-accrual heartbeat monitoring, agree on an epoch-numbered dead set,
+// interrupt in-flight commits by advancing the store's epoch, elect the
+// lowest-ranked survivor to ask the launcher — now a dumb respawner — for
+// replacement processes, and enter the restore attempt on their own. The
+// attempt number is derived from the agreed epoch (attempt = epoch - 1),
+// so every process, including a freshly joined replacement, converges on
+// the same MPI-mesh generation without a central sequencer.
 
 import (
 	"bufio"
@@ -31,13 +49,29 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"c3/internal/ckpt"
+	"c3/internal/detect"
 	"c3/internal/mpi"
 	"c3/internal/stable"
+	"c3/internal/transport"
 	"c3/internal/transport/tcp"
 )
+
+// SelfHealConfig enables and tunes the autonomous failure-detection and
+// recovery mode. It requires the diskless replicated store (ReplAddrs).
+type SelfHealConfig struct {
+	// HeartbeatInterval is the detector's ping period (default 25ms).
+	HeartbeatInterval time.Duration
+	// PhiThreshold is the accrued suspicion level that declares a peer
+	// suspect (default 5).
+	PhiThreshold float64
+	// JoinTimeout bounds how long a respawned replacement waits for a
+	// survivor to answer its hello (default 15s).
+	JoinTimeout time.Duration
+}
 
 // NodeConfig configures one rank's process.
 type NodeConfig struct {
@@ -67,6 +101,15 @@ type NodeConfig struct {
 	// first attempt), the node reports itself as the victim and blocks,
 	// awaiting the launcher's real SIGKILL.
 	Kill *FailureSpec
+	// SelfHeal, when non-nil, runs the node in self-healing mode.
+	SelfHeal *SelfHealConfig
+	// AckTimeout, QueryTimeout and QueryRetries tune the distributed
+	// store's neighbor-acknowledgment and recovery-query behavior; zero
+	// values keep the store defaults. The detector's suspicion threshold
+	// and these timeouts should be tuned together (see cmd/c3node).
+	AckTimeout   time.Duration
+	QueryTimeout time.Duration
+	QueryRetries int
 	// DialWindow bounds first-connection retries (start-up ordering).
 	DialWindow time.Duration
 	// In and Out are the control pipes (the launcher's end of stdin/stdout).
@@ -86,6 +129,26 @@ type node struct {
 
 	statMu    sync.Mutex
 	lastStats ckpt.Stats // the protocol counters of the last finished attempt
+
+	curAttempt atomic.Int64 // attempt whose events (ckpt) are being emitted
+}
+
+// distOptions assembles the store options shared by both modes.
+func (cfg *NodeConfig) distOptions() []stable.DistOption {
+	var opts []stable.DistOption
+	if cfg.Log != nil {
+		opts = append(opts, stable.WithDistLog(cfg.Log))
+	}
+	if cfg.AckTimeout > 0 {
+		opts = append(opts, stable.WithAckTimeout(cfg.AckTimeout))
+	}
+	if cfg.QueryTimeout > 0 {
+		opts = append(opts, stable.WithQueryTimeout(cfg.QueryTimeout))
+	}
+	if cfg.QueryRetries > 0 {
+		opts = append(opts, stable.WithQueryRetries(cfg.QueryRetries))
+	}
+	return opts
 }
 
 // RunNode hosts one rank until quit or stdin EOF. It is the body of
@@ -101,6 +164,16 @@ func RunNode(cfg NodeConfig) error {
 		cfg.DialWindow = 10 * time.Second
 	}
 	w := &node{cfg: cfg}
+	w.curAttempt.Store(-1)
+
+	if cfg.SelfHeal != nil {
+		if len(cfg.ReplAddrs) == 0 {
+			err := fmt.Errorf("cluster: self-healing mode requires the diskless replicated store (ReplAddrs)")
+			w.emit("error %v", err)
+			return err
+		}
+		return w.runSelfHeal()
+	}
 
 	switch {
 	case len(cfg.ReplAddrs) > 0:
@@ -109,11 +182,7 @@ func RunNode(cfg NodeConfig) error {
 			w.emit("error %v", err)
 			return err
 		}
-		var dopts []stable.DistOption
-		if cfg.Log != nil {
-			dopts = append(dopts, stable.WithDistLog(cfg.Log))
-		}
-		w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, rmesh, dopts...)
+		w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, rmesh, cfg.distOptions()...)
 		w.store = w.dist
 		defer w.dist.Close()
 	case cfg.StorePath != "":
@@ -129,21 +198,7 @@ func RunNode(cfg NodeConfig) error {
 		return err
 	}
 
-	cmds := make(chan []string)
-	go func() {
-		sc := bufio.NewScanner(cfg.In)
-		sc.Buffer(make([]byte, 64*1024), 64*1024)
-		for sc.Scan() {
-			if f := strings.Fields(sc.Text()); len(f) > 0 {
-				if cfg.Log != nil {
-					cfg.Log("rank %d <- %s", cfg.Rank, strings.Join(f, " "))
-				}
-				cmds <- f
-			}
-		}
-		close(cmds)
-	}()
-
+	cmds := w.commandStream()
 	w.emit("ready")
 	for cmd := range cmds {
 		switch cmd[0] {
@@ -162,6 +217,25 @@ func RunNode(cfg NodeConfig) error {
 		}
 	}
 	return nil
+}
+
+// commandStream turns the stdin pipe into a channel of parsed commands.
+func (w *node) commandStream() chan []string {
+	cmds := make(chan []string)
+	go func() {
+		sc := bufio.NewScanner(w.cfg.In)
+		sc.Buffer(make([]byte, 64*1024), 64*1024)
+		for sc.Scan() {
+			if f := strings.Fields(sc.Text()); len(f) > 0 {
+				if w.cfg.Log != nil {
+					w.cfg.Log("rank %d <- %s", w.cfg.Rank, strings.Join(f, " "))
+				}
+				cmds <- f
+			}
+		}
+		close(cmds)
+	}()
+	return cmds
 }
 
 func tokenOf(cmd []string) string {
@@ -186,6 +260,7 @@ func (w *node) runAttempt(attempt int, restore bool, cmds <-chan []string) {
 	if w.dist != nil {
 		w.dist.Resume()
 	}
+	w.curAttempt.Store(int64(attempt))
 	mesh, err := tcp.New(w.cfg.Rank, w.cfg.MPIAddrs,
 		tcp.WithGeneration(uint64(attempt+1)), tcp.WithDialWindow(w.cfg.DialWindow))
 	if err != nil {
@@ -201,22 +276,7 @@ func (w *node) runAttempt(attempt int, restore bool, cmds <-chan []string) {
 			w.finishMesh(mesh)
 			switch {
 			case err == nil:
-				result := ""
-				if w.cfg.Result != nil {
-					result = w.cfg.Result()
-				}
-				reasm := int64(0)
-				if w.dist != nil {
-					reasm = w.dist.Reassemblies()
-				}
-				w.statMu.Lock()
-				st := w.lastStats
-				w.statMu.Unlock()
-				// Recovery provenance: did this attempt restore from a line,
-				// and how many checkpoints were reassembled from peer
-				// fragments over the wire.
-				w.emit("stat %d reassemblies=%d restores=%d checkpoints=%d", attempt, reasm, st.Restores, st.CheckpointsTaken)
-				w.emit("done %d %s", attempt, result)
+				w.emitSuccess(attempt, nil)
 			case errors.Is(err, mpi.ErrDown):
 				w.emit("down %d", attempt)
 			default:
@@ -239,6 +299,44 @@ func (w *node) runAttempt(attempt int, restore bool, cmds <-chan []string) {
 			w.emit("error unexpected %q during attempt", cmd[0])
 		}
 	}
+}
+
+// emitSuccess reports a completed attempt: the stat line (recovery
+// provenance, and in self-healing mode the detection/agreement/restore
+// latency decomposition) followed by the done event.
+func (w *node) emitSuccess(attempt int, sh *selfHealState) {
+	result := ""
+	if w.cfg.Result != nil {
+		result = w.cfg.Result()
+	}
+	reasm := int64(0)
+	if w.dist != nil {
+		reasm = w.dist.Reassemblies()
+	}
+	w.statMu.Lock()
+	st := w.lastStats
+	w.statMu.Unlock()
+	// Recovery provenance: did this attempt restore from a line, and how
+	// many checkpoints were reassembled from peer fragments over the wire.
+	stat := fmt.Sprintf("stat %d reassemblies=%d restores=%d checkpoints=%d",
+		attempt, reasm, st.Restores, st.CheckpointsTaken)
+	if sh != nil {
+		tm := sh.det.Times()
+		suspectUS, agreeUS, restoreUS := int64(0), int64(0), int64(0)
+		if !tm.SuspectAt.IsZero() {
+			suspectUS = tm.SuspectAt.UnixMicro()
+			if tm.AgreeAt.After(tm.SuspectAt) {
+				agreeUS = tm.AgreeAt.Sub(tm.SuspectAt).Microseconds()
+			}
+			if sh.restoreStart.After(tm.SuspectAt) {
+				restoreUS = sh.restoreStart.Sub(tm.SuspectAt).Microseconds()
+			}
+		}
+		stat += fmt.Sprintf(" detections=%d epochs=%d suspect_us=%d agree_us=%d restore_us=%d",
+			sh.det.Detections(), sh.det.Epoch(), suspectUS, agreeUS, restoreUS)
+	}
+	w.emit("%s", stat)
+	w.emit("done %d %s", attempt, result)
 }
 
 // teardown brings the current attempt down: the MPI mesh dies (all blocked
@@ -275,11 +373,228 @@ func (w *node) attemptBody(mesh *tcp.Mesh, attempt int, restore bool) error {
 	}
 	var failer *failureInjector
 	if w.cfg.Kill != nil && attempt == 0 && w.cfg.Kill.Rank == w.cfg.Rank {
-		failer = &failureInjector{spec: *w.cfg.Kill}
+		failer = newFailureInjector([]FailureSpec{*w.cfg.Kill})
 	}
 	err, st := runRank(cfg, world, w.store, w.cfg.Rank, restore, failer)
 	w.statMu.Lock()
 	w.lastStats = st
 	w.statMu.Unlock()
 	return err
+}
+
+// --- Self-healing mode ---
+
+// epochEvent is a committed epoch transition delivered by the detector.
+type epochEvent struct {
+	epoch   uint64
+	dead    []int
+	newDead []int
+}
+
+// selfHealState bundles the self-healing runtime of one node.
+type selfHealState struct {
+	det          *detect.Detector
+	restoreStart time.Time // when the latest restore attempt was entered
+}
+
+// runSelfHeal is RunNode's body in self-healing mode: the long-lived
+// replication mesh is demultiplexed between the distributed store and the
+// failure detector, and the node coordinates its own recovery.
+func (w *node) runSelfHeal() error {
+	cfg := w.cfg
+	sh := cfg.SelfHeal
+	if sh.JoinTimeout <= 0 {
+		sh.JoinTimeout = 15 * time.Second
+	}
+
+	rmesh, err := tcp.New(cfg.Rank, cfg.ReplAddrs, tcp.WithDialWindow(cfg.DialWindow))
+	if err != nil {
+		w.emit("error %v", err)
+		return err
+	}
+	demux := transport.NewDemux(rmesh, cfg.Rank)
+	replPlane := demux.Plane(transport.WireKindRepl)
+	detPlane := demux.Plane(transport.WireKindDetect)
+
+	dopts := cfg.distOptions()
+	dopts = append(dopts, stable.WithCommitHook(func(version int) {
+		w.emit("ckpt %d %d", w.curAttempt.Load(), version)
+	}))
+	w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, replPlane, dopts...)
+	w.store = w.dist
+	defer w.dist.Close()
+
+	epochCh := make(chan epochEvent, 16)
+	evicted := make(chan uint64, 1)
+	det, err := detect.New(detect.Options{
+		Self:              cfg.Rank,
+		Ranks:             cfg.Ranks,
+		Net:               detPlane,
+		HeartbeatInterval: sh.HeartbeatInterval,
+		PhiThreshold:      sh.PhiThreshold,
+		OnEpoch: func(epoch uint64, dead, newDead []int) {
+			epochCh <- epochEvent{epoch: epoch, dead: dead, newDead: newDead}
+		},
+		OnEvicted: func(epoch uint64) {
+			select {
+			case evicted <- epoch:
+			default:
+			}
+		},
+		Logf: cfg.Log,
+	})
+	if err != nil {
+		w.emit("error %v", err)
+		return err
+	}
+	defer det.Close()
+	demux.SetObservers(det.ObserveRecv, det.ObserveSend)
+	demux.Start()
+	defer demux.Close()
+	det.Start()
+
+	state := &selfHealState{det: det}
+	cmds := w.commandStream()
+	w.emit("ready")
+
+	var (
+		mesh      *tcp.Mesh
+		done      chan error
+		attempt   = -1
+		seenEpoch = uint64(1)
+	)
+	start := func(a int, restore bool) {
+		if w.dist != nil {
+			w.dist.Resume()
+		}
+		attempt = a
+		w.curAttempt.Store(int64(a))
+		m, err := tcp.New(cfg.Rank, cfg.MPIAddrs,
+			tcp.WithGeneration(uint64(a+1)), tcp.WithDialWindow(cfg.DialWindow))
+		if err != nil {
+			w.emit("error %v", err)
+			return
+		}
+		mesh = m
+		done = make(chan error, 1)
+		go func(m *tcp.Mesh) { done <- w.attemptBody(m, a, restore) }(m)
+	}
+	stop := func() {
+		if done == nil {
+			return
+		}
+		mesh.Shutdown()
+		<-done
+		w.finishMesh(mesh)
+		mesh, done = nil, nil
+	}
+	defer stop()
+
+	for {
+		select {
+		case cmd, ok := <-cmds:
+			if !ok {
+				return nil
+			}
+			switch cmd[0] {
+			case "run":
+				if len(cmd) < 3 {
+					w.emit("error malformed run command")
+					continue
+				}
+				a, _ := strconv.Atoi(cmd[1])
+				if done != nil || a <= attempt {
+					continue // already running or stale
+				}
+				start(a, cmd[2] == "1")
+			case "join":
+				// A freshly respawned replacement: adopt the agreed epoch
+				// from the survivors, then enter the current restore attempt.
+				epoch, err := det.Join(sh.JoinTimeout)
+				if err != nil {
+					w.emit("error %v", err)
+					return err
+				}
+				seenEpoch = epoch
+				state.restoreStart = time.Now()
+				start(int(epoch)-1, true)
+			case "quit":
+				return nil
+			case "abort":
+				// Legacy command; in self-healing mode recovery is driven by
+				// epochs, but acknowledge so a mixed launcher doesn't hang.
+				stop()
+				w.emit("aborted %s", tokenOf(cmd))
+			}
+
+		case ev := <-epochCh:
+			if ev.epoch <= seenEpoch {
+				continue // stale (e.g. the epoch adopted during join)
+			}
+			seenEpoch = ev.epoch
+			// Release commits blocked on acknowledgments from ranks that the
+			// agreement just declared dead, then tear the attempt down.
+			w.dist.AdvanceEpoch(ev.epoch)
+			stop()
+			// The lowest-ranked survivor coordinates: it negotiates the
+			// restore line (logged for visibility; the binding negotiation is
+			// the collective reduction inside Restore) and asks the respawner
+			// for replacements.
+			if coordinatorOf(ev.dead, cfg.Ranks) == cfg.Rank {
+				for _, r := range ev.newDead {
+					w.emit("respawn %d", r)
+				}
+				if w.cfg.Log != nil {
+					// Informational pre-negotiation of the restore line over
+					// the store's query protocol; off the critical path (the
+					// binding negotiation is Restore's collective reduction).
+					go func(epoch uint64) {
+						v, ok, err := w.store.LastCommitted(cfg.Rank)
+						w.cfg.Log("rank %d: coordinating epoch %d recovery, candidate line %d (ok=%v err=%v)",
+							cfg.Rank, epoch, v, ok, err)
+					}(ev.epoch)
+				}
+			}
+			state.restoreStart = time.Now()
+			start(int(ev.epoch)-1, true)
+
+		case err := <-done:
+			w.finishMesh(mesh)
+			mesh, done = nil, nil
+			switch {
+			case err == nil:
+				w.emitSuccess(attempt, state)
+				// Stay alive: a later failure elsewhere can still roll the
+				// world back, in which case the epoch event restarts us.
+			case errors.Is(err, mpi.ErrDown):
+				// The mesh died under us — either our own teardown racing the
+				// epoch event, or a peer's death stalling the world until the
+				// detector confirms it. The epoch event drives the restart.
+				w.emit("down %d", attempt)
+			default:
+				w.emit("error rank %d attempt %d: %v", cfg.Rank, attempt, err)
+				return err
+			}
+
+		case epoch := <-evicted:
+			err := fmt.Errorf("rank %d evicted by epoch %d while alive (false suspicion won agreement)", cfg.Rank, epoch)
+			w.emit("error %v", err)
+			return err
+		}
+	}
+}
+
+// coordinatorOf returns the recovery coordinator for a dead set: the
+// lowest-ranked survivor.
+func coordinatorOf(dead []int, ranks int) int {
+	deadSet := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		deadSet[r] = true
+	}
+	for r := 0; r < ranks; r++ {
+		if !deadSet[r] {
+			return r
+		}
+	}
+	return -1
 }

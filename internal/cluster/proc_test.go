@@ -48,6 +48,12 @@ func runProcWorker() {
 		killRank  = fs.Int("kill-rank", -1, "")
 		killAt    = fs.Int("kill-at", 0, "")
 		killAfter = fs.Int("kill-after", 0, "")
+		selfHeal  = fs.Bool("self-heal", false, "")
+		heartbeat = fs.Duration("heartbeat", 15*time.Millisecond, "")
+		phi       = fs.Float64("phi", 6, "")
+		ackTO     = fs.Duration("ack-timeout", 0, "")
+		queryTO   = fs.Duration("query-timeout", 0, "")
+		queryN    = fs.Int("query-retries", 0, "")
 	)
 	_ = fs.Parse(os.Args[1:])
 
@@ -68,6 +74,20 @@ func runProcWorker() {
 			}
 			return strconv.Itoa(v.(int))
 		},
+	}
+	if *selfHeal {
+		nc.SelfHeal = &cluster.SelfHealConfig{
+			HeartbeatInterval: *heartbeat,
+			PhiThreshold:      *phi,
+		}
+	}
+	nc.AckTimeout, nc.QueryTimeout, nc.QueryRetries = *ackTO, *queryTO, *queryN
+	if os.Getenv("C3_TEST_TRACE") != "" {
+		start := time.Now()
+		nc.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker[r%d t=%7dus] "+format+"\n",
+				append([]any{*rank, time.Since(start).Microseconds()}, args...)...)
+		}
 	}
 	if *killRank == *rank {
 		nc.Kill = &cluster.FailureSpec{Rank: *killRank, AtPragma: *killAt, AfterCheckpoints: *killAfter}

@@ -59,6 +59,12 @@ type Config struct {
 	// Failures schedules fail-stop failures: Failures[i] fires during
 	// attempt i. Attempts beyond the list run failure-free.
 	Failures []FailureSpec
+	// AttemptFailures schedules multiple fail-stop failures per attempt:
+	// every spec in AttemptFailures[i] can fire during attempt i, so two
+	// ranks can die near-simultaneously in one world launch (whether both
+	// actually fire depends on the schedule — the first death tears the
+	// world down). When non-nil it takes precedence over Failures.
+	AttemptFailures [][]FailureSpec
 	// ForceRestore launches even the first attempt in restart mode, so a
 	// run can resume from checkpoints a previous Run left in Store. The
 	// restart-cost experiments (paper Tables 6 and 7) use this.
@@ -157,7 +163,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	maxAttempts := cfg.MaxAttempts
 	if maxAttempts == 0 {
-		maxAttempts = len(cfg.Failures) + 1
+		if cfg.AttemptFailures != nil {
+			maxAttempts = len(cfg.AttemptFailures) + 1
+		} else {
+			maxAttempts = len(cfg.Failures) + 1
+		}
 	}
 	res := &Result{}
 	virtual := cfg.Seed != 0 || cfg.Replay != nil
@@ -171,8 +181,8 @@ func Run(cfg Config) (*Result, error) {
 	start := time.Now()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var failer *failureInjector
-		if attempt < len(cfg.Failures) {
-			failer = &failureInjector{spec: cfg.Failures[attempt]}
+		if specs := cfg.attemptSpecs(attempt); len(specs) > 0 {
+			failer = newFailureInjector(specs)
 		}
 		var sch *transport.Scheduler
 		if virtual {
@@ -316,30 +326,65 @@ func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart
 	return err, layer.Stats()
 }
 
-// failureInjector fires one scheduled fail-stop failure.
+// attemptSpecs returns the failure specs scheduled for one attempt.
+func (cfg *Config) attemptSpecs(attempt int) []FailureSpec {
+	if cfg.AttemptFailures != nil {
+		if attempt < len(cfg.AttemptFailures) {
+			return cfg.AttemptFailures[attempt]
+		}
+		return nil
+	}
+	if attempt < len(cfg.Failures) {
+		return []FailureSpec{cfg.Failures[attempt]}
+	}
+	return nil
+}
+
+// failureInjector fires the scheduled fail-stop failures of one attempt.
+// Each victim rank counts its own pragmas; several ranks can be scheduled
+// in the same attempt (near-simultaneous failures).
 type failureInjector struct {
+	mu    sync.Mutex
+	specs map[int][]*failureState // victim rank -> its scheduled failures
+}
+
+type failureState struct {
 	spec    FailureSpec
-	mu      sync.Mutex
 	pragmas int
 	fired   bool
 }
 
-// shouldFire is called by the victim rank at each pragma.
-func (f *failureInjector) shouldFire(epoch uint64) bool {
+func newFailureInjector(specs []FailureSpec) *failureInjector {
+	f := &failureInjector{specs: make(map[int][]*failureState)}
+	for _, s := range specs {
+		f.specs[s.Rank] = append(f.specs[s.Rank], &failureState{spec: s})
+	}
+	return f
+}
+
+// shouldFire is called by every rank at each pragma; it reports whether a
+// failure scheduled for that rank fires here.
+func (f *failureInjector) shouldFire(rank int, epoch uint64) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.fired {
+	states := f.specs[rank]
+	if len(states) == 0 {
 		return false
 	}
-	f.pragmas++
-	if f.pragmas < f.spec.AtPragma {
-		return false
+	for _, st := range states {
+		st.pragmas++
 	}
-	if uint64(f.spec.AfterCheckpoints) > epoch {
-		return false
+	for _, st := range states {
+		if st.fired || st.pragmas < st.spec.AtPragma {
+			continue
+		}
+		if uint64(st.spec.AfterCheckpoints) > epoch {
+			continue
+		}
+		st.fired = true
+		return true
 	}
-	f.fired = true
-	return true
+	return false
 }
 
 // ckptEnv is the Env implementation backed by the protocol layer.
@@ -396,14 +441,14 @@ func (e *ckptEnv) fireFailure() error {
 }
 
 func (e *ckptEnv) Checkpoint() error {
-	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
+	if e.failer != nil && e.failer.shouldFire(e.rank, e.layer.Epoch()) {
 		return e.fireFailure()
 	}
 	return e.layer.Checkpoint(false)
 }
 
 func (e *ckptEnv) CheckpointNow() error {
-	if e.failer != nil && e.failer.spec.Rank == e.rank && e.failer.shouldFire(e.layer.Epoch()) {
+	if e.failer != nil && e.failer.shouldFire(e.rank, e.layer.Epoch()) {
 		return e.fireFailure()
 	}
 	return e.layer.Checkpoint(true)

@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"fmt"
+
+	"c3/internal/transport"
+	"c3/internal/wire"
+)
+
+// Detector message kinds (first payload byte).
+const (
+	msgPing    uint8 = iota + 1 // heartbeat, carries the sender's epoch
+	msgSuspect                  // gossip: sender suspects target dead
+	msgPropose                  // agreement phase 1: (epoch, seq, dead set)
+	msgAck                      // agreement phase 1 response
+	msgCommit                   // agreement phase 2: epoch transition
+	msgHello                    // a (re)joining rank announces itself
+	msgState                    // membership snapshot, answers hello / catch-up
+)
+
+// payload is a detector message on the wire. Like the stable store's
+// replication payloads it is its own encoding, so it crosses the in-memory
+// network and the TCP mesh identically.
+type payload []byte
+
+// TransportSize implements transport.Sizer.
+func (p payload) TransportSize() int { return len(p) }
+
+// WireKind implements transport.WirePayload.
+func (p payload) WireKind() uint8 { return transport.WireKindDetect }
+
+// MarshalWire implements transport.WirePayload.
+func (p payload) MarshalWire() []byte { return p }
+
+func init() {
+	transport.RegisterWireDecoder(transport.WireKindDetect, func(data []byte) (any, error) {
+		return payload(append([]byte(nil), data...)), nil
+	})
+}
+
+func encodePing(epoch uint64) payload {
+	w := wire.NewWriter(9)
+	w.U8(msgPing)
+	w.U64(epoch)
+	return payload(w.Bytes())
+}
+
+func decodePing(data payload) (epoch uint64, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	return epoch, r.Err()
+}
+
+func encodeSuspect(epoch uint64, target int) payload {
+	w := wire.NewWriter(17)
+	w.U8(msgSuspect)
+	w.U64(epoch)
+	w.Int(target)
+	return payload(w.Bytes())
+}
+
+func decodeSuspect(data payload) (epoch uint64, target int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	target = r.Int()
+	return epoch, target, r.Err()
+}
+
+func encodePropose(epoch, seq uint64, dead []int) payload {
+	w := wire.NewWriter(32 + 8*len(dead))
+	w.U8(msgPropose)
+	w.U64(epoch)
+	w.U64(seq)
+	w.Ints(dead)
+	return payload(w.Bytes())
+}
+
+func decodePropose(data payload) (epoch, seq uint64, dead []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	seq = r.U64()
+	dead = r.Ints()
+	return epoch, seq, dead, r.Err()
+}
+
+func encodeAck(epoch, seq uint64) payload {
+	w := wire.NewWriter(17)
+	w.U8(msgAck)
+	w.U64(epoch)
+	w.U64(seq)
+	return payload(w.Bytes())
+}
+
+func decodeAck(data payload) (epoch, seq uint64, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	seq = r.U64()
+	return epoch, seq, r.Err()
+}
+
+func encodeCommit(epoch uint64, dead []int) payload {
+	w := wire.NewWriter(24 + 8*len(dead))
+	w.U8(msgCommit)
+	w.U64(epoch)
+	w.Ints(dead)
+	return payload(w.Bytes())
+}
+
+func decodeCommit(data payload) (epoch uint64, dead []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	dead = r.Ints()
+	return epoch, dead, r.Err()
+}
+
+func encodeHello() payload {
+	return payload([]byte{msgHello})
+}
+
+func encodeState(epoch uint64, dead []int) payload {
+	w := wire.NewWriter(24 + 8*len(dead))
+	w.U8(msgState)
+	w.U64(epoch)
+	w.Ints(dead)
+	return payload(w.Bytes())
+}
+
+func decodeState(data payload) (epoch uint64, dead []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	dead = r.Ints()
+	return epoch, dead, r.Err()
+}
+
+func kindName(k uint8) string {
+	switch k {
+	case msgPing:
+		return "ping"
+	case msgSuspect:
+		return "suspect"
+	case msgPropose:
+		return "propose"
+	case msgAck:
+		return "ack"
+	case msgCommit:
+		return "commit"
+	case msgHello:
+		return "hello"
+	case msgState:
+		return "state"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}

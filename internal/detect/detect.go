@@ -1,0 +1,784 @@
+// Package detect is the self-healing cluster's membership layer: a
+// heartbeat failure detector plus an epoch-numbered recovery agreement,
+// running on the long-lived replication mesh next to the distributed
+// stable store.
+//
+// Each rank runs one Detector. It emits heartbeats to the ring predecessors
+// that monitor it (piggybacking on any other traffic already flowing to
+// them) and runs a phi-accrual Monitor over its ring successors. When a
+// monitor's suspicion crosses the threshold the rank gossips the suspicion
+// to the survivors; the coordinator — the lowest-ranked process not itself
+// suspected — then drives a small two-phase agreement: it proposes
+// (epoch+1, dead set) to every survivor, collects acknowledgments, and
+// commits the transition. A committed epoch is the survivors' contract
+// that the dead set is final for this recovery round: the runtime uses it
+// to interrupt in-flight checkpoint commits, tear down the current MPI
+// attempt, ask the respawner for replacement processes, and enter restore
+// mode — all without an omniscient launcher.
+//
+// The protocol tolerates the failures that matter for fail-stop recovery:
+// a suspected rank that is merely slow clears its suspicion the moment any
+// message from it arrives (false-suspicion recovery); a coordinator that
+// dies mid-agreement is itself suspected and the next-lowest survivor
+// restarts the proposal with the union dead set; near-simultaneous deaths
+// either merge into one proposal or commit as consecutive epochs. A
+// replacement process rejoins by broadcasting hello: survivors mark the
+// rank alive again, reset its monitor, and answer with the current
+// (epoch, dead set) so the newcomer can adopt the world's state.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"c3/internal/transport"
+)
+
+// Options configures a Detector.
+type Options struct {
+	// Self is the local rank; Ranks the world size.
+	Self, Ranks int
+	// Net is the detection plane (usually a transport.Demux plane sharing
+	// the replication mesh).
+	Net transport.Interconnect
+	// HeartbeatInterval is the ping period (default 25ms).
+	HeartbeatInterval time.Duration
+	// PhiThreshold is the accrued suspicion level at which a peer is
+	// declared suspect (default 5: the observed silence had probability
+	// 1e-5 under the peer's arrival history).
+	PhiThreshold float64
+	// Clock substitutes a time source (tests); default time.Now.
+	Clock func() time.Time
+	// OnEpoch fires after each committed epoch transition with the agreed
+	// epoch, the full current dead set, and the ranks newly declared dead.
+	// It is called from a detector goroutine; receivers must not block for
+	// long (hand off to a channel).
+	OnEpoch func(epoch uint64, dead, newDead []int)
+	// OnEvicted fires if a committed epoch declares this very rank dead
+	// while it is alive (a false suspicion that won agreement).
+	OnEvicted func(epoch uint64)
+	// Logf, when non-nil, receives detector diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Times reports the measured latency decomposition of the most recent
+// committed epoch transition.
+type Times struct {
+	// SuspectAt is when the first suspicion of the transition was raised
+	// locally (zero if this rank learned only through the commit).
+	SuspectAt time.Time
+	// AgreeAt is when the epoch commit was applied locally.
+	AgreeAt time.Time
+}
+
+// proposal is the coordinator's in-flight two-phase agreement.
+type proposal struct {
+	epoch   uint64
+	seq     uint64
+	dead    []int        // full proposed dead set, sorted
+	pending map[int]bool // participants that have not acked yet
+}
+
+// Detector is one rank's failure-detection and membership endpoint.
+type Detector struct {
+	opts      Options
+	self      int
+	n         int
+	net       transport.Interconnect
+	interval  time.Duration
+	threshold float64
+	clock     func() time.Time
+
+	mu          sync.Mutex
+	epoch       uint64
+	dead        map[int]bool
+	suspected   map[int]time.Time // rank -> when first suspected
+	monitors    map[int]*Monitor  // ring successors this rank watches
+	lastSent    map[int]time.Time // piggyback: last outbound traffic per peer
+	prop        *proposal
+	propSeq     uint64
+	detections  uint64
+	pendSuspect time.Time // earliest suspicion since the last commit
+	times       Times
+	closed      bool
+
+	sendMu        sync.Mutex
+	senders       map[int]chan payload
+	sendersClosed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates the detector for Options.Self. Call Start to launch it.
+func New(opts Options) (*Detector, error) {
+	if opts.Ranks <= 0 || opts.Self < 0 || opts.Self >= opts.Ranks {
+		return nil, fmt.Errorf("detect: rank %d of %d", opts.Self, opts.Ranks)
+	}
+	if opts.Net == nil {
+		return nil, fmt.Errorf("detect: no interconnect")
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if opts.PhiThreshold <= 0 {
+		opts.PhiThreshold = 5
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	d := &Detector{
+		opts:      opts,
+		self:      opts.Self,
+		n:         opts.Ranks,
+		net:       opts.Net,
+		interval:  opts.HeartbeatInterval,
+		threshold: opts.PhiThreshold,
+		clock:     opts.Clock,
+		epoch:     1,
+		dead:      make(map[int]bool),
+		suspected: make(map[int]time.Time),
+		monitors:  make(map[int]*Monitor),
+		lastSent:  make(map[int]time.Time),
+		senders:   make(map[int]chan payload),
+		done:      make(chan struct{}),
+	}
+	now := d.clock()
+	for _, m := range ringSuccessors(d.self, d.n) {
+		d.monitors[m] = newMonitor(d.interval, now)
+	}
+	return d, nil
+}
+
+// ringSuccessors returns the +1/+2 ring successors of rank (the peers it
+// monitors — the same neighborhood that replicates its checkpoints).
+func ringSuccessors(rank, n int) []int {
+	var out []int
+	for d := 1; d <= 2 && d < n; d++ {
+		out = append(out, (rank+d)%n)
+	}
+	return out
+}
+
+// ringPredecessors returns the -1/-2 ring predecessors (the peers that
+// monitor this rank, hence the targets of its heartbeats).
+func ringPredecessors(rank, n int) []int {
+	var out []int
+	for d := 1; d <= 2 && d < n; d++ {
+		out = append(out, (rank-d+2*n)%n)
+	}
+	return out
+}
+
+// Start launches the heartbeat/evaluation ticker and the receive loop.
+func (d *Detector) Start() {
+	d.wg.Add(2)
+	go d.tickLoop()
+	go d.recvLoop()
+}
+
+// Close stops the detector: the ticker exits, the local receive port is
+// killed, and the per-peer send workers drain. The shared mesh is left
+// untouched (the demux owns it).
+func (d *Detector) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.done)
+	d.net.Kill(d.self)
+	d.wg.Wait()
+	d.sendMu.Lock()
+	d.sendersClosed = true
+	for _, ch := range d.senders {
+		close(ch)
+	}
+	d.sendMu.Unlock()
+}
+
+// Epoch returns the current committed epoch (1 before any failure).
+func (d *Detector) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// Dead returns the current dead set, sorted.
+func (d *Detector) Dead() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return setToSlice(d.dead)
+}
+
+// Detections returns how many rank deaths have been confirmed by committed
+// epochs so far.
+func (d *Detector) Detections() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detections
+}
+
+// Times returns the latency decomposition of the latest epoch transition.
+func (d *Detector) Times() Times {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.times
+}
+
+// Suspected returns the currently suspected (not yet agreed dead) ranks.
+func (d *Detector) Suspected() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, 0, len(d.suspected))
+	for r := range d.suspected {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ObserveRecv records liveness evidence: a message from peer `from` arrived
+// on any plane of the shared mesh. The demux calls this for every inbound
+// message, so replication traffic doubles as heartbeats.
+func (d *Detector) ObserveRecv(from int) {
+	if from == d.self {
+		return
+	}
+	now := d.clock()
+	d.mu.Lock()
+	if m := d.monitors[from]; m != nil {
+		m.Observe(now)
+	}
+	_, wasSuspected := d.suspected[from]
+	if wasSuspected && !d.dead[from] {
+		// The peer spoke: the suspicion was false. Clearing it here (and
+		// re-observing) makes the coordinator rebuild any in-flight proposal
+		// without the recovered rank.
+		delete(d.suspected, from)
+	}
+	d.mu.Unlock()
+	if wasSuspected {
+		d.logf("rank %d: false suspicion of rank %d cleared by traffic", d.self, from)
+	}
+}
+
+// ObserveSend records outbound traffic toward a peer, letting the emitter
+// skip the next explicit ping (heartbeat piggybacking).
+func (d *Detector) ObserveSend(to int) {
+	if to == d.self {
+		return
+	}
+	now := d.clock()
+	d.mu.Lock()
+	d.lastSent[to] = now
+	d.mu.Unlock()
+}
+
+// Join is called by a freshly respawned replacement process: it broadcasts
+// hello until a survivor's state response raises the local epoch past the
+// boot value, then returns the adopted epoch. Survivors react to the hello
+// by marking this rank alive again and resetting its monitor.
+func (d *Detector) Join(timeout time.Duration) (uint64, error) {
+	deadline := d.clock().Add(timeout)
+	for {
+		if e := d.Epoch(); e > 1 {
+			return e, nil
+		}
+		hello := encodeHello()
+		for q := 0; q < d.n; q++ {
+			if q != d.self {
+				d.send(q, hello)
+			}
+		}
+		if d.clock().After(deadline) {
+			return 0, fmt.Errorf("detect: rank %d join timed out after %v (no survivor answered)", d.self, timeout)
+		}
+		select {
+		case <-d.done:
+			return 0, fmt.Errorf("detect: closed during join")
+		case <-time.After(d.interval):
+		}
+	}
+}
+
+func (d *Detector) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// --- Outbound path ---
+
+// send enqueues a payload toward a peer on its dedicated worker, so a dead
+// peer's connection stalls never delay heartbeats to live peers.
+func (d *Detector) send(to int, p payload) {
+	d.sendMu.Lock()
+	if d.sendersClosed {
+		d.sendMu.Unlock()
+		return
+	}
+	ch := d.senders[to]
+	if ch == nil {
+		ch = make(chan payload, 64)
+		d.senders[to] = ch
+		go d.sendWorker(to, ch)
+	}
+	d.sendMu.Unlock()
+	select {
+	case ch <- p:
+	default: // worker stalled on a dead peer: drop, heartbeats are periodic
+	}
+}
+
+func (d *Detector) sendWorker(to int, ch chan payload) {
+	for p := range ch {
+		_ = d.net.Send(transport.Message{From: d.self, To: to, Class: transport.Control, Payload: p})
+	}
+}
+
+// --- Ticker: heartbeats, monitor evaluation, proposal driving ---
+
+func (d *Detector) tickLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-ticker.C:
+			d.tick()
+		}
+	}
+}
+
+func (d *Detector) tick() {
+	now := d.clock()
+
+	d.mu.Lock()
+	epoch := d.epoch
+	// Heartbeats to the predecessors that monitor this rank, skipped when
+	// other traffic already reached them within the last interval.
+	var pings []int
+	for _, t := range ringPredecessors(d.self, d.n) {
+		if t == d.self || d.dead[t] {
+			continue
+		}
+		if _, susp := d.suspected[t]; susp {
+			continue
+		}
+		if last, ok := d.lastSent[t]; ok && now.Sub(last) < d.interval {
+			continue // piggybacked: recent traffic already proved liveness
+		}
+		d.lastSent[t] = now
+		pings = append(pings, t)
+	}
+
+	// Monitor evaluation: accrued suspicion past the threshold raises a
+	// suspicion and gossips it.
+	var newSuspects []int
+	for m, mon := range d.monitors {
+		if d.dead[m] {
+			continue
+		}
+		if _, already := d.suspected[m]; already {
+			continue
+		}
+		if mon.Phi(now) >= d.threshold {
+			d.suspectLocked(m, now)
+			newSuspects = append(newSuspects, m)
+		}
+	}
+	// Gossip every outstanding suspicion, not just the fresh ones: the send
+	// path is lossy (full worker queue, redial backoff), and the would-be
+	// coordinator may not monitor the victim itself — a one-shot gossip that
+	// gets dropped would stall recovery forever. Suspicion windows are
+	// short, so the per-tick retransmission is a handful of tiny frames.
+	gossip := make([]int, 0, len(d.suspected))
+	for s := range d.suspected {
+		gossip = append(gossip, s)
+	}
+	sort.Ints(gossip)
+	gossipTargets := d.liveExceptLocked(gossip)
+	d.mu.Unlock()
+
+	ping := encodePing(epoch)
+	for _, t := range pings {
+		d.send(t, ping)
+	}
+	for _, s := range newSuspects {
+		d.logf("rank %d: suspects rank %d dead (phi >= %.1f)", d.self, s, d.threshold)
+	}
+	for _, s := range gossip {
+		g := encodeSuspect(epoch, s)
+		for _, t := range gossipTargets {
+			d.send(t, g)
+		}
+	}
+
+	d.driveProposal()
+}
+
+// suspectLocked records a (new) suspicion of rank r at time now. Callers
+// hold d.mu.
+func (d *Detector) suspectLocked(r int, now time.Time) {
+	if _, ok := d.suspected[r]; ok {
+		return
+	}
+	d.suspected[r] = now
+	if d.pendSuspect.IsZero() {
+		d.pendSuspect = now
+	}
+}
+
+// liveExceptLocked returns every rank that is not self, not dead, not
+// suspected, and not in skip. Callers hold d.mu.
+func (d *Detector) liveExceptLocked(skip []int) []int {
+	skipSet := make(map[int]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	var out []int
+	for r := 0; r < d.n; r++ {
+		if r == d.self || d.dead[r] || skipSet[r] {
+			continue
+		}
+		if _, susp := d.suspected[r]; susp {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// driveProposal runs the coordinator's side of the agreement: start or
+// rebuild the proposal when the candidate dead set changes, retransmit to
+// laggards, and commit once every survivor acknowledged.
+func (d *Detector) driveProposal() {
+	d.mu.Lock()
+	if len(d.suspected) == 0 {
+		d.prop = nil
+		d.mu.Unlock()
+		return
+	}
+	cand := make(map[int]bool, len(d.dead)+len(d.suspected))
+	for r := range d.dead {
+		cand[r] = true
+	}
+	for r := range d.suspected {
+		cand[r] = true
+	}
+	// Coordinator: the lowest rank that is neither dead nor suspected.
+	coord := -1
+	for r := 0; r < d.n; r++ {
+		if !cand[r] {
+			coord = r
+			break
+		}
+	}
+	if coord != d.self {
+		d.prop = nil // not ours to drive (anymore)
+		d.mu.Unlock()
+		return
+	}
+	deadSet := setToSlice(cand)
+	if d.prop == nil || !equalInts(d.prop.dead, deadSet) {
+		d.propSeq++
+		pending := make(map[int]bool)
+		for r := 0; r < d.n; r++ {
+			if r != d.self && !cand[r] {
+				pending[r] = true
+			}
+		}
+		d.prop = &proposal{epoch: d.epoch + 1, seq: d.propSeq, dead: deadSet, pending: pending}
+		d.logf("rank %d: proposing epoch %d dead=%v to %d survivors (seq %d)",
+			d.self, d.prop.epoch, deadSet, len(pending), d.propSeq)
+	}
+	p := d.prop
+	if len(p.pending) == 0 {
+		d.mu.Unlock()
+		d.commitProposal(p)
+		return
+	}
+	msg := encodePropose(p.epoch, p.seq, p.dead)
+	targets := make([]int, 0, len(p.pending))
+	for r := range p.pending {
+		targets = append(targets, r)
+	}
+	d.mu.Unlock()
+	for _, t := range targets {
+		d.send(t, msg)
+	}
+}
+
+// commitProposal finalizes an agreement: broadcast the commit and apply it
+// locally.
+func (d *Detector) commitProposal(p *proposal) {
+	msg := encodeCommit(p.epoch, p.dead)
+	for r := 0; r < d.n; r++ {
+		alive := true
+		for _, dr := range p.dead {
+			if dr == r {
+				alive = false
+				break
+			}
+		}
+		if alive && r != d.self {
+			d.send(r, msg)
+		}
+	}
+	d.applyEpoch(p.epoch, p.dead, "agreement")
+}
+
+// applyEpoch installs a committed epoch transition (from our own agreement,
+// a peer's commit, or a state snapshot) and fires OnEpoch.
+func (d *Detector) applyEpoch(epoch uint64, dead []int, via string) {
+	d.mu.Lock()
+	if epoch <= d.epoch {
+		d.mu.Unlock()
+		return
+	}
+	var newDead []int
+	selfDead := false
+	newSet := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		if r == d.self {
+			selfDead = true
+		}
+		newSet[r] = true
+		if !d.dead[r] {
+			newDead = append(newDead, r)
+		}
+	}
+	d.epoch = epoch
+	d.dead = newSet
+	d.detections += uint64(len(newDead))
+	for r := range d.suspected {
+		if newSet[r] {
+			delete(d.suspected, r)
+		}
+	}
+	for r := range newSet {
+		if m := d.monitors[r]; m != nil {
+			m.Reset(d.clock()) // suspended while dead; fresh history on rejoin
+		}
+	}
+	d.prop = nil
+	d.times = Times{SuspectAt: d.pendSuspect, AgreeAt: d.clock()}
+	d.pendSuspect = time.Time{}
+	sort.Ints(newDead)
+	allDead := setToSlice(newSet)
+	onEpoch, onEvicted := d.opts.OnEpoch, d.opts.OnEvicted
+	d.mu.Unlock()
+
+	d.logf("rank %d: epoch %d committed via %s, dead=%v (new %v)", d.self, epoch, via, allDead, newDead)
+	if selfDead {
+		d.logf("rank %d: DECLARED DEAD by epoch %d while alive", d.self, epoch)
+		if onEvicted != nil {
+			onEvicted(epoch)
+		}
+		return
+	}
+	if onEpoch != nil {
+		onEpoch(epoch, allDead, newDead)
+	}
+}
+
+// --- Receive path ---
+
+func (d *Detector) recvLoop() {
+	defer d.wg.Done()
+	ep := d.net.Endpoint(d.self)
+	for {
+		msg, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		data, ok := msg.Payload.(payload)
+		if !ok || len(data) == 0 || msg.From == d.self {
+			continue
+		}
+		// Any detector message is itself liveness evidence. (When the mesh
+		// runs under a demux, the demux observer already recorded it; a
+		// second observation is harmless — the monitor mean is floored at
+		// the heartbeat interval.)
+		d.ObserveRecv(msg.From)
+		d.handle(msg.From, data)
+	}
+}
+
+func (d *Detector) handle(from int, data payload) {
+	switch data[0] {
+	case msgPing:
+		epoch, err := decodePing(data)
+		if err != nil {
+			return
+		}
+		d.reconcileEpoch(from, epoch)
+	case msgSuspect:
+		_, target, err := decodeSuspect(data)
+		if err != nil {
+			return
+		}
+		if target == d.self {
+			// Protest: we are alive. The ping clears the suspicion at the
+			// gossiper via ObserveRecv.
+			d.send(from, encodePing(d.Epoch()))
+			return
+		}
+		now := d.clock()
+		d.mu.Lock()
+		if !d.dead[target] {
+			d.suspectLocked(target, now)
+		}
+		d.mu.Unlock()
+		d.driveProposal()
+	case msgPropose:
+		epoch, seq, dead, err := decodePropose(data)
+		if err != nil {
+			return
+		}
+		d.handlePropose(from, epoch, seq, dead)
+	case msgAck:
+		epoch, seq, err := decodeAck(data)
+		if err != nil {
+			return
+		}
+		d.handleAck(from, epoch, seq)
+	case msgCommit:
+		epoch, dead, err := decodeCommit(data)
+		if err != nil {
+			return
+		}
+		d.applyEpoch(epoch, dead, fmt.Sprintf("commit from rank %d", from))
+	case msgHello:
+		d.handleHello(from)
+	case msgState:
+		epoch, dead, err := decodeState(data)
+		if err != nil {
+			return
+		}
+		// Adopt a newer membership snapshot (join, or catch-up after a
+		// missed commit).
+		filtered := dead[:0:0]
+		for _, r := range dead {
+			if r != d.self {
+				filtered = append(filtered, r)
+			}
+		}
+		d.applyEpoch(epoch, filtered, fmt.Sprintf("state from rank %d", from))
+	default:
+		d.logf("rank %d: unknown detect message %s from rank %d", d.self, kindName(data[0]), from)
+	}
+}
+
+// reconcileEpoch compares a peer's advertised epoch with ours and heals a
+// divergence: a lagging peer gets our state, and if we lag we ask for
+// theirs.
+func (d *Detector) reconcileEpoch(from int, peerEpoch uint64) {
+	d.mu.Lock()
+	cur := d.epoch
+	dead := setToSlice(d.dead)
+	d.mu.Unlock()
+	switch {
+	case peerEpoch < cur:
+		d.send(from, encodeState(cur, dead))
+	case peerEpoch > cur:
+		d.send(from, encodeHello())
+	}
+}
+
+func (d *Detector) handlePropose(from int, epoch, seq uint64, dead []int) {
+	for _, r := range dead {
+		if r == d.self {
+			// Proposed dead while alive: protest instead of acking; the
+			// proposer clears the suspicion when the ping arrives.
+			d.send(from, encodePing(d.Epoch()))
+			return
+		}
+	}
+	d.mu.Lock()
+	cur := d.epoch
+	if epoch != cur+1 {
+		deadNow := setToSlice(d.dead)
+		d.mu.Unlock()
+		if epoch <= cur {
+			d.send(from, encodeState(cur, deadNow)) // proposer lags a commit
+		} else {
+			d.send(from, encodeHello()) // we lag; fetch the peer's state
+		}
+		return
+	}
+	// Adopt the proposal's suspicions so our own coordinator logic (should
+	// the proposer die mid-agreement) starts from the same dead set.
+	now := d.clock()
+	for _, r := range dead {
+		if !d.dead[r] {
+			d.suspectLocked(r, now)
+		}
+	}
+	d.mu.Unlock()
+	d.send(from, encodeAck(epoch, seq))
+}
+
+func (d *Detector) handleAck(from int, epoch, seq uint64) {
+	d.mu.Lock()
+	p := d.prop
+	if p == nil || p.epoch != epoch || p.seq != seq || !p.pending[from] {
+		d.mu.Unlock()
+		return
+	}
+	delete(p.pending, from)
+	ready := len(p.pending) == 0
+	d.mu.Unlock()
+	if ready {
+		d.commitProposal(p)
+	}
+}
+
+// handleHello marks a (re)joining rank alive and answers with the current
+// membership snapshot.
+func (d *Detector) handleHello(from int) {
+	now := d.clock()
+	d.mu.Lock()
+	if d.dead[from] {
+		delete(d.dead, from)
+		d.logf("rank %d: rank %d rejoined (hello)", d.self, from)
+	}
+	delete(d.suspected, from)
+	if m := d.monitors[from]; m != nil {
+		m.Reset(now)
+	}
+	epoch := d.epoch
+	dead := setToSlice(d.dead)
+	d.mu.Unlock()
+	d.send(from, encodeState(epoch, dead))
+}
+
+// --- Helpers ---
+
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

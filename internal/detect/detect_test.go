@@ -1,0 +1,421 @@
+package detect
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"c3/internal/transport"
+)
+
+func TestRingSets(t *testing.T) {
+	cases := []struct {
+		rank, n    int
+		succ, pred []int
+	}{
+		{0, 4, []int{1, 2}, []int{3, 2}},
+		{3, 4, []int{0, 1}, []int{2, 1}},
+		{1, 2, []int{0}, []int{0}},
+		{0, 1, nil, nil},
+	}
+	for _, c := range cases {
+		if got := ringSuccessors(c.rank, c.n); !equalInts(got, c.succ) {
+			t.Errorf("ringSuccessors(%d,%d) = %v, want %v", c.rank, c.n, got, c.succ)
+		}
+		if got := ringPredecessors(c.rank, c.n); !equalInts(got, c.pred) {
+			t.Errorf("ringPredecessors(%d,%d) = %v, want %v", c.rank, c.n, got, c.pred)
+		}
+	}
+}
+
+func TestMonitorPhiAccrual(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	m := newMonitor(10*time.Millisecond, t0)
+
+	// Regular arrivals every 10ms: phi right after an arrival is ~0 and
+	// stays small one interval later.
+	now := t0
+	for i := 0; i < 20; i++ {
+		now = now.Add(10 * time.Millisecond)
+		m.Observe(now)
+	}
+	if phi := m.Phi(now.Add(10 * time.Millisecond)); phi > 1 {
+		t.Fatalf("phi one interval after arrival = %.2f, want < 1", phi)
+	}
+	// Silence accrues: ~11.5 intervals of silence crosses phi 5.
+	if phi := m.Phi(now.Add(150 * time.Millisecond)); phi < 5 {
+		t.Fatalf("phi after 15 silent intervals = %.2f, want >= 5", phi)
+	}
+	// A burst of near-simultaneous piggybacked arrivals must not collapse
+	// the mean below the heartbeat floor.
+	for i := 0; i < 50; i++ {
+		now = now.Add(10 * time.Microsecond)
+		m.Observe(now)
+	}
+	if phi := m.Phi(now.Add(15 * time.Millisecond)); phi > 2 {
+		t.Fatalf("phi after burst + 1.5 intervals = %.2f, want <= 2 (mean floored)", phi)
+	}
+	// Reset restarts the silence clock.
+	m.Reset(now.Add(time.Second))
+	if phi := m.Phi(now.Add(time.Second + 5*time.Millisecond)); phi > 1 {
+		t.Fatalf("phi right after reset = %.2f, want ~0", phi)
+	}
+}
+
+func TestCodecRoundtrips(t *testing.T) {
+	if e, err := decodePing(encodePing(7)); err != nil || e != 7 {
+		t.Fatalf("ping roundtrip: epoch=%d err=%v", e, err)
+	}
+	if e, tgt, err := decodeSuspect(encodeSuspect(3, 12)); err != nil || e != 3 || tgt != 12 {
+		t.Fatalf("suspect roundtrip: epoch=%d target=%d err=%v", e, tgt, err)
+	}
+	e, s, dead, err := decodePropose(encodePropose(4, 9, []int{1, 3}))
+	if err != nil || e != 4 || s != 9 || !equalInts(dead, []int{1, 3}) {
+		t.Fatalf("propose roundtrip: epoch=%d seq=%d dead=%v err=%v", e, s, dead, err)
+	}
+	if e, s, err := decodeAck(encodeAck(4, 9)); err != nil || e != 4 || s != 9 {
+		t.Fatalf("ack roundtrip: epoch=%d seq=%d err=%v", e, s, err)
+	}
+	e, dead, err = decodeCommit(encodeCommit(5, []int{2}))
+	if err != nil || e != 5 || !equalInts(dead, []int{2}) {
+		t.Fatalf("commit roundtrip: epoch=%d dead=%v err=%v", e, dead, err)
+	}
+	e, dead, err = decodeState(encodeState(6, nil))
+	if err != nil || e != 6 || len(dead) != 0 {
+		t.Fatalf("state roundtrip: epoch=%d dead=%v err=%v", e, dead, err)
+	}
+	// Truncated payloads must error, not panic.
+	for _, p := range []payload{encodePropose(1, 1, []int{1}), encodeCommit(2, []int{0, 1})} {
+		if _, _, _, err := decodePropose(p[:3]); err == nil && p[0] == msgPropose {
+			t.Fatalf("truncated propose decoded without error")
+		}
+		_ = p
+	}
+}
+
+// world spins up one detector per rank on a shared in-memory network.
+type world struct {
+	nw   *transport.Network
+	dets []*Detector
+}
+
+func newWorld(t *testing.T, n int, hb time.Duration, phi float64, opts ...transport.Option) *world {
+	t.Helper()
+	w := &world{nw: transport.NewNetwork(n, opts...), dets: make([]*Detector, n)}
+	for r := 0; r < n; r++ {
+		w.startRank(t, r, n, hb, phi)
+	}
+	t.Cleanup(func() {
+		for _, d := range w.dets {
+			if d != nil {
+				d.Close()
+			}
+		}
+	})
+	return w
+}
+
+func (w *world) startRank(t *testing.T, r, n int, hb time.Duration, phi float64) *Detector {
+	t.Helper()
+	d, err := New(Options{
+		Self: r, Ranks: n, Net: w.nw,
+		HeartbeatInterval: hb, PhiThreshold: phi,
+		Logf: func(format string, args ...any) { t.Logf("detect: "+format, args...) },
+	})
+	if err != nil {
+		t.Fatalf("rank %d: %v", r, err)
+	}
+	w.dets[r] = d
+	d.Start()
+	return d
+}
+
+// kill fail-stops a rank: its detector stops and its endpoint dies.
+func (w *world) kill(r int) {
+	w.dets[r].Close()
+	w.dets[r] = nil
+	w.nw.Kill(r)
+}
+
+// awaitEpoch polls the given ranks until each reaches at least epoch e.
+func (w *world) awaitEpoch(t *testing.T, ranks []int, e uint64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		ok := true
+		for _, r := range ranks {
+			if w.dets[r].Epoch() < e {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			status := ""
+			for _, r := range ranks {
+				status += fmt.Sprintf(" rank%d:epoch=%d dead=%v suspected=%v;",
+					r, w.dets[r].Epoch(), w.dets[r].Dead(), w.dets[r].Suspected())
+			}
+			t.Fatalf("epoch %d not reached within %v:%s", e, within, status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFailureFreeStaysAtEpochOne: with every rank heartbeating, no epoch
+// transition and no suspicion survives a settling window.
+func TestFailureFreeStaysAtEpochOne(t *testing.T) {
+	w := newWorld(t, 4, 5*time.Millisecond, 8)
+	time.Sleep(400 * time.Millisecond)
+	for r, d := range w.dets {
+		if e := d.Epoch(); e != 1 {
+			t.Errorf("rank %d epoch = %d, want 1", r, e)
+		}
+		if dead := d.Dead(); len(dead) != 0 {
+			t.Errorf("rank %d dead = %v, want none", r, dead)
+		}
+		if n := d.Detections(); n != 0 {
+			t.Errorf("rank %d detections = %d, want 0", r, n)
+		}
+	}
+}
+
+// TestNoFalseSuspicionUnderScheduledDelay: heartbeats delivered through a
+// constant scheduled delay (5x the heartbeat interval) keep flowing with
+// their inter-arrival spacing intact, so the accrual detector must not
+// suspect anyone — the classic timeout-detector false positive. When a rank
+// then really dies, detection and agreement must still fire through the
+// same delayed plane.
+func TestNoFalseSuspicionUnderScheduledDelay(t *testing.T) {
+	delay := transport.ConstantLatency(50*time.Millisecond, 0)
+	w := newWorld(t, 4, 10*time.Millisecond, 8, transport.WithLatency(delay))
+	time.Sleep(600 * time.Millisecond)
+	for r, d := range w.dets {
+		if e := d.Epoch(); e != 1 {
+			t.Fatalf("rank %d epoch = %d after delayed-but-live window, want 1 (false suspicion)", r, e)
+		}
+		if n := d.Detections(); n != 0 {
+			t.Fatalf("rank %d detections = %d under scheduled delay, want 0", r, n)
+		}
+	}
+
+	w.kill(1)
+	survivors := []int{0, 2, 3}
+	w.awaitEpoch(t, survivors, 2, 10*time.Second)
+	for _, r := range survivors {
+		if dead := w.dets[r].Dead(); !equalInts(dead, []int{1}) {
+			t.Errorf("rank %d dead = %v, want [1]", r, dead)
+		}
+		if n := w.dets[r].Detections(); n != 1 {
+			t.Errorf("rank %d detections = %d, want 1", r, n)
+		}
+		tm := w.dets[r].Times()
+		if tm.AgreeAt.IsZero() {
+			t.Errorf("rank %d has no agreement timestamp", r)
+		}
+	}
+}
+
+// TestTwoNearSimultaneousFailures: two ranks die within one heartbeat of
+// each other; the survivors must converge on both deaths, either as one
+// merged agreement or two consecutive epochs.
+func TestTwoNearSimultaneousFailures(t *testing.T) {
+	w := newWorld(t, 5, 5*time.Millisecond, 6)
+	time.Sleep(100 * time.Millisecond) // settle
+	w.kill(1)
+	time.Sleep(3 * time.Millisecond)
+	w.kill(3)
+	survivors := []int{0, 2, 4}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, r := range survivors {
+			if !equalInts(w.dets[r].Dead(), []int{1, 3}) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, r := range survivors {
+				t.Logf("rank %d: epoch=%d dead=%v", r, w.dets[r].Epoch(), w.dets[r].Dead())
+			}
+			t.Fatal("survivors did not agree on both deaths")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, r := range survivors {
+		if e := w.dets[r].Epoch(); e != 2 && e != 3 {
+			t.Errorf("rank %d epoch = %d, want 2 (merged) or 3 (consecutive)", r, e)
+		}
+		if n := w.dets[r].Detections(); n != 2 {
+			t.Errorf("rank %d detections = %d, want 2", r, n)
+		}
+	}
+}
+
+// TestCoordinatorDiesDuringRecovery: rank 0 dies; rank 1 — the coordinator
+// for that agreement — dies moments later (possibly mid-proposal). Rank 2
+// must take over and finish both agreements.
+func TestCoordinatorDiesDuringRecovery(t *testing.T) {
+	w := newWorld(t, 5, 5*time.Millisecond, 6)
+	time.Sleep(100 * time.Millisecond)
+	w.kill(0)
+	time.Sleep(30 * time.Millisecond)
+	w.kill(1)
+	survivors := []int{2, 3, 4}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, r := range survivors {
+			if !equalInts(w.dets[r].Dead(), []int{0, 1}) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, r := range survivors {
+				t.Logf("rank %d: epoch=%d dead=%v suspected=%v", r, w.dets[r].Epoch(), w.dets[r].Dead(), w.dets[r].Suspected())
+			}
+			t.Fatal("survivors did not agree on both deaths after coordinator loss")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, r := range survivors {
+		if n := w.dets[r].Detections(); n != 2 {
+			t.Errorf("rank %d detections = %d, want 2", r, n)
+		}
+	}
+}
+
+// TestLateRankJoins: a world boots with one rank absent; the survivors
+// agree it dead, then the rank comes up and Joins — adopting the committed
+// epoch while the survivors mark it alive again.
+func TestLateRankJoins(t *testing.T) {
+	n := 4
+	w := &world{nw: transport.NewNetwork(n), dets: make([]*Detector, n)}
+	t.Cleanup(func() {
+		for _, d := range w.dets {
+			if d != nil {
+				d.Close()
+			}
+		}
+	})
+	for r := 0; r < 3; r++ {
+		w.startRank(t, r, n, 5*time.Millisecond, 6)
+	}
+	w.awaitEpoch(t, []int{0, 1, 2}, 2, 10*time.Second)
+	for _, r := range []int{0, 1, 2} {
+		if dead := w.dets[r].Dead(); !equalInts(dead, []int{3}) {
+			t.Fatalf("rank %d dead = %v, want [3]", r, dead)
+		}
+	}
+
+	late := w.startRank(t, 3, n, 5*time.Millisecond, 6)
+	epoch, err := late.Join(5 * time.Second)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if epoch < 2 {
+		t.Fatalf("joined at epoch %d, want >= 2", epoch)
+	}
+	// Survivors must have marked rank 3 alive again on its hello.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cleared := true
+		for _, r := range []int{0, 1, 2} {
+			if len(w.dets[r].Dead()) != 0 {
+				cleared = false
+			}
+		}
+		if cleared {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivors did not clear the rejoined rank from the dead set")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// And the world must stay stable afterwards (no oscillating suspicion
+	// of the rejoined rank).
+	time.Sleep(200 * time.Millisecond)
+	for r := 0; r < n; r++ {
+		if dead := w.dets[r].Dead(); len(dead) != 0 {
+			t.Errorf("rank %d dead = %v after rejoin, want none", r, dead)
+		}
+	}
+}
+
+// TestOnEpochCallback: the epoch callback delivers the transition exactly
+// once per epoch with the newly dead ranks.
+func TestOnEpochCallback(t *testing.T) {
+	n := 4
+	nw := transport.NewNetwork(n)
+	type event struct {
+		epoch   uint64
+		newDead []int
+	}
+	var mu sync.Mutex
+	events := make(map[int][]event)
+	dets := make([]*Detector, n)
+	for r := 0; r < n; r++ {
+		r := r
+		d, err := New(Options{
+			Self: r, Ranks: n, Net: nw,
+			HeartbeatInterval: 5 * time.Millisecond, PhiThreshold: 6,
+			OnEpoch: func(epoch uint64, dead, newDead []int) {
+				mu.Lock()
+				events[r] = append(events[r], event{epoch, append([]int(nil), newDead...)})
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets[r] = d
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range dets {
+			if d != nil {
+				d.Close()
+			}
+		}
+	})
+	time.Sleep(100 * time.Millisecond)
+	dets[2].Close()
+	dets[2] = nil
+	nw.Kill(2)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		ok := len(events[0]) > 0 && len(events[1]) > 0 && len(events[3]) > 0
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("epoch callbacks did not fire on all survivors")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range []int{0, 1, 3} {
+		evs := events[r]
+		if len(evs) != 1 {
+			t.Errorf("rank %d saw %d epoch events, want 1 (%v)", r, len(evs), evs)
+			continue
+		}
+		if evs[0].epoch != 2 || !equalInts(evs[0].newDead, []int{2}) {
+			t.Errorf("rank %d event = %+v, want epoch 2 newDead [2]", r, evs[0])
+		}
+	}
+}

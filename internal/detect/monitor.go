@@ -1,0 +1,106 @@
+package detect
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Monitor is a phi-accrual liveness monitor for one peer (Hayashibara et
+// al.'s accrual detector, exponential-arrival form). Every observed message
+// from the peer — explicit heartbeat or piggybacked traffic — records an
+// arrival; Phi converts the silence since the last arrival into a suspicion
+// level that grows continuously instead of a binary timeout: assuming
+// inter-arrival times are exponential with the observed mean m,
+//
+//	phi(t) = -log10 P(silence > t) = t / (m · ln 10)
+//
+// so phi = 3 means "this silence had probability 10^-3 if the peer were
+// alive". The mean is estimated over a sliding window with the configured
+// heartbeat interval as a floor, which keeps a burst of piggybacked traffic
+// (many near-zero gaps) from collapsing the mean and turning ordinary
+// scheduling delay into suspicion — the false-suspicion hazard the delay
+// scenarios exercise.
+type Monitor struct {
+	interval time.Duration // heartbeat period: floor for the estimated mean
+
+	mu     sync.Mutex
+	last   time.Time
+	window []time.Duration // ring buffer of recent inter-arrival gaps
+	idx    int
+	filled int
+}
+
+// monitorWindow is the sliding-window length for the mean estimate.
+const monitorWindow = 32
+
+// newMonitor creates a monitor whose silence clock starts at now (creation
+// counts as an arrival, so a freshly booted or rejoined peer gets one full
+// accrual period of grace before suspicion can accumulate).
+func newMonitor(interval time.Duration, now time.Time) *Monitor {
+	return &Monitor{
+		interval: interval,
+		last:     now,
+		window:   make([]time.Duration, monitorWindow),
+	}
+}
+
+// Observe records an arrival from the peer at time now.
+func (m *Monitor) Observe(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if gap := now.Sub(m.last); gap > 0 {
+		m.window[m.idx] = gap
+		m.idx = (m.idx + 1) % len(m.window)
+		if m.filled < len(m.window) {
+			m.filled++
+		}
+	}
+	if now.After(m.last) {
+		m.last = now
+	}
+}
+
+// Reset restarts the monitor's history and silence clock (a peer rejoining
+// after a respawn must not inherit its dead incarnation's gaps).
+func (m *Monitor) Reset(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.last = now
+	m.idx, m.filled = 0, 0
+}
+
+// mean returns the estimated inter-arrival mean, floored at the heartbeat
+// interval. Callers hold m.mu.
+func (m *Monitor) mean() time.Duration {
+	if m.filled == 0 {
+		return m.interval
+	}
+	var sum time.Duration
+	for i := 0; i < m.filled; i++ {
+		sum += m.window[i]
+	}
+	avg := sum / time.Duration(m.filled)
+	if avg < m.interval {
+		return m.interval
+	}
+	return avg
+}
+
+// Phi returns the accrued suspicion level at time now.
+func (m *Monitor) Phi(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := now.Sub(m.last)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(elapsed) / (float64(m.mean()) * math.Ln10)
+}
+
+// Silence returns the time since the last arrival.
+func (m *Monitor) Silence(now time.Time) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return now.Sub(m.last)
+}

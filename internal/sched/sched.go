@@ -28,7 +28,10 @@ type Scenario struct {
 	Ranks    int
 	Iters    int
 	Failures []cluster.FailureSpec
-	Policy   ckpt.Policy
+	// AttemptFailures schedules several failures inside one attempt (see
+	// cluster.Config.AttemptFailures); takes precedence over Failures.
+	AttemptFailures [][]cluster.FailureSpec
+	Policy          ckpt.Policy
 	// App builds the workload; nil means StressApp.
 	App func(iters int, sums *sync.Map) func(cluster.Env) error
 }
@@ -78,6 +81,31 @@ var Scenarios = []Scenario{
 	{Name: "collective-straddle-async", Ranks: 5, Iters: 12, App: CollectiveStraddleApp,
 		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 5}, {Rank: 4, AtPragma: 4}},
 		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	// Two near-simultaneous failures inside one attempt (the self-healing
+	// detector's hardest agreement case, here driven through the virtual
+	// scheduler): whichever victim's pragma the schedule reaches first
+	// tears the world down; depending on the interleaving the second may
+	// or may not also fire before teardown, and recovery must converge
+	// either way. Non-adjacent victims keep both replicas of every line
+	// alive.
+	{Name: "dual-failure-sync", Ranks: 5, Iters: 12,
+		AttemptFailures: [][]cluster.FailureSpec{{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 5}}},
+		Policy:          ckpt.Policy{EveryNthPragma: 2}},
+	{Name: "dual-failure-async", Ranks: 5, Iters: 12,
+		AttemptFailures: [][]cluster.FailureSpec{{{Rank: 1, AtPragma: 5}, {Rank: 3, AtPragma: 5}}},
+		Policy:          ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	// A failure at the very first pragma of the recovery attempt: the
+	// second victim dies while parts of the world may still be replaying
+	// the restored line (failure during recovery), forcing a rollback of
+	// the rollback.
+	{Name: "failure-in-restore-sync", Ranks: 5, Iters: 12,
+		AttemptFailures: [][]cluster.FailureSpec{
+			{{Rank: 2, AtPragma: 6}}, {{Rank: 4, AtPragma: 1}}},
+		Policy: ckpt.Policy{EveryNthPragma: 2}},
+	{Name: "failure-in-restore-async", Ranks: 5, Iters: 12,
+		AttemptFailures: [][]cluster.FailureSpec{
+			{{Rank: 2, AtPragma: 6}}, {{Rank: 4, AtPragma: 1}}},
+		Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
 }
 
 // ScenarioByName looks a scenario up in the registry.
@@ -396,6 +424,7 @@ func runConfig(sc Scenario, ref map[int]int, cfg cluster.Config) Outcome {
 	cfg.Ranks = sc.Ranks
 	cfg.App = sc.app(&sums)
 	cfg.Failures = sc.Failures
+	cfg.AttemptFailures = sc.AttemptFailures
 	cfg.Policy = sc.Policy
 
 	out := Outcome{Seed: cfg.Seed}

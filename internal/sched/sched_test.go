@@ -94,3 +94,38 @@ func TestSweepAndShrinkContract(t *testing.T) {
 		t.Fatalf("Shrink on a passing schedule: err = %v, want ErrNotReproducible", err)
 	}
 }
+
+// TestDualFailureScenario sweeps a few seeds of the same-attempt
+// two-victim scenario: whichever subset of the two scheduled failures the
+// interleaving lets fire, recovery must converge to the reference sums.
+func TestDualFailureScenario(t *testing.T) {
+	sc, ok := ScenarioByName("dual-failure-sync")
+	if !ok {
+		t.Fatal("dual-failure-sync scenario missing")
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	res := Sweep(sc, ref, 1, 5, false)
+	if len(res.Failures) != 0 {
+		t.Fatalf("dual-failure sweep failed: %+v", res.Failures[0])
+	}
+}
+
+// TestFailureDuringRecoveryScenario: the second victim dies at the first
+// pragma of the restore attempt.
+func TestFailureDuringRecoveryScenario(t *testing.T) {
+	sc, ok := ScenarioByName("failure-in-restore-sync")
+	if !ok {
+		t.Fatal("failure-in-restore-sync scenario missing")
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	res := Sweep(sc, ref, 1, 5, false)
+	if len(res.Failures) != 0 {
+		t.Fatalf("failure-in-restore sweep failed: %+v", res.Failures[0])
+	}
+}

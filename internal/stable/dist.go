@@ -36,6 +36,8 @@ type DistStore struct {
 
 	ackTimeout   time.Duration
 	queryTimeout time.Duration
+	queryRetries int
+	commitHook   func(version int)
 	logf         func(format string, args ...any)
 
 	mu          sync.Mutex
@@ -43,6 +45,7 @@ type DistStore struct {
 	node        *replNode
 	awaiting    map[replAckKey]bool
 	interrupted bool
+	epoch       uint64 // recovery epoch; advancing it releases blocked commits
 	closed      bool
 
 	bytesWritten    int64
@@ -82,6 +85,29 @@ func WithQueryTimeout(d time.Duration) DistOption {
 	return func(s *DistStore) { s.queryTimeout = d }
 }
 
+// WithQueryRetries sets how many rounds of per-peer fragment queries a
+// recovery read makes before giving a fragment up as unreachable (default
+// 1). The self-healing runtime raises it so a reassembly started while a
+// peer is still re-dialing the restarted rank's mesh does not fail
+// spuriously.
+func WithQueryRetries(k int) DistOption {
+	return func(s *DistStore) {
+		if k >= 1 {
+			s.queryRetries = k
+		}
+	}
+}
+
+// WithCommitHook installs a callback invoked after each locally committed
+// version. The acknowledgment wait that precedes the local commit may
+// have ended early — interrupt, epoch advance, ack timeout excusing a
+// dead neighbor — so the hook reports local durability, not replication
+// completion. The multi-process node uses it to report checkpoint
+// progress to the launcher, which drives the external-kill demo mode.
+func WithCommitHook(fn func(version int)) DistOption {
+	return func(s *DistStore) { s.commitHook = fn }
+}
+
 // WithDistLog installs a diagnostic logger for replication and recovery
 // events.
 func WithDistLog(logf func(format string, args ...any)) DistOption {
@@ -102,6 +128,7 @@ func NewDistStore(self, n int, net transport.Interconnect, opts ...DistOption) *
 		net:          net,
 		ackTimeout:   5 * time.Second,
 		queryTimeout: 3 * time.Second,
+		queryRetries: 1,
 		node:         newReplNode(),
 		awaiting:     make(map[replAckKey]bool),
 		waiters:      make(map[uint64]chan replPayload),
@@ -141,6 +168,29 @@ func (s *DistStore) Resume() {
 	s.mu.Lock()
 	s.interrupted = false
 	s.mu.Unlock()
+}
+
+// AdvanceEpoch moves the store to a new recovery epoch. Every commit still
+// waiting for neighbor acknowledgments under an older epoch is released
+// (it keeps its local copy, exactly like an Interrupt), but unlike
+// Interrupt/Resume no explicit re-arm is needed: commits started under the
+// new epoch wait normally. The self-healing runtime calls it when the
+// failure detector's agreement commits a new epoch, so recovery is driven
+// by the survivors' own consensus rather than a launcher abort.
+func (s *DistStore) AdvanceEpoch(epoch uint64) {
+	s.mu.Lock()
+	if epoch > s.epoch {
+		s.epoch = epoch
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Epoch returns the store's current recovery epoch.
+func (s *DistStore) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Reassemblies reports how many checkpoints were rebuilt from peer
@@ -225,6 +275,7 @@ func (h *distHandle) Commit() error {
 	targets := s.neighbors()
 
 	s.mu.Lock()
+	startEpoch := s.epoch
 	for _, nb := range targets {
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
 		s.replicatedBytes += int64(len(blob))
@@ -249,7 +300,6 @@ func (h *distHandle) Commit() error {
 	defer wake.Stop()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for {
 		pending := 0
 		for _, nb := range targets {
@@ -257,7 +307,8 @@ func (h *distHandle) Commit() error {
 				pending++
 			}
 		}
-		if pending == 0 || s.interrupted || s.closed || !time.Now().Before(deadline) {
+		if pending == 0 || s.interrupted || s.closed || s.epoch != startEpoch ||
+			!time.Now().Before(deadline) {
 			break
 		}
 		s.cond.Wait()
@@ -266,6 +317,11 @@ func (h *distHandle) Commit() error {
 		delete(s.awaiting, replAckKey{owner: h.rank, version: h.version, from: nb})
 	}
 	s.node.local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	hook := s.commitHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(h.version)
+	}
 	return nil
 }
 
@@ -561,23 +617,27 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 	return &memSnap{ck: ck}, nil
 }
 
-// fetchFrag asks each peer in turn for one fragment.
+// fetchFrag asks each peer in turn for one fragment, repeating the sweep
+// up to the configured retry count (a peer may still be re-dialing this
+// process's freshly bound mesh when the first round goes out).
 func (s *DistStore) fetchFrag(owner, version, idx int) ([]byte, bool) {
-	for q := 0; q < s.n; q++ {
-		if q == s.self {
-			continue
-		}
-		reqID, ch := s.newRequest(1)
-		s.send(q, transport.Control, encodeDistQueryFrag(reqID, owner, version, idx))
-		select {
-		case data := <-ch:
-			s.dropRequest(reqID)
-			_, found, frag, err := decodeDistRespFrag(data)
-			if err == nil && found {
-				return frag, true
+	for round := 0; round < s.queryRetries; round++ {
+		for q := 0; q < s.n; q++ {
+			if q == s.self {
+				continue
 			}
-		case <-time.After(s.queryTimeout):
-			s.dropRequest(reqID)
+			reqID, ch := s.newRequest(1)
+			s.send(q, transport.Control, encodeDistQueryFrag(reqID, owner, version, idx))
+			select {
+			case data := <-ch:
+				s.dropRequest(reqID)
+				_, found, frag, err := decodeDistRespFrag(data)
+				if err == nil && found {
+					return frag, true
+				}
+			case <-time.After(s.queryTimeout):
+				s.dropRequest(reqID)
+			}
 		}
 	}
 	return nil, false

@@ -2,6 +2,7 @@ package stable
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -171,5 +172,128 @@ func TestDistStoreCommitExcusesDeadNeighbor(t *testing.T) {
 	v, ok, _ := stores[0].LastCommitted(0)
 	if !ok || v != 1 {
 		t.Fatalf("LastCommitted = %d,%v after excused commit", v, ok)
+	}
+}
+
+// TestDistStoreEpochReleasesBlockedCommit: a commit stuck waiting for a
+// dead neighbor's acknowledgment must be released the moment the recovery
+// epoch advances (the detector's agreement), long before the ack timeout.
+func TestDistStoreEpochReleasesBlockedCommit(t *testing.T) {
+	stores := distWorld(t, 3, WithAckTimeout(time.Hour))
+	stores[1].net.Kill(1) // rank 1 is dead: it will never ack
+
+	released := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		writeDistCommitted(t, stores[0], 0, 1, map[string][]byte{"a": {7}})
+		released <- time.Since(start)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case d := <-released:
+		t.Fatalf("commit returned after %v without an epoch advance (rank 2 alone cannot satisfy it)", d)
+	default:
+	}
+	stores[0].AdvanceEpoch(2)
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AdvanceEpoch did not release the blocked commit")
+	}
+	if got := stores[0].Epoch(); got != 2 {
+		t.Fatalf("Epoch = %d, want 2", got)
+	}
+	// The local copy still committed (recovery can use it).
+	v, ok, _ := stores[0].LastCommitted(0)
+	if !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v after epoch release", v, ok)
+	}
+	// A commit started under the NEW epoch blocks again (one neighbor is
+	// still dead and the timeout is an hour) until the next advance — the
+	// release is per-epoch, not a permanent interrupt.
+	released2 := make(chan struct{})
+	go func() {
+		writeDistCommitted(t, stores[0], 0, 2, map[string][]byte{"a": {8}})
+		close(released2)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-released2:
+		t.Fatal("new-epoch commit returned without waiting for acks")
+	default:
+	}
+	stores[0].AdvanceEpoch(3)
+	select {
+	case <-released2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second AdvanceEpoch did not release the commit")
+	}
+}
+
+// TestDistStoreAdvanceEpochMonotonic: stale (lower) epochs are ignored.
+func TestDistStoreAdvanceEpochMonotonic(t *testing.T) {
+	stores := distWorld(t, 2)
+	stores[0].AdvanceEpoch(5)
+	stores[0].AdvanceEpoch(3)
+	if got := stores[0].Epoch(); got != 5 {
+		t.Fatalf("Epoch = %d after stale advance, want 5", got)
+	}
+}
+
+// TestDistStoreCommitHook: the hook fires once per committed version with
+// the version number.
+func TestDistStoreCommitHook(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	hook := func(v int) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	}
+	nw := transport.NewNetwork(3)
+	stores := make([]*DistStore, 3)
+	for r := 0; r < 3; r++ {
+		opts := []DistOption{}
+		if r == 0 {
+			opts = append(opts, WithCommitHook(hook))
+		}
+		stores[r] = NewDistStore(r, 3, &sharedNet{Interconnect: nw}, opts...)
+	}
+	t.Cleanup(func() {
+		nw.Shutdown()
+		for _, s := range stores {
+			s.wg.Wait()
+		}
+	})
+	writeDistCommitted(t, stores[0], 0, 1, map[string][]byte{"a": {1}})
+	writeDistCommitted(t, stores[0], 0, 2, map[string][]byte{"a": {2}})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("commit hook saw %v, want [1 2]", got)
+	}
+}
+
+// TestDistStoreQueryRetries: reassembly still works with a short query
+// timeout when retry sweeps are configured — the timeout can expire on a
+// slow peer without failing the fragment for good.
+func TestDistStoreQueryRetries(t *testing.T) {
+	stores := distWorld(t, 4,
+		WithQueryTimeout(50*time.Millisecond), WithQueryRetries(3))
+	writeDistCommitted(t, stores[1], 1, 1, map[string][]byte{"app": []byte("retry me")})
+
+	// Wipe the owner, as in the restart test.
+	s1 := stores[1]
+	s1.mu.Lock()
+	s1.node = newReplNode()
+	s1.mu.Unlock()
+
+	snap, err := s1.Open(1, 1)
+	if err != nil {
+		t.Fatalf("Open with retries: %v", err)
+	}
+	defer snap.Close()
+	if got, err := snap.ReadSection("app"); err != nil || string(got) != "retry me" {
+		t.Fatalf("ReadSection = %q, %v", got, err)
 	}
 }

@@ -87,8 +87,19 @@ type Mesh struct {
 type peerConn struct {
 	mu        sync.Mutex
 	conn      net.Conn
-	connected bool // ever connected: re-dials use the short window
+	connected bool      // ever connected: re-dials use the short window
+	downUntil time.Time // failed-dial backoff: drop sends without redialing
 }
+
+// redialBackoff is how long sends to a peer drop immediately after a
+// failed (re)dial. Without it, every queued message toward a dead peer
+// pays a full dial window while holding the peer's connection lock,
+// serializing into multi-second stalls for everything else addressed to
+// that rank (the failure detector's heartbeat queue, recovery queries).
+// With it, the first send after a death pays one dial; the rest fail fast
+// until the next probe window, which also bounds how long a restarted
+// peer waits to be re-discovered.
+const redialBackoff = 200 * time.Millisecond
 
 // New creates a mesh for local rank self in a world whose rank addresses
 // are addrs (len(addrs) ranks). addrs[self] may use port 0; Addr reports
@@ -321,6 +332,9 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if p.conn == nil {
+			if time.Now().Before(p.downUntil) {
+				return false // recent dial failure: drop without redialing
+			}
 			window := m.dialWindow
 			if p.connected {
 				// The peer was reachable before and vanished — likely dead.
@@ -333,10 +347,12 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 				if debug {
 					fmt.Fprintf(os.Stderr, "tcp[%d]: dial %d failed\n", m.self, rank)
 				}
+				p.downUntil = time.Now().Add(redialBackoff)
 				return false
 			}
 			p.conn = conn
 			p.connected = true
+			p.downUntil = time.Time{}
 		}
 		if _, err := p.conn.Write(frame); err == nil {
 			return true

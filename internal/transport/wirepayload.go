@@ -24,6 +24,9 @@ const (
 	// WireKindRepl is a stable-store replication payload (registered by
 	// internal/stable).
 	WireKindRepl uint8 = 2
+	// WireKindDetect is a failure-detector payload — heartbeats, suspicion
+	// gossip, and epoch-agreement messages (registered by internal/detect).
+	WireKindDetect uint8 = 3
 )
 
 // WirePayload is implemented by payloads that can cross a real wire.
