@@ -182,11 +182,22 @@ var (
 	NewDelayedStore = stable.NewDelayedStore
 )
 
+// Codec is a stable-storage fragment codec: dup (full replication), xor
+// (single parity) or rs (Reed-Solomon k+m erasure coding).
+type Codec = stable.Codec
+
 // Replicated-store options.
 var (
 	// WithFragments sets how many pieces each checkpoint is split into
-	// before replication.
+	// before replication under the default dup codec.
 	WithFragments = stable.WithFragments
+	// WithCodec replaces full replication with an erasure codec: the k+m
+	// shards land on distinct ring successors (rotated parity placement)
+	// and any k reconstruct a line, so rs k=4,m=2 matches dup's two-loss
+	// tolerance at roughly half the memory and interconnect bytes.
+	WithCodec = stable.WithCodec
+	// NewCodec builds a codec by name ("dup", "xor", "rs") and geometry.
+	NewCodec = stable.NewCodec
 	// WithReplicationLatency applies a latency model to the replication
 	// interconnect.
 	WithReplicationLatency = stable.WithReplicationLatency

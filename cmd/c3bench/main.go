@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +25,12 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, or all")
+		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec, or all")
 		class   = flag.String("class", "W", "problem class: S, W, or A")
 		ranks   = flag.String("ranks", "4,8,16", "comma-separated rank counts for parallel tables")
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: the paper's set per table)")
 		reps    = flag.Int("reps", 1, "repetitions per timing (median reported)")
+		jsonOut = flag.String("json", "", "additionally write the generated tables to this file as JSON (CI artifacts)")
 	)
 	flag.Parse()
 
@@ -61,16 +63,31 @@ func main() {
 		}
 		sort.Strings(ids)
 	}
+	type namedTable struct {
+		ID    string       `json:"id"`
+		Table *bench.Table `json:"table"`
+	}
+	var generated []namedTable
 	for _, id := range ids {
 		gen, ok := bench.Generators[id]
 		if !ok {
-			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async)", id)
+			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec)", id)
 		}
 		t, err := gen(opts)
 		if err != nil {
 			fatalf("table %s: %v", id, err)
 		}
 		fmt.Println(t.Format())
+		generated = append(generated, namedTable{ID: id, Table: t})
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(generated, "", "  ")
+		if err != nil {
+			fatalf("encode json: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *jsonOut, err)
+		}
 	}
 }
 

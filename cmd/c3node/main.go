@@ -51,6 +51,7 @@ import (
 	"c3/internal/apps"
 	"c3/internal/ckpt"
 	"c3/internal/cluster"
+	"c3/internal/stable"
 )
 
 func main() {
@@ -136,6 +137,9 @@ func launcherMain() {
 		async    = flag.Bool("async", false, "asynchronous commit pipeline")
 		kill     = flag.String("kill", "", "failure spec rank=R,at=P[,after=K]: SIGKILL that rank's process at that pragma")
 		storeDir = flag.String("store", "", "shared checkpoint directory (default: diskless replicated store over TCP)")
+		codec    = flag.String("codec", "dup", "diskless-store fragment codec: dup (full +1/+2 replication), xor (k+1 single parity), rs (Reed-Solomon k+m)")
+		shards   = flag.Int("shards", 0, "codec data shards k (0 = per-codec default: dup 2, xor 4, rs 4)")
+		parity   = flag.Int("parity", 0, "codec parity shards m (0 = default: rs 2; xor always 1; dup none)")
 		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
 		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints]")
 		hb       = flag.Duration("heartbeat", 25*time.Millisecond, "self-heal: failure-detector heartbeat interval")
@@ -164,6 +168,12 @@ func launcherMain() {
 	if *selfHeal && *storeDir != "" {
 		fatalf("-self-heal requires the diskless replicated store (drop -store)")
 	}
+	if _, err := stable.NewCodec(*codec, *shards, *parity); err != nil {
+		fatalf("%v", err)
+	}
+	if *codec != "dup" && *storeDir != "" {
+		fatalf("-codec applies to the diskless replicated store (drop -store)")
+	}
 
 	cfg := cluster.LaunchConfig{
 		Ranks:        *ranks,
@@ -186,7 +196,10 @@ func launcherMain() {
 			if *storeDir != "" {
 				args = append(args, "-store", *storeDir)
 			} else {
-				args = append(args, "-repl-peers", strings.Join(replAddrs, ","))
+				args = append(args, "-repl-peers", strings.Join(replAddrs, ","),
+					"-codec", *codec,
+					"-shards", strconv.Itoa(*shards),
+					"-parity", strconv.Itoa(*parity))
 			}
 			if *selfHeal {
 				args = append(args,
@@ -278,6 +291,9 @@ func workerMain() {
 		async     = fs.Bool("async", false, "asynchronous commit pipeline")
 		kill      = fs.String("kill", "", "failure spec for this rank")
 		storeDir  = fs.String("store", "", "shared checkpoint directory")
+		codec     = fs.String("codec", "dup", "diskless-store fragment codec")
+		shards    = fs.Int("shards", 0, "codec data shards k")
+		parity    = fs.Int("parity", 0, "codec parity shards m")
 		selfHeal  = fs.Bool("self-heal", false, "autonomous detection and recovery")
 		hb        = fs.Duration("heartbeat", 25*time.Millisecond, "detector heartbeat interval")
 		phi       = fs.Float64("phi", 5, "accrual suspicion threshold")
@@ -329,6 +345,7 @@ func workerMain() {
 		nc.StorePath = *storeDir
 	} else {
 		nc.ReplAddrs = splitAddrs(*replPeers)
+		nc.Codec, nc.DataShards, nc.ParityShards = *codec, *shards, *parity
 	}
 	if *verbose || os.Getenv("C3NODE_TRACE") != "" {
 		// Structured per-rank prefix with a microsecond timestamp, so the

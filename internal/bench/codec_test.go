@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"c3/internal/apps"
+)
+
+// TestAblationCodecAcceptance runs the codec ablation at the smoke size
+// and enforces the acceptance criterion: rs k=4,m=2 stores at most 0.6x
+// the per-rank bytes of dup +1/+2 replication at equal fault tolerance.
+func TestAblationCodecAcceptance(t *testing.T) {
+	tab, err := AblationCodec(Options{Class: apps.ClassS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	rs, ok := byName["rs"]
+	if !ok {
+		t.Fatal("no rs row")
+	}
+	if got := rs[2]; got != "2 losses" {
+		t.Fatalf("rs tolerance column = %q", got)
+	}
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(rs[5], "x"), 64)
+	if err != nil {
+		t.Fatalf("rs ratio cell %q: %v", rs[5], err)
+	}
+	if ratio > 0.6 {
+		t.Fatalf("rs stored-per-rank ratio %.3f > 0.6x dup (acceptance criterion)", ratio)
+	}
+	// And xor sits below rs (one parity shard instead of two).
+	xr, ok := byName["xor"]
+	if !ok {
+		t.Fatal("no xor row")
+	}
+	xratio, err := strconv.ParseFloat(strings.TrimSuffix(xr[5], "x"), 64)
+	if err != nil || xratio >= ratio {
+		t.Fatalf("xor ratio %q not below rs %q", xr[5], rs[5])
+	}
+}

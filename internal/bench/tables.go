@@ -631,4 +631,5 @@ var Generators = map[string]func(Options) (*Table, error){
 	"ablation-blocking":    AblationBlocking,
 	"ablation-incremental": AblationIncremental,
 	"ablation-async":       AblationAsync,
+	"ablation-codec":       AblationCodec,
 }

@@ -69,6 +69,7 @@ func (l *Layer) startCheckpoint() error {
 	l.epoch++
 	line := l.epoch
 	l.pendingLine = line
+	l.pendingBytes = 0
 
 	// Prepare counters first (Figure 5): "Copy Received-Counters to
 	// Late-Received-Counters; copy Early-Received-Counters to
@@ -108,21 +109,24 @@ func (l *Layer) startCheckpoint() error {
 		full := l.lastSections == nil || (line-1)%uint64(k) == 0
 		var appImg []byte
 		if full {
-			appImg = statesave.EncodeIncrement(true, 0, cur)
+			appImg = statesave.EncodeIncrement(true, 0, cur, nil)
 		} else {
-			appImg = statesave.EncodeIncrement(false, line-1, statesave.DiffSections(l.lastSections, cur))
+			delta, removed := statesave.DiffSections(l.lastSections, cur)
+			appImg = statesave.EncodeIncrement(false, line-1, delta, removed)
 		}
 		l.lastSections = cur
 		if err := writeSection(secAppInc, appImg); err != nil {
 			return l.fatal(err)
 		}
 		l.stats.CheckpointBytes += uint64(len(appImg))
+		l.pendingBytes += uint64(len(appImg))
 	} else {
 		appImg := l.state.Save()
 		if err := writeSection(secApp, appImg); err != nil {
 			return l.fatal(err)
 		}
 		l.stats.CheckpointBytes += uint64(len(appImg))
+		l.pendingBytes += uint64(len(appImg))
 	}
 
 	// Save basic MPI state and the handle tables.
@@ -131,6 +135,7 @@ func (l *Layer) startCheckpoint() error {
 		return l.fatal(err)
 	}
 	l.stats.CheckpointBytes += uint64(len(mpiImg))
+	l.pendingBytes += uint64(len(mpiImg))
 
 	// Save and reset the Early-Message-Registry.
 	earlyImg := l.earlyReg.Serialize()
@@ -138,6 +143,7 @@ func (l *Layer) startCheckpoint() error {
 		return l.fatal(err)
 	}
 	l.stats.CheckpointBytes += uint64(len(earlyImg))
+	l.pendingBytes += uint64(len(earlyImg))
 	l.earlyReg.Reset()
 
 	// Send Checkpoint-Initiated to every other process Q with Sent-Count[Q].
@@ -203,6 +209,7 @@ func (l *Layer) commitCheckpoint() error {
 	resImg := l.results.Serialize()
 	reqImg := l.reqs.Serialize(l.pendingLine)
 	l.stats.CheckpointBytes += uint64(len(lateImg) + len(resImg) + len(reqImg))
+	l.pendingBytes += uint64(len(lateImg) + len(resImg) + len(reqImg))
 	if l.committer != nil {
 		// Async: the line is protocol-complete; hand the full capture to the
 		// background committer. The FIFO pipeline guarantees the previous
@@ -231,6 +238,7 @@ func (l *Layer) commitCheckpoint() error {
 		if err := l.pending.Commit(); err != nil {
 			return l.fatal(fmt.Errorf("ckpt: commit checkpoint %d: %w", l.pendingLine, err))
 		}
+		l.stats.StoredBytes += storedSizeOf(l.pending, l.pendingBytes)
 		l.pending = nil
 	}
 	l.lateReg.Reset()
@@ -239,6 +247,17 @@ func (l *Layer) commitCheckpoint() error {
 	l.mode = ModeRun
 	l.stats.CommitDuration += l.clock().Sub(begin)
 	return nil
+}
+
+// storedSizeOf is the stable-storage footprint of a committed handle: the
+// store's own report when it gives one (the diskless replicated stores
+// count local copy plus replica shards and parity), the line's raw section
+// bytes otherwise.
+func storedSizeOf(ck stable.Checkpoint, fallback uint64) uint64 {
+	if sz, ok := ck.(stable.StoredSizer); ok {
+		return uint64(sz.StoredSize())
+	}
+	return fallback
 }
 
 // saveMPIState serializes the "basic MPI state" (Figure 5): world shape,
@@ -427,14 +446,17 @@ func (l *Layer) loadAppState(snap stable.Snapshot, line uint64) error {
 	if err != nil {
 		return fmt.Errorf("ckpt: checkpoint %d has neither full nor incremental app state: %w", line, err)
 	}
-	var deltas []map[string]statesave.SectionImage
-	cur := line
+	type increment struct {
+		sections map[string]statesave.SectionImage
+		removed  []string
+	}
+	var deltas []increment
 	for {
-		full, base, sections, err := statesave.DecodeIncrement(img)
+		full, base, sections, removed, err := statesave.DecodeIncrement(img)
 		if err != nil {
 			return err
 		}
-		deltas = append(deltas, sections)
+		deltas = append(deltas, increment{sections: sections, removed: removed})
 		if full {
 			break
 		}
@@ -447,13 +469,12 @@ func (l *Layer) loadAppState(snap stable.Snapshot, line uint64) error {
 		if err != nil {
 			return err
 		}
-		cur = base
 	}
-	_ = cur
-	// Apply from the anchor forward.
-	merged := deltas[len(deltas)-1]
+	// Apply from the anchor forward, honoring each delta's tombstones so a
+	// section dropped between anchor and line does not resurrect.
+	merged := deltas[len(deltas)-1].sections
 	for i := len(deltas) - 2; i >= 0; i-- {
-		merged = statesave.MergeSections(merged, deltas[i])
+		merged = statesave.MergeSections(merged, deltas[i].sections, deltas[i].removed)
 	}
 	bodies := make(map[string][]byte, len(merged))
 	for name, simg := range merged {

@@ -76,6 +76,7 @@ type committer struct {
 
 	// Counters merged into the layer's Stats.
 	asyncCommits  uint64
+	storedBytes   uint64        // stable-storage footprint of committed lines
 	writeDuration time.Duration // time the worker spent at the store
 	stallDuration time.Duration // time the app blocked on the full pipeline
 }
@@ -201,6 +202,13 @@ func (c *committer) write(job *commitJob) (committed bool, err error) {
 	if err := ck.Commit(); err != nil {
 		return false, fmt.Errorf("ckpt: async commit checkpoint %d: %w", job.line, err)
 	}
+	var raw uint64
+	for _, s := range job.sections {
+		raw += uint64(len(s.data))
+	}
+	c.mu.Lock()
+	c.storedBytes += storedSizeOf(ck, raw)
+	c.mu.Unlock()
 	if job.retireBelow > 0 {
 		_ = c.store.Retire(c.rank, job.retireBelow)
 	}

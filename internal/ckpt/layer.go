@@ -124,6 +124,10 @@ type Layer struct {
 	// Incremental checkpointing state: the previous line's section images.
 	lastSections map[string]statesave.SectionImage
 
+	// pendingBytes is the raw section bytes of the line in progress — the
+	// StoredBytes fallback for stores that do not report a footprint.
+	pendingBytes uint64
+
 	pragmaCount  int
 	lastCkptTime time.Time
 	clock        func() time.Time
@@ -149,7 +153,14 @@ type Stats struct {
 	ResultsReplayed  uint64
 	CheckpointsTaken uint64
 	CheckpointBytes  uint64
-	Restores         uint64
+	// StoredBytes is what the checkpoints actually occupy at stable
+	// storage across the world: the local copy plus replica shards and
+	// parity, as reported by the store (stable.StoredSizer). For plain
+	// stores it equals CheckpointBytes; for the diskless replicated
+	// stores StoredBytes/CheckpointBytes is the codec's storage-overhead
+	// ratio (3x for dup +1/+2, (k+m)/k for the erasure codecs).
+	StoredBytes uint64
+	Restores    uint64
 	StartDuration    time.Duration
 	CommitDuration   time.Duration
 	RestoreDuration  time.Duration
@@ -264,6 +275,7 @@ func (l *Layer) Stats() Stats {
 		st.AsyncCommits = c.asyncCommits
 		st.AsyncWriteDuration = c.writeDuration
 		st.CommitStallLatency = c.stallDuration
+		st.StoredBytes += c.storedBytes
 		c.mu.Unlock()
 	}
 	return st

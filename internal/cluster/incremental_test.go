@@ -8,6 +8,7 @@ import (
 	"c3/internal/cluster"
 	"c3/internal/mpi"
 	"c3/internal/stable"
+	"c3/internal/statesave"
 )
 
 // incrementalApp has a large static section and a small hot section, the
@@ -127,5 +128,124 @@ func TestIncrementalRetireKeepsChain(t *testing.T) {
 		if !ok || want != gotv {
 			t.Fatalf("rank %d: ref %v vs recovered %v", r, want, gotv)
 		}
+	}
+}
+
+// tombstoneApp exercises section removal mid-chain: "scratch" is set
+// early, then zeroed and unregistered once the protocol reaches line 6 —
+// after the full-snapshot anchor (line 5), so later deltas must carry a
+// tombstone. The app reads scratch back right after a restore that lands
+// past the tombstone line: any non-zero value is state the recovery chain
+// resurrected, and it flows into the checksum.
+func tombstoneApp(iters int, sums *sync.Map) func(cluster.Env) error {
+	return func(env cluster.Env) error {
+		st := env.State()
+		it := st.Int("it")
+		hot := st.Int("hot")
+		leak := st.Int("leak")
+		scratch := st.Int("scratch") // prologue registers it at zero
+		restored, err := env.Restore()
+		if err != nil {
+			return err
+		}
+		layer := cluster.LayerOf(env)
+		if restored && layer.Epoch() >= 7 {
+			// The restored line postdates the tombstone (line 7): scratch
+			// must have stayed at its freshly registered zero.
+			leak.Set(leak.Get() + int(scratch.Get()))
+		}
+		w := env.World()
+		for it.Get() < iters {
+			other := (env.Rank() + 1) % env.Size()
+			var in [1]byte
+			if _, err := w.Sendrecv([]byte{byte(it.Get())}, 1, mpi.TypeByte, other, 3,
+				in[:], 1, mpi.TypeByte, (env.Rank()+env.Size()-1)%env.Size(), 3); err != nil {
+				return err
+			}
+			hot.Add(int(in[0]))
+			it.Add(1)
+			if it.Get() == 2 {
+				scratch.Set(777) // lives in the line-5 anchor snapshot
+			}
+			if _, live := st.Lookup("scratch"); live && layer != nil && layer.Epoch() >= 6 {
+				scratch.Set(0)
+				st.Unregister("scratch") // leaves checkpointed state here
+			}
+			if err := env.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		sums.Store(env.Rank(), hot.Get()*100000+int(leak.Get()))
+		return nil
+	}
+}
+
+// TestIncrementalRemovedSectionStaysRemoved is the tombstone regression:
+// a section present at the full-snapshot anchor but unregistered before
+// the recovery line must NOT reappear (with stale contents) on recovery.
+func TestIncrementalRemovedSectionStaysRemoved(t *testing.T) {
+	const ranks = 3
+	const iters = 20
+
+	base := func(sums *sync.Map) cluster.Config {
+		return cluster.Config{
+			Ranks:               ranks,
+			App:                 tombstoneApp(iters, sums),
+			Policy:              ckpt.Policy{EveryNthPragma: 1},
+			FullCheckpointEvery: 4,
+		}
+	}
+	var ref sync.Map
+	run(t, base(&ref))
+
+	var got sync.Map
+	cfg := base(&got)
+	// Fire at the first pragma after line 8 starts: the recovery line lands
+	// in [6,8] — past the tombstone-carrying delta but before the next
+	// anchor (line 9) would mask the resurrection.
+	cfg.Failures = []cluster.FailureSpec{{Rank: 1, AtPragma: 1, AfterCheckpoints: 8}}
+	res := run(t, cfg)
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+	for r := 0; r < ranks; r++ {
+		want, _ := ref.Load(r)
+		gotv, ok := got.Load(r)
+		if !ok || want != gotv {
+			t.Fatalf("rank %d: ref %v vs recovered %v — removed section resurrected", r, want, gotv)
+		}
+	}
+}
+
+// TestDiffMergeTombstoneRoundtrip pins the statesave-level contract the
+// recovery chain walk relies on.
+func TestDiffMergeTombstoneRoundtrip(t *testing.T) {
+	img := func(b byte) statesave.SectionImage {
+		return statesave.SectionImage{Body: []byte{b}, Digest: uint64(b)}
+	}
+	anchor := map[string]statesave.SectionImage{"keep": img(1), "gone": img(2)}
+	cur := map[string]statesave.SectionImage{"keep": img(1), "new": img(3)}
+
+	delta, removed := statesave.DiffSections(anchor, cur)
+	if len(delta) != 1 || len(removed) != 1 || removed[0] != "gone" {
+		t.Fatalf("DiffSections = delta %v removed %v", delta, removed)
+	}
+	enc := statesave.EncodeIncrement(false, 5, delta, removed)
+	full, base, sections, gotRemoved, err := statesave.DecodeIncrement(enc)
+	if err != nil || full || base != 5 {
+		t.Fatalf("DecodeIncrement: full=%v base=%d err=%v", full, base, err)
+	}
+	if len(gotRemoved) != 1 || gotRemoved[0] != "gone" {
+		t.Fatalf("tombstones lost in encoding: %v", gotRemoved)
+	}
+	merged := statesave.MergeSections(anchor, sections, gotRemoved)
+	if _, resurrected := merged["gone"]; resurrected {
+		t.Fatal("merge resurrected the removed section")
+	}
+	if _, ok := merged["new"]; !ok {
+		t.Fatal("merge dropped the delta's new section")
+	}
+	if _, ok := merged["keep"]; !ok {
+		t.Fatal("merge dropped the unchanged section")
 	}
 }

@@ -86,6 +86,17 @@ type NodeConfig struct {
 	// StorePath is the shared-filesystem DiskStore root used when
 	// ReplAddrs is empty.
 	StorePath string
+	// Codec selects the diskless store's fragment codec: "dup" (full
+	// +1/+2 replication, default), "xor" (k data + 1 parity shard on
+	// distinct ring successors, tolerates one loss), or "rs"
+	// (Reed-Solomon k+m, tolerates any m simultaneous losses at a
+	// fraction of dup's memory and wire bytes).
+	Codec string
+	// DataShards (k) and ParityShards (m) tune the codec geometry; zero
+	// selects the per-codec defaults (dup: 2 fragments; xor: k=4; rs:
+	// k=4, m=2).
+	DataShards   int
+	ParityShards int
 	// App is the application main, run once per attempt.
 	App func(Env) error
 	// Args is handed to the application via Env.Args.
@@ -134,8 +145,19 @@ type node struct {
 }
 
 // distOptions assembles the store options shared by both modes.
-func (cfg *NodeConfig) distOptions() []stable.DistOption {
+func (cfg *NodeConfig) distOptions() ([]stable.DistOption, error) {
 	var opts []stable.DistOption
+	if cfg.Codec != "" || cfg.DataShards > 0 || cfg.ParityShards > 0 {
+		codec, err := stable.NewCodec(cfg.Codec, cfg.DataShards, cfg.ParityShards)
+		if err != nil {
+			return nil, err
+		}
+		if codec.ParityShards() == 0 && cfg.DataShards > 0 {
+			opts = append(opts, stable.WithDistFragments(cfg.DataShards))
+		} else if codec.ParityShards() > 0 {
+			opts = append(opts, stable.WithDistCodec(codec))
+		}
+	}
 	if cfg.Log != nil {
 		opts = append(opts, stable.WithDistLog(cfg.Log))
 	}
@@ -148,7 +170,7 @@ func (cfg *NodeConfig) distOptions() []stable.DistOption {
 	if cfg.QueryRetries > 0 {
 		opts = append(opts, stable.WithQueryRetries(cfg.QueryRetries))
 	}
-	return opts
+	return opts, nil
 }
 
 // RunNode hosts one rank until quit or stdin EOF. It is the body of
@@ -177,12 +199,17 @@ func RunNode(cfg NodeConfig) error {
 
 	switch {
 	case len(cfg.ReplAddrs) > 0:
+		dopts, err := cfg.distOptions()
+		if err != nil {
+			w.emit("error %v", err)
+			return err
+		}
 		rmesh, err := tcp.New(cfg.Rank, cfg.ReplAddrs, tcp.WithDialWindow(cfg.DialWindow))
 		if err != nil {
 			w.emit("error %v", err)
 			return err
 		}
-		w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, rmesh, cfg.distOptions()...)
+		w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, rmesh, dopts...)
 		w.store = w.dist
 		defer w.dist.Close()
 	case cfg.StorePath != "":
@@ -407,6 +434,11 @@ func (w *node) runSelfHeal() error {
 		sh.JoinTimeout = 15 * time.Second
 	}
 
+	dopts, err := cfg.distOptions()
+	if err != nil {
+		w.emit("error %v", err)
+		return err
+	}
 	rmesh, err := tcp.New(cfg.Rank, cfg.ReplAddrs, tcp.WithDialWindow(cfg.DialWindow))
 	if err != nil {
 		w.emit("error %v", err)
@@ -416,7 +448,6 @@ func (w *node) runSelfHeal() error {
 	replPlane := demux.Plane(transport.WireKindRepl)
 	detPlane := demux.Plane(transport.WireKindDetect)
 
-	dopts := cfg.distOptions()
 	dopts = append(dopts, stable.WithCommitHook(func(version int) {
 		w.emit("ckpt %d %d", w.curAttempt.Load(), version)
 	}))

@@ -46,8 +46,12 @@ func runProcWorker() {
 		every     = fs.Int("every", 4, "")
 		async     = fs.Bool("async", false, "")
 		killRank  = fs.Int("kill-rank", -1, "")
+		killRank2 = fs.Int("kill-rank2", -1, "")
 		killAt    = fs.Int("kill-at", 0, "")
 		killAfter = fs.Int("kill-after", 0, "")
+		codec     = fs.String("codec", "", "")
+		shards    = fs.Int("shards", 0, "")
+		parity    = fs.Int("parity", 0, "")
 		selfHeal  = fs.Bool("self-heal", false, "")
 		heartbeat = fs.Duration("heartbeat", 15*time.Millisecond, "")
 		phi       = fs.Float64("phi", 6, "")
@@ -82,6 +86,7 @@ func runProcWorker() {
 		}
 	}
 	nc.AckTimeout, nc.QueryTimeout, nc.QueryRetries = *ackTO, *queryTO, *queryN
+	nc.Codec, nc.DataShards, nc.ParityShards = *codec, *shards, *parity
 	if os.Getenv("C3_TEST_TRACE") != "" {
 		start := time.Now()
 		nc.Log = func(format string, args ...any) {
@@ -89,8 +94,8 @@ func runProcWorker() {
 				append([]any{*rank, time.Since(start).Microseconds()}, args...)...)
 		}
 	}
-	if *killRank == *rank {
-		nc.Kill = &cluster.FailureSpec{Rank: *killRank, AtPragma: *killAt, AfterCheckpoints: *killAfter}
+	if *killRank == *rank || *killRank2 == *rank {
+		nc.Kill = &cluster.FailureSpec{Rank: *rank, AtPragma: *killAt, AfterCheckpoints: *killAfter}
 	}
 	if err := cluster.RunNode(nc); err != nil {
 		fmt.Fprintf(os.Stderr, "proc worker rank %d: %v\n", *rank, err)
@@ -217,6 +222,60 @@ func TestMultiProcessSIGKILLRecoveryAsync(t *testing.T) {
 	}
 	ref := procReference(t, 4)
 	res := launchProcs(t, 4, "-every", "4", "-async", "-kill-rank", "2", "-kill-at", "9", "-kill-after", "2")
+	if res.Restarts != 1 {
+		t.Fatalf("restarts=%d, want 1", res.Restarts)
+	}
+	checkProcSums(t, res, ref)
+}
+
+// TestMultiProcessDualSIGKILLRS is the erasure-coding acceptance scenario:
+// a 6-process world runs the diskless store under -codec=rs (k=3, m=2 —
+// every line lives only as five shards on five distinct ring successors,
+// no full copies anywhere), two ranks are SIGKILLed near-simultaneously at
+// the same pragma, both are re-executed, reassemble their checkpoints from
+// the surviving three-of-five shards over TCP, and the world converges to
+// the failure-free checksums.
+func TestMultiProcessDualSIGKILLRS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	ref := procReference(t, 6)
+	res := launchProcs(t, 6,
+		"-every", "4",
+		"-codec", "rs", "-shards", "3", "-parity", "2",
+		"-kill-rank", "1", "-kill-rank2", "3", "-kill-at", "9", "-kill-after", "2",
+		"-query-retries", "3")
+	if res.Restarts != 2 {
+		t.Fatalf("restarts=%d, want 2 re-executed processes", res.Restarts)
+	}
+	checkProcSums(t, res, ref)
+	// Both replacements must have rebuilt state from peer shards; with an
+	// erasure codec even the survivors reassemble their own lines over the
+	// wire (no full local copies exist).
+	for _, r := range []int{1, 3} {
+		stat := res.Stats[r]
+		if !strings.Contains(stat, "restores=1") {
+			t.Errorf("rank %d stat %q: did not restore from the recovery line", r, stat)
+		}
+		if !strings.Contains(stat, "reassemblies=") || strings.Contains(stat, "reassemblies=0") {
+			t.Errorf("rank %d stat %q: checkpoint was not reassembled from shards", r, stat)
+		}
+	}
+}
+
+// TestMultiProcessSIGKILLRecoveryXOR drives the single-kill headline
+// scenario through the xor codec (k=4 data + 1 parity on five distinct
+// successors, tolerates exactly the one loss this test injects).
+func TestMultiProcessSIGKILLRecoveryXOR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	ref := procReference(t, 6)
+	res := launchProcs(t, 6,
+		"-every", "4",
+		"-codec", "xor", "-shards", "4",
+		"-kill-rank", "2", "-kill-at", "9", "-kill-after", "2",
+		"-query-retries", "3")
 	if res.Restarts != 1 {
 		t.Fatalf("restarts=%d, want 1", res.Restarts)
 	}

@@ -94,6 +94,22 @@ func TestCodecRoundtrips(t *testing.T) {
 	}
 }
 
+// tuned widens the failure-detection margins that real time.Sleep-based
+// tests depend on. The phi thresholds and heartbeat cadences below assume
+// goroutines get scheduled within a couple of heartbeat intervals; under
+// the race detector (or a heavily loaded CI runner) a starved emitter can
+// fall silent long enough to cross the threshold and misfire a false
+// suspicion. Slower heartbeats make a fixed scheduler stall span fewer
+// intervals, and a higher threshold demands proportionally more silence —
+// the detection-latency assertions all poll with generous deadlines, so
+// widening costs nothing but wall time.
+func tuned(hb time.Duration, phi float64) (time.Duration, float64) {
+	if raceEnabled {
+		return 3 * hb, phi + 3
+	}
+	return 2 * hb, phi + 1
+}
+
 // world spins up one detector per rank on a shared in-memory network.
 type world struct {
 	nw   *transport.Network
@@ -168,8 +184,9 @@ func (w *world) awaitEpoch(t *testing.T, ranks []int, e uint64, within time.Dura
 // TestFailureFreeStaysAtEpochOne: with every rank heartbeating, no epoch
 // transition and no suspicion survives a settling window.
 func TestFailureFreeStaysAtEpochOne(t *testing.T) {
-	w := newWorld(t, 4, 5*time.Millisecond, 8)
-	time.Sleep(400 * time.Millisecond)
+	hb, phi := tuned(5*time.Millisecond, 8)
+	w := newWorld(t, 4, hb, phi)
+	time.Sleep(80 * hb)
 	for r, d := range w.dets {
 		if e := d.Epoch(); e != 1 {
 			t.Errorf("rank %d epoch = %d, want 1", r, e)
@@ -190,9 +207,10 @@ func TestFailureFreeStaysAtEpochOne(t *testing.T) {
 // then really dies, detection and agreement must still fire through the
 // same delayed plane.
 func TestNoFalseSuspicionUnderScheduledDelay(t *testing.T) {
-	delay := transport.ConstantLatency(50*time.Millisecond, 0)
-	w := newWorld(t, 4, 10*time.Millisecond, 8, transport.WithLatency(delay))
-	time.Sleep(600 * time.Millisecond)
+	hb, phi := tuned(10*time.Millisecond, 8)
+	delay := transport.ConstantLatency(5*hb, 0)
+	w := newWorld(t, 4, hb, phi, transport.WithLatency(delay))
+	time.Sleep(60 * hb)
 	for r, d := range w.dets {
 		if e := d.Epoch(); e != 1 {
 			t.Fatalf("rank %d epoch = %d after delayed-but-live window, want 1 (false suspicion)", r, e)
@@ -223,10 +241,11 @@ func TestNoFalseSuspicionUnderScheduledDelay(t *testing.T) {
 // each other; the survivors must converge on both deaths, either as one
 // merged agreement or two consecutive epochs.
 func TestTwoNearSimultaneousFailures(t *testing.T) {
-	w := newWorld(t, 5, 5*time.Millisecond, 6)
-	time.Sleep(100 * time.Millisecond) // settle
+	hb, phi := tuned(5*time.Millisecond, 6)
+	w := newWorld(t, 5, hb, phi)
+	time.Sleep(20 * hb) // settle
 	w.kill(1)
-	time.Sleep(3 * time.Millisecond)
+	time.Sleep(hb / 2)
 	w.kill(3)
 	survivors := []int{0, 2, 4}
 	deadline := time.Now().Add(10 * time.Second)
@@ -262,10 +281,11 @@ func TestTwoNearSimultaneousFailures(t *testing.T) {
 // for that agreement — dies moments later (possibly mid-proposal). Rank 2
 // must take over and finish both agreements.
 func TestCoordinatorDiesDuringRecovery(t *testing.T) {
-	w := newWorld(t, 5, 5*time.Millisecond, 6)
-	time.Sleep(100 * time.Millisecond)
+	hb, phi := tuned(5*time.Millisecond, 6)
+	w := newWorld(t, 5, hb, phi)
+	time.Sleep(20 * hb)
 	w.kill(0)
-	time.Sleep(30 * time.Millisecond)
+	time.Sleep(6 * hb)
 	w.kill(1)
 	survivors := []int{2, 3, 4}
 	deadline := time.Now().Add(10 * time.Second)
@@ -307,8 +327,9 @@ func TestLateRankJoins(t *testing.T) {
 			}
 		}
 	})
+	hb, phi := tuned(5*time.Millisecond, 6)
 	for r := 0; r < 3; r++ {
-		w.startRank(t, r, n, 5*time.Millisecond, 6)
+		w.startRank(t, r, n, hb, phi)
 	}
 	w.awaitEpoch(t, []int{0, 1, 2}, 2, 10*time.Second)
 	for _, r := range []int{0, 1, 2} {
@@ -317,7 +338,7 @@ func TestLateRankJoins(t *testing.T) {
 		}
 	}
 
-	late := w.startRank(t, 3, n, 5*time.Millisecond, 6)
+	late := w.startRank(t, 3, n, hb, phi)
 	epoch, err := late.Join(5 * time.Second)
 	if err != nil {
 		t.Fatalf("join: %v", err)
@@ -344,7 +365,7 @@ func TestLateRankJoins(t *testing.T) {
 	}
 	// And the world must stay stable afterwards (no oscillating suspicion
 	// of the rejoined rank).
-	time.Sleep(200 * time.Millisecond)
+	time.Sleep(40 * hb)
 	for r := 0; r < n; r++ {
 		if dead := w.dets[r].Dead(); len(dead) != 0 {
 			t.Errorf("rank %d dead = %v after rejoin, want none", r, dead)
@@ -356,6 +377,7 @@ func TestLateRankJoins(t *testing.T) {
 // once per epoch with the newly dead ranks.
 func TestOnEpochCallback(t *testing.T) {
 	n := 4
+	hb, phi := tuned(5*time.Millisecond, 6)
 	nw := transport.NewNetwork(n)
 	type event struct {
 		epoch   uint64
@@ -368,7 +390,7 @@ func TestOnEpochCallback(t *testing.T) {
 		r := r
 		d, err := New(Options{
 			Self: r, Ranks: n, Net: nw,
-			HeartbeatInterval: 5 * time.Millisecond, PhiThreshold: 6,
+			HeartbeatInterval: hb, PhiThreshold: phi,
 			OnEpoch: func(epoch uint64, dead, newDead []int) {
 				mu.Lock()
 				events[r] = append(events[r], event{epoch, append([]int(nil), newDead...)})
@@ -388,7 +410,7 @@ func TestOnEpochCallback(t *testing.T) {
 			}
 		}
 	})
-	time.Sleep(100 * time.Millisecond)
+	time.Sleep(20 * hb)
 	dets[2].Close()
 	dets[2] = nil
 	nw.Kill(2)

@@ -1,0 +1,9 @@
+//go:build race
+
+package detect
+
+// raceEnabled reports that this test binary was built with -race: the
+// detector's goroutines run several times slower and the Go scheduler
+// preempts more coarsely, so timing-sensitive tests widen their margins
+// (see tuned in detect_test.go).
+const raceEnabled = true

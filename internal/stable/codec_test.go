@@ -1,0 +1,298 @@
+package stable
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testBlob builds a deterministic pseudo-random blob.
+func testBlob(n int, seed byte) []byte {
+	b := make([]byte, n)
+	x := uint32(seed) + 1
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 16)
+	}
+	return b
+}
+
+// combinations invokes fn with every size-r index subset of [0,n).
+func combinations(n, r int, fn func(drop []int)) {
+	idx := make([]int, r)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == r {
+			fn(append([]int(nil), idx...))
+			return
+		}
+		for i := start; i <= n-(r-depth); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// codecsUnderTest is the geometry sweep the loss matrix runs over.
+func codecsUnderTest(t *testing.T) []Codec {
+	t.Helper()
+	var cs []Codec
+	for _, spec := range []struct {
+		name string
+		k, m int
+	}{
+		{"xor", 2, 0}, {"xor", 3, 0}, {"xor", 4, 0},
+		{"rs", 2, 1}, {"rs", 2, 2}, {"rs", 3, 2}, {"rs", 4, 1}, {"rs", 4, 2}, {"rs", 4, 3}, {"rs", 5, 3},
+	} {
+		c, err := NewCodec(spec.name, spec.k, spec.m)
+		if err != nil {
+			t.Fatalf("NewCodec(%s,%d,%d): %v", spec.name, spec.k, spec.m, err)
+		}
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// TestCodecLossMatrix is the exhaustive fault matrix: for every codec
+// geometry and every blob-size class, EVERY combination of up to m lost
+// shards reconstructs the blob byte-identically (verified via replSum and
+// bytes.Equal), and EVERY combination of m+1 losses fails cleanly.
+func TestCodecLossMatrix(t *testing.T) {
+	sizes := []int{0, 1, 7, 64, 1000, 4096 + 3}
+	for _, codec := range codecsUnderTest(t) {
+		k, m := codec.DataShards(), codec.ParityShards()
+		total := k + m
+		for _, size := range sizes {
+			blob := testBlob(size, byte(k*7+m))
+			wantSum := replSum(blob)
+			shards, err := codec.Encode(blob)
+			if err != nil {
+				t.Fatalf("%s k=%d m=%d: encode: %v", codec.Name(), k, m, err)
+			}
+			if len(shards) != total {
+				t.Fatalf("%s k=%d m=%d: %d shards", codec.Name(), k, m, len(shards))
+			}
+			// Every survivable loss combination (0..m losses).
+			for lost := 0; lost <= m; lost++ {
+				combinations(total, lost, func(drop []int) {
+					in := make([][]byte, total)
+					copy(in, shards)
+					for _, d := range drop {
+						in[d] = nil
+					}
+					got, err := codec.Decode(in, size)
+					if err != nil {
+						t.Fatalf("%s k=%d m=%d size=%d drop=%v: decode: %v", codec.Name(), k, m, size, drop, err)
+					}
+					if replSum(got) != wantSum || !bytes.Equal(got, blob) {
+						t.Fatalf("%s k=%d m=%d size=%d drop=%v: reconstruction differs", codec.Name(), k, m, size, drop)
+					}
+				})
+			}
+			// Every (m+1)-loss combination must fail cleanly, not corrupt.
+			combinations(total, m+1, func(drop []int) {
+				in := make([][]byte, total)
+				copy(in, shards)
+				for _, d := range drop {
+					in[d] = nil
+				}
+				if _, err := codec.Decode(in, size); err == nil {
+					t.Fatalf("%s k=%d m=%d size=%d drop=%v: decode of %d losses succeeded", codec.Name(), k, m, size, drop, m+1)
+				}
+			})
+		}
+	}
+}
+
+// TestDupCodecMatchesSplitFragments pins the dup codec to the legacy
+// fragment layout: same piece boundaries, reconstruction requires all.
+func TestDupCodecMatchesSplitFragments(t *testing.T) {
+	blob := testBlob(1001, 3)
+	c, _ := NewCodec("dup", 4, 0)
+	shards, err := c.Encode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := splitFragments(blob, 4)
+	if len(shards) != len(legacy) {
+		t.Fatalf("shard count %d vs legacy %d", len(shards), len(legacy))
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], legacy[i]) {
+			t.Fatalf("shard %d differs from legacy fragment", i)
+		}
+	}
+	got, err := c.Decode(shards, len(blob))
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("dup roundtrip: %v", err)
+	}
+	shards[2] = nil
+	if _, err := c.Decode(shards, len(blob)); err == nil {
+		t.Fatal("dup decode with a missing fragment must fail")
+	}
+}
+
+// TestShardPlacement checks the rotation invariants: shards land on
+// distinct ring successors, the owner never holds its own shard, and the
+// parity position rotates with the owner so no fixed neighbor carries all
+// parity.
+func TestShardPlacement(t *testing.T) {
+	const n, k, m = 8, 4, 2
+	shards := k + m
+	parityHolders := make(map[int]bool)
+	for owner := 0; owner < n; owner++ {
+		holderOf, holders := shardPlan(owner, shards, n)
+		if len(holders) != shards {
+			t.Fatalf("owner %d: %d distinct holders, want %d", owner, len(holders), shards)
+		}
+		seen := make(map[int]bool)
+		for idx, h := range holderOf {
+			if h == owner {
+				t.Fatalf("owner %d stores its own shard %d", owner, idx)
+			}
+			if seen[h] {
+				t.Fatalf("owner %d: holder %d assigned twice", owner, h)
+			}
+			seen[h] = true
+		}
+		// Parity shards are the high indexes.
+		for idx := k; idx < shards; idx++ {
+			parityHolders[(holderOf[idx]-owner+n)%n] = true
+		}
+	}
+	if len(parityHolders) < 3 {
+		t.Fatalf("parity always lands on the same relative neighbors %v — placement does not rotate", parityHolders)
+	}
+
+	// Degenerate world: more shards than peers wraps without touching the
+	// owner and still covers every index.
+	holderOf, _ := shardPlan(1, 5, 4)
+	for idx, h := range holderOf {
+		if h == 1 {
+			t.Fatalf("wrapped placement stores owner's own shard %d", idx)
+		}
+	}
+}
+
+// TestCodecRecRoundtrip pins the marker serialization including the
+// per-shard digests.
+func TestCodecRecRoundtrip(t *testing.T) {
+	blob := testBlob(513, 9)
+	rs, _ := NewCodec("rs", 3, 2)
+	shards, _ := rs.Encode(blob)
+	rec := replCommitRec{codec: CodecRS, frags: 5, data: 3, total: len(blob), sum: replSum(blob), sums: shardSums(shards)}
+	owner, version, inc, got, err := decodeReplCommit(encodeReplCommit(7, 11, 3, rec))
+	if err != nil || owner != 7 || version != 11 || inc != 3 {
+		t.Fatalf("header roundtrip: %d %d %d %v", owner, version, inc, err)
+	}
+	if got.codec != rec.codec || got.frags != rec.frags || got.data != rec.data ||
+		got.total != rec.total || got.sum != rec.sum || len(got.sums) != len(rec.sums) {
+		t.Fatalf("rec roundtrip: %+v vs %+v", got, rec)
+	}
+	for i := range rec.sums {
+		if got.sums[i] != rec.sums[i] {
+			t.Fatalf("sum %d differs", i)
+		}
+	}
+	if got.need() != 3 {
+		t.Fatalf("need = %d", got.need())
+	}
+	if !got.shardValid(2, shards[2]) {
+		t.Fatal("valid shard rejected")
+	}
+	corrupt := append([]byte(nil), shards[2]...)
+	corrupt[0] ^= 0xff
+	if got.shardValid(2, corrupt) {
+		t.Fatal("corrupt shard accepted")
+	}
+}
+
+// FuzzCodecDecode drives the reassembly entry point with arbitrary shard
+// bytes and geometry — the exact surface a malicious or corrupt peer
+// response reaches. No input may panic; a successful decode must satisfy
+// the whole-blob digest the caller re-validates.
+func FuzzCodecDecode(f *testing.F) {
+	blob := testBlob(300, 5)
+	for _, spec := range []struct {
+		name string
+		m    int
+	}{{"dup", 0}, {"xor", 1}, {"rs", 2}} {
+		c, err := NewCodec(spec.name, 3, spec.m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		shards, _ := c.Encode(blob)
+		f.Add(uint8(c.ID()), 3, spec.m, len(blob), shards[0], shards[1], []byte(nil))
+	}
+	f.Add(uint8(CodecRS), 200, 100, 1<<20, []byte{1}, []byte{}, []byte{2, 3})
+
+	f.Fuzz(func(t *testing.T, id uint8, k, m, total int, s0, s1, s2 []byte) {
+		if k < 0 || m < 0 || k > 64 || m > 64 || total < 0 || total > 1<<20 {
+			return
+		}
+		codec, err := codecFor(id%3, k, m)
+		if err != nil {
+			return
+		}
+		shards := make([][]byte, k+m)
+		pool := [][]byte{s0, s1, s2, nil}
+		for i := range shards {
+			shards[i] = pool[i%len(pool)]
+		}
+		got, err := codec.Decode(shards, total)
+		if err == nil && len(got) != total {
+			t.Fatalf("decode returned %d bytes, want %d", len(got), total)
+		}
+		// Encode of arbitrary bytes must roundtrip through a full decode.
+		if k >= 1 && total <= 1<<16 {
+			enc, err := codec.Encode(s0)
+			if err == nil {
+				back, err := codec.Decode(enc, len(s0))
+				if err != nil || !bytes.Equal(back, s0) {
+					t.Fatalf("roundtrip failed: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// TestCodecNames pins the flag-level surface.
+func TestCodecNames(t *testing.T) {
+	for _, c := range []struct {
+		name    string
+		k, m    int
+		wantK   int
+		wantM   int
+		wantErr bool
+	}{
+		{"", 0, 0, 2, 0, false},
+		{"dup", 0, 0, 2, 0, false},
+		{"dup", 5, 0, 5, 0, false},
+		{"dup", 5, 9, 0, 0, true}, // parity with dup is a misconfiguration, not a downgrade
+		{"xor", 0, 0, 4, 1, false},
+		{"xor", 6, 1, 6, 1, false},
+		{"xor", 6, 3, 0, 0, true}, // xor has exactly one parity shard
+		{"rs", 0, 0, 4, 2, false},
+		{"rs", 4, 2, 4, 2, false},
+		{"rs", 200, 100, 0, 0, true},
+		{"bogus", 0, 0, 0, 0, true},
+	} {
+		codec, err := NewCodec(c.name, c.k, c.m)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("NewCodec(%q,%d,%d) succeeded", c.name, c.k, c.m)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("NewCodec(%q,%d,%d): %v", c.name, c.k, c.m, err)
+		}
+		if codec.DataShards() != c.wantK || codec.ParityShards() != c.wantM {
+			t.Fatalf("NewCodec(%q,%d,%d) = k%d m%d, want k%d m%d",
+				c.name, c.k, c.m, codec.DataShards(), codec.ParityShards(), c.wantK, c.wantM)
+		}
+	}
+	if _, err := codecFor(99, 2, 1); err == nil {
+		t.Fatal("unknown codec id accepted")
+	}
+}

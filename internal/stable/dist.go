@@ -32,6 +32,7 @@ type DistStore struct {
 	self      int
 	n         int
 	fragments int
+	codec     Codec
 	net       transport.Interconnect
 
 	ackTimeout   time.Duration
@@ -63,13 +64,21 @@ type DistStore struct {
 type DistOption func(*DistStore)
 
 // WithDistFragments sets how many pieces each checkpoint blob is split
-// into before replication (default 2).
+// into before replication under the default dup codec (default 2).
 func WithDistFragments(k int) DistOption {
 	return func(s *DistStore) {
 		if k >= 1 {
 			s.fragments = k
 		}
 	}
+}
+
+// WithDistCodec replaces the default full-replication (dup) scheme with an
+// erasure codec: each of the k+m shards lands on its own ring successor
+// (parity placement rotated per owner) and the owner keeps no full local
+// copy; any k shards reconstruct the line over the wire.
+func WithDistCodec(codec Codec) DistOption {
+	return func(s *DistStore) { s.codec = codec }
 }
 
 // WithAckTimeout bounds how long a commit waits for a neighbor's
@@ -136,6 +145,12 @@ func NewDistStore(self, n int, net transport.Interconnect, opts ...DistOption) *
 	s.cond = sync.NewCond(&s.mu)
 	for _, o := range opts {
 		o(s)
+	}
+	if s.codec == nil {
+		s.codec = dupCodec{k: s.fragments}
+	}
+	if s.codec.ParityShards() > 0 && n < 2 {
+		panic("stable: erasure codecs need at least one peer rank")
 	}
 	s.wg.Add(1)
 	go s.daemon()
@@ -208,13 +223,22 @@ func (s *DistStore) ReplicatedBytes() int64 {
 	return s.replicatedBytes
 }
 
-// neighbors returns the +1/+2 ring successors that replicate self's lines.
-func (s *DistStore) neighbors() []int {
-	var ns []int
-	for d := 1; d <= 2 && d < s.n; d++ {
-		ns = append(ns, (s.self+d)%s.n)
+// StoredBytes returns the checkpoint bytes resident in THIS process's
+// memory: its own full copies plus the replica shards it holds for peers.
+// Summed across processes it is the world's stable-storage footprint.
+func (s *DistStore) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, ck := range s.node.local {
+		for _, d := range ck.sections {
+			t += int64(len(d))
+		}
 	}
-	return ns
+	for _, f := range s.node.frags {
+		t += int64(len(f))
+	}
+	return t
 }
 
 func (s *DistStore) send(to int, class transport.Class, p replPayload) {
@@ -229,7 +253,12 @@ type distHandle struct {
 	version  int
 	sections map[string][]byte
 	done     bool
+	stored   int64
 }
+
+// StoredSize reports the stable-storage bytes this commit occupies across
+// the world (local copy plus replica shards).
+func (h *distHandle) StoredSize() int64 { return h.stored }
 
 // Begin implements Store.
 func (s *DistStore) Begin(rank, version int) (Checkpoint, error) {
@@ -258,10 +287,11 @@ func (h *distHandle) Abort() error {
 	return nil
 }
 
-// Commit ships fragments and the commit marker to the ring neighbors and
-// waits for their acknowledgments; a neighbor that never answers within
-// the ack timeout (it is dead, or the world is being torn down) is
-// excused. Only then does the version become locally committed.
+// Commit encodes the checkpoint through the store's codec, ships the
+// shards and commit marker to their holders, and waits for their
+// acknowledgments; a holder that never answers within the ack timeout (it
+// is dead, or the world is being torn down) is excused. Only then does the
+// version become locally committed.
 func (h *distHandle) Commit() error {
 	if h.done {
 		return fmt.Errorf("stable: commit of finished checkpoint (%d,%d)", h.rank, h.version)
@@ -270,21 +300,37 @@ func (h *distHandle) Commit() error {
 	s := h.store
 
 	blob := encodeReplSections(h.sections)
-	frags := splitFragments(blob, s.fragments)
-	rec := replCommitRec{frags: len(frags), total: len(blob), sum: replSum(blob)}
-	targets := s.neighbors()
+	shards, err := s.codec.Encode(blob)
+	if err != nil {
+		return fmt.Errorf("stable: encode checkpoint (%d,%d): %w", h.rank, h.version, err)
+	}
+	rec := replCommitRec{
+		codec: s.codec.ID(),
+		frags: len(shards),
+		data:  s.codec.DataShards(),
+		total: len(blob),
+		sum:   replSum(blob),
+		sums:  shardSums(shards),
+	}
+	sendPlan, targets, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.n)
 
 	s.mu.Lock()
 	startEpoch := s.epoch
 	for _, nb := range targets {
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
-		s.replicatedBytes += int64(len(blob))
+		for _, idx := range sendPlan[nb] {
+			s.replicatedBytes += int64(len(shards[idx]))
+			h.stored += int64(len(shards[idx]))
+		}
 	}
 	s.mu.Unlock()
+	if keepLocal {
+		h.stored += sectionsBytes(h.sections)
+	}
 
 	for _, nb := range targets {
-		for idx, frag := range frags {
-			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, idx, frag))
+		for _, idx := range sendPlan[nb] {
+			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, rec.codec, len(shards), idx, shards[idx]))
 		}
 		// The marker travels after the fragments on the same FIFO pair, so
 		// a stored marker implies the fragments preceding it arrived.
@@ -300,11 +346,14 @@ func (h *distHandle) Commit() error {
 	defer wake.Stop()
 
 	s.mu.Lock()
+	lostShards := 0
 	for {
 		pending := 0
+		lostShards = 0
 		for _, nb := range targets {
 			if !s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] {
 				pending++
+				lostShards += len(sendPlan[nb])
 			}
 		}
 		if pending == 0 || s.interrupted || s.closed || s.epoch != startEpoch ||
@@ -313,12 +362,25 @@ func (h *distHandle) Commit() error {
 		}
 		s.cond.Wait()
 	}
+	tornDown := s.interrupted || s.closed || s.epoch != startEpoch
 	for _, nb := range targets {
 		delete(s.awaiting, replAckKey{owner: h.rank, version: h.version, from: nb})
 	}
-	s.node.local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	if keepLocal {
+		s.node.local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	}
 	hook := s.commitHook
 	s.mu.Unlock()
+	// Erasure-coded commits keep no local copy, so the ack-timeout excusal
+	// has a floor: if the unacknowledged holders account for more shards
+	// than the parity budget, the line cannot be reconstructed and success
+	// would let the protocol retire the previous, recoverable line. The
+	// teardown exits (interrupt, epoch advance, shutdown) keep their
+	// legacy semantics — recovery truncates and re-executes those lines.
+	if !keepLocal && !tornDown && len(shards)-lostShards < s.codec.DataShards() {
+		return fmt.Errorf("stable: commit (%d,%d) missing acknowledgments for %d of %d shards (codec needs %d)",
+			h.rank, h.version, lostShards, len(shards), s.codec.DataShards())
+	}
 	if hook != nil {
 		hook(h.version)
 	}
@@ -344,7 +406,7 @@ func (s *DistStore) daemon() {
 		}
 		switch data[0] {
 		case replMsgFrag:
-			owner, version, _, idx, frag, err := decodeReplFrag(data)
+			owner, version, _, _, _, idx, frag, err := decodeReplFrag(data)
 			if err != nil {
 				continue
 			}
@@ -530,14 +592,17 @@ func (s *DistStore) queryPeers(owner int) map[int]*remoteLine {
 	return lines
 }
 
-// complete reports whether every fragment of the line was seen somewhere.
+// complete reports whether enough distinct shards of the line were seen
+// somewhere to reconstruct it (all for dup, any k for the erasure codecs).
 func (rl *remoteLine) complete() bool {
-	for idx := 0; idx < rl.rec.frags; idx++ {
-		if len(rl.holders[idx]) == 0 {
-			return false
+	need := rl.rec.need()
+	avail := 0
+	for idx := 0; idx < rl.rec.frags && avail < need; idx++ {
+		if len(rl.holders[idx]) > 0 {
+			avail++
 		}
 	}
-	return true
+	return avail >= need
 }
 
 // LastCommitted implements Store: the newest locally committed version or,
@@ -592,20 +657,22 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
 	}
-	blob := make([]byte, 0, rl.rec.total)
-	for idx := 0; idx < rl.rec.frags; idx++ {
-		frag, ok := s.fetchFrag(rank, version, idx)
+	// Fetch shards until the codec can reconstruct; a shard unreachable or
+	// digest-mismatched on every peer counts as lost, which the erasure
+	// codecs tolerate up to their parity count.
+	shards := make([][]byte, rl.rec.frags)
+	valid := 0
+	for idx := 0; idx < rl.rec.frags && valid < rl.rec.need(); idx++ {
+		frag, ok := s.fetchFrag(rank, version, idx, rl.rec)
 		if !ok {
-			return nil, fmt.Errorf("%w: rank %d version %d fragment %d unreachable on all peers", ErrNotFound, rank, version, idx)
+			continue
 		}
-		blob = append(blob, frag...)
+		shards[idx] = frag
+		valid++
 	}
-	if len(blob) != rl.rec.total || replSum(blob) != rl.rec.sum {
-		return nil, fmt.Errorf("stable: rank %d version %d reassembly mismatch (%d/%d bytes)", rank, version, len(blob), rl.rec.total)
-	}
-	sections, err := decodeReplSections(blob)
+	sections, err := reassembleSections(rl.rec, shards)
 	if err != nil {
-		return nil, fmt.Errorf("stable: rank %d version %d: %w", rank, version, err)
+		return nil, fmt.Errorf("%w: rank %d version %d: %v", ErrNotFound, rank, version, err)
 	}
 	ck := &memCkpt{sections: sections, commit: true}
 	s.mu.Lock()
@@ -619,8 +686,10 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 
 // fetchFrag asks each peer in turn for one fragment, repeating the sweep
 // up to the configured retry count (a peer may still be re-dialing this
-// process's freshly bound mesh when the first round goes out).
-func (s *DistStore) fetchFrag(owner, version, idx int) ([]byte, bool) {
+// process's freshly bound mesh when the first round goes out). A fetched
+// copy that fails the marker's per-shard digest is rejected and the sweep
+// continues — a corrupt replica must not mask a valid one elsewhere.
+func (s *DistStore) fetchFrag(owner, version, idx int, rec replCommitRec) ([]byte, bool) {
 	for round := 0; round < s.queryRetries; round++ {
 		for q := 0; q < s.n; q++ {
 			if q == s.self {
@@ -632,7 +701,7 @@ func (s *DistStore) fetchFrag(owner, version, idx int) ([]byte, bool) {
 			case data := <-ch:
 				s.dropRequest(reqID)
 				_, found, frag, err := decodeDistRespFrag(data)
-				if err == nil && found {
+				if err == nil && found && rec.shardValid(idx, frag) {
 					return frag, true
 				}
 			case <-time.After(s.queryTimeout):

@@ -297,3 +297,120 @@ func TestDistStoreQueryRetries(t *testing.T) {
 		t.Fatalf("ReadSection = %q, %v", got, err)
 	}
 }
+
+// TestDistStoreRSCodecRecoversAfterDualWipe: the multi-process store under
+// rs k=3,m=2 — the owner AND one shard holder lose their memory (the
+// in-memory analogue of two simultaneous SIGKILLs) and the restarted owner
+// still reassembles its line over the query protocol.
+func TestDistStoreRSCodecRecoversAfterDualWipe(t *testing.T) {
+	rs, err := NewCodec("rs", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := distWorld(t, 6, WithDistCodec(rs))
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	writeDistCommitted(t, stores[1], 1, 1, map[string][]byte{"app": payload})
+
+	// The owner keeps no full local copy under an erasure codec.
+	stores[1].mu.Lock()
+	if len(stores[1].node.local) != 0 {
+		stores[1].mu.Unlock()
+		t.Fatal("erasure-coded commit left a full local copy")
+	}
+	stores[1].mu.Unlock()
+
+	// Wipe the owner and one shard holder (two simultaneous deaths).
+	for _, r := range []int{1, 3} {
+		stores[r].mu.Lock()
+		stores[r].node = newReplNode()
+		stores[r].mu.Unlock()
+	}
+
+	v, ok, err := stores[1].LastCommitted(1)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("LastCommitted after dual wipe = %d,%v,%v; want 1,true,nil", v, ok, err)
+	}
+	snap, err := stores[1].Open(1, 1)
+	if err != nil {
+		t.Fatalf("Open after dual wipe: %v", err)
+	}
+	defer snap.Close()
+	got, err := snap.ReadSection("app")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled %d bytes, err %v", len(got), err)
+	}
+	if stores[1].Reassemblies() != 1 {
+		t.Fatalf("Reassemblies = %d", stores[1].Reassemblies())
+	}
+}
+
+// TestDistStoreCodecStoredBytes: per-process stored bytes under rs stay a
+// fraction of the dup footprint for the same checkpoints.
+func TestDistStoreCodecStoredBytes(t *testing.T) {
+	payload := make([]byte, 32*1024)
+	measure := func(opts ...DistOption) int64 {
+		stores := distWorld(t, 6, opts...)
+		for r := 0; r < 6; r++ {
+			writeDistCommitted(t, stores[r], r, 1, map[string][]byte{"app": payload})
+		}
+		var total int64
+		for _, s := range stores {
+			total += s.StoredBytes()
+		}
+		return total
+	}
+	dup := measure()
+	rs, err := NewCodec("rs", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded := measure(WithDistCodec(rs))
+	ratio := float64(coded) / float64(dup)
+	t.Logf("dist stored bytes: dup=%d rs=%d ratio=%.3f", dup, coded, ratio)
+	if ratio > 0.6 {
+		t.Fatalf("rs/dup stored ratio %.3f > 0.6", ratio)
+	}
+}
+
+// TestDistStoreCodedCommitFailsWithoutQuorum: under an erasure codec the
+// ack-timeout excusal has a floor — when the silent holders account for
+// more shards than the parity budget, Commit must fail instead of
+// reporting a line that exists nowhere (there is no local copy to fall
+// back on, and success would let the protocol retire the previous line).
+func TestDistStoreCodedCommitFailsWithoutQuorum(t *testing.T) {
+	rs, err := NewCodec("rs", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := distWorld(t, 5, WithDistCodec(rs), WithAckTimeout(200*time.Millisecond), WithQueryTimeout(200*time.Millisecond))
+	// Rank 0's four shards land on successors 1..4; kill three of them.
+	for _, r := range []int{1, 2, 3} {
+		stores[r].net.Kill(r)
+	}
+	ck, err := stores[0].Begin(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.WriteSection("app", []byte("needs two shards")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Commit(); err == nil {
+		t.Fatal("coded commit with 3 of 4 shard holders dead reported success")
+	}
+	if _, ok, _ := stores[0].LastCommitted(0); ok {
+		t.Fatal("failed commit visible to LastCommitted")
+	}
+
+	// Losing exactly the parity budget is excused: the line still exists.
+	stores2 := distWorld(t, 5, WithDistCodec(rs), WithAckTimeout(200*time.Millisecond), WithQueryTimeout(200*time.Millisecond))
+	for _, r := range []int{1, 2} {
+		stores2[r].net.Kill(r)
+	}
+	writeDistCommitted(t, stores2[0], 0, 1, map[string][]byte{"app": []byte("two shards suffice")})
+	if v, ok, _ := stores2[0].LastCommitted(0); !ok || v != 1 {
+		t.Fatalf("LastCommitted = %d,%v after excusable losses", v, ok)
+	}
+}

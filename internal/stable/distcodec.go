@@ -26,15 +26,13 @@ func decodeDistQueryLast(data replPayload) (reqID uint64, owner int, err error) 
 }
 
 func encodeDistRespLast(reqID uint64, entries []distLastEntry) replPayload {
-	w := wire.NewWriter(16 + 64*len(entries))
+	w := wire.NewWriter(16 + 96*len(entries))
 	w.U8(distMsgRespLast)
 	w.U64(reqID)
 	w.U32(uint32(len(entries)))
 	for _, e := range entries {
 		w.Int(e.version)
-		w.Int(e.rec.frags)
-		w.Int(e.rec.total)
-		w.U64(e.rec.sum)
+		writeReplRec(w, e.rec)
 		w.Ints(e.held)
 	}
 	return replPayload(w.Bytes())
@@ -43,13 +41,17 @@ func encodeDistRespLast(reqID uint64, entries []distLastEntry) replPayload {
 func decodeDistRespLast(data replPayload) (reqID uint64, entries []distLastEntry, err error) {
 	r := wire.NewReader(data[1:])
 	reqID = r.U64()
-	n := r.Count(36) // minimum bytes per serialized entry
+	n := r.Count(8 + replRecWireMin + 4) // minimum bytes per serialized entry
 	for i := 0; i < n; i++ {
 		e := distLastEntry{version: r.Int()}
-		e.rec = replCommitRec{frags: r.Int(), total: r.Int(), sum: r.U64()}
+		e.rec = readReplRec(r)
 		e.held = r.Ints()
 		if r.Err() != nil {
 			break
+		}
+		if !e.rec.sane() {
+			return reqID, nil, fmt.Errorf("stable: insane marker geometry in last-committed response (frags=%d data=%d total=%d)",
+				e.rec.frags, e.rec.data, e.rec.total)
 		}
 		entries = append(entries, e)
 	}

@@ -31,9 +31,9 @@ import (
 // layer's asynchronous commit pipeline, the acknowledgment wait happens on
 // the background committer, off the application's critical path.
 type ReplicatedStore struct {
-	n         int
-	fragments int
-	net       *transport.Network
+	n     int
+	codec Codec
+	net   *transport.Network
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -68,11 +68,63 @@ type replCommitKey struct {
 }
 
 // replCommitRec is the commit marker replicated alongside the fragments:
-// the fragment count and blob digest recovery validates reassembly against.
+// the shard geometry and digests recovery validates reassembly against.
 type replCommitRec struct {
-	frags int
-	total int
-	sum   uint64
+	codec uint8    // CodecDup, CodecXOR, CodecRS
+	frags int      // total shard count (k+m; k for dup)
+	data  int      // shards required to reconstruct (k)
+	total int      // original blob length
+	sum   uint64   // FNV digest of the whole blob
+	sums  []uint64 // per-shard FNV digests (corrupt shards count as lost)
+}
+
+// need is the number of distinct valid shards reassembly requires.
+func (rec replCommitRec) need() int {
+	if rec.data > 0 {
+		return rec.data
+	}
+	return rec.frags
+}
+
+// maxWireShards bounds the shard count a wire-supplied commit marker may
+// claim. Recovery loops and allocations scale with rec.frags, and the
+// marker arrives off a socket — an insane value must be rejected at
+// decode, not trusted.
+const maxWireShards = 4096
+
+// sane validates marker geometry read off the wire.
+func (rec replCommitRec) sane() bool {
+	if rec.frags < 1 || rec.frags > maxWireShards {
+		return false
+	}
+	if rec.data < 0 || rec.data > rec.frags {
+		return false
+	}
+	if rec.total < 0 || rec.total > wire.MaxLen {
+		return false
+	}
+	if len(rec.sums) != 0 && len(rec.sums) != rec.frags {
+		return false
+	}
+	return true
+}
+
+// codecOf reconstructs the codec that produced the marker's shards.
+func (rec replCommitRec) codecOf() (Codec, error) {
+	return codecFor(rec.codec, rec.need(), rec.frags-rec.need())
+}
+
+// shardValid reports whether a held fragment matches the marker's per-shard
+// digest; markers from the pre-digest era (empty sums) accept any bytes and
+// rely on the whole-blob digest alone.
+func (rec replCommitRec) shardValid(idx int, frag []byte) bool {
+	if idx < 0 || idx >= rec.frags {
+		return false
+	}
+	if len(rec.sums) != rec.frags {
+		return true
+	}
+	return replSum(frag) == rec.sums[idx]
 }
 
 type replAckKey struct {
@@ -111,14 +163,25 @@ type ReplicatedOption func(*replicatedConfig)
 
 type replicatedConfig struct {
 	fragments int
+	codec     Codec
 	netOpts   []transport.Option
 }
 
 // WithFragments sets how many pieces each checkpoint blob is split into
-// before replication (default 2). More fragments spread replication load in
-// finer grains; every fragment still goes to both neighbors.
+// before replication under the default dup codec (default 2). More
+// fragments spread replication load in finer grains; every fragment still
+// goes to both neighbors. Ignored when WithCodec installs an erasure codec.
 func WithFragments(k int) ReplicatedOption {
 	return func(c *replicatedConfig) { c.fragments = k }
+}
+
+// WithCodec replaces the default full-replication (dup) scheme with the
+// given fragment codec: the blob's k+m shards are placed on k+m distinct
+// ring successors (parity rotated per owner) instead of full copies on the
+// +1/+2 neighbors, and the owner keeps no full local copy — any k shards
+// reconstruct the line on demand.
+func WithCodec(codec Codec) ReplicatedOption {
+	return func(c *replicatedConfig) { c.codec = codec }
 }
 
 // WithReplicationLatency applies a latency model to the replication
@@ -142,12 +205,18 @@ func NewReplicatedStore(n int, opts ...ReplicatedOption) *ReplicatedStore {
 	if cfg.fragments < 1 {
 		cfg.fragments = 1
 	}
+	if cfg.codec == nil {
+		cfg.codec = dupCodec{k: cfg.fragments}
+	}
+	if cfg.codec.ParityShards() > 0 && n < 2 {
+		panic("stable: erasure codecs need at least one peer rank")
+	}
 	s := &ReplicatedStore{
-		n:         n,
-		fragments: cfg.fragments,
-		net:       transport.NewNetwork(n, cfg.netOpts...),
-		nodes:     make([]*replNode, n),
-		awaiting:  make(map[replAckKey]bool),
+		n:        n,
+		codec:    cfg.codec,
+		net:      transport.NewNetwork(n, cfg.netOpts...),
+		nodes:    make([]*replNode, n),
+		awaiting: make(map[replAckKey]bool),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.nodes {
@@ -179,14 +248,36 @@ func (s *ReplicatedStore) Close() {
 	s.wg.Wait()
 }
 
-// neighbors returns the ranks that replicate rank's checkpoints: the next
-// two ranks around the ring (one for a two-rank world, none alone).
-func (s *ReplicatedStore) neighbors(rank int) []int {
-	var ns []int
-	for d := 1; d <= 2 && d < s.n; d++ {
-		ns = append(ns, (rank+d)%s.n)
+// shardHolder places shard idx of owner's lines in an n-rank world: the
+// k+m shards land on distinct ring successors starting at owner+1, with
+// the assignment rotated by the owner's rank so the parity shards (the
+// high indexes) cycle around the ring instead of always burdening the same
+// relative neighbor — and no rank ever stores a shard (parity or data) of
+// its own line. Worlds smaller than shards+1 wrap: a successor holds
+// several shards, with correspondingly reduced loss tolerance.
+func shardHolder(owner, idx, shards, n int) int {
+	span := shards
+	if span > n-1 {
+		span = n - 1
 	}
-	return ns
+	pos := (idx + owner) % shards % span
+	return (owner + 1 + pos) % n
+}
+
+// shardPlan maps every shard index of one commit to its holder rank and
+// returns the distinct holder set (ascending ring order from owner+1).
+func shardPlan(owner, shards, n int) (holderOf []int, holders []int) {
+	holderOf = make([]int, shards)
+	seen := make(map[int]bool, shards)
+	for idx := 0; idx < shards; idx++ {
+		h := shardHolder(owner, idx, shards, n)
+		holderOf[idx] = h
+		if !seen[h] {
+			seen[h] = true
+			holders = append(holders, h)
+		}
+	}
+	return holderOf, holders
 }
 
 // NetworkStats returns the replication interconnect's delivery counters.
@@ -215,6 +306,26 @@ func (s *ReplicatedStore) Reassemblies() int64 {
 	return s.reassemblies
 }
 
+// StoredBytes returns the checkpoint bytes currently resident across all
+// node memories: full local copies plus replica shards. Divided by the
+// world size it is the per-rank memory tax the codec ablation measures.
+func (s *ReplicatedStore) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, node := range s.nodes {
+		for _, ck := range node.local {
+			for _, d := range ck.sections {
+				t += int64(len(d))
+			}
+		}
+		for _, f := range node.frags {
+			t += int64(len(f))
+		}
+	}
+	return t
+}
+
 // FailNode implements NodeFailer: the node's memory is lost and in-flight
 // replication traffic toward it belongs to a dead incarnation.
 func (s *ReplicatedStore) FailNode(rank int) {
@@ -235,7 +346,13 @@ type replHandle struct {
 	version  int
 	sections map[string][]byte
 	done     bool
+	stored   int64
 }
+
+// StoredSize reports the stable-storage bytes this commit occupies across
+// the world (local copy plus replica shards) — the numerator of the
+// storage-overhead ratio the ckpt stats expose as StoredBytes.
+func (h *replHandle) StoredSize() int64 { return h.stored }
 
 // Begin implements Store.
 func (s *ReplicatedStore) Begin(rank, version int) (Checkpoint, error) {
@@ -261,9 +378,60 @@ func (h *replHandle) Abort() error {
 	return nil
 }
 
-// Commit installs the checkpoint in node-local memory, ships its fragments
-// and commit marker to the +1/+2 neighbors, and waits until every live
-// neighbor has acknowledged them.
+// shardSums digests every shard for the commit marker, so recovery can
+// reject a corrupt shard and repair it from parity instead of failing the
+// whole-blob digest check.
+func shardSums(shards [][]byte) []uint64 {
+	sums := make([]uint64, len(shards))
+	for i, s := range shards {
+		sums[i] = replSum(s)
+	}
+	return sums
+}
+
+// commitPlan is the shared placement decision of both diskless stores: for
+// the dup codec every shard goes to both +1/+2 neighbors and the owner
+// keeps a full local copy; for an erasure codec each shard goes to exactly
+// one distinct ring successor (rotated placement) and no local copy is
+// kept — the memory saving that is the codec's point.
+func commitPlan(codec Codec, owner, shards, n int) (sendPlan map[int][]int, holders []int, keepLocal bool) {
+	if codec.ParityShards() == 0 {
+		holders = make([]int, 0, 2)
+		for d := 1; d <= 2 && d < n; d++ {
+			holders = append(holders, (owner+d)%n)
+		}
+		all := make([]int, shards)
+		for i := range all {
+			all[i] = i
+		}
+		sendPlan = make(map[int][]int, len(holders))
+		for _, nb := range holders {
+			sendPlan[nb] = all
+		}
+		return sendPlan, holders, true
+	}
+	holderOf, holders := shardPlan(owner, shards, n)
+	sendPlan = make(map[int][]int, len(holders))
+	for idx, hr := range holderOf {
+		sendPlan[hr] = append(sendPlan[hr], idx)
+	}
+	return sendPlan, holders, false
+}
+
+// sectionsBytes sums a checkpoint's raw section sizes.
+func sectionsBytes(sections map[string][]byte) int64 {
+	var t int64
+	for _, d := range sections {
+		t += int64(len(d))
+	}
+	return t
+}
+
+// Commit encodes the checkpoint through the store's codec, ships the
+// shards and commit marker to their holders, and waits until every live
+// holder has acknowledged them. Under the dup codec the holders are the
+// +1/+2 neighbors (full copies, local copy kept); under an erasure codec
+// each shard lands on its own ring successor and no local copy is kept.
 func (h *replHandle) Commit() error {
 	if h.done {
 		return fmt.Errorf("stable: commit of finished checkpoint (%d,%d)", h.rank, h.version)
@@ -272,22 +440,38 @@ func (h *replHandle) Commit() error {
 	s := h.store
 
 	blob := encodeReplSections(h.sections)
-	frags := splitFragments(blob, s.fragments)
-	rec := replCommitRec{frags: len(frags), total: len(blob), sum: replSum(blob)}
+	shards, err := s.codec.Encode(blob)
+	if err != nil {
+		return fmt.Errorf("stable: encode checkpoint (%d,%d): %w", h.rank, h.version, err)
+	}
+	rec := replCommitRec{
+		codec: s.codec.ID(),
+		frags: len(shards),
+		data:  s.codec.DataShards(),
+		total: len(blob),
+		sum:   replSum(blob),
+		sums:  shardSums(shards),
+	}
+	sendPlan, holders, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.n)
 
 	s.mu.Lock()
-	neighbors := s.neighbors(h.rank)
 	type target struct {
 		rank int
 		inc  uint64
 	}
-	targets := make([]target, 0, len(neighbors))
-	for _, nb := range neighbors {
+	targets := make([]target, 0, len(holders))
+	for _, nb := range holders {
 		targets = append(targets, target{rank: nb, inc: s.nodes[nb].incarnation})
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
-		s.replicatedBytes += int64(len(blob))
+		for _, idx := range sendPlan[nb] {
+			s.replicatedBytes += int64(len(shards[idx]))
+			h.stored += int64(len(shards[idx]))
+		}
 	}
 	s.mu.Unlock()
+	if keepLocal {
+		h.stored += sectionsBytes(h.sections)
+	}
 
 	dropAwaiting := func() {
 		for _, t := range targets {
@@ -295,8 +479,8 @@ func (h *replHandle) Commit() error {
 		}
 	}
 	for _, t := range targets {
-		for idx, frag := range frags {
-			msg := encodeReplFrag(h.rank, h.version, t.inc, idx, frag)
+		for _, idx := range sendPlan[t.rank] {
+			msg := encodeReplFrag(h.rank, h.version, t.inc, rec.codec, len(shards), idx, shards[idx])
 			if err := s.net.Send(transport.Message{From: h.rank, To: t.rank, Class: transport.Data, Payload: msg}); err != nil {
 				s.mu.Lock()
 				dropAwaiting()
@@ -315,11 +499,11 @@ func (h *replHandle) Commit() error {
 		}
 	}
 
-	// Wait for each neighbor's acknowledgment; a neighbor that fails (its
-	// incarnation advances) is excused — the commit then relies on the
-	// local copy plus the remaining replica. Only then does the version
-	// become locally committed, so a failed Commit never leaves a version
-	// visible to LastCommitted.
+	// Wait for each holder's acknowledgment; a holder that fails (its
+	// incarnation advances) is excused — under dup the commit then relies
+	// on the local copy plus the surviving replica. Only then does the
+	// version become locally committed, so a failed Commit never leaves a
+	// version visible to LastCommitted.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -336,7 +520,27 @@ func (h *replHandle) Commit() error {
 		s.cond.Wait()
 	}
 	dropAwaiting()
-	s.nodes[h.rank].local[h.version] = &memCkpt{sections: h.sections, commit: true}
+	if keepLocal {
+		s.nodes[h.rank].local[h.version] = &memCkpt{sections: h.sections, commit: true}
+		return nil
+	}
+	// Erasure-coded commits keep no local copy, so excusal has a floor: a
+	// holder whose node failed (even after acking) lost its shards, and if
+	// the survivors cannot supply k shards the line does not exist —
+	// reporting success would let the protocol retire the previous,
+	// recoverable line. (Store shutdown is exempt: the world is going away.)
+	if !s.closed {
+		lost := 0
+		for _, t := range targets {
+			if s.nodes[t.rank].incarnation != t.inc {
+				lost += len(sendPlan[t.rank])
+			}
+		}
+		if len(shards)-lost < s.codec.DataShards() {
+			return fmt.Errorf("stable: commit (%d,%d) lost %d of %d shards to failed holders (codec needs %d)",
+				h.rank, h.version, lost, len(shards), s.codec.DataShards())
+		}
+	}
 	return nil
 }
 
@@ -359,7 +563,7 @@ func (s *ReplicatedStore) daemon(rank int) {
 		}
 		switch data[0] {
 		case replMsgFrag:
-			owner, version, inc, idx, frag, err := decodeReplFrag(data)
+			owner, version, inc, _, _, idx, frag, err := decodeReplFrag(data)
 			if err != nil {
 				continue
 			}
@@ -414,7 +618,7 @@ func (s *ReplicatedStore) LastCommitted(rank int) (int, bool, error) {
 		}
 	}
 	for v, rec := range s.peerCommitted(rank) {
-		if (!ok || v > best) && s.fragsComplete(rank, v, rec) {
+		if (!ok || v > best) && s.shardsAvailable(rank, v, rec) >= rec.need() {
 			best, ok = v, true
 		}
 	}
@@ -434,27 +638,23 @@ func (s *ReplicatedStore) peerCommitted(owner int) map[int]replCommitRec {
 	return out
 }
 
-// fragsComplete reports whether every fragment of (owner, version) exists
-// somewhere among the nodes.
-func (s *ReplicatedStore) fragsComplete(owner, version int, rec replCommitRec) bool {
-	for idx := 0; idx < rec.frags; idx++ {
-		found := false
-		for _, node := range s.nodes {
-			if _, ok := node.frags[replFragKey{owner: owner, version: version, idx: idx}]; ok {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
+// shardsAvailable counts the distinct shard indexes of (owner, version)
+// for which some node holds a digest-valid fragment, stopping as soon as
+// reconstruction is possible.
+func (s *ReplicatedStore) shardsAvailable(owner, version int, rec replCommitRec) int {
+	n := 0
+	for idx := 0; idx < rec.frags && n < rec.need(); idx++ {
+		if _, ok := s.findFrag(owner, version, idx, rec); ok {
+			n++
 		}
 	}
-	return true
+	return n
 }
 
-// Open implements Store. When the owner's local copy is gone, the
-// checkpoint is reassembled from peer fragments, validated against the
-// commit marker, and re-installed in the owner's memory (the restarted
+// Open implements Store. When the owner's local copy is gone (always, for
+// the erasure codecs), the checkpoint is reassembled from peer shards —
+// tolerating up to m missing or digest-mismatched ones — validated against
+// the commit marker, and re-installed in the owner's memory (the restarted
 // node re-hosting its line, as ReStore's re-distribution does).
 func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
 	s.mu.Lock()
@@ -469,20 +669,15 @@ func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
 	}
-	blob := make([]byte, 0, rec.total)
-	for idx := 0; idx < rec.frags; idx++ {
-		frag, ok := s.findFrag(rank, version, idx)
-		if !ok {
-			return nil, fmt.Errorf("%w: rank %d version %d fragment %d lost on all nodes", ErrNotFound, rank, version, idx)
+	shards := make([][]byte, rec.frags)
+	for idx := range shards {
+		if frag, ok := s.findFrag(rank, version, idx, rec); ok {
+			shards[idx] = frag
 		}
-		blob = append(blob, frag...)
 	}
-	if len(blob) != rec.total || replSum(blob) != rec.sum {
-		return nil, fmt.Errorf("stable: rank %d version %d reassembly mismatch (%d/%d bytes)", rank, version, len(blob), rec.total)
-	}
-	sections, err := decodeReplSections(blob)
+	sections, err := reassembleSections(rec, shards)
 	if err != nil {
-		return nil, fmt.Errorf("stable: rank %d version %d: %w", rank, version, err)
+		return nil, fmt.Errorf("%w: rank %d version %d: %v", ErrNotFound, rank, version, err)
 	}
 	ck := &memCkpt{sections: sections, commit: true}
 	s.nodes[rank].local[version] = ck
@@ -490,9 +685,28 @@ func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
 	return &memSnap{ck: ck}, nil
 }
 
-func (s *ReplicatedStore) findFrag(owner, version, idx int) ([]byte, bool) {
+// reassembleSections decodes a shard set against its commit marker: codec
+// reconstruction, whole-blob digest validation, section decode.
+func reassembleSections(rec replCommitRec, shards [][]byte) (map[string][]byte, error) {
+	codec, err := rec.codecOf()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := codec.Decode(shards, rec.total)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) != rec.total || replSum(blob) != rec.sum {
+		return nil, fmt.Errorf("stable: reassembly digest mismatch (%d/%d bytes)", len(blob), rec.total)
+	}
+	return decodeReplSections(blob)
+}
+
+// findFrag locates a digest-valid copy of one shard; a corrupt copy on one
+// node is skipped in favor of a valid copy elsewhere.
+func (s *ReplicatedStore) findFrag(owner, version, idx int, rec replCommitRec) ([]byte, bool) {
 	for _, node := range s.nodes {
-		if frag, ok := node.frags[replFragKey{owner: owner, version: version, idx: idx}]; ok {
+		if frag, ok := node.frags[replFragKey{owner: owner, version: version, idx: idx}]; ok && rec.shardValid(idx, frag) {
 			return frag, true
 		}
 	}
@@ -589,7 +803,10 @@ func decodeReplSections(blob []byte) (map[string][]byte, error) {
 }
 
 // splitFragments cuts the blob into k nearly equal pieces (fewer when the
-// blob is shorter than k bytes; always at least one, possibly empty).
+// blob is shorter than k bytes; always at least one, possibly empty). Each
+// fragment is an independent copy: a sub-slice would keep the entire blob
+// reachable for as long as ANY fragment is retained anywhere, so pruning a
+// line's other fragments (Retire/Truncate) would reclaim no memory.
 func splitFragments(blob []byte, k int) [][]byte {
 	if k > len(blob) {
 		k = len(blob)
@@ -600,7 +817,7 @@ func splitFragments(blob []byte, k int) [][]byte {
 	frags := make([][]byte, 0, k)
 	for i := 0; i < k; i++ {
 		lo, hi := i*len(blob)/k, (i+1)*len(blob)/k
-		frags = append(frags, blob[lo:hi])
+		frags = append(frags, append(make([]byte, 0, hi-lo), blob[lo:hi]...))
 	}
 	return frags
 }
@@ -615,37 +832,66 @@ func replSum(b []byte) uint64 {
 	return sum
 }
 
-// The fragment count travels only in the commit marker (the authoritative
-// record reassembly validates against), not in every fragment.
-func encodeReplFrag(owner, version int, inc uint64, idx int, frag []byte) replPayload {
-	w := wire.NewWriter(32 + len(frag))
+// The fragment header names the codec and shard geometry so a holder can
+// attribute a shard without its marker; the marker remains the
+// authoritative record reassembly validates against.
+func encodeReplFrag(owner, version int, inc uint64, codecID uint8, shards, idx int, frag []byte) replPayload {
+	w := wire.NewWriter(40 + len(frag))
 	w.U8(replMsgFrag)
 	w.Int(owner)
 	w.Int(version)
 	w.U64(inc)
+	w.U8(codecID)
+	w.Int(shards)
 	w.Int(idx)
 	w.Bytes32(frag)
 	return replPayload(w.Bytes())
 }
 
-func decodeReplFrag(data replPayload) (owner, version int, inc uint64, idx int, frag []byte, err error) {
+func decodeReplFrag(data replPayload) (owner, version int, inc uint64, codecID uint8, shards, idx int, frag []byte, err error) {
 	r := wire.NewReader(data[1:])
 	owner, version = r.Int(), r.Int()
 	inc = r.U64()
+	codecID = r.U8()
+	shards = r.Int()
 	idx = r.Int()
 	frag = append([]byte(nil), r.Bytes32()...)
-	return owner, version, inc, idx, frag, r.Err()
+	return owner, version, inc, codecID, shards, idx, frag, r.Err()
 }
 
+// writeReplRec and readReplRec (de)serialize a commit marker's record; the
+// same layout is embedded in the distributed store's query responses.
+func writeReplRec(w *wire.Writer, rec replCommitRec) {
+	w.U8(rec.codec)
+	w.Int(rec.frags)
+	w.Int(rec.data)
+	w.Int(rec.total)
+	w.U64(rec.sum)
+	w.U64s(rec.sums)
+}
+
+func readReplRec(r *wire.Reader) replCommitRec {
+	return replCommitRec{
+		codec: r.U8(),
+		frags: r.Int(),
+		data:  r.Int(),
+		total: r.Int(),
+		sum:   r.U64(),
+		sums:  r.U64s(),
+	}
+}
+
+// replRecWireMin is the minimum serialized size of a replCommitRec, for
+// count clamping in repeated decoders.
+const replRecWireMin = 1 + 8 + 8 + 8 + 8 + 4
+
 func encodeReplCommit(owner, version int, inc uint64, rec replCommitRec) replPayload {
-	w := wire.NewWriter(48)
+	w := wire.NewWriter(64 + 8*len(rec.sums))
 	w.U8(replMsgCommit)
 	w.Int(owner)
 	w.Int(version)
 	w.U64(inc)
-	w.Int(rec.frags)
-	w.Int(rec.total)
-	w.U64(rec.sum)
+	writeReplRec(w, rec)
 	return replPayload(w.Bytes())
 }
 
@@ -653,8 +899,14 @@ func decodeReplCommit(data replPayload) (owner, version int, inc uint64, rec rep
 	r := wire.NewReader(data[1:])
 	owner, version = r.Int(), r.Int()
 	inc = r.U64()
-	rec = replCommitRec{frags: r.Int(), total: r.Int(), sum: r.U64()}
-	return owner, version, inc, rec, r.Err()
+	rec = readReplRec(r)
+	if err := r.Err(); err != nil {
+		return owner, version, inc, rec, err
+	}
+	if !rec.sane() {
+		return owner, version, inc, rec, fmt.Errorf("stable: insane commit marker geometry (frags=%d data=%d total=%d)", rec.frags, rec.data, rec.total)
+	}
+	return owner, version, inc, rec, nil
 }
 
 func encodeReplAck(owner, version, from int) replPayload {

@@ -65,6 +65,15 @@ type Store interface {
 	Truncate(rank, version int) error
 }
 
+// StoredSizer is implemented by checkpoint handles whose Commit can report
+// how many stable-storage bytes the checkpoint occupies across the world —
+// local copy plus replica shards and parity. The ckpt layer exposes the
+// total as Stats.StoredBytes, making the codec's storage-overhead ratio
+// (StoredBytes / CheckpointBytes) observable per rank.
+type StoredSizer interface {
+	StoredSize() int64
+}
+
 // NodeFailer is implemented by stores that co-locate checkpoint data with
 // compute nodes (ReplicatedStore). The runtime calls FailNode when it
 // injects a fail-stop failure, so the store loses everything held in the

@@ -36,8 +36,8 @@ func FuzzDeserialize(f *testing.F) {
 	hw := wire.NewWriter(128)
 	h.Section().Save(hw)
 	f.Add(hw.Bytes())
-	f.Add(EncodeIncrement(true, 0, g.Sections()))
-	f.Add(EncodeIncrement(false, 7, g.Sections()))
+	f.Add(EncodeIncrement(true, 0, g.Sections(), nil))
+	f.Add(EncodeIncrement(false, 7, g.Sections(), []string{"scratch", "gone"}))
 	// Truncations and bit flips of the real image.
 	img := g.Save()
 	f.Add(img[:len(img)/2])
@@ -49,7 +49,7 @@ func FuzzDeserialize(f *testing.F) {
 		g, h := fuzzRegistry()
 		_ = g.Load(data) // error or success; must not panic
 		_ = h.Load(data) // likewise
-		_, _, _, _ = DecodeIncrement(data)
+		_, _, _, _, _ = DecodeIncrement(data)
 		_ = g.LoadSectionBodies(map[string][]byte{"it": data})
 	})
 }

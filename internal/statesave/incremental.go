@@ -51,20 +51,41 @@ func (g *Registry) LoadSectionBodies(bodies map[string][]byte) error {
 }
 
 // DiffSections returns the sections of cur whose digests differ from prev
-// (plus sections absent from prev).
-func DiffSections(prev, cur map[string]SectionImage) map[string]SectionImage {
-	delta := make(map[string]SectionImage)
+// (plus sections absent from prev), and the names present in prev but gone
+// from cur — the tombstones. Omitting the tombstones from a delta is
+// unsound: MergeSections would overlay the delta onto a base that still
+// contains the removed section, silently resurrecting state the
+// application had dropped by the time the line was taken.
+func DiffSections(prev, cur map[string]SectionImage) (delta map[string]SectionImage, removed []string) {
+	delta = make(map[string]SectionImage)
 	for name, img := range cur {
 		if p, ok := prev[name]; !ok || p.Digest != img.Digest {
 			delta[name] = img
 		}
 	}
-	return delta
+	for name := range prev {
+		if _, ok := cur[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sortStrings(removed)
+	return delta, removed
 }
 
-// EncodeIncrement serializes a (possibly partial) section set with its kind
-// and base-line reference.
-func EncodeIncrement(full bool, baseLine uint64, sections map[string]SectionImage) []byte {
+// sortStrings is an allocation-free insertion sort (the section counts here
+// are tiny).
+func sortStrings(names []string) {
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+}
+
+// EncodeIncrement serializes a (possibly partial) section set with its kind,
+// base-line reference, and the tombstones of sections removed since the
+// base line (nil for full snapshots).
+func EncodeIncrement(full bool, baseLine uint64, sections map[string]SectionImage, removed []string) []byte {
 	w := wire.NewWriter(256)
 	w.Bool(full)
 	w.U64(baseLine)
@@ -74,21 +95,21 @@ func EncodeIncrement(full bool, baseLine uint64, sections map[string]SectionImag
 	for n := range sections {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sortStrings(names)
 	for _, n := range names {
 		w.String(n)
 		w.U64(sections[n].Digest)
 		w.Bytes32(sections[n].Body)
 	}
+	w.U32(uint32(len(removed)))
+	for _, n := range removed {
+		w.String(n)
+	}
 	return w.Bytes()
 }
 
 // DecodeIncrement parses an EncodeIncrement image.
-func DecodeIncrement(data []byte) (full bool, baseLine uint64, sections map[string]SectionImage, err error) {
+func DecodeIncrement(data []byte) (full bool, baseLine uint64, sections map[string]SectionImage, removed []string, err error) {
 	r := wire.NewReader(data)
 	full = r.Bool()
 	baseLine = r.U64()
@@ -99,21 +120,33 @@ func DecodeIncrement(data []byte) (full bool, baseLine uint64, sections map[stri
 		digest := r.U64()
 		body := r.Bytes32()
 		if r.Err() != nil {
-			return false, 0, nil, fmt.Errorf("statesave: corrupt incremental image: %w", r.Err())
+			return false, 0, nil, nil, fmt.Errorf("statesave: corrupt incremental image: %w", r.Err())
 		}
 		sections[name] = SectionImage{Body: body, Digest: digest}
 	}
-	return full, baseLine, sections, r.Err()
+	nr := r.Count(4) // minimum bytes per tombstone name
+	for i := 0; i < nr; i++ {
+		name := r.String()
+		if r.Err() != nil {
+			return false, 0, nil, nil, fmt.Errorf("statesave: corrupt incremental tombstones: %w", r.Err())
+		}
+		removed = append(removed, name)
+	}
+	return full, baseLine, sections, removed, r.Err()
 }
 
-// MergeSections overlays delta onto base, returning a new map.
-func MergeSections(base, delta map[string]SectionImage) map[string]SectionImage {
+// MergeSections overlays delta onto base and applies the delta's
+// tombstones, returning a new map: the state AT the delta's line.
+func MergeSections(base, delta map[string]SectionImage, removed []string) map[string]SectionImage {
 	out := make(map[string]SectionImage, len(base)+len(delta))
 	for n, img := range base {
 		out[n] = img
 	}
 	for n, img := range delta {
 		out[n] = img
+	}
+	for _, n := range removed {
+		delete(out, n)
 	}
 	return out
 }

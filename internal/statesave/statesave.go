@@ -62,6 +62,24 @@ func (g *Registry) Register(s Section) {
 	g.byName[s.Name()] = s
 }
 
+// Unregister removes a section from the registry — the Go analogue of the
+// C3 runtime pruning its state description as variables leave scope. The
+// section stops appearing in snapshots; with incremental checkpointing the
+// next delta records a tombstone so recovery does not resurrect it from an
+// older anchor. Unknown names are a no-op.
+func (g *Registry) Unregister(name string) {
+	if _, ok := g.byName[name]; !ok {
+		return
+	}
+	delete(g.byName, name)
+	for i, s := range g.sections {
+		if s.Name() == name {
+			g.sections = append(g.sections[:i], g.sections[i+1:]...)
+			break
+		}
+	}
+}
+
 // Lookup returns the section with the given name.
 func (g *Registry) Lookup(name string) (Section, bool) {
 	s, ok := g.byName[name]
