@@ -29,6 +29,18 @@
 //	    -heartbeat and -phi; the store's recovery-query behavior with
 //	    -ack-timeout, -query-timeout and -query-retries.
 //
+//	c3node -ranks 5 -kernel CG -class S -every 3 -self-heal \
+//	       -partition a=3+4,after=2,heal=3s
+//	    partition-tolerance demo: once ranks 3+4 have committed 2
+//	    checkpoints, the launcher severs them from the rest (symmetric
+//	    blackhole on every TCP mesh). The majority side commits an epoch
+//	    declaring them dead and keeps computing; the severed minority
+//	    fences — zero checkpoint commits while split, because the quorum
+//	    rule proves it cannot hold a majority. 3s later the launcher heals
+//	    the split; the fenced ranks learn the newer epoch from their rejoin
+//	    pings, rejoin through the state-snapshot path, and the final
+//	    checksums converge
+//
 //	c3node -ranks 4 -kernel LU -store /tmp/ckpts ...
 //	    use a shared-directory disk store instead of the diskless
 //	    replicated store
@@ -142,6 +154,7 @@ func launcherMain() {
 		parity   = flag.Int("parity", 0, "codec parity shards m (0 = default: rs 2; xor always 1; dup none)")
 		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
 		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints]")
+		part     = flag.String("partition", "", "self-heal demo: network split a=R+R..[,after=K committed checkpoints][,heal=DURATION]")
 		hb       = flag.Duration("heartbeat", 25*time.Millisecond, "self-heal: failure-detector heartbeat interval")
 		phi      = flag.Float64("phi", 5, "self-heal: accrual suspicion threshold")
 		ackTO    = flag.Duration("ack-timeout", 0, "replicated store: neighbor ack timeout (0 = default 5s)")
@@ -165,6 +178,16 @@ func launcherMain() {
 	if extKillSpec != nil && !*selfHeal {
 		fatalf("-external-kill requires -self-heal (the legacy launcher cannot recover an uncoordinated kill)")
 	}
+	var partSpec *cluster.ExternalPartitionSpec
+	if *part != "" {
+		partSpec, err = cluster.ParsePartitionSpec(*part)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !*selfHeal {
+			fatalf("-partition requires -self-heal (only the quorum-fenced world survives a split)")
+		}
+	}
 	if *selfHeal && *storeDir != "" {
 		fatalf("-self-heal requires the diskless replicated store (drop -store)")
 	}
@@ -178,8 +201,9 @@ func launcherMain() {
 	cfg := cluster.LaunchConfig{
 		Ranks:        *ranks,
 		Disk:         *storeDir != "",
-		SelfHeal:     *selfHeal,
-		ExternalKill: extKillSpec,
+		SelfHeal:          *selfHeal,
+		ExternalKill:      extKillSpec,
+		ExternalPartition: partSpec,
 		Args: func(rank int, mpiAddrs, replAddrs []string) []string {
 			args := []string{
 				"-worker",
@@ -240,6 +264,9 @@ func launcherMain() {
 	if *selfHeal {
 		printSelfHealSummary(res, *ranks)
 	}
+	if partSpec != nil {
+		printPartitionSummary(res, partSpec)
+	}
 	sums := make([]string, *ranks)
 	for r := 0; r < *ranks; r++ {
 		sums[r] = res.Results[r]
@@ -275,6 +302,35 @@ func printSelfHealSummary(res *cluster.LaunchResult, ranks int) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// printPartitionSummary reports the split's timeline and the per-side
+// checkpoint commits observed while the network was partitioned: the
+// minority (GroupA) side must show zero — its ranks were fenced
+// (EXPERIMENTS.md table 10).
+func printPartitionSummary(res *cluster.LaunchResult, spec *cluster.ExternalPartitionSpec) {
+	if res.PartTime.IsZero() {
+		fmt.Println("  partition: never installed (run ended first)")
+		return
+	}
+	inA := make(map[int]bool, len(spec.GroupA))
+	for _, r := range spec.GroupA {
+		inA[r] = true
+	}
+	var minority, majority int
+	for r, n := range res.SplitCkpts {
+		if inA[r] {
+			minority += n
+		} else {
+			majority += n
+		}
+	}
+	line := fmt.Sprintf("  partition: group %s severed; split-time commits minority=%d majority=%d",
+		cluster.FormatGroup(spec.GroupA), minority, majority)
+	if !res.HealTime.IsZero() {
+		line += fmt.Sprintf(" healed-after=%v", res.HealTime.Sub(res.PartTime).Round(time.Millisecond))
+	}
+	fmt.Println(line)
 }
 
 func workerMain() {

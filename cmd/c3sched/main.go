@@ -99,6 +99,7 @@ func cmdSweep(args []string) error {
 	seeds := fs.Int64("seeds", 100, "number of seeds")
 	stop := fs.Bool("stop", false, "stop at the first failure")
 	out := fs.String("out", "", "directory for failing schedule files")
+	shrinkBudget := fs.Int("shrink", 0, "ddmin replay budget for auto-shrinking failing schedules (0 = off)")
 	_ = fs.Parse(args)
 
 	scs, err := scenarioArg(*scenario)
@@ -125,6 +126,21 @@ func cmdSweep(args []string) error {
 					return err
 				}
 				fmt.Printf("    trace written to %s\n", path)
+				if *shrinkBudget > 0 {
+					// Auto-shrink the divergence to its minimal forced
+					// decisions; the -min file is what gets committed
+					// under a testdata/ directory as a regression input.
+					min, used, err := sched.Shrink(sc, ref, o.Schedule, *shrinkBudget)
+					if err != nil {
+						fmt.Printf("    shrink failed after %d replays: %v\n", used, err)
+					} else {
+						minPath := filepath.Join(*out, fmt.Sprintf("%s-seed%d-min.sched", sc.Name, o.Seed))
+						if err := os.WriteFile(minPath, sched.MarshalSchedule(min), 0o644); err != nil {
+							return err
+						}
+						fmt.Printf("    minimized (%d replays) to %s\n", used, minPath)
+					}
+				}
 			}
 		}
 		if len(res.Failures) > 0 {

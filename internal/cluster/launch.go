@@ -56,6 +56,11 @@ type LaunchConfig struct {
 	// failure spec inside the worker and no recovery coordination — the
 	// survivors must detect and recover on their own.
 	ExternalKill *ExternalKillSpec
+	// ExternalPartition, in self-healing mode, severs a rank group from
+	// the rest mid-run and heals it after a delay (the part/heal pipe
+	// commands on every worker). The workers' quorum logic must sort out
+	// who may commit.
+	ExternalPartition *ExternalPartitionSpec
 	// MaxRestarts bounds recovery cycles (default 3).
 	MaxRestarts int
 	// Timeout bounds the whole run (default 2 minutes).
@@ -84,6 +89,12 @@ type LaunchResult struct {
 	// Compared against the workers' reported suspect_us timestamps it
 	// yields the end-to-end detection latency (same host, same clock).
 	KillTime time.Time
+	// PartTime and HealTime bracket the external partition (zero if none).
+	PartTime, HealTime time.Time
+	// SplitCkpts counts the checkpoint commits each rank reported while
+	// the partition was active — the fencing contract says the minority
+	// side's entries must be zero.
+	SplitCkpts map[int]int
 }
 
 // ExternalKillSpec schedules the launcher-as-operator SIGKILL.
@@ -197,6 +208,22 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 		}
 		if r := cfg.ExternalKill.Rank; r < 0 || r >= cfg.Ranks {
 			return nil, fmt.Errorf("cluster: ExternalKill rank %d out of range [0,%d)", r, cfg.Ranks)
+		}
+	}
+	if ep := cfg.ExternalPartition; ep != nil {
+		if !cfg.SelfHeal {
+			return nil, fmt.Errorf("cluster: ExternalPartition requires SelfHeal (quorum fencing lives in the workers' detectors)")
+		}
+		if len(ep.GroupA) == 0 || len(ep.GroupA) >= cfg.Ranks {
+			return nil, fmt.Errorf("cluster: ExternalPartition group %v must be a proper non-empty subset of %d ranks", ep.GroupA, cfg.Ranks)
+		}
+		for _, r := range ep.GroupA {
+			if r < 0 || r >= cfg.Ranks {
+				return nil, fmt.Errorf("cluster: ExternalPartition rank %d out of range [0,%d)", r, cfg.Ranks)
+			}
+		}
+		if ep.HealAfter <= 0 {
+			return nil, fmt.Errorf("cluster: ExternalPartition needs a positive HealAfter (a never-healing split cannot converge)")
 		}
 	}
 
@@ -453,7 +480,38 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 		}
 	}
 
+	ep := l.cfg.ExternalPartition
+	parted, healed := false, false
+	var inGroupA map[int]bool
+	if ep != nil {
+		res.SplitCkpts = make(map[int]int)
+		inGroupA = make(map[int]bool, len(ep.GroupA))
+		for _, r := range ep.GroupA {
+			inGroupA[r] = true
+		}
+	}
+	part := func() {
+		group := FormatGroup(ep.GroupA)
+		l.logf("partition: severing group %s from the rest (heal in %v)", group, ep.HealAfter)
+		res.PartTime = time.Now()
+		parted = true
+		for _, w := range l.workers {
+			if !w.dead {
+				w.command("part %s", group)
+			}
+		}
+		// The heal fires on the event loop (a synthetic event), keeping all
+		// worker stdin writes on this goroutine.
+		time.AfterFunc(ep.HealAfter, func() {
+			l.events <- launchEvent{rank: -1, fields: []string{"heal-timer"}}
+		})
+	}
+	if ep != nil && ep.AfterCheckpoints <= 0 {
+		part()
+	}
+
 	ckpts := 0
+	groupCkpts := 0
 	doneAttempt := make(map[int]int)
 	respawnPending := make(map[int]bool)
 	for {
@@ -475,12 +533,34 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 			if err := w.cmd.Process.Kill(); err != nil {
 				return res, fmt.Errorf("cluster: SIGKILL rank %d: %w", ev.rank, err)
 			}
+		case "heal-timer":
+			if parted && !healed {
+				l.logf("partition: healing")
+				res.HealTime = time.Now()
+				healed = true
+				for _, w := range l.workers {
+					if !w.dead {
+						w.command("heal")
+					}
+				}
+			}
 		case "ckpt":
 			if ek != nil && !killed && ev.rank == ek.Rank {
 				ckpts++
 				if ckpts >= ek.AfterCheckpoints {
 					if err := kill(ek.Rank); err != nil {
 						return res, err
+					}
+				}
+			}
+			if ep != nil {
+				if parted && !healed {
+					res.SplitCkpts[ev.rank]++
+				}
+				if !parted && inGroupA[ev.rank] {
+					groupCkpts++
+					if groupCkpts >= ep.AfterCheckpoints {
+						part()
 					}
 				}
 			}
@@ -496,6 +576,16 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 				continue // duplicate request (e.g. re-elected coordinator)
 			}
 			w := l.workers[r]
+			if ep != nil && !w.dead {
+				// The "dead" rank is a partition casualty that is very much
+				// alive: a severed minority process the majority's agreement
+				// declared dead, or (after the heal, while monitors resettle)
+				// a falsely suspected rank on either side. Spawning a
+				// duplicate would collide on its listen addresses; the
+				// original rejoins by itself through the epoch-state exchange.
+				l.logf("rank %d: skipping respawn of partition-declared-dead rank %d (still alive)", ev.rank, r)
+				continue
+			}
 			if !w.dead {
 				// The coordinator's agreement can outrun our exit event; give
 				// the process a moment to be reaped before declaring the

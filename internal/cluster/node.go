@@ -472,7 +472,12 @@ func (w *node) runSelfHeal() error {
 			default:
 			}
 		},
-		Logf: cfg.Log,
+		// Fencing: when this rank loses majority contact the store refuses
+		// checkpoint commits (ErrFenced) instead of excusing the unreachable
+		// holders — a minority-side rank must not extend a recovery line a
+		// majority may be superseding without it.
+		OnFence: func(fenced bool) { w.dist.SetFenced(fenced) },
+		Logf:    cfg.Log,
 	})
 	if err != nil {
 		w.emit("error %v", err)
@@ -493,6 +498,7 @@ func (w *node) runSelfHeal() error {
 		done      chan error
 		attempt   = -1
 		seenEpoch = uint64(1)
+		partPairs [][2]int // active partition rules (nil when healed)
 	)
 	start := func(a int, restore bool) {
 		if w.dist != nil {
@@ -505,6 +511,11 @@ func (w *node) runSelfHeal() error {
 		if err != nil {
 			w.emit("error %v", err)
 			return
+		}
+		if partPairs != nil {
+			// An attempt born during an active partition inherits the rules:
+			// its traffic toward the far side is held until the heal.
+			m.SetPartition(partPairs, true)
 		}
 		mesh = m
 		done = make(chan error, 1)
@@ -549,6 +560,32 @@ func (w *node) runSelfHeal() error {
 				seenEpoch = epoch
 				state.restoreStart = time.Now()
 				start(int(epoch)-1, true)
+			case "part":
+				// part a+b+... — sever the listed group from the rest on every
+				// mesh this process owns (replication plane and the current
+				// MPI attempt), in hold mode: frames toward the far side are
+				// buffered and delivered at the heal, modeling a partition
+				// shorter than TCP's retransmission patience.
+				if len(cmd) < 2 {
+					w.emit("error malformed part command")
+					continue
+				}
+				groupA, err := ParseGroup(cmd[1])
+				if err != nil {
+					w.emit("error part: %v", err)
+					continue
+				}
+				partPairs = SplitPairs(groupA, cfg.Ranks, false)
+				rmesh.SetPartition(partPairs, true)
+				if mesh != nil {
+					mesh.SetPartition(partPairs, true)
+				}
+			case "heal":
+				partPairs = nil
+				rmesh.Heal()
+				if mesh != nil {
+					mesh.Heal()
+				}
 			case "quit":
 				return nil
 			case "abort":
@@ -601,6 +638,11 @@ func (w *node) runSelfHeal() error {
 				// The mesh died under us — either our own teardown racing the
 				// epoch event, or a peer's death stalling the world until the
 				// detector confirms it. The epoch event drives the restart.
+				w.emit("down %d", attempt)
+			case errors.Is(err, stable.ErrFenced):
+				// Minority side of a partition: the store refused a commit.
+				// Report down and wait — the heal delivers a newer epoch
+				// (majority committed without us) that restarts the attempt.
 				w.emit("down %d", attempt)
 			default:
 				w.emit("error rank %d attempt %d: %v", cfg.Rank, attempt, err)

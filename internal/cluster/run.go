@@ -59,6 +59,12 @@ type Config struct {
 	// Failures schedules fail-stop failures: Failures[i] fires during
 	// attempt i. Attempts beyond the list run failure-free.
 	Failures []FailureSpec
+	// Partitions schedules network-partition episodes under the virtual
+	// schedule engine: each spec fires in its Attempt at a seeded trigger
+	// step, severing GroupA from the rest, and (optionally) heals after
+	// HealAfterSteps. Requires Seed or Replay; ignored under real
+	// scheduling.
+	Partitions []PartitionSpec
 	// AttemptFailures schedules multiple fail-stop failures per attempt:
 	// every spec in AttemptFailures[i] can fire during attempt i, so two
 	// ranks can die near-simultaneously in one world launch (whether both
@@ -193,7 +199,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		attemptStart := time.Now()
-		outcome, stats, tstats, err := runAttempt(cfg, store, attempt > 0 || cfg.ForceRestore, failer, sch)
+		outcome, stats, tstats, err := runAttempt(cfg, store, attempt > 0 || cfg.ForceRestore, failer, sch, attempt)
 		if sch != nil {
 			res.Schedule.Attempts = append(res.Schedule.Attempts, sch.Trace())
 		}
@@ -232,8 +238,26 @@ func Run(cfg Config) (*Result, error) {
 	return res, fmt.Errorf("cluster: no successful attempt in %d tries", maxAttempts)
 }
 
-func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInjector, sch *transport.Scheduler) ([]rankOutcome, []RankStats, transport.Stats, error) {
-	wopts := []mpi.WorldOption{mpi.WithTransportOptions(cfg.TransportOptions...)}
+// attemptPartitionEvents expands the partition specs scheduled for one
+// attempt into the scheduler's armed event list.
+func (cfg *Config) attemptPartitionEvents(attempt int) []transport.SchedPartitionEvent {
+	var events []transport.SchedPartitionEvent
+	for _, spec := range cfg.Partitions {
+		if spec.Attempt == attempt {
+			events = append(events, spec.Events(cfg.Ranks)...)
+		}
+	}
+	return events
+}
+
+func runAttempt(cfg Config, store stable.Store, restart bool, failer *failureInjector, sch *transport.Scheduler, attempt int) ([]rankOutcome, []RankStats, transport.Stats, error) {
+	topts := cfg.TransportOptions
+	if sch != nil {
+		if events := cfg.attemptPartitionEvents(attempt); len(events) > 0 {
+			topts = append(append([]transport.Option(nil), topts...), transport.WithPartitionPlan(events))
+		}
+	}
+	wopts := []mpi.WorldOption{mpi.WithTransportOptions(topts...)}
 	if sch != nil {
 		wopts = append(wopts, mpi.WithScheduler(sch))
 	}

@@ -49,6 +49,15 @@ type Options struct {
 	// declared suspect (default 5: the observed silence had probability
 	// 1e-5 under the peer's arrival history).
 	PhiThreshold float64
+	// LeaseTimeout is the contact-lease horizon for the fencing rule: a
+	// peer counts toward this rank's live view only while some message
+	// from it arrived within the lease. The ring monitors cannot serve
+	// here — a 2-rank minority monitors at most 3 distinct ranks, so it
+	// could never prove the rest of the world unreachable. Instead every
+	// rank sends low-rate lease pings to all peers outside its heartbeat
+	// ring, and fencing is computed from actual receive evidence. Default
+	// 10 heartbeat intervals.
+	LeaseTimeout time.Duration
 	// Clock substitutes a time source (tests); default time.Now.
 	Clock func() time.Time
 	// OnEpoch fires after each committed epoch transition with the agreed
@@ -59,6 +68,13 @@ type Options struct {
 	// OnEvicted fires if a committed epoch declares this very rank dead
 	// while it is alive (a false suspicion that won agreement).
 	OnEvicted func(epoch uint64)
+	// OnFence fires on fencing transitions: fenced=true when this rank can
+	// no longer see a strict majority of the launch-time world (it is on
+	// the minority side of a partition, or the world degraded past
+	// quorum), fenced=false when majority contact returns. While fenced a
+	// rank must refuse checkpoint commits and epoch advances — it could be
+	// diverging from a majority that committed an epoch without it.
+	OnFence func(fenced bool)
 	// Logf, when non-nil, receives detector diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -73,12 +89,18 @@ type Times struct {
 	AgreeAt time.Time
 }
 
-// proposal is the coordinator's in-flight two-phase agreement.
+// proposal is the coordinator's in-flight two-phase agreement. It commits
+// only once the coordinator's own vote plus the collected acks reach a
+// strict majority of the launch-time world — a coordinator that cannot
+// reach quorum (it sits on the minority side of a partition) stalls
+// instead of committing, so two sides of a split can never fork the epoch
+// sequence (the PBFT-style view-change discipline).
 type proposal struct {
 	epoch   uint64
 	seq     uint64
 	dead    []int        // full proposed dead set, sorted
 	pending map[int]bool // participants that have not acked yet
+	acked   map[int]bool // participants whose ack arrived
 }
 
 // Detector is one rank's failure-detection and membership endpoint.
@@ -97,11 +119,14 @@ type Detector struct {
 	suspected   map[int]time.Time // rank -> when first suspected
 	monitors    map[int]*Monitor  // ring successors this rank watches
 	lastSent    map[int]time.Time // piggyback: last outbound traffic per peer
+	lastHeard   []time.Time       // contact lease: last inbound traffic per peer
+	lease       time.Duration     // fencing contact-lease horizon
 	prop        *proposal
 	propSeq     uint64
 	detections  uint64
 	pendSuspect time.Time // earliest suspicion since the last commit
 	times       Times
+	fenced      bool // live contact < strict majority of the launch world
 	closed      bool
 
 	sendMu        sync.Mutex
@@ -129,6 +154,9 @@ func New(opts Options) (*Detector, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = 10 * opts.HeartbeatInterval
+	}
 	d := &Detector{
 		opts:      opts,
 		self:      opts.Self,
@@ -145,9 +173,16 @@ func New(opts Options) (*Detector, error) {
 		senders:   make(map[int]chan payload),
 		done:      make(chan struct{}),
 	}
+	d.lease = opts.LeaseTimeout
 	now := d.clock()
 	for _, m := range ringSuccessors(d.self, d.n) {
 		d.monitors[m] = newMonitor(d.interval, now)
+	}
+	// Startup grace: every peer begins with a fresh lease, so a world that
+	// is still dialing does not fence itself at launch.
+	d.lastHeard = make([]time.Time, d.n)
+	for r := range d.lastHeard {
+		d.lastHeard[r] = now
 	}
 	return d, nil
 }
@@ -230,6 +265,55 @@ func (d *Detector) Times() Times {
 	return d.times
 }
 
+// Fenced reports whether this rank is fenced: the peers with a fresh
+// contact lease (plus itself) no longer form a strict majority of the
+// launch world, so it must assume a majority partition may be committing
+// epochs without it.
+func (d *Detector) Fenced() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fenced
+}
+
+// quorum is the number of votes an epoch commit needs: a strict majority
+// of the launch-time world (not of the current survivors — otherwise two
+// partition sides could each reach "majority of who I can see").
+func (d *Detector) quorum() int {
+	return d.n/2 + 1
+}
+
+// refenceLocked recomputes the fencing state from the contact leases and
+// returns the OnFence callback to fire (nil if no transition). A peer
+// counts as reachable only on positive receive evidence within the lease —
+// suspicion alone cannot drive fencing, because the ring monitors of a
+// small minority never cover the whole far side of a split. Callers hold
+// d.mu and must invoke the returned func, if any, after releasing it.
+func (d *Detector) refenceLocked() func() {
+	now := d.clock()
+	live := 1 // self
+	for r := 0; r < d.n; r++ {
+		if r == d.self || d.dead[r] {
+			continue
+		}
+		if now.Sub(d.lastHeard[r]) <= d.lease {
+			live++
+		}
+	}
+	fenced := live < d.quorum()
+	if fenced == d.fenced {
+		return nil
+	}
+	d.fenced = fenced
+	cb := d.opts.OnFence
+	return func() {
+		d.logf("rank %d: fencing -> %v (live view %d of %d, quorum %d)",
+			d.self, fenced, live, d.n, d.quorum())
+		if cb != nil {
+			cb(fenced)
+		}
+	}
+}
+
 // Suspected returns the currently suspected (not yet agreed dead) ranks.
 func (d *Detector) Suspected() []int {
 	d.mu.Lock()
@@ -246,11 +330,12 @@ func (d *Detector) Suspected() []int {
 // on any plane of the shared mesh. The demux calls this for every inbound
 // message, so replication traffic doubles as heartbeats.
 func (d *Detector) ObserveRecv(from int) {
-	if from == d.self {
+	if from == d.self || from < 0 || from >= d.n {
 		return
 	}
 	now := d.clock()
 	d.mu.Lock()
+	d.lastHeard[from] = now
 	if m := d.monitors[from]; m != nil {
 		m.Observe(now)
 	}
@@ -261,7 +346,11 @@ func (d *Detector) ObserveRecv(from int) {
 		// without the recovered rank.
 		delete(d.suspected, from)
 	}
+	fence := d.refenceLocked()
 	d.mu.Unlock()
+	if fence != nil {
+		fence()
+	}
 	if wasSuspected {
 		d.logf("rank %d: false suspicion of rank %d cleared by traffic", d.self, from)
 	}
@@ -362,17 +451,33 @@ func (d *Detector) tick() {
 
 	d.mu.Lock()
 	epoch := d.epoch
-	// Heartbeats to the predecessors that monitor this rank, skipped when
-	// other traffic already reached them within the last interval.
-	var pings []int
+	// Heartbeats to the predecessors that monitor this rank (every
+	// interval), and low-rate lease pings to every other live peer so the
+	// whole world keeps receiving positive contact evidence for the fencing
+	// rule. Both are skipped when other traffic already reached the peer
+	// within the window (piggybacking).
+	isPred := make(map[int]bool, 2)
 	for _, t := range ringPredecessors(d.self, d.n) {
+		isPred[t] = true
+	}
+	var pings []int
+	for t := 0; t < d.n; t++ {
 		if t == d.self || d.dead[t] {
 			continue
 		}
-		if _, susp := d.suspected[t]; susp {
+		if _, susp := d.suspected[t]; susp && !d.fenced {
+			// A fenced rank keeps pinging the peers it suspects: they are
+			// probably on the majority side of a partition, and these probes
+			// are how it discovers the heal (the majority, which declared us
+			// dead, no longer sends anything our way — the probe's epoch
+			// reconciliation pulls their newer state over).
 			continue
 		}
-		if last, ok := d.lastSent[t]; ok && now.Sub(last) < d.interval {
+		window := d.interval
+		if !isPred[t] {
+			window = d.lease / 3 // lease pings: a few per lease horizon
+		}
+		if last, ok := d.lastSent[t]; ok && now.Sub(last) < window {
 			continue // piggybacked: recent traffic already proved liveness
 		}
 		d.lastSent[t] = now
@@ -394,6 +499,26 @@ func (d *Detector) tick() {
 			newSuspects = append(newSuspects, m)
 		}
 	}
+	// Lease evaluation for the ranks outside this rank's monitor set. The
+	// ±1/±2 ring cannot see into a contiguous far-side group — its interior
+	// ranks are heartbeat-monitored only by their own severed neighbors —
+	// but the contact lease covers every pair: a live peer keeps lease-
+	// pinging us, so a peer silent past the full lease is as suspect as a
+	// monitored one crossing the phi threshold. A false positive clears the
+	// same way monitor suspicions do (ObserveRecv on the peer's next ping).
+	var leaseSuspects []int
+	for r := 0; r < d.n; r++ {
+		if r == d.self || d.dead[r] || d.monitors[r] != nil {
+			continue
+		}
+		if _, already := d.suspected[r]; already {
+			continue
+		}
+		if now.Sub(d.lastHeard[r]) > d.lease {
+			d.suspectLocked(r, now)
+			leaseSuspects = append(leaseSuspects, r)
+		}
+	}
 	// Gossip every outstanding suspicion, not just the fresh ones: the send
 	// path is lossy (full worker queue, redial backoff), and the would-be
 	// coordinator may not monitor the victim itself — a one-shot gossip that
@@ -405,7 +530,11 @@ func (d *Detector) tick() {
 	}
 	sort.Ints(gossip)
 	gossipTargets := d.liveExceptLocked(gossip)
+	fence := d.refenceLocked()
 	d.mu.Unlock()
+	if fence != nil {
+		fence()
+	}
 
 	ping := encodePing(epoch)
 	for _, t := range pings {
@@ -413,6 +542,9 @@ func (d *Detector) tick() {
 	}
 	for _, s := range newSuspects {
 		d.logf("rank %d: suspects rank %d dead (phi >= %.1f)", d.self, s, d.threshold)
+	}
+	for _, s := range leaseSuspects {
+		d.logf("rank %d: suspects rank %d dead (contact lease expired)", d.self, s)
 	}
 	for _, s := range gossip {
 		g := encodeSuspect(epoch, s)
@@ -458,7 +590,10 @@ func (d *Detector) liveExceptLocked(skip []int) []int {
 
 // driveProposal runs the coordinator's side of the agreement: start or
 // rebuild the proposal when the candidate dead set changes, retransmit to
-// laggards, and commit once every survivor acknowledged.
+// laggards, and commit once the votes (the coordinator's own plus the
+// acks) reach a strict majority of the launch world. Laggards that have
+// not acked by then learn the result from the commit broadcast or a later
+// state exchange.
 func (d *Detector) driveProposal() {
 	d.mu.Lock()
 	if len(d.suspected) == 0 {
@@ -495,14 +630,23 @@ func (d *Detector) driveProposal() {
 				pending[r] = true
 			}
 		}
-		d.prop = &proposal{epoch: d.epoch + 1, seq: d.propSeq, dead: deadSet, pending: pending}
+		d.prop = &proposal{epoch: d.epoch + 1, seq: d.propSeq, dead: deadSet,
+			pending: pending, acked: make(map[int]bool)}
 		d.logf("rank %d: proposing epoch %d dead=%v to %d survivors (seq %d)",
 			d.self, d.prop.epoch, deadSet, len(pending), d.propSeq)
 	}
 	p := d.prop
-	if len(p.pending) == 0 {
+	if 1+len(p.acked) >= d.quorum() {
 		d.mu.Unlock()
 		d.commitProposal(p)
+		return
+	}
+	if len(p.pending) == 0 {
+		// Everyone this coordinator can reach has acked, yet the votes fall
+		// short of a strict majority of the launch world: it is on the
+		// minority side of a partition. Stall — committing here would fork
+		// the epoch sequence against a majority-side commit.
+		d.mu.Unlock()
 		return
 	}
 	msg := encodePropose(p.epoch, p.seq, p.dead)
@@ -574,7 +718,11 @@ func (d *Detector) applyEpoch(epoch uint64, dead []int, via string) {
 	sort.Ints(newDead)
 	allDead := setToSlice(newSet)
 	onEpoch, onEvicted := d.opts.OnEpoch, d.opts.OnEvicted
+	fence := d.refenceLocked()
 	d.mu.Unlock()
+	if fence != nil {
+		fence() // fencing state first, so epoch callbacks see it settled
+	}
 
 	d.logf("rank %d: epoch %d committed via %s, dead=%v (new %v)", d.self, epoch, via, allDead, newDead)
 	if selfDead {
@@ -621,7 +769,7 @@ func (d *Detector) handle(from int, data payload) {
 		}
 		d.reconcileEpoch(from, epoch)
 	case msgSuspect:
-		_, target, err := decodeSuspect(data)
+		epoch, target, err := decodeSuspect(data)
 		if err != nil {
 			return
 		}
@@ -633,10 +781,24 @@ func (d *Detector) handle(from int, data payload) {
 		}
 		now := d.clock()
 		d.mu.Lock()
+		if epoch < d.epoch {
+			// Stale gossip: the suspicion predates an epoch we have already
+			// committed. A rank cleared by that newer epoch (rejoin, or an
+			// exoneration folded into the commit) must not be re-suspected
+			// by a reordered old frame — drop it and re-seed the gossiper.
+			cur, deadNow := d.epoch, setToSlice(d.dead)
+			d.mu.Unlock()
+			d.send(from, encodeState(cur, deadNow))
+			return
+		}
 		if !d.dead[target] {
 			d.suspectLocked(target, now)
 		}
+		fence := d.refenceLocked()
 		d.mu.Unlock()
+		if fence != nil {
+			fence()
+		}
 		d.driveProposal()
 	case msgPropose:
 		epoch, seq, dead, err := decodePropose(data)
@@ -665,13 +827,31 @@ func (d *Detector) handle(from int, data payload) {
 		}
 		// Adopt a newer membership snapshot (join, or catch-up after a
 		// missed commit).
+		selfDead := false
 		filtered := dead[:0:0]
 		for _, r := range dead {
-			if r != d.self {
-				filtered = append(filtered, r)
+			if r == d.self {
+				selfDead = true
+				continue
 			}
+			filtered = append(filtered, r)
 		}
+		wasBehind := epoch > d.Epoch()
 		d.applyEpoch(epoch, filtered, fmt.Sprintf("state from rank %d", from))
+		if selfDead && wasBehind {
+			// The snapshot declared this very rank dead: a majority
+			// committed an epoch while we were fenced off. We adopted the
+			// majority's view (minus ourselves); now broadcast hello so the
+			// survivors mark us alive again and reset our monitors — the
+			// heal half of the fencing state machine.
+			hello := encodeHello()
+			for q := 0; q < d.n; q++ {
+				if q != d.self {
+					d.send(q, hello)
+				}
+			}
+			d.logf("rank %d: rejoining — epoch %d had declared us dead", d.self, epoch)
+		}
 	default:
 		d.logf("rank %d: unknown detect message %s from rank %d", d.self, kindName(data[0]), from)
 	}
@@ -722,7 +902,11 @@ func (d *Detector) handlePropose(from int, epoch, seq uint64, dead []int) {
 			d.suspectLocked(r, now)
 		}
 	}
+	fence := d.refenceLocked()
 	d.mu.Unlock()
+	if fence != nil {
+		fence()
+	}
 	d.send(from, encodeAck(epoch, seq))
 }
 
@@ -734,7 +918,8 @@ func (d *Detector) handleAck(from int, epoch, seq uint64) {
 		return
 	}
 	delete(p.pending, from)
-	ready := len(p.pending) == 0
+	p.acked[from] = true
+	ready := 1+len(p.acked) >= d.quorum()
 	d.mu.Unlock()
 	if ready {
 		d.commitProposal(p)
@@ -756,7 +941,11 @@ func (d *Detector) handleHello(from int) {
 	}
 	epoch := d.epoch
 	dead := setToSlice(d.dead)
+	fence := d.refenceLocked()
 	d.mu.Unlock()
+	if fence != nil {
+		fence()
+	}
 	d.send(from, encodeState(epoch, dead))
 }
 

@@ -20,7 +20,8 @@ import (
 //	d <step> <kind> <rank> <next>
 //	...
 //
-// Kinds are the DecisionKind strings (start, preempt, block, exit).
+// Kinds are the DecisionKind strings (start, preempt, block, exit,
+// partition, heal).
 
 const scheduleMagic = "c3sched-schedule v1"
 
@@ -48,6 +49,10 @@ func parseKind(s string) (transport.DecisionKind, error) {
 		return transport.DecisionBlock, nil
 	case "exit":
 		return transport.DecisionExit, nil
+	case "partition":
+		return transport.DecisionPartition, nil
+	case "heal":
+		return transport.DecisionHeal, nil
 	default:
 		return 0, fmt.Errorf("sched: unknown decision kind %q", s)
 	}

@@ -1,0 +1,116 @@
+package sched
+
+// Tests for the four partition scenario families: each sweeps clean over a
+// seed range, records its partition/heal choices as trace decisions, and
+// replays bit-identically from the marshalled schedule.
+
+import (
+	"reflect"
+	"testing"
+
+	"c3/internal/transport"
+)
+
+// partitionScenarioNames lists the four partition families ISSUE 6 adds.
+var partitionScenarioNames = []string{
+	"partition-symmetric",
+	"partition-asymmetric",
+	"partition-during-agreement",
+	"partition-heal-divergent",
+}
+
+func TestPartitionScenariosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition sweeps are slow under -short")
+	}
+	for _, name := range partitionScenarioNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", name)
+			}
+			ref, err := Reference(sc)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			res := Sweep(sc, ref, 1, 8, false)
+			if res.Ran != 8 {
+				t.Fatalf("ran %d seeds, want 8", res.Ran)
+			}
+			for _, o := range res.Failures {
+				t.Errorf("seed %d failed: %s (divergent=%v)", o.Seed, o.Reason, o.Divergent)
+			}
+		})
+	}
+}
+
+// TestPartitionDecisionsRecorded: a seeded run of a partition scenario must
+// record when its split and heal fired as trace decisions, so divergences
+// are replayable and ddmin-shrinkable like any other schedule.
+func TestPartitionDecisionsRecorded(t *testing.T) {
+	sc, ok := ScenarioByName("partition-symmetric")
+	if !ok {
+		t.Fatal("scenario partition-symmetric not registered")
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	o := RunSeed(sc, ref, 7)
+	if o.Failed {
+		t.Fatalf("seed 7 failed: %s", o.Reason)
+	}
+	if o.Schedule == nil {
+		t.Fatal("no schedule recorded")
+	}
+	parts, heals := 0, 0
+	for _, tr := range o.Schedule.Attempts {
+		for _, d := range tr.Decisions {
+			switch d.Kind {
+			case transport.DecisionPartition:
+				parts++
+			case transport.DecisionHeal:
+				heals++
+			}
+		}
+	}
+	if parts == 0 || heals == 0 {
+		t.Fatalf("trace recorded %d partition and %d heal decisions, want >= 1 of each", parts, heals)
+	}
+}
+
+// TestPartitionScheduleRoundtripAndReplay: the text codec preserves
+// partition/heal decisions, and replaying the decoded schedule reproduces
+// the recorded run (same trace back out).
+func TestPartitionScheduleRoundtripAndReplay(t *testing.T) {
+	sc, ok := ScenarioByName("partition-during-agreement")
+	if !ok {
+		t.Fatal("scenario partition-during-agreement not registered")
+	}
+	ref, err := Reference(sc)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	o := RunSeed(sc, ref, 3)
+	if o.Failed {
+		t.Fatalf("seed 3 failed: %s", o.Reason)
+	}
+
+	decoded, err := UnmarshalSchedule(MarshalSchedule(o.Schedule))
+	if err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if !reflect.DeepEqual(decoded, o.Schedule) {
+		t.Fatal("schedule changed across marshal/unmarshal")
+	}
+
+	o2 := RunSchedule(sc, ref, decoded)
+	if o2.Failed {
+		t.Fatalf("replay failed: %s (divergent=%v)", o2.Reason, o2.Divergent)
+	}
+	if !reflect.DeepEqual(o2.Schedule, o.Schedule) {
+		t.Fatal("replay recorded a different schedule than the original run")
+	}
+}

@@ -31,7 +31,13 @@ type Scenario struct {
 	// AttemptFailures schedules several failures inside one attempt (see
 	// cluster.Config.AttemptFailures); takes precedence over Failures.
 	AttemptFailures [][]cluster.FailureSpec
-	Policy          ckpt.Policy
+	// Partitions schedules network-partition episodes (seeded trigger step,
+	// optional heal) on the virtual scheduler. Scenario specs use hold
+	// semantics: the in-process world has no failure detector, so a dropped
+	// MPI frame would stall it forever, while a held frame models a split
+	// shorter than the transport's retransmission patience.
+	Partitions []cluster.PartitionSpec
+	Policy     ckpt.Policy
 	// App builds the workload; nil means StressApp.
 	App func(iters int, sums *sync.Map) func(cluster.Env) error
 }
@@ -105,6 +111,40 @@ var Scenarios = []Scenario{
 	{Name: "failure-in-restore-async", Ranks: 5, Iters: 12,
 		AttemptFailures: [][]cluster.FailureSpec{
 			{{Rank: 2, AtPragma: 6}}, {{Rank: 4, AtPragma: 1}}},
+		Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	// Partition scenarios: a seeded network split severs {3,4} from the
+	// rest mid-run and heals within the attempt (hold semantics — see
+	// Scenario.Partitions). The trigger step is jittered per seed, so the
+	// sweep lands the split at many different protocol points; the recorded
+	// trace carries the partition/heal decisions, so a failing seed shrinks
+	// like any other schedule.
+	{Name: "partition-symmetric", Ranks: 5, Iters: 12,
+		Partitions: []cluster.PartitionSpec{
+			{GroupA: []int{3, 4}, Hold: true, AtStep: 120, Jitter: 250, HealAfterSteps: 300}},
+		Policy: ckpt.Policy{EveryNthPragma: 3}},
+	// The half-open split: A's frames are delivered, B's answers are held
+	// until the heal — collectives and ack planes see one-way connectivity.
+	{Name: "partition-asymmetric", Ranks: 5, Iters: 12,
+		Partitions: []cluster.PartitionSpec{
+			{GroupA: []int{3, 4}, Asymmetric: true, Hold: true, AtStep: 120, Jitter: 250, HealAfterSteps: 300}},
+		Policy: ckpt.Policy{EveryNthPragma: 3}},
+	// The split lands early in the recovery attempt, while the world is
+	// still agreeing on (and replaying) the restored line: the restore
+	// collective itself is cut by the partition and must complete at the
+	// heal.
+	{Name: "partition-during-agreement", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 2, AtPragma: 5}},
+		Partitions: []cluster.PartitionSpec{
+			{GroupA: []int{3, 4}, Hold: true, AtStep: 40, Jitter: 150, HealAfterSteps: 250, Attempt: 1}},
+		Policy: ckpt.Policy{EveryNthPragma: 2}},
+	// Divergent views: an asymmetric split overlaps a fail-stop failure, so
+	// the two sides observe the death and the teardown at different logical
+	// times; after the heal-and-restart, recovery must still converge to
+	// the reference checksums.
+	{Name: "partition-heal-divergent", Ranks: 5, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 1, AtPragma: 6}},
+		Partitions: []cluster.PartitionSpec{
+			{GroupA: []int{3, 4}, Asymmetric: true, Hold: true, AtStep: 100, Jitter: 250, HealAfterSteps: 250}},
 		Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
 }
 
@@ -425,6 +465,7 @@ func runConfig(sc Scenario, ref map[int]int, cfg cluster.Config) Outcome {
 	cfg.App = sc.app(&sums)
 	cfg.Failures = sc.Failures
 	cfg.AttemptFailures = sc.AttemptFailures
+	cfg.Partitions = sc.Partitions
 	cfg.Policy = sc.Policy
 
 	out := Outcome{Seed: cfg.Seed}

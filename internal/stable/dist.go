@@ -47,6 +47,7 @@ type DistStore struct {
 	awaiting    map[replAckKey]bool
 	interrupted bool
 	epoch       uint64 // recovery epoch; advancing it releases blocked commits
+	fenced      bool   // minority side of a partition: commits refuse, not excuse
 	closed      bool
 
 	bytesWritten    int64
@@ -208,6 +209,29 @@ func (s *DistStore) Epoch() uint64 {
 	return s.epoch
 }
 
+// SetFenced flips the store's fencing state. The failure detector drives
+// it: fenced=true when this rank can no longer see a strict majority of
+// the launch world. While fenced, Commit refuses (ErrFenced) instead of
+// excusing unreachable neighbors — a minority-side rank must not extend
+// its recovery line while a majority may be committing epochs without it.
+// Unfencing releases any commit blocked mid-wait back onto the normal ack
+// path with a fresh ack window.
+func (s *DistStore) SetFenced(fenced bool) {
+	s.mu.Lock()
+	if s.fenced != fenced {
+		s.fenced = fenced
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Fenced reports the current fencing state.
+func (s *DistStore) Fenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced
+}
+
 // Reassemblies reports how many checkpoints were rebuilt from peer
 // fragments over the wire.
 func (s *DistStore) Reassemblies() int64 {
@@ -299,6 +323,13 @@ func (h *distHandle) Commit() error {
 	h.done = true
 	s := h.store
 
+	s.mu.Lock()
+	if s.fenced {
+		s.mu.Unlock()
+		return fmt.Errorf("stable: commit (%d,%d): %w", h.rank, h.version, ErrFenced)
+	}
+	s.mu.Unlock()
+
 	blob := encodeReplSections(h.sections)
 	shards, err := s.codec.Encode(blob)
 	if err != nil {
@@ -347,6 +378,7 @@ func (h *distHandle) Commit() error {
 
 	s.mu.Lock()
 	lostShards := 0
+	wasFenced := false
 	for {
 		pending := 0
 		lostShards = 0
@@ -356,21 +388,46 @@ func (h *distHandle) Commit() error {
 				lostShards += len(sendPlan[nb])
 			}
 		}
-		if pending == 0 || s.interrupted || s.closed || s.epoch != startEpoch ||
-			!time.Now().Before(deadline) {
+		if s.interrupted || s.closed || s.epoch != startEpoch {
+			break
+		}
+		if s.fenced {
+			// Fenced mid-wait: the deadline must NOT excuse the silent
+			// holders — they are on the other side of a partition, and
+			// excusing them would commit a minority-side line. Block until
+			// the fence lifts (heal) or the attempt is torn down.
+			wasFenced = true
+			s.cond.Wait()
+			continue
+		}
+		if wasFenced {
+			// The fence lifted: the holders are reachable again but their
+			// acks are still in flight — grant a fresh ack window instead of
+			// excusing them on the long-expired original deadline.
+			wasFenced = false
+			deadline = time.Now().Add(s.ackTimeout)
+			wake.Reset(s.ackTimeout)
+		}
+		if pending == 0 || !time.Now().Before(deadline) {
 			break
 		}
 		s.cond.Wait()
 	}
+	fenced := s.fenced
 	tornDown := s.interrupted || s.closed || s.epoch != startEpoch
 	for _, nb := range targets {
 		delete(s.awaiting, replAckKey{owner: h.rank, version: h.version, from: nb})
 	}
-	if keepLocal {
+	if keepLocal && !fenced {
 		s.node.local[h.version] = &memCkpt{sections: h.sections, commit: true}
 	}
 	hook := s.commitHook
 	s.mu.Unlock()
+	if fenced {
+		// Torn down while still fenced: refuse outright. No local copy was
+		// installed and no hook fires — a fenced rank reports zero commits.
+		return fmt.Errorf("stable: commit (%d,%d) torn down while fenced: %w", h.rank, h.version, ErrFenced)
+	}
 	// Erasure-coded commits keep no local copy, so the ack-timeout excusal
 	// has a floor: if the unacknowledged holders account for more shards
 	// than the parity budget, the line cannot be reconstructed and success

@@ -38,6 +38,14 @@ var ErrNotFound = errors.New("stable: not found")
 // committed.
 var ErrNotCommitted = errors.New("stable: version not committed")
 
+// ErrFenced is returned by a fenced DistStore commit: the local rank has
+// lost contact with a strict majority of the world (it sits on the
+// minority side of a partition), so committing a checkpoint could create
+// a recovery line diverging from one the majority commits without it.
+// The commit is refused outright — no local copy, no excusal of silent
+// neighbors — until the partition heals and the fence lifts.
+var ErrFenced = errors.New("stable: fenced (no majority contact)")
+
 // Store is per-node stable storage for checkpoints. Implementations must be
 // safe for concurrent use by different ranks; a single (rank, version)
 // checkpoint is only ever touched by its own rank.

@@ -65,6 +65,12 @@ const (
 	// DecisionExit is a forced switch: the running rank finished and Next
 	// runs (-1 when no rank remains).
 	DecisionExit
+	// DecisionPartition activates an armed partition event (Next is the
+	// event's index in the armed plan, Rank is -1).
+	DecisionPartition
+	// DecisionHeal fires an armed heal event (same encoding as
+	// DecisionPartition).
+	DecisionHeal
 )
 
 func (k DecisionKind) String() string {
@@ -77,6 +83,10 @@ func (k DecisionKind) String() string {
 		return "block"
 	case DecisionExit:
 		return "exit"
+	case DecisionPartition:
+		return "partition"
+	case DecisionHeal:
+		return "heal"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -141,6 +151,31 @@ type Scheduler struct {
 	replay    []Decision // consumed from the front when non-nil at creation
 	replaying bool
 	diverged  int // replay decisions that could not be honored
+
+	// Armed partition plan (see ArmPartitions). partAt holds each event's
+	// trigger step, drawn from the seeded RNG at arm time; in replay mode
+	// triggers come from the trace's partition/heal decisions instead.
+	partEvents []SchedPartitionEvent
+	partAt     []int64
+	partNext   int
+	partApply  func(ev SchedPartitionEvent)
+}
+
+// SchedPartitionEvent is one partition-state change the engine fires at a
+// scheduled step. Heal events clear every active rule; partition events
+// install directed drop/hold rules (interpreted by the Network).
+type SchedPartitionEvent struct {
+	// Heal clears the active partition instead of installing one.
+	Heal bool
+	// Block lists the directed (from, to) pairs the partition severs.
+	Block [][2]int
+	// Hold buffers severed messages for delivery at the next heal instead
+	// of dropping them (models TCP retransmission bridging a short split).
+	Hold bool
+	// At is the earliest trigger step; Jitter widens it by a seeded draw in
+	// [0, Jitter], so sweeps explore different cut points.
+	At     int64
+	Jitter int64
 }
 
 // defaultPreemptDenom gives each transport operation a 1-in-4 chance of a
@@ -169,6 +204,128 @@ func NewReplayScheduler(n int, t *Trace) *Scheduler {
 	s.replay = append([]Decision(nil), t.Decisions...)
 	s.replaying = true
 	return s
+}
+
+// ArmPartitions installs the partition plan: events fire in order, each at
+// its seeded trigger step (At plus a draw in [0, Jitter]), apply is the
+// network callback that installs or clears the rules. Every firing is
+// recorded as a DecisionPartition/DecisionHeal trace decision, so replay
+// reproduces the exact cut points and ddmin shrinking can delete an event
+// (a deleted decision simply never fires on replay). Call before any rank
+// registers; triggers are forced non-decreasing so the plan stays causal.
+func (s *Scheduler) ArmPartitions(events []SchedPartitionEvent, apply func(ev SchedPartitionEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partEvents = append([]SchedPartitionEvent(nil), events...)
+	s.partApply = apply
+	s.partAt = make([]int64, len(events))
+	prev := int64(0)
+	for i, ev := range events {
+		at := ev.At
+		if !s.replaying && ev.Jitter > 0 {
+			at += s.rng.Int63n(ev.Jitter + 1)
+		}
+		if at < prev {
+			at = prev
+		}
+		s.partAt[i] = at
+		prev = at
+	}
+}
+
+// partitionKind maps an event to its decision kind.
+func partitionKind(ev SchedPartitionEvent) DecisionKind {
+	if ev.Heal {
+		return DecisionHeal
+	}
+	return DecisionPartition
+}
+
+// fireDuePartitions fires every armed event whose trigger has been reached
+// (in record mode: trigger step passed; in replay mode: the trace's next
+// decision is a partition/heal at or before the current step). Caller holds
+// s.mu; the lock is released around the network callback so message pushes
+// from the callback can re-enter the engine (wake). Returns whether any
+// event fired.
+func (s *Scheduler) fireDuePartitions() bool {
+	fired := false
+	for s.partNext < len(s.partEvents) {
+		i := s.partNext
+		if s.replaying {
+			s.skipStaleReplay()
+			if len(s.replay) == 0 || s.replay[0].Step > s.step {
+				break
+			}
+			d := s.replay[0]
+			if d.Kind != DecisionPartition && d.Kind != DecisionHeal {
+				break
+			}
+			s.replay = s.replay[1:]
+			if d.Next >= 0 && d.Next < len(s.partEvents) {
+				i = d.Next
+				if i < s.partNext {
+					s.diverged++
+					continue // already fired; stale duplicate
+				}
+			} else {
+				s.diverged++
+				continue
+			}
+		} else if s.partAt[i] > s.step {
+			break
+		}
+		s.firePartition(i)
+		fired = true
+	}
+	return fired
+}
+
+// fireStalledPartition advances logical time to the next armed event's
+// trigger and fires it — the virtual analogue of "the world quiesces until
+// the partition changes state". Called when no rank is READY but events
+// remain; returns whether one fired. Caller holds s.mu.
+func (s *Scheduler) fireStalledPartition() bool {
+	if s.partNext >= len(s.partEvents) {
+		return false
+	}
+	if s.replaying {
+		s.skipStaleReplay()
+		if len(s.replay) > 0 && (s.replay[0].Kind == DecisionPartition || s.replay[0].Kind == DecisionHeal) {
+			d := s.replay[0]
+			s.replay = s.replay[1:]
+			if d.Next < s.partNext || d.Next >= len(s.partEvents) {
+				s.diverged++
+				return s.fireStalledPartition()
+			}
+			if d.Step > s.step {
+				s.step = d.Step
+			}
+			s.firePartition(d.Next)
+			return true
+		}
+		// The trace has no partition decision here (shrunk away, or it never
+		// recorded one): fall back to the default policy — fire the next
+		// armed event at its nominal trigger so the world stays live.
+	}
+	if s.partAt[s.partNext] > s.step {
+		s.step = s.partAt[s.partNext]
+	}
+	s.firePartition(s.partNext)
+	return true
+}
+
+// firePartition records and applies armed event i. Caller holds s.mu.
+func (s *Scheduler) firePartition(i int) {
+	ev := s.partEvents[i]
+	s.trace = append(s.trace, Decision{Step: s.step, Kind: partitionKind(ev), Rank: -1, Next: i})
+	if i >= s.partNext {
+		s.partNext = i + 1
+	}
+	if s.partApply != nil {
+		s.mu.Unlock()
+		s.partApply(ev)
+		s.mu.Lock()
+	}
 }
 
 // WithScheduler installs a virtual schedule engine on the network. Latency
@@ -244,7 +401,15 @@ func (s *Scheduler) Exit(r int) {
 	held := s.state[r] == rsRunning
 	s.state[r] = rsDone
 	if held {
-		next := s.choose(DecisionExit, r)
+		var next int
+		for {
+			next = s.choose(DecisionExit, r)
+			if next >= 0 || !s.anyBlocked() || !s.fireStalledPartition() {
+				break
+			}
+			// A fired event (heal releasing held messages) may have woken a
+			// blocked rank; choose again.
+		}
 		if next >= 0 {
 			s.grant(next)
 		} else if s.anyBlocked() {
@@ -261,6 +426,7 @@ func (s *Scheduler) point(r int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.step++
+	s.fireDuePartitions()
 	if s.state[r] != rsRunning {
 		// A non-registered caller (tooling goroutine) or a rank racing its
 		// own kill; no scheduling decision to take.
@@ -291,16 +457,26 @@ func (s *Scheduler) block(r int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.step++
+	s.fireDuePartitions()
 	if s.state[r] != rsRunning {
 		return nil
 	}
 	s.state[r] = rsBlocked
-	next := s.choose(DecisionBlock, r)
-	if next >= 0 {
-		s.grant(next)
-		s.cond.Broadcast()
-	} else {
-		s.declareStall()
+	for {
+		next := s.choose(DecisionBlock, r)
+		if next >= 0 {
+			s.grant(next)
+			s.cond.Broadcast()
+			break
+		}
+		// Every rank is blocked. If partition events remain, the world is
+		// only waiting for the partition to change state: jump logical time
+		// to the next trigger and fire it (a heal releases held messages and
+		// wakes their receivers), then choose again.
+		if !s.fireStalledPartition() {
+			s.declareStall()
+			break
+		}
 	}
 	for s.state[r] != rsRunning {
 		s.cond.Wait()

@@ -1,0 +1,232 @@
+package tcp
+
+// Partition fault-model tests for the real TCP mesh: blackhole (drop) and
+// short-split (hold) rules, asymmetric cuts, the Heal flush, the
+// rule-vs-redial race that used to leak a half-open probe connection, and
+// the generation handshake that keeps frames from vanishing into a stale
+// listener during an attempt transition.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"c3/internal/transport"
+)
+
+// setPartitionAll installs the same rule set on every mesh, the way each
+// cluster node applies a global partition event.
+func setPartitionAll(meshes []*Mesh, block [][2]int, hold bool) {
+	for _, m := range meshes {
+		m.SetPartition(block, hold)
+	}
+}
+
+func healAll(meshes []*Mesh) {
+	for _, m := range meshes {
+		m.Heal()
+	}
+}
+
+// awaitMsg polls the mesh's local port for one message. Unlike recvOne it
+// leaks no blocked Recv goroutine on timeout, so a failed wait cannot
+// steal a later frame from the same mesh.
+func awaitMsg(t *testing.T, m *Mesh, timeout time.Duration) (transport.Message, bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		msg, ok, err := m.port.TryRecv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if ok {
+			return msg, true
+		}
+		if time.Now().After(deadline) {
+			return transport.Message{}, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertSilent waits out the window and fails if anything was delivered.
+func assertSilent(t *testing.T, m *Mesh, window time.Duration) {
+	t.Helper()
+	time.Sleep(window)
+	if msg, ok, _ := m.port.TryRecv(); ok {
+		t.Fatalf("unexpected delivery across the cut: %v", msg)
+	}
+}
+
+func TestMeshPartitionDropAndHeal(t *testing.T) {
+	meshes := newTestMeshes(t, 3)
+	// Sever rank 2 from ranks 0 and 1, both directions, blackhole mode.
+	cut := [][2]int{{0, 2}, {2, 0}, {1, 2}, {2, 1}}
+	setPartitionAll(meshes, cut, false)
+
+	if err := meshes[0].Send(transport.Message{From: 0, To: 2, Payload: testPayload("a")}); err != nil {
+		t.Fatalf("send into cut: %v", err)
+	}
+	if err := meshes[2].Send(transport.Message{From: 2, To: 0, Payload: testPayload("b")}); err != nil {
+		t.Fatalf("send out of cut: %v", err)
+	}
+	assertSilent(t, meshes[2], 300*time.Millisecond)
+	assertSilent(t, meshes[0], 100*time.Millisecond)
+	if d := meshes[0].Stats().MessagesDropped; d == 0 {
+		t.Error("drop-mode sever not counted in MessagesDropped")
+	}
+	// The same-side pair is untouched.
+	if err := meshes[0].Send(transport.Message{From: 0, To: 1, Payload: testPayload("same-side")}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := awaitMsg(t, meshes[1], 5*time.Second); !ok || string(msg.Payload.(testPayload)) != "same-side" {
+		t.Fatalf("same-side traffic disturbed by the cut: %v %v", msg, ok)
+	}
+
+	healAll(meshes)
+	// Dropped frames are gone for good; fresh traffic flows again. Per-pair
+	// FIFO means that if the severed "b" frame had secretly crossed, it
+	// would arrive ahead of "after" — so checking the first frame also
+	// re-checks the blackhole.
+	if err := meshes[2].Send(transport.Message{From: 2, To: 0, Payload: testPayload("after")}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := awaitMsg(t, meshes[0], 5*time.Second); !ok || string(msg.Payload.(testPayload)) != "after" {
+		t.Fatalf("traffic did not resume after heal: %v %v", msg, ok)
+	}
+}
+
+func TestMeshPartitionAsymmetric(t *testing.T) {
+	meshes := newTestMeshes(t, 2)
+	// Sever only 1 -> 0: rank 1 still hears rank 0 but cannot answer.
+	setPartitionAll(meshes, [][2]int{{1, 0}}, false)
+
+	if err := meshes[0].Send(transport.Message{From: 0, To: 1, Payload: testPayload("forward")}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := awaitMsg(t, meshes[1], 5*time.Second); !ok || string(msg.Payload.(testPayload)) != "forward" {
+		t.Fatalf("open direction blocked by asymmetric rule: %v %v", msg, ok)
+	}
+	if err := meshes[1].Send(transport.Message{From: 1, To: 0, Payload: testPayload("reverse")}); err != nil {
+		t.Fatal(err)
+	}
+	assertSilent(t, meshes[0], 300*time.Millisecond)
+}
+
+func TestMeshPartitionHoldFlushesInOrder(t *testing.T) {
+	meshes := newTestMeshes(t, 2)
+	setPartitionAll(meshes, [][2]int{{0, 1}, {1, 0}}, true)
+
+	const k = 10
+	for i := 0; i < k; i++ {
+		p := testPayload(fmt.Sprintf("held-%02d", i))
+		if err := meshes[0].Send(transport.Message{From: 0, To: 1, Payload: p}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	assertSilent(t, meshes[1], 300*time.Millisecond)
+
+	healAll(meshes)
+	for i := 0; i < k; i++ {
+		msg, ok := awaitMsg(t, meshes[1], 5*time.Second)
+		if !ok {
+			t.Fatalf("held frame %d never flushed at heal", i)
+		}
+		want := fmt.Sprintf("held-%02d", i)
+		if got := string(msg.Payload.(testPayload)); got != want {
+			t.Fatalf("heal flush reordered: got %q, want %q", got, want)
+		}
+	}
+}
+
+// TestMeshWriteUnderRuleClosesProbeConn is the regression test for the
+// redial-vs-rule race: a partition rule installed between Send's fast-path
+// check and the (re)dial inside write() used to leave the freshly dialed
+// probe connection half-open behind the rule. write() must close it, leak
+// nothing, and — under a hold rule — still queue the frame for the Heal
+// flush. Calling write() directly models the send that was already past
+// the fast-path check when the rule landed.
+func TestMeshWriteUnderRuleClosesProbeConn(t *testing.T) {
+	meshes := newTestMeshes(t, 2)
+	frame, err := encodeFrame(meshes[0].gen, transport.Message{From: 0, To: 1, Payload: testPayload("late")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop mode: the frame vanishes and so must the probe connection.
+	setPartitionAll(meshes, [][2]int{{0, 1}}, false)
+	if meshes[0].write(1, frame) {
+		t.Fatal("write reported success across a drop rule")
+	}
+	if open := meshes[0].openOutbound(); open != 0 {
+		t.Fatalf("drop-mode write leaked %d outbound connection(s)", open)
+	}
+
+	// Hold mode: the frame is captured for the flush, connection still closed.
+	setPartitionAll(meshes, [][2]int{{0, 1}}, true)
+	if !meshes[0].write(1, frame) {
+		t.Fatal("hold-mode write did not capture the frame")
+	}
+	if open := meshes[0].openOutbound(); open != 0 {
+		t.Fatalf("hold-mode write leaked %d outbound connection(s)", open)
+	}
+	healAll(meshes)
+	if msg, ok := awaitMsg(t, meshes[1], 5*time.Second); !ok || string(msg.Payload.(testPayload)) != "late" {
+		t.Fatalf("held frame lost across heal: %v %v", msg, ok)
+	}
+}
+
+// TestMeshHandshakeRedialAcrossRebind: during an attempt transition the
+// peer's address is briefly owned by the previous generation's listener.
+// Without the dial-time generation handshake the old listener accepted the
+// connection and silently discarded every frame (its generation filter),
+// losing fire-and-forget collective traffic. With it, the stale listener
+// refuses the handshake and the dialer keeps retrying inside its window
+// until the new-generation mesh rebinds — the frame must arrive.
+func TestMeshHandshakeRedialAcrossRebind(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	stale, err := New(1, addrs, WithGeneration(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[1] = stale.Addr()
+	m0, err := New(0, addrs, WithGeneration(2), WithDialWindow(8*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	addrs[0] = m0.Addr()
+
+	sent := make(chan error, 1)
+	go func() {
+		sent <- m0.Send(transport.Message{From: 0, To: 1, Payload: testPayload("cross-gen")})
+	}()
+
+	// Let the sender run into the stale listener's refusal a few times,
+	// then perform the rebind the new attempt would do.
+	time.Sleep(300 * time.Millisecond)
+	stale.Close()
+	var fresh *Mesh
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		fresh, err = New(1, addrs, WithGeneration(2))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addrs[1], err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer fresh.Close()
+
+	if err := <-sent; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	msg, ok := awaitMsg(t, fresh, 10*time.Second)
+	if !ok {
+		t.Fatal("frame lost across the generation rebind (handshake retry failed)")
+	}
+	if got := string(msg.Payload.(testPayload)); got != "cross-gen" {
+		t.Fatalf("got %q, want %q", got, "cross-gen")
+	}
+}

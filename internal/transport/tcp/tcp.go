@@ -16,7 +16,10 @@
 // stable store's) survive rank restarts. Short-lived meshes (one per MPI
 // attempt) carry a generation number in every frame; frames from another
 // generation are discarded, so a stale in-flight message from a dead
-// attempt can never leak into its successor.
+// attempt can never leak into its successor. Connection establishment
+// performs a generation handshake so a dialer that reaches the previous
+// generation's still-bound listener is refused and retries, rather than
+// having its first frames silently discarded mid-transition.
 package tcp
 
 import (
@@ -40,6 +43,25 @@ const maxFrame = 1 << 28
 
 // frameHeaderLen is gen(8) + from(4) + to(4) + class(1) + kind(1).
 const frameHeaderLen = 18
+
+// Connection-establishment handshake. Every attempt's mesh binds the same
+// per-rank address and relies on the generation tag to keep attempts apart,
+// so during an attempt transition a dialer can reach a listener that is
+// still serving the PREVIOUS generation. Without a handshake the first
+// frames written there are silently discarded by the receiver's generation
+// filter — fatal for fire-and-forget collective traffic (a lost bcast frame
+// hangs the new attempt). The dialer therefore announces its generation
+// up front and the acceptor acks only on an exact match; a refused dial is
+// retried within the dial window until the peer's same-generation listener
+// takes over the address.
+const (
+	hsMagic  = 0x43334853 // "C3HS"
+	hsAccept = 0x06       // acceptor runs the same generation
+	hsRefuse = 0x15       // generation mismatch: retry after the peer rebinds
+	// hsTimeout bounds each side's wait for the other's handshake bytes so
+	// a wedged or foreign peer cannot pin the connection forever.
+	hsTimeout = 2 * time.Second
+)
 
 // Option configures a Mesh.
 type Option func(*Mesh)
@@ -77,10 +99,29 @@ type Mesh struct {
 	inbound map[net.Conn]struct{}
 	down    atomic.Bool
 
+	// Partition fault model: directed (from, to) pairs currently severed.
+	// In drop mode outbound frames whose pair matches vanish before they
+	// reach the kernel and inbound frames are filtered too, so an
+	// asymmetric rule set holds even against frames already in flight. In
+	// hold mode matched outbound frames are buffered and delivered in
+	// order at the next Heal — modeling a partition shorter than TCP's
+	// retransmission patience, where established connections recover and
+	// no data is lost.
+	partMu      sync.Mutex
+	partBlocked map[[2]int]bool
+	partHold    bool
+	partHeld    []heldFrame
+
 	statMu sync.Mutex
 	stats  transport.Stats
 
 	wg sync.WaitGroup
+}
+
+// heldFrame is one outbound frame buffered by a hold-mode partition rule.
+type heldFrame struct {
+	to    int
+	frame []byte
 }
 
 // peerConn is the outbound connection to one peer.
@@ -133,6 +174,96 @@ func New(self int, addrs []string, opts ...Option) (*Mesh, error) {
 
 // Addr returns the mesh's bound listen address.
 func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// SetPartition installs directed partition rules, replacing any active
+// rule set. With hold=false a matched (from, to) frame is dropped on the
+// send side before reaching the kernel and filtered on the receive side
+// (blackhole: a partition outlasting TCP's patience). With hold=true
+// matched outbound frames are buffered instead and delivered in their
+// original order at the next Heal (a short partition: the kernel's
+// retransmissions win). The outbound connection of a blocked pair is
+// closed at the next send, so no half-open socket lingers behind the
+// rule. Frames already buffered by a previous hold rule set stay held.
+func (m *Mesh) SetPartition(block [][2]int, hold bool) {
+	blocked := make(map[[2]int]bool, len(block))
+	for _, p := range block {
+		blocked[p] = true
+	}
+	m.partMu.Lock()
+	m.partBlocked = blocked
+	m.partHold = hold
+	m.partMu.Unlock()
+}
+
+// Heal clears the partition rules and flushes frames buffered by a hold
+// rule set, in capture order, on a background drainer (the first write to
+// a severed pair may pay a re-dial). Drop-mode pairs simply re-dial
+// lazily on their next send — their frames are gone.
+func (m *Mesh) Heal() {
+	m.partMu.Lock()
+	m.partBlocked = nil
+	held := m.partHeld
+	m.partHeld = nil
+	m.partMu.Unlock()
+	if len(held) == 0 || m.down.Load() {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for _, h := range held {
+			if m.down.Load() {
+				return
+			}
+			if !m.write(h.to, h.frame) {
+				m.noteDropped()
+			}
+		}
+	}()
+}
+
+// dropRule reports whether the directed pair is currently severed.
+func (m *Mesh) dropRule(from, to int) bool {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	return m.partBlocked[[2]int{from, to}]
+}
+
+// dropInbound reports whether an inbound frame on the pair should be
+// filtered: only drop-mode rules apply (hold mode promises delivery, so
+// frames already in flight pass).
+func (m *Mesh) dropInbound(from, to int) bool {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	return m.partBlocked[[2]int{from, to}] && !m.partHold
+}
+
+// holdIfActive buffers a frame if a hold-mode rule currently covers the
+// pair, reporting whether it did.
+func (m *Mesh) holdIfActive(to int, frame []byte) bool {
+	m.partMu.Lock()
+	defer m.partMu.Unlock()
+	if !m.partBlocked[[2]int{m.self, to}] || !m.partHold {
+		return false
+	}
+	m.partHeld = append(m.partHeld, heldFrame{to: to, frame: frame})
+	return true
+}
+
+// openOutbound counts established outbound peer connections (leak checks).
+func (m *Mesh) openOutbound() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	open := 0
+	for _, p := range m.peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			open++
+		}
+		p.mu.Unlock()
+	}
+	return open
+}
 
 // Self returns the local rank.
 func (m *Mesh) Self() int { return m.self }
@@ -222,6 +353,21 @@ func (m *Mesh) Send(msg transport.Message) error {
 
 	if msg.To == m.self {
 		if !m.port.push(msg) {
+			m.noteDropped()
+		}
+		return nil
+	}
+	if m.dropRule(m.self, msg.To) {
+		// Partitioned pair: in hold mode the frame is buffered for the next
+		// Heal; in drop mode it vanishes and the sender never errors (the
+		// in-memory Network's semantics for a severed pair). write()
+		// re-checks the rule after any dial, so a rule installed while a
+		// send is mid-flight still cannot leak a frame or a connection.
+		frame, err := encodeFrame(m.gen, msg)
+		if err != nil {
+			return err
+		}
+		if !m.holdIfActive(msg.To, frame) {
 			m.noteDropped()
 		}
 		return nil
@@ -354,6 +500,16 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 			p.connected = true
 			p.downUntil = time.Time{}
 		}
+		if m.dropRule(m.self, rank) {
+			// A partition rule landed between Send's fast-path check and the
+			// (re)dial above: the frame must not cross, and the freshly
+			// dialed probe connection must not linger half-open behind the
+			// rule — close it here instead of leaking it in p.conn. Under a
+			// hold rule the frame is re-queued for the Heal flush.
+			_ = p.conn.Close()
+			p.conn = nil
+			return m.holdIfActive(rank, frame)
+		}
 		if _, err := p.conn.Write(frame); err == nil {
 			return true
 		} else if debug {
@@ -365,8 +521,12 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 	return false
 }
 
-// dial connects to a peer, retrying within the window (the peer's listener
-// may not be up yet during world start or rank re-execution).
+// dial connects to a peer and completes the generation handshake, retrying
+// within the window. Retries cover both startup ordering (the peer's
+// listener may not be up yet during world start or rank re-execution) and
+// attempt transitions (the address is temporarily owned by the previous
+// generation's listener, which refuses the handshake until the peer's new
+// mesh rebinds).
 func (m *Mesh) dial(rank int, window time.Duration) net.Conn {
 	deadline := time.Now().Add(window)
 	for {
@@ -378,13 +538,35 @@ func (m *Mesh) dial(rank int, window time.Duration) net.Conn {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				_ = tc.SetNoDelay(true)
 			}
-			return conn
+			if m.handshake(conn) {
+				return conn
+			}
+			_ = conn.Close()
 		}
 		if time.Now().After(deadline) {
 			return nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// handshake announces this mesh's generation on a fresh outbound connection
+// and waits for the acceptor's verdict. False means the far side is not (or
+// not yet) running the same generation.
+func (m *Mesh) handshake(conn net.Conn) bool {
+	w := wire.NewWriter(12)
+	w.U32(hsMagic)
+	w.U64(m.gen)
+	_ = conn.SetDeadline(time.Now().Add(hsTimeout))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	if _, err := conn.Write(w.Bytes()); err != nil {
+		return false
+	}
+	var reply [1]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return false
+	}
+	return reply[0] == hsAccept
 }
 
 // acceptLoop admits inbound connections from peers.
@@ -412,6 +594,25 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		delete(m.inbound, conn)
 		m.mu.Unlock()
 	}()
+	// Generation handshake: refuse dialers from another generation so they
+	// retry after this address changes hands, instead of writing frames the
+	// generation filter below would silently discard.
+	var pre [12]byte
+	_ = conn.SetReadDeadline(time.Now().Add(hsTimeout))
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	pr := wire.NewReader(pre[:])
+	if magic, gen := pr.U32(), pr.U64(); magic != hsMagic {
+		return // not a c3 peer; drop without replying
+	} else if gen != m.gen {
+		_, _ = conn.Write([]byte{hsRefuse})
+		return
+	}
+	if _, err := conn.Write([]byte{hsAccept}); err != nil {
+		return
+	}
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -436,6 +637,9 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		}
 		if gen != m.gen || to != m.self || from < 0 || from >= m.n {
 			continue // stale generation or misrouted frame
+		}
+		if m.dropInbound(from, m.self) {
+			continue // blackholed pair: filter frames already in flight
 		}
 		payload, err := transport.DecodeWirePayload(kind, body[frameHeaderLen:])
 		if err != nil {

@@ -146,6 +146,16 @@ type Network struct {
 
 	statMu sync.Mutex
 	stats  Stats
+
+	// Partition fault model: directed pairs currently severed. Severed
+	// messages are dropped (blackhole) or, with hold semantics, buffered
+	// for delivery at the next heal. Rules are installed manually
+	// (Partition/Heal) or by armed scheduler events (WithPartitionPlan).
+	partMu      sync.Mutex
+	partBlocked map[[2]int]bool
+	partHold    bool
+	partHeld    []Message
+	partPlan    []SchedPartitionEvent
 }
 
 // Option configures a Network.
@@ -154,6 +164,15 @@ type Option func(*Network)
 // WithLatency installs a latency model.
 func WithLatency(m LatencyModel) Option {
 	return func(nw *Network) { nw.latency = m }
+}
+
+// WithPartitionPlan arms a sequence of partition/heal events on the
+// network's virtual scheduler: each fires at a seeded trigger step and is
+// recorded in the decision trace, so partitioned executions replay and
+// shrink exactly like any other schedule. Requires WithScheduler; ignored
+// under real scheduling (use Partition/Heal directly there).
+func WithPartitionPlan(events []SchedPartitionEvent) Option {
+	return func(nw *Network) { nw.partPlan = append([]SchedPartitionEvent(nil), events...) }
 }
 
 // NewNetwork creates a network with n endpoints, numbered 0..n-1.
@@ -169,7 +188,64 @@ func NewNetwork(n int, opts ...Option) *Network {
 	for i := range nw.eps {
 		nw.eps[i] = newEndpoint(nw, i)
 	}
+	if nw.sched != nil && len(nw.partPlan) > 0 {
+		nw.sched.ArmPartitions(nw.partPlan, nw.applyPartitionEvent)
+	}
 	return nw
+}
+
+// Partition severs the given directed (from, to) pairs. With hold, severed
+// messages are buffered and delivered in order at the next Heal (a short
+// split bridged by retransmission); without it they are silently dropped
+// (a blackhole), counted in Stats.MessagesDropped. Replaces any active
+// rule set.
+func (nw *Network) Partition(block [][2]int, hold bool) {
+	nw.applyPartitionEvent(SchedPartitionEvent{Block: block, Hold: hold})
+}
+
+// Heal clears the active partition and delivers every held message.
+func (nw *Network) Heal() {
+	nw.applyPartitionEvent(SchedPartitionEvent{Heal: true})
+}
+
+// applyPartitionEvent is the rule installer shared by the manual API and
+// the scheduler's armed events.
+func (nw *Network) applyPartitionEvent(ev SchedPartitionEvent) {
+	nw.partMu.Lock()
+	if !ev.Heal {
+		blocked := make(map[[2]int]bool, len(ev.Block))
+		for _, p := range ev.Block {
+			blocked[p] = true
+		}
+		nw.partBlocked = blocked
+		nw.partHold = ev.Hold
+		nw.partMu.Unlock()
+		return
+	}
+	nw.partBlocked = nil
+	held := nw.partHeld
+	nw.partHeld = nil
+	nw.partMu.Unlock()
+	for _, m := range held {
+		if !nw.eps[m.To].push(m) {
+			nw.noteDropped()
+		}
+	}
+}
+
+// sever consults the active partition rules for one message. It reports
+// true when the message must not be delivered now (held or dropped).
+func (nw *Network) sever(msg Message) (severed, held bool) {
+	nw.partMu.Lock()
+	defer nw.partMu.Unlock()
+	if !nw.partBlocked[[2]int{msg.From, msg.To}] {
+		return false, false
+	}
+	if nw.partHold {
+		nw.partHeld = append(nw.partHeld, msg)
+		return true, true
+	}
+	return true, false
 }
 
 // Size returns the number of endpoints.
@@ -221,7 +297,19 @@ func (nw *Network) Send(msg Message) error {
 		// instantaneous under the token (latency models are ignored; time
 		// is logical). Per-pair FIFO holds because pushes are serialized.
 		nw.sched.point(msg.From)
+		if severed, heldMsg := nw.sever(msg); severed {
+			if !heldMsg {
+				nw.noteDropped()
+			}
+			return nil
+		}
 		if !dst.push(msg) {
+			nw.noteDropped()
+		}
+		return nil
+	}
+	if severed, heldMsg := nw.sever(msg); severed {
+		if !heldMsg {
 			nw.noteDropped()
 		}
 		return nil
