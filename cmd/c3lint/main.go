@@ -1,0 +1,111 @@
+// Command c3lint runs the c3 invariant analyzers (c3determinism,
+// c3wirecount, c3lockblock, c3commiterr) over package patterns.
+//
+// Standalone:
+//
+//	go run ./cmd/c3lint ./...
+//	go run ./cmd/c3lint -list
+//
+// As a vet tool (separate compilation against gc export data, sharing
+// go vet's build cache):
+//
+//	go build -o c3lint ./cmd/c3lint
+//	go vet -vettool=$PWD/c3lint ./...
+//
+// Exit status: 0 when every finding is suppressed or absent, 1 when
+// unsuppressed findings remain, 2 on operational errors. The summary line
+// counts suppressions and lists dead //c3lint:allow directives so stale
+// escapes never hide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c3/internal/lint/analysis"
+	"c3/internal/lint/c3commiterr"
+	"c3/internal/lint/c3determinism"
+	"c3/internal/lint/c3lockblock"
+	"c3/internal/lint/c3wirecount"
+	"c3/internal/lint/driver"
+	"c3/internal/lint/load"
+	"c3/internal/lint/unit"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		c3determinism.Analyzer,
+		c3wirecount.Analyzer,
+		c3lockblock.Analyzer,
+		c3commiterr.Analyzer,
+	}
+}
+
+func main() {
+	// The `go vet -vettool` protocol (-V=full / -flags / unit.cfg) must be
+	// recognized before normal flag parsing.
+	unit.Maybe(os.Args[1:], analyzers())
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	quiet := flag.Bool("q", false, "suppress the summary line on success")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: c3lint [-list] [-q] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.New(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Roots()
+	if err != nil {
+		fatal(err)
+	}
+
+	res := driver.Run(pkgs, analyzers())
+	for _, e := range res.Errors {
+		fmt.Fprintf(os.Stderr, "c3lint: %v\n", e)
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	for _, d := range res.Dead {
+		fmt.Printf("%s: [c3lint] dead suppression: //c3lint:allow %s (%s) matched no finding; delete it\n",
+			d.Pos, d.Analyzer, d.Reason)
+	}
+	switch {
+	case len(res.Errors) > 0:
+		os.Exit(2)
+	case len(res.Findings) > 0:
+		fmt.Printf("c3lint: %d finding(s), %d suppressed, %d dead suppression(s) across %d package(s)\n",
+			len(res.Findings), res.Suppressed, len(res.Dead), len(pkgs))
+		os.Exit(1)
+	default:
+		if !*quiet {
+			fmt.Printf("c3lint: clean — 0 findings, %d suppressed (each justified in-line), %d dead suppression(s) across %d package(s)\n",
+				res.Suppressed, len(res.Dead), len(pkgs))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "c3lint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,121 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the c3lint binary into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "c3lint")
+	cmd := exec.Command("go", "build", "-o", bin, "c3/cmd/c3lint")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build c3lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ; dir != "/"; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+	}
+	t.Fatal("no enclosing go.mod")
+	return ""
+}
+
+// TestStandaloneCleanTree: the repo itself must lint clean — that is the
+// PR's own acceptance bar, and this test keeps it true for every future PR.
+func TestStandaloneCleanTree(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("c3lint ./... failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "c3lint: clean") {
+		t.Errorf("missing clean summary line:\n%s", out)
+	}
+}
+
+// writeVictim lays down a throwaway module (no dependencies, so no network)
+// containing src as its only package.
+func writeVictim(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	gomod := "module victim\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "victim.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestVettoolProtocol drives the real `go vet -vettool` separate-compilation
+// protocol end to end: a clean package passes, and an injected violation
+// (a channel send under a held mutex) fails the vet run with our message —
+// the same failure mode the CI lint job relies on.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildTool(t)
+
+	clean := writeVictim(t, `package victim
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = clean
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+
+	dirty := writeVictim(t, `package victim
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) leak() {
+	b.mu.Lock()
+	b.ch <- 1
+	b.mu.Unlock()
+}
+`)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dirty
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool accepted an injected violation:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("channel send while b.mu is held")) {
+		t.Errorf("vet failed but without the c3lockblock diagnostic:\n%s", out)
+	}
+}

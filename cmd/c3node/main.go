@@ -199,8 +199,8 @@ func launcherMain() {
 	}
 
 	cfg := cluster.LaunchConfig{
-		Ranks:        *ranks,
-		Disk:         *storeDir != "",
+		Ranks:             *ranks,
+		Disk:              *storeDir != "",
 		SelfHeal:          *selfHeal,
 		ExternalKill:      extKillSpec,
 		ExternalPartition: partSpec,

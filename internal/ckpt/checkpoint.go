@@ -465,7 +465,7 @@ func (l *Layer) loadAppState(snap stable.Snapshot, line uint64) error {
 			return fmt.Errorf("ckpt: incremental base %d missing: %w", base, err)
 		}
 		img, err = baseSnap.ReadSection(secAppInc)
-		baseSnap.Close()
+		_ = baseSnap.Close() // read-only snapshot; ReadSection's err is what matters
 		if err != nil {
 			return err
 		}

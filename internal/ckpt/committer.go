@@ -52,6 +52,9 @@ type commitJob struct {
 type committer struct {
 	store stable.Store
 	rank  int
+	// clock is the layer's injected time source: pipeline timing STATS are
+	// deterministic under the virtual scheduler too (c3determinism).
+	clock func() time.Time
 
 	// jobs has capacity 1: with the worker holding one job, at most two
 	// lines are outstanding (the double buffer).
@@ -87,16 +90,16 @@ type committer struct {
 // window the real worker exposes.
 const virtualCommitAge = 24
 
-func newCommitter(store stable.Store, rank int) *committer {
-	c := &committer{store: store, rank: rank, jobs: make(chan *commitJob, asyncPipelineDepth-1)}
+func newCommitter(store stable.Store, rank int, clock func() time.Time) *committer {
+	c := &committer{store: store, rank: rank, clock: clock, jobs: make(chan *commitJob, asyncPipelineDepth-1)}
 	c.cond = sync.NewCond(&c.mu)
 	go c.run()
 	return c
 }
 
 // newVirtualCommitter creates the deterministic variant driven by pump.
-func newVirtualCommitter(store stable.Store, rank int) *committer {
-	c := &committer{store: store, rank: rank, virtual: true}
+func newVirtualCommitter(store stable.Store, rank int, clock func() time.Time) *committer {
+	c := &committer{store: store, rank: rank, clock: clock, virtual: true}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -129,9 +132,9 @@ func (c *committer) enqueue(job *commitJob) error {
 	c.pending++
 	c.mu.Unlock()
 
-	begin := time.Now()
+	begin := c.clock()
 	c.jobs <- job // blocks while the double buffer is full
-	stall := time.Since(begin)
+	stall := c.clock().Sub(begin)
 
 	c.mu.Lock()
 	c.stallDuration += stall
@@ -177,10 +180,10 @@ func (c *committer) write(job *commitJob) (committed bool, err error) {
 	if c.stopped() {
 		return false, nil
 	}
-	begin := time.Now()
+	begin := c.clock()
 	defer func() {
 		c.mu.Lock()
-		c.writeDuration += time.Since(begin)
+		c.writeDuration += c.clock().Sub(begin)
 		c.mu.Unlock()
 	}()
 	ck, err := c.store.Begin(c.rank, int(job.line))
@@ -210,7 +213,9 @@ func (c *committer) write(job *commitJob) (committed bool, err error) {
 	c.storedBytes += storedSizeOf(ck, raw)
 	c.mu.Unlock()
 	if job.retireBelow > 0 {
-		_ = c.store.Retire(c.rank, job.retireBelow)
+		// Best-effort GC after a successful commit: a failed retire leaves
+		// stale versions behind but must not fail the committed line.
+		_ = c.store.Retire(c.rank, job.retireBelow) //c3lint:allow commiterr best-effort GC; the line is already durable
 	}
 	return true, nil
 }

@@ -152,7 +152,7 @@ func freeAddrs(k int) ([]string, error) {
 			return nil, err
 		}
 		addrs = append(addrs, ln.Addr().String())
-		ln.Close()
+		_ = ln.Close() // probe listener: the address is all we wanted
 	}
 	return addrs, nil
 }

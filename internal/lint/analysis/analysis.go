@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package at a time and reports position-anchored diagnostics.
+//
+// The API deliberately mirrors x/tools (Analyzer, Pass, Diagnostic,
+// Pass.Reportf) so the c3 analyzers can be ported to the real framework by
+// changing an import path, once the build environment is allowed to vendor
+// x/tools. Facts, SSA and cross-package dependencies are intentionally
+// absent: every c3 analyzer is intra-package by design, which is also what
+// makes the `go vet -vettool` separate-compilation mode (internal/lint/unit)
+// trivial to support.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass and how to run it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //c3lint:allow suppression comments. By convention c3 analyzers
+	// are named c3<invariant>.
+	Name string
+
+	// Doc is the one-paragraph help text: the invariant the analyzer
+	// encodes and the historical bug that motivated it.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics are emitted
+	// via pass.Report; the error is for operational failures only.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. Never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,27 @@
+package c3commiterr_test
+
+import (
+	"testing"
+
+	"c3/internal/lint/c3commiterr"
+	"c3/internal/lint/linttest"
+)
+
+// TestGoverned exercises both severity tiers on the commit path: critical
+// operations (Sync, Commit, WriteSection, os.Rename) may never drop their
+// error — not even via `_ =` — while cleanup calls (Close) accept an
+// explicit discard or defer but not a bare statement.
+func TestGoverned(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/commiterr", "c3/internal/stable",
+		c3commiterr.Analyzer)
+}
+
+// TestUngovernedExempt: the same code outside the commit/restore packages
+// is not this analyzer's business.
+func TestUngovernedExempt(t *testing.T) {
+	res := linttest.RunRaw(t, "internal/lint/testdata/src/commiterr", "fixture/commiterr",
+		c3commiterr.Analyzer)
+	if len(res.Findings) != 0 {
+		t.Errorf("ungoverned package produced findings: %v", res.Findings)
+	}
+}

@@ -1,0 +1,36 @@
+package c3determinism_test
+
+import (
+	"testing"
+
+	"c3/internal/lint/c3determinism"
+	"c3/internal/lint/linttest"
+)
+
+// TestGoverned runs the fixture under a governed import path: wall-clock
+// reads and global rand draws are findings, seeded generators and
+// deterministic methods are not, and the justified allow is suppressed.
+func TestGoverned(t *testing.T) {
+	res := linttest.Run(t, "internal/lint/testdata/src/determinism", "c3/internal/sched",
+		c3determinism.Analyzer)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the injectionFallback allow)", res.Suppressed)
+	}
+	if len(res.Dead) != 0 {
+		t.Errorf("dead directives = %v, want none", res.Dead)
+	}
+}
+
+// TestUngovernedExempt type-checks the same fixture under an import path
+// outside the scheduler's jurisdiction: zero findings (and the allow
+// directive, now matching nothing, surfaces as dead).
+func TestUngovernedExempt(t *testing.T) {
+	res := linttest.RunRaw(t, "internal/lint/testdata/src/determinism", "fixture/determinism",
+		c3determinism.Analyzer)
+	if len(res.Findings) != 0 {
+		t.Errorf("ungoverned package produced findings: %v", res.Findings)
+	}
+	if len(res.Dead) != 1 {
+		t.Errorf("dead directives = %d, want 1 (the now-unneeded allow)", len(res.Dead))
+	}
+}

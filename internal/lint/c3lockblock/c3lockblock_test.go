@@ -1,0 +1,31 @@
+package c3lockblock_test
+
+import (
+	"strings"
+	"testing"
+
+	"c3/internal/lint/c3lockblock"
+	"c3/internal/lint/linttest"
+)
+
+// TestFixture covers the historical PR 4 redial-under-per-peer-lock shape
+// (caught through the transitive may-block propagation), the direct
+// blocking operations, and the sanctioned exceptions (cond.Wait, goroutine
+// bodies, polling selects, annotated FIFO framing).
+func TestFixture(t *testing.T) {
+	res := linttest.Run(t, "internal/lint/testdata/src/lockblock", "fixture/lockblock",
+		c3lockblock.Analyzer)
+
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1 (the framed() FIFO allow)", res.Suppressed)
+	}
+
+	// The historical regression: the dial is one call below the lock, so
+	// only the interprocedural propagation can see it.
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "call to redial") && strings.Contains(f.Message, "net.Dial") {
+			return
+		}
+	}
+	t.Errorf("historical redial-under-lock reconstruction not flagged; findings: %v", res.Findings)
+}

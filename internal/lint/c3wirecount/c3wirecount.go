@@ -1,0 +1,196 @@
+// Package c3wirecount enforces the decode-clamping invariant from PR 3:
+// any allocation whose size comes off the wire must flow through
+// wire.Reader.Count (or the internal length() path it powers), which
+// validates the count against the bytes actually remaining BEFORE the
+// allocation happens.
+//
+// Motivation: before PR 3, deserializers did
+//
+//	n := int(r.U32())
+//	buf := make([]byte, n)      // corrupt frame => multi-GB make()
+//
+// and a truncated or hostile frame off a real socket could allocate
+// gigabytes or spin a loop 2^31 times. Reader.Count turns that into
+// ErrShortBuffer up front. This analyzer performs a light intra-function
+// taint analysis: values produced by wire.Reader numeric reads (U8, U32,
+// U64, I64, Int) are tainted; taint propagates through conversions,
+// arithmetic and local assignment; a tainted value used as a make()
+// length/capacity or as the bound of a for loop that appends is a finding.
+// Reader.Count is the sanitizer: its result is clean.
+package c3wirecount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"c3/internal/lint/analysis"
+)
+
+// Analyzer is the c3wirecount pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "c3wirecount",
+	Doc: "allocations sized by a raw wire.Reader read must be clamped via Reader.Count(elemSize) " +
+		"so corrupt or truncated input fails before the make()",
+	Run: run,
+}
+
+// taintedReads are the wire.Reader methods whose results, when used as an
+// allocation size, bypass clamping. Count is the sanitizer.
+var taintedReads = map[string]bool{
+	"U8": true, "U32": true, "U64": true, "I64": true, "Int": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false // checkBody descends into nested FuncLits itself
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody walks one function body in source order, tracking which local
+// objects currently hold a raw (unclamped) wire read.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return tainted[obj]
+			}
+		case *ast.ParenExpr:
+			return exprTainted(e.X)
+		case *ast.BinaryExpr:
+			return exprTainted(e.X) || exprTainted(e.Y)
+		case *ast.UnaryExpr:
+			return exprTainted(e.X)
+		case *ast.CallExpr:
+			// Conversion int(x), uint32(x), ...: taint passes through.
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return exprTainted(e.Args[0])
+			}
+			if m := readerMethod(pass, e); m != "" {
+				return taintedReads[m] // Count (and Bytes32 etc.) come back clean
+			}
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, what string, e ast.Expr) {
+		pass.Reportf(pos, "%s sized by an unclamped wire read%s; derive the count via wire.Reader.Count(elemSize) so corrupt input fails before allocating", what, describe(e))
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Taint (or clean) locals by what is assigned into them. The
+			// walk is source-ordered, which matches how decoder code reads.
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				tainted[obj] = exprTainted(n.Rhs[i])
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "make") {
+				for _, arg := range n.Args[1:] { // args[0] is the type
+					if exprTainted(arg) {
+						report(arg.Pos(), "make()", arg)
+					}
+				}
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < n; i++ { ... append ... } with tainted n:
+			// the loop itself is the allocation.
+			if cond, ok := n.Cond.(*ast.BinaryExpr); ok {
+				var bound ast.Expr
+				switch cond.Op {
+				case token.LSS, token.LEQ:
+					bound = cond.Y
+				case token.GTR, token.GEQ:
+					bound = cond.X
+				}
+				if bound != nil && exprTainted(bound) && loopAppends(pass, n.Body) {
+					report(cond.Pos(), "append loop", bound)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopAppends reports whether the loop body grows a slice via append or
+// allocates via make — the shapes that turn a bogus count into memory.
+func loopAppends(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(pass, call.Fun, "append") || isBuiltin(pass, call.Fun, "make") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// readerMethod returns the method name if call is a method call on
+// c3/internal/wire.Reader (or *Reader), else "".
+func readerMethod(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if named.Obj().Pkg().Path() != "c3/internal/wire" || named.Obj().Name() != "Reader" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func describe(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return " (" + id.Name + ")"
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+package c3wirecount_test
+
+import (
+	"strings"
+	"testing"
+
+	"c3/internal/lint/c3wirecount"
+	"c3/internal/lint/linttest"
+)
+
+// TestFixture covers the historical pre-PR-3 unclamped decode (make sized
+// by a raw U32), taint through conversions/arithmetic, tainted append-loop
+// bounds, and the Count sanitizer cleaning a local on reassignment.
+func TestFixture(t *testing.T) {
+	res := linttest.Run(t, "internal/lint/testdata/src/wirecount", "fixture/wirecount",
+		c3wirecount.Analyzer)
+
+	// The historical regression must be among the findings: the make() in
+	// decodeUnclamped, sized by local n.
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "unclamped wire read (n)") {
+			return
+		}
+	}
+	t.Errorf("historical unclamped-decode reconstruction not flagged; findings: %v", res.Findings)
+}

@@ -1,0 +1,185 @@
+// Package driver runs c3lint analyzers over loaded packages and applies
+// the //c3lint:allow suppression protocol.
+//
+// Suppression protocol: a comment of the form
+//
+//	//c3lint:allow <analyzer> <reason>
+//
+// suppresses diagnostics of that analyzer on the comment's own line or the
+// line directly below it (so it works both as an end-of-line annotation and
+// as a standalone comment above the offending statement). The reason is
+// mandatory: an allow directive without one is itself a finding, and
+// directives that suppress nothing are reported as dead in the Result so
+// stale escapes stay visible instead of silently accumulating.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"c3/internal/lint/analysis"
+	"c3/internal/lint/load"
+)
+
+// A Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// An Allow is one parsed //c3lint:allow directive.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	used     int // diagnostics suppressed by this directive
+}
+
+// A Result aggregates one run over any number of packages.
+type Result struct {
+	Findings   []Finding // unsuppressed diagnostics, plus directive misuse
+	Suppressed int       // diagnostics silenced by a valid allow directive
+	Dead       []Allow   // valid directives that suppressed nothing
+	Errors     []error   // analyzer/package failures
+}
+
+var allowRE = regexp.MustCompile(`^//\s*c3lint:allow(?:\s+(\S+))?\s*(.*)$`)
+
+// Run applies every analyzer to every package and folds in suppressions.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) *Result {
+	res := &Result{}
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			res.Errors = append(res.Errors, fmt.Errorf("%s: type error: %v", pkg.ImportPath, err))
+		}
+		res.runPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers, known)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return less(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Dead, func(i, j int) bool { return less(res.Dead[i].Pos, res.Dead[j].Pos) })
+	return res
+}
+
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// RunChecked applies analyzers to one already-type-checked package — the
+// `go vet -vettool` path, where gc export data replaces the source loader.
+func RunChecked(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) *Result {
+	res := &Result{}
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	res.runPackage(fset, files, pkg, info, analyzers, known)
+	sort.Slice(res.Findings, func(i, j int) bool { return less(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Dead, func(i, j int) bool { return less(res.Dead[i].Pos, res.Dead[j].Pos) })
+	return res
+}
+
+func (res *Result) runPackage(fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer, known map[string]bool) {
+	allows := res.collectAllows(fset, files, known)
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if al := match(allows, a.Name, pos); al != nil {
+				al.used++
+				res.Suppressed++
+				return
+			}
+			res.Findings = append(res.Findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			res.Errors = append(res.Errors, fmt.Errorf("%s: %s: %v", tpkg.Path(), a.Name, err))
+		}
+	}
+	for _, al := range allows {
+		if al.used == 0 {
+			res.Dead = append(res.Dead, *al)
+		}
+	}
+}
+
+// collectAllows parses the package's //c3lint:allow directives. Malformed
+// directives (missing reason, unknown analyzer) become findings directly.
+func (res *Result) collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) []*Allow {
+	var allows []*Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name, reason := m[1], strings.TrimSpace(m[2])
+				// Directives use the short analyzer name ("determinism");
+				// the full "c3determinism" spelling is accepted too.
+				if !known[name] && known["c3"+name] {
+					name = "c3" + name
+				}
+				switch {
+				case name == "":
+					res.Findings = append(res.Findings, Finding{
+						Analyzer: "c3lint", Pos: pos,
+						Message: "c3lint:allow directive names no analyzer (want //c3lint:allow <analyzer> <reason>)",
+					})
+				case !known[name]:
+					res.Findings = append(res.Findings, Finding{
+						Analyzer: "c3lint", Pos: pos,
+						Message: fmt.Sprintf("c3lint:allow names unknown analyzer %q", name),
+					})
+				case reason == "":
+					res.Findings = append(res.Findings, Finding{
+						Analyzer: "c3lint", Pos: pos,
+						Message: fmt.Sprintf("c3lint:allow %s has no reason; justify the exception in-line", name),
+					})
+				default:
+					allows = append(allows, &Allow{Pos: pos, Analyzer: name, Reason: reason})
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// match finds an allow directive covering (analyzer, position): same file,
+// same line or the line directly above.
+func match(allows []*Allow, analyzer string, pos token.Position) *Allow {
+	for _, al := range allows {
+		if al.Analyzer != analyzer || al.Pos.Filename != pos.Filename {
+			continue
+		}
+		if al.Pos.Line == pos.Line || al.Pos.Line == pos.Line-1 {
+			return al
+		}
+	}
+	return nil
+}

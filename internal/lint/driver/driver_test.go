@@ -1,0 +1,82 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"c3/internal/lint/analysis"
+	"c3/internal/lint/c3commiterr"
+	"c3/internal/lint/c3determinism"
+	"c3/internal/lint/c3lockblock"
+	"c3/internal/lint/c3wirecount"
+	"c3/internal/lint/driver"
+	"c3/internal/lint/linttest"
+)
+
+func all() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		c3determinism.Analyzer,
+		c3wirecount.Analyzer,
+		c3lockblock.Analyzer,
+		c3commiterr.Analyzer,
+	}
+}
+
+// TestSuppressValid: end-of-line and line-above directives suppress, short
+// and full analyzer names both resolve, directives are analyzer-scoped, and
+// a directive only reaches its own line and the one directly below.
+func TestSuppressValid(t *testing.T) {
+	res := linttest.Run(t, "internal/lint/testdata/src/suppress", "c3/internal/stable", all()...)
+	if res.Suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2 (eol short name + standalone full name)", res.Suppressed)
+	}
+	// Two directives match nothing: the wrong-analyzer allow and the
+	// out-of-range allow. Both must surface as dead, not vanish.
+	if len(res.Dead) != 2 {
+		t.Fatalf("dead directives = %d, want 2: %v", len(res.Dead), res.Dead)
+	}
+	for _, d := range res.Dead {
+		if d.Reason == "" {
+			t.Errorf("dead directive at %s lost its reason", d.Pos)
+		}
+	}
+}
+
+// TestSuppressMalformed: a directive with no reason, an unknown analyzer
+// name, or no analyzer at all is itself a finding — and suppresses nothing,
+// so the underlying finding surfaces too.
+func TestSuppressMalformed(t *testing.T) {
+	res := linttest.RunRaw(t, "internal/lint/testdata/src/suppressbad", "c3/internal/stable", all()...)
+
+	var directive, dropped int
+	for _, f := range res.Findings {
+		if f.Analyzer == "c3lint" {
+			directive++
+		}
+		if strings.Contains(f.Message, "error silently dropped") {
+			dropped++
+		}
+	}
+	if directive != 3 {
+		t.Errorf("directive-misuse findings = %d, want 3 (no reason, unknown analyzer, nameless):\n%s",
+			directive, findingsDump(res))
+	}
+	if dropped != 3 {
+		t.Errorf("unsuppressed Sync findings = %d, want 3 (malformed directives suppress nothing):\n%s",
+			dropped, findingsDump(res))
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0", res.Suppressed)
+	}
+	if len(res.Dead) != 1 {
+		t.Errorf("dead directives = %d, want 1 (the well-formed one that matched nothing)", len(res.Dead))
+	}
+}
+
+func findingsDump(res *driver.Result) string {
+	var b strings.Builder
+	for _, f := range res.Findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+// Package linttest runs c3lint analyzers over testdata fixture packages
+// and checks reported diagnostics against // want "regex" comments — the
+// same contract as x/tools' analysistest, reimplemented over the c3 loader.
+//
+// A fixture is one directory of .go files under internal/lint/testdata/src.
+// Every line that should produce a diagnostic carries a trailing comment:
+//
+//	buf := make([]byte, n) // want "unclamped wire read"
+//
+// Multiple diagnostics on one line take multiple quoted regexps. Because
+// fixtures run through the real driver, //c3lint:allow directives are
+// honored, which is how the suppression protocol itself is tested.
+//
+// Analyzers that gate on the import path (c3determinism, c3commiterr) are
+// tested by type-checking the fixture UNDER a governed import path via the
+// asPath argument — the loader does not care that the directory lives in
+// testdata.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"c3/internal/lint/analysis"
+	"c3/internal/lint/driver"
+	"c3/internal/lint/load"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderDir  string // module root
+)
+
+// moduleRoot locates the enclosing module so fixtures can import real
+// packages (c3/internal/wire) regardless of the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	loaderOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			return
+		}
+		for ; dir != "/"; dir = filepath.Dir(dir) {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				loaderDir = dir
+				return
+			}
+		}
+	})
+	if loaderDir == "" {
+		t.Fatal("linttest: no enclosing go.mod found")
+	}
+	return loaderDir
+}
+
+// Run type-checks the fixture package in dir (relative to the module root,
+// e.g. "internal/lint/testdata/src/wirecount") under import path asPath,
+// applies the analyzers through the driver, and compares diagnostics
+// against the fixture's want comments. It returns the driver result for
+// assertions beyond want matching (suppression counts, dead directives).
+func Run(t *testing.T, dir, asPath string, analyzers ...*analysis.Analyzer) *driver.Result {
+	t.Helper()
+	res, files := run(t, dir, asPath, analyzers)
+	compare(t, files, res.Findings)
+	return res
+}
+
+// RunRaw is Run without want-comment matching, for fixtures whose expected
+// diagnostics are asserted directly on the Result — in particular the
+// directive-misuse fixtures, where a trailing // want comment would be
+// swallowed into the malformed //c3lint:allow comment under test.
+func RunRaw(t *testing.T, dir, asPath string, analyzers ...*analysis.Analyzer) *driver.Result {
+	t.Helper()
+	res, _ := run(t, dir, asPath, analyzers)
+	return res
+}
+
+func run(t *testing.T, dir, asPath string, analyzers []*analysis.Analyzer) (*driver.Result, []string) {
+	t.Helper()
+	root := moduleRoot(t)
+	abs := filepath.Join(root, dir)
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", abs)
+	}
+
+	loader, err := load.New(root, "./...", "std")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := loader.CheckFiles(asPath, abs, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("linttest: fixture type error: %v", terr)
+	}
+
+	res := driver.Run([]*load.Package{pkg}, analyzers)
+	for _, e := range res.Errors {
+		t.Errorf("linttest: analyzer error: %v", e)
+	}
+	return res, files
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Patterns may be double-quoted or backquoted (the latter avoids doubling
+// backslashes in regexps), as in analysistest.
+var quotedRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type key struct {
+	file string
+	line int
+}
+
+// compare checks findings against want comments, both keyed by file:line.
+func compare(t *testing.T, files []string, findings []driver.Finding) {
+	t.Helper()
+	wants := make(map[key][]string)
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			k := key{name, i + 1}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				pat := q[1]
+				if pat == "" {
+					pat = q[2]
+				}
+				wants[k] = append(wants[k], pat)
+			}
+		}
+	}
+
+	got := make(map[key][]string)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f.Message)
+	}
+
+	for k, patterns := range wants {
+		for _, pat := range patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+				continue
+			}
+			if !matchAny(re, got[k]) {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %v)", rel(k.file), k.line, pat, got[k])
+			}
+		}
+	}
+	var keys []key
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i].file < keys[j].file || keys[i].file == keys[j].file && keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, msg := range got[k] {
+			if !wantCovers(wants[k], msg) {
+				t.Errorf("%s:%d: unexpected diagnostic %q", rel(k.file), k.line, msg)
+			}
+		}
+	}
+}
+
+func matchAny(re *regexp.Regexp, msgs []string) bool {
+	for _, m := range msgs {
+		if re.MatchString(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func wantCovers(patterns []string, msg string) bool {
+	for _, pat := range patterns {
+		if re, err := regexp.Compile(pat); err == nil && re.MatchString(msg) {
+			return true
+		}
+	}
+	return false
+}
+
+func rel(path string) string {
+	if i := strings.Index(path, "testdata/"); i >= 0 {
+		return path[i:]
+	}
+	return path
+}

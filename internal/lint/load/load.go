@@ -1,0 +1,267 @@
+// Package load turns `go list` package patterns into parsed, type-checked
+// packages for the c3lint analyzers — a small stand-in for
+// golang.org/x/tools/go/packages that uses only the standard library.
+//
+// One `go list -deps -json` invocation enumerates the requested packages
+// plus their full import closure (standard library included); a recursive
+// importer then type-checks packages from source on demand, so no export
+// data, build cache or network access is required. Dependency packages are
+// checked with IgnoreFuncBodies for speed; only the packages matched by the
+// patterns get full syntax and types.Info, which is all the analyzers see.
+//
+// The loader shells out to the go command with CGO_ENABLED=0 so the
+// standard library presents its pure-Go file lists (the cgo variants of
+// net, os/user, ... cannot be type-checked from source).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one fully analyzed (pattern-matched) package.
+type Package struct {
+	Fset       *token.FileSet // shared across every Package from one Loader
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths, build-constrained, no tests
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error // non-empty means Info/Types are best-effort
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Loader owns the package universe and the type-checking caches. It is
+// reusable across multiple Check calls (the fixture runner exploits this).
+type Loader struct {
+	Fset *token.FileSet
+
+	dir    string              // where go list runs (any dir inside the module)
+	pkgs   map[string]*listPkg // resolved import path -> metadata
+	bydir  map[string]*listPkg // package dir -> metadata
+	cache  map[string]*types.Package
+	parsed map[string][]*ast.File
+}
+
+// New builds a Loader whose universe is the import closure of patterns,
+// resolved by the go command from dir. Pass "./..." (plus "std" if callers
+// will type-check files that import beyond the module's own closure).
+func New(dir string, patterns ...string) (*Loader, error) {
+	l := &Loader{
+		Fset:   token.NewFileSet(),
+		dir:    dir,
+		pkgs:   make(map[string]*listPkg),
+		bydir:  make(map[string]*listPkg),
+		cache:  map[string]*types.Package{"unsafe": types.Unsafe},
+		parsed: make(map[string][]*ast.File),
+	}
+	if err := l.list(patterns); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Loader) list(patterns []string) error {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			break
+		}
+		if p.ImportPath == "" || p.Error != nil {
+			continue
+		}
+		l.pkgs[p.ImportPath] = p
+		l.bydir[p.Dir] = p
+		// The standard library vendors x/net etc. under "vendor/"; register
+		// the unvendored spelling too so source imports resolve without an
+		// ImportMap lookup from every possible importer.
+		if rest, ok := strings.CutPrefix(p.ImportPath, "vendor/"); ok {
+			l.pkgs[rest] = p
+		}
+	}
+	return nil
+}
+
+// Roots returns the pattern-matched packages, type-checked with full
+// syntax and types.Info, in deterministic (go list) order.
+func (l *Loader) Roots() ([]*Package, error) {
+	var roots []*Package
+	for _, p := range l.ordered() {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.Check(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, pkg)
+	}
+	return roots, nil
+}
+
+// ordered replays go list's output order (the decoder map loses it, so we
+// re-derive a stable order by sorting on import path).
+func (l *Loader) ordered() []*listPkg {
+	seen := make(map[*listPkg]bool)
+	var out []*listPkg
+	for _, p := range l.pkgs {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ImportPath > out[j].ImportPath; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Check type-checks one universe package with full syntax and Info.
+func (l *Loader) Check(path string) (*Package, error) {
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not in the loaded universe", path)
+	}
+	files, abs, err := l.parse(p)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkFiles(p.ImportPath, p.Dir, abs, files)
+}
+
+// CheckFiles type-checks an explicit file list as a package rooted at dir
+// (used by the fixture runner for testdata packages that go list cannot
+// see). Imports resolve against the Loader's universe.
+func (l *Loader) CheckFiles(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.checkFiles(path, dir, filenames, files)
+}
+
+func (l *Loader) checkFiles(path, dir string, filenames []string, files []*ast.File) (*Package, error) {
+	pkg := &Package{Fset: l.Fset, ImportPath: path, Dir: dir, GoFiles: filenames, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: (*importerFrom)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info) // errors collected above
+	pkg.Types, pkg.Info = tpkg, info
+	if prev, ok := l.cache[path]; !ok || !prev.Complete() {
+		l.cache[path] = tpkg
+	}
+	return pkg, nil
+}
+
+func (l *Loader) parse(p *listPkg) ([]*ast.File, []string, error) {
+	if files, ok := l.parsed[p.ImportPath]; ok {
+		return files, absFiles(p), nil
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	l.parsed[p.ImportPath] = files
+	return files, absFiles(p), nil
+}
+
+func absFiles(p *listPkg) []string {
+	out := make([]string, len(p.GoFiles))
+	for i, name := range p.GoFiles {
+		out[i] = filepath.Join(p.Dir, name)
+	}
+	return out
+}
+
+// importerFrom is the recursive source importer: dependency packages are
+// type-checked (declarations only) the first time anything imports them.
+type importerFrom Loader
+
+func (imp *importerFrom) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *importerFrom) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(imp)
+	// Vendor resolution: prefer the importing package's ImportMap.
+	if from, ok := l.bydir[srcDir]; ok {
+		if mapped, ok := from.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if tp, ok := l.cache[path]; ok {
+		return tp, nil
+	}
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: import %q not in the loaded universe (extend the loader's patterns)", path)
+	}
+	files, _, err := l.parse(p)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         imp,
+		IgnoreFuncBodies: true,
+		// Dependencies must check cleanly; any error fails the import so
+		// the root package reports it.
+	}
+	tp, err := conf.Check(p.ImportPath, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking dependency %s: %v", p.ImportPath, err)
+	}
+	l.cache[path] = tp
+	return tp, nil
+}

@@ -1,0 +1,62 @@
+// Fixture for c3determinism: type-checked under the governed import path
+// c3/internal/sched by the test harness. Every wall-clock read and every
+// draw from the global rand source must be flagged; explicitly seeded
+// generators and method calls on deterministic values must not.
+package sched
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func tick() time.Time {
+	return time.Now() // want `time\.Now breaks deterministic replay in sched; use the injected Clock`
+}
+
+// A function-value reference smuggles the wall clock past any call-site-only
+// check; the analyzer works on uses, so this is still a finding.
+func smuggle() func() time.Time {
+	clock := time.Now // want `time\.Now breaks deterministic replay`
+	return clock
+}
+
+func nap(ch chan int) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep breaks deterministic replay`
+	select {
+	case <-ch:
+	case <-time.After(time.Millisecond): // want `time\.After breaks deterministic replay`
+	}
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since breaks deterministic replay`
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `global rand\.Intn breaks deterministic replay`
+}
+
+func jitterV2() int {
+	return randv2.IntN(10) // want `global rand\.IntN breaks deterministic replay`
+}
+
+// The sanctioned pattern: an explicitly seeded generator. rand.New and
+// rand.NewSource are constructors, and Intn here is a method on the seeded
+// *rand.Rand — none of it draws from the shared global source.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Methods on deterministic values (time.Time.Sub, Add) are fine: they are
+// pure functions of their inputs.
+func span(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// The escape hatch: a justified allow directive suppresses the finding (the
+// harness asserts res.Suppressed picks this up).
+func injectionFallback() time.Time {
+	return time.Now() //c3lint:allow determinism fixture: this IS the injection point
+}

@@ -1,0 +1,36 @@
+// Fixture for the //c3lint:allow suppression protocol (valid directives).
+// Type-checked under c3/internal/stable so c3commiterr is live. The harness
+// asserts the suppressed count; anything a directive fails to cover must
+// still surface as a finding, which the want comments below pin down.
+package stable
+
+type db struct{}
+
+func (db) Sync() error  { return nil }
+func (db) Close() error { return nil }
+
+// End-of-line directive, short analyzer name.
+func eol(d db) {
+	d.Sync() //c3lint:allow commiterr fixture: deliberate best-effort sync
+}
+
+// Standalone directive on the line above, full analyzer name.
+func standalone(d db) {
+	//c3lint:allow c3commiterr fixture: reason sits above the offending line
+	d.Sync()
+}
+
+// A directive is analyzer-scoped: allowing the wrong analyzer suppresses
+// nothing (and the unmatched directive is reported as dead by the driver,
+// which the harness asserts).
+func wrongAnalyzer(d db) {
+	//c3lint:allow lockblock fixture: wrong analyzer for this finding
+	d.Sync() // want `db\.Sync error silently dropped`
+}
+
+// A directive only reaches its own line and the line directly below.
+func outOfRange(d db) {
+	//c3lint:allow commiterr fixture: too far from the finding
+
+	d.Sync() // want `db\.Sync error silently dropped`
+}

@@ -1,0 +1,32 @@
+// Fixture for malformed //c3lint:allow directives. Run without want
+// matching (linttest.RunRaw): a trailing // want comment would be swallowed
+// into the directive comment under test, so the expectations live in the
+// driver test instead.
+package stable
+
+type db2 struct{}
+
+func (db2) Sync() error { return nil }
+
+// Missing reason: the directive is itself a finding AND suppresses nothing,
+// so the Sync finding surfaces too.
+func missingReason(d db2) {
+	d.Sync() //c3lint:allow commiterr
+}
+
+// Unknown analyzer name: directive finding + unsuppressed Sync finding.
+func unknownAnalyzer(d db2) {
+	d.Sync() //c3lint:allow nosuchpass because reasons
+}
+
+// No analyzer at all.
+func nameless(d db2) {
+	d.Sync() //c3lint:allow
+}
+
+// Valid directive that suppresses nothing: reported as dead, not silently
+// accepted — stale escapes must stay visible.
+func deadDirective(d db2) error {
+	//c3lint:allow commiterr fixture: suppresses nothing, must surface as dead
+	return d.Sync()
+}

@@ -1,0 +1,66 @@
+// Fixture for c3wirecount. decodeUnclamped reconstructs the historical
+// pre-PR-3 bug verbatim: a length word read straight off the wire sizes a
+// make(), so one corrupt frame becomes a multi-gigabyte allocation before
+// any validation runs. The clamped variants model the post-PR-3 idiom,
+// where wire.Reader.Count validates the count against the bytes actually
+// remaining and hands back a clean value.
+package wirecount
+
+import "c3/internal/wire"
+
+// decodeUnclamped is the historical bug shape (pre-PR-3 snapshot decode).
+func decodeUnclamped(b []byte) []byte {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	buf := make([]byte, n) // want `make\(\) sized by an unclamped wire read \(n\)`
+	for i := range buf {
+		buf[i] = r.U8()
+	}
+	return buf
+}
+
+// decodeClamped is the sanctioned idiom: Count is the sanitizer.
+func decodeClamped(b []byte) []byte {
+	r := wire.NewReader(b)
+	n := r.Count(1)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = r.U8()
+	}
+	return buf
+}
+
+// Taint flows through conversions and arithmetic, and an inline read used
+// directly as the size is just as bad as one stashed in a local.
+func inlineAndArithmetic(r *wire.Reader) ([]byte, []uint64) {
+	direct := make([]byte, int(r.U32())) // want `make\(\) sized by an unclamped wire read`
+	n := int(r.U64())
+	padded := make([]uint64, (n+7)/8) // want `make\(\) sized by an unclamped wire read`
+	return direct, padded
+}
+
+// A tainted bound on an appending loop is the same allocation in disguise.
+func loopAppend(b []byte) []int64 {
+	r := wire.NewReader(b)
+	count := int(r.U64())
+	var out []int64
+	for i := 0; i < count; i++ { // want `append loop sized by an unclamped wire read \(count\)`
+		out = append(out, r.I64())
+	}
+	return out
+}
+
+// Reassignment through the sanitizer cleans a previously tainted local.
+func reassigned(b []byte) []byte {
+	r := wire.NewReader(b)
+	n := int(r.U32())
+	n = r.Count(1)
+	return make([]byte, n)
+}
+
+// Sizes with no wire provenance stay untouched.
+func cleanSizes(k int) []byte {
+	fixed := make([]byte, 64)
+	sized := make([]byte, k)
+	return append(fixed, sized...)
+}

@@ -1,0 +1,192 @@
+// Package unit implements the `go vet -vettool` separate-compilation
+// protocol for c3lint, compatible with the x/tools unitchecker contract
+// that cmd/go speaks:
+//
+//	c3lint -V=full       print a version line for build caching
+//	c3lint -flags        describe tool flags as JSON
+//	c3lint foo.cfg       analyze one compilation unit described by foo.cfg
+//
+// The .cfg file is JSON: package files, an import map, and paths to the
+// export data (.a) files the compiler already produced for every
+// dependency — so this mode type-checks one package against gc export data
+// instead of re-checking the world from source. Facts are not used by any
+// c3 analyzer; the fact-output file required by the protocol is written
+// empty, and VetxOnly invocations (dependency packages visited purely for
+// facts) return immediately.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"c3/internal/lint/analysis"
+	"c3/internal/lint/driver"
+)
+
+// Config mirrors the JSON schema of the cmd/go vet config file (the field
+// set is the x/tools unitchecker.Config wire contract).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Maybe handles the vettool protocol arguments if present, returning true
+// when it consumed the invocation (and has exited or is done).
+func Maybe(args []string, analyzers []*analysis.Analyzer) bool {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			os.Exit(0)
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags; an empty JSON list tells cmd/go so.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg" {
+		os.Exit(Run(args[0], analyzers))
+	}
+	return false
+}
+
+// printVersion emits the build-cache identity line cmd/go parses: the
+// binary's content hash makes edits to the tool invalidate vet's cache.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("c3lint version c3-%x\n", h.Sum(nil)[:12])
+}
+
+// Run analyzes the single compilation unit described by cfgFile and
+// returns the process exit code (0 clean, 1 findings, 2 operational error).
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3lint: %v\n", err)
+		return 2
+	}
+	// The protocol requires the fact-output file to exist afterwards even
+	// though c3 analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "c3lint: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited for facts only; nothing to do
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "c3lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "c3lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	res := driver.RunChecked(fset, files, pkg, info, analyzers)
+	for _, err := range res.Errors {
+		fmt.Fprintf(os.Stderr, "c3lint: %v\n", err)
+	}
+	for _, f := range res.Findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(res.Errors) > 0 {
+		return 2
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

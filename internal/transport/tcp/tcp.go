@@ -488,7 +488,11 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 				// next send.
 				window = 250 * time.Millisecond
 			}
-			conn := m.dial(rank, window)
+			// Dialing under p.mu is deliberate post-PR4: the lock is
+			// per-peer, so a dead peer stalls only its own frames, and the
+			// redial window after a loss is bounded to 250ms (the 30s-stall
+			// bug was the unbounded window, not the lock itself).
+			conn := m.dial(rank, window) //c3lint:allow lockblock per-peer lock; redial window bounded to 250ms
 			if conn == nil {
 				if debug {
 					fmt.Fprintf(os.Stderr, "tcp[%d]: dial %d failed\n", m.self, rank)
@@ -510,7 +514,9 @@ func (m *Mesh) write(rank int, frame []byte) bool {
 			p.conn = nil
 			return m.holdIfActive(rank, frame)
 		}
-		if _, err := p.conn.Write(frame); err == nil {
+		// Frames must hit the kernel atomically per connection to keep the
+		// per-(src,dst) FIFO guarantee; p.mu is that per-peer write lock.
+		if _, err := p.conn.Write(frame); err == nil { //c3lint:allow lockblock per-peer FIFO framing requires the write under the lock
 			return true
 		} else if debug {
 			fmt.Fprintf(os.Stderr, "tcp[%d]: write to %d failed: %v\n", m.self, rank, err)

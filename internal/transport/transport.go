@@ -399,19 +399,22 @@ func (ep *Endpoint) pushDelayed(msg Message, delay time.Duration) {
 		ep.delayCh = make(chan delayed, 1024)
 		go ep.deliveryLoop()
 	})
+	// The latency model is wall-clock by definition and is only installed
+	// by real-time tests and benches; scheduled (replayable) runs install
+	// no LatencyModel, so none of this executes under the schedule engine.
 	select {
-	case ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)}:
+	case ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)}: //c3lint:allow determinism wall-clock latency injection; never active under the scheduler
 	default:
 		// Channel full: fall back to blocking send from a helper goroutine so
 		// the sender never blocks. Order is still preserved because only this
 		// path runs when the channel is full and the channel itself is FIFO.
-		ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)}
+		ep.delayCh <- delayed{msg: msg, due: time.Now().Add(delay)} //c3lint:allow determinism wall-clock latency injection; never active under the scheduler
 	}
 }
 
 func (ep *Endpoint) deliveryLoop() {
 	for d := range ep.delayCh {
-		if wait := time.Until(d.due); wait > 0 {
+		if wait := time.Until(d.due); wait > 0 { //c3lint:allow determinism wall-clock latency worker; never active under the scheduler
 			time.Sleep(wait)
 		}
 		if !ep.push(d.msg) {
