@@ -1,14 +1,18 @@
 // Command c3inspect examines checkpoints in an on-disk store: which
-// versions are committed per rank, the global recovery line, and the
-// per-section contents of a checkpoint.
+// versions are committed per rank, the global recovery line, the commit
+// marker's metadata (membership epoch, codec geometry, per-section
+// digests), and the per-section contents of a checkpoint.
 //
 // Usage:
 //
-//	c3inspect -store /tmp/ckpts                 # overview
-//	c3inspect -store /tmp/ckpts -rank 2 -v 3    # one checkpoint's sections
+//	c3inspect -store /tmp/ckpts                 # overview with marker meta
+//	c3inspect -store /tmp/ckpts -rank 2 -v 3    # one checkpoint's sections,
+//	                                            # digest-verified against the
+//	                                            # commit marker
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,59 +37,120 @@ func main() {
 	}
 
 	if *rank < 0 {
-		lasts := make([]int, 0, *ranks)
-		oks := make([]bool, 0, *ranks)
-		found := 0
-		for r := 0; r < *ranks; r++ {
-			v, ok, err := store.LastCommitted(r)
-			if err != nil {
-				fatalf("rank %d: %v", r, err)
-			}
-			if ok {
-				fmt.Printf("rank %4d: last committed version %d\n", r, v)
-				found++
-				lasts = append(lasts, v)
-				oks = append(oks, true)
-			}
-		}
-		if found == 0 {
-			fmt.Println("no committed checkpoints")
-			return
-		}
-		if line, ok := stable.GlobalLine(lasts, oks); ok {
-			fmt.Printf("global recovery line (over %d ranks with checkpoints): version %d\n", found, line)
-		}
+		overview(store, *ranks)
 		return
 	}
+	inspect(store, *rank, *version)
+}
 
-	v := *version
+// overview lists each rank's last committed version with its marker
+// metadata and the global recovery line.
+func overview(store *stable.DiskStore, ranks int) {
+	lasts := make([]int, 0, ranks)
+	oks := make([]bool, 0, ranks)
+	found := 0
+	for r := 0; r < ranks; r++ {
+		v, ok, err := store.LastCommitted(r)
+		if err != nil {
+			fatalf("rank %d: %v", r, err)
+		}
+		if !ok {
+			continue
+		}
+		fmt.Printf("rank %4d: last committed version %d%s\n", r, v, markerBrief(store, r, v))
+		found++
+		lasts = append(lasts, v)
+		oks = append(oks, true)
+	}
+	if found == 0 {
+		fmt.Println("no committed checkpoints")
+		return
+	}
+	if line, ok := stable.GlobalLine(lasts, oks); ok {
+		fmt.Printf("global recovery line (over %d ranks with checkpoints): version %d\n", found, line)
+	}
+}
+
+// markerBrief renders the one-line marker summary for the overview.
+func markerBrief(store *stable.DiskStore, rank, version int) string {
+	meta, err := store.Meta(rank, version)
+	switch {
+	case errors.Is(err, stable.ErrLegacyMarker):
+		return "  (pre-metadata marker)"
+	case err != nil:
+		return fmt.Sprintf("  (marker: %v)", err)
+	}
+	return fmt.Sprintf("  membership-epoch %d codec %s sections %d",
+		meta.MembershipEpoch, meta.CodecName(), len(meta.Sections))
+}
+
+// inspect prints one checkpoint's sections and cross-checks them against
+// the commit marker's digests.
+func inspect(store *stable.DiskStore, rank, version int) {
+	v := version
 	if v < 0 {
-		last, ok, err := store.LastCommitted(*rank)
+		last, ok, err := store.LastCommitted(rank)
 		if err != nil || !ok {
-			fatalf("rank %d has no committed checkpoint (%v)", *rank, err)
+			fatalf("rank %d has no committed checkpoint (%v)", rank, err)
 		}
 		v = last
 	}
-	snap, err := store.Open(*rank, v)
+
+	meta, metaErr := store.Meta(rank, v)
+	recorded := make(map[string]stable.SectionMeta, len(meta.Sections))
+	switch {
+	case errors.Is(metaErr, stable.ErrLegacyMarker):
+		fmt.Printf("rank %d version %d: committed, pre-metadata marker (no digests to verify)\n", rank, v)
+	case metaErr != nil:
+		fatalf("rank %d version %d marker: %v", rank, v, metaErr)
+	default:
+		fmt.Printf("rank %d version %d: membership-epoch %d, codec %s\n",
+			rank, v, meta.MembershipEpoch, meta.CodecName())
+		for _, s := range meta.Sections {
+			recorded[s.Name] = s
+		}
+	}
+
+	snap, err := store.Open(rank, v)
 	if err != nil {
-		fatalf("open rank %d version %d: %v", *rank, v, err)
+		fatalf("open rank %d version %d: %v", rank, v, err)
 	}
 	defer snap.Close()
 	sections, err := snap.Sections()
 	if err != nil {
 		fatalf("list sections: %v", err)
 	}
-	fmt.Printf("rank %d version %d:\n", *rank, v)
-	total := 0
+	total, bad := 0, 0
 	for _, name := range sections {
 		data, err := snap.ReadSection(name)
 		if err != nil {
 			fatalf("read %q: %v", name, err)
 		}
-		fmt.Printf("  %-10s %8d bytes\n", name, len(data))
+		note := ""
+		if s, ok := recorded[name]; ok {
+			switch {
+			case s.Bytes != len(data):
+				note = fmt.Sprintf("  SIZE MISMATCH (marker %d)", s.Bytes)
+				bad++
+			case s.Sum != stable.SectionSum(data):
+				note = fmt.Sprintf("  DIGEST MISMATCH (marker %016x)", s.Sum)
+				bad++
+			default:
+				note = fmt.Sprintf("  fnv %016x ok", s.Sum)
+			}
+			delete(recorded, name)
+		}
+		fmt.Printf("  %-10s %8d bytes%s\n", name, len(data), note)
 		total += len(data)
 	}
 	fmt.Printf("  %-10s %8d bytes\n", "total", total)
+	for name := range recorded {
+		fmt.Printf("  MISSING: marker records section %q but the store has none\n", name)
+		bad++
+	}
+	if bad > 0 {
+		fatalf("%d section(s) disagree with the commit marker", bad)
+	}
 }
 
 func fatalf(format string, args ...any) {

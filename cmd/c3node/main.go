@@ -41,6 +41,15 @@
 //	    pings, rejoin through the state-snapshot path, and the final
 //	    checksums converge
 //
+//	c3node -ranks 4 -kernel CG -class S -self-heal -spare 2 -ops-base 9300
+//	    elastic membership: two spare storage-member slots and an embedded
+//	    ops/metrics HTTP server per rank (rank r on 127.0.0.1:9300+r).
+//	    POST /join grows the world at the next recovery line (the launcher
+//	    spawns a spare, the members admit it by a membership epoch
+//	    agreement); POST /drain {"rank": N} shrinks it; POST /checkpoint
+//	    forces a line; GET /status, /epoch, /line, /membership are JSON
+//	    snapshots and GET /metrics is Prometheus text exposition
+//
 //	c3node -ranks 4 -kernel LU -store /tmp/ckpts ...
 //	    use a shared-directory disk store instead of the diskless
 //	    replicated store
@@ -53,6 +62,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -112,8 +122,10 @@ func parseKill(s string) (*cluster.FailureSpec, error) {
 	return spec, nil
 }
 
-// parseExternalKill parses "rank=R[,after=K]" (K = committed checkpoints
-// observed before the operator's SIGKILL; 0 kills right after launch).
+// parseExternalKill parses "rank=R[,after=K][,joins=J]" (K = committed
+// checkpoints observed before the operator's SIGKILL, 0 kills right after
+// launch; J additionally waits for J spare-slot membership admissions, the
+// elastic "kill in the resized world" demo).
 func parseExternalKill(s string) (*cluster.ExternalKillSpec, error) {
 	if s == "" {
 		return nil, nil
@@ -133,8 +145,10 @@ func parseExternalKill(s string) (*cluster.ExternalKillSpec, error) {
 			spec.Rank = v
 		case "after":
 			spec.AfterCheckpoints = v
+		case "joins":
+			spec.AfterJoins = v
 		default:
-			return nil, fmt.Errorf("unknown external-kill key %q (rank, after)", kv[0])
+			return nil, fmt.Errorf("unknown external-kill key %q (rank, after, joins)", kv[0])
 		}
 	}
 	return spec, nil
@@ -153,13 +167,16 @@ func launcherMain() {
 		shards   = flag.Int("shards", 0, "codec data shards k (0 = per-codec default: dup 2, xor 4, rs 4)")
 		parity   = flag.Int("parity", 0, "codec parity shards m (0 = default: rs 2; xor always 1; dup none)")
 		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
-		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints]")
+		spare    = flag.Int("spare", 0, "spare storage-member slots beyond the compute world (elastic membership; requires -self-heal)")
+		opsBase  = flag.Int("ops-base", 0, "embedded ops/metrics HTTP server base port: rank r serves on 127.0.0.1:(base+r); 0 disables (requires -self-heal)")
+		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints][,joins=J spare admissions]")
 		part     = flag.String("partition", "", "self-heal demo: network split a=R+R..[,after=K committed checkpoints][,heal=DURATION]")
 		hb       = flag.Duration("heartbeat", 25*time.Millisecond, "self-heal: failure-detector heartbeat interval")
 		phi      = flag.Float64("phi", 5, "self-heal: accrual suspicion threshold")
 		ackTO    = flag.Duration("ack-timeout", 0, "replicated store: neighbor ack timeout (0 = default 5s)")
 		queryTO  = flag.Duration("query-timeout", 0, "replicated store: recovery query timeout (0 = default 3s)")
 		queryN   = flag.Int("query-retries", 0, "replicated store: recovery query sweeps (0 = default 1)")
+		jsonOut  = flag.String("json", "", "additionally write the run summary to this file as JSON (CI artifacts)")
 		verbose  = flag.Bool("v", false, "log launcher and worker progress to stderr (structured per-rank prefixes)")
 	)
 	flag.Parse()
@@ -191,6 +208,15 @@ func launcherMain() {
 	if *selfHeal && *storeDir != "" {
 		fatalf("-self-heal requires the diskless replicated store (drop -store)")
 	}
+	if *spare < 0 {
+		fatalf("-spare must be non-negative")
+	}
+	if *spare > 0 && !*selfHeal {
+		fatalf("-spare requires -self-heal (membership agreements live in the workers)")
+	}
+	if *opsBase != 0 && !*selfHeal {
+		fatalf("-ops-base requires -self-heal (the ops plane queries the detector and membership)")
+	}
 	if _, err := stable.NewCodec(*codec, *shards, *parity); err != nil {
 		fatalf("%v", err)
 	}
@@ -198,8 +224,10 @@ func launcherMain() {
 		fatalf("-codec applies to the diskless replicated store (drop -store)")
 	}
 
+	capacity := *ranks + *spare
 	cfg := cluster.LaunchConfig{
 		Ranks:             *ranks,
+		Capacity:          capacity,
 		Disk:              *storeDir != "",
 		SelfHeal:          *selfHeal,
 		ExternalKill:      extKillSpec,
@@ -209,10 +237,14 @@ func launcherMain() {
 				"-worker",
 				"-rank", strconv.Itoa(rank),
 				"-ranks", strconv.Itoa(*ranks),
+				"-capacity", strconv.Itoa(capacity),
 				"-peers", strings.Join(mpiAddrs, ","),
 				"-kernel", *kernel,
 				"-class", *class,
 				"-every", strconv.Itoa(*every),
+			}
+			if *opsBase != 0 {
+				args = append(args, "-ops-addr", fmt.Sprintf("127.0.0.1:%d", *opsBase+rank))
 			}
 			if *async {
 				args = append(args, "-async")
@@ -261,6 +293,10 @@ func launcherMain() {
 	}
 	fmt.Printf("kernel %s class %s on %d processes: %d attempt(s), %d re-exec(s)\n",
 		*kernel, *class, *ranks, res.Attempts, res.Restarts)
+	if *spare > 0 {
+		fmt.Printf("  membership: joins=%d drains=%d (compute %d, capacity %d)\n",
+			res.Joins, res.Drains, *ranks, capacity)
+	}
 	if *selfHeal {
 		printSelfHealSummary(res, *ranks)
 	}
@@ -273,6 +309,45 @@ func launcherMain() {
 		fmt.Printf("  rank %d checksum: %s\n", r, sums[r])
 	}
 	fmt.Printf("checksums=[%s]\n", strings.Join(sums, ","))
+	if *jsonOut != "" {
+		writeJSONSummary(*jsonOut, *kernel, *class, *ranks, capacity, res, sums)
+	}
+}
+
+// runSummary is the -json artifact: the stat/latency summary the CI jobs
+// archive (mirrors c3bench -json).
+type runSummary struct {
+	Kernel    string         `json:"kernel"`
+	Class     string         `json:"class"`
+	Ranks     int            `json:"ranks"`
+	Capacity  int            `json:"capacity"`
+	Attempts  int            `json:"attempts"`
+	Restarts  int            `json:"restarts"`
+	Joins     int            `json:"joins"`
+	Drains    int            `json:"drains"`
+	Stats     map[int]string `json:"stats,omitempty"`
+	Checksums []string       `json:"checksums"`
+}
+
+func writeJSONSummary(path, kernel, class string, ranks, capacity int, res *cluster.LaunchResult, sums []string) {
+	data, err := json.MarshalIndent(runSummary{
+		Kernel:    kernel,
+		Class:     class,
+		Ranks:     ranks,
+		Capacity:  capacity,
+		Attempts:  res.Attempts,
+		Restarts:  res.Restarts,
+		Joins:     res.Joins,
+		Drains:    res.Drains,
+		Stats:     res.Stats,
+		Checksums: sums,
+	}, "", "  ")
+	if err != nil {
+		fatalf("encode json: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
 }
 
 // printSelfHealSummary reports the detection -> agreement -> restore-start
@@ -339,6 +414,8 @@ func workerMain() {
 		_         = fs.Bool("worker", true, "worker mode (internal)")
 		rank      = fs.Int("rank", 0, "this process's rank")
 		ranks     = fs.Int("ranks", 1, "world size")
+		capacity  = fs.Int("capacity", 0, "membership slot count (0 = ranks)")
+		opsAddr   = fs.String("ops-addr", "", "embedded ops/metrics HTTP listen address")
 		peers     = fs.String("peers", "", "comma-separated MPI-plane addresses, one per rank")
 		replPeers = fs.String("repl-peers", "", "comma-separated replication-plane addresses")
 		kernel    = fs.String("kernel", "CG", "kernel to run")
@@ -374,6 +451,8 @@ func workerMain() {
 	nc := cluster.NodeConfig{
 		Rank:         *rank,
 		Ranks:        *ranks,
+		Capacity:     *capacity,
+		OpsAddr:      *opsAddr,
 		MPIAddrs:     splitAddrs(*peers),
 		App:          k.App(p, out),
 		Policy:       ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},

@@ -45,6 +45,9 @@ func (l *Layer) Checkpoint(force bool) error {
 	if !fire && l.cfg.Policy.Interval > 0 && l.clock().Sub(l.lastCkptTime) >= l.cfg.Policy.Interval {
 		fire = true
 	}
+	if !fire && l.extCheckpoint.CompareAndSwap(true, false) {
+		fire = true // an operator asked for a checkpoint now (ops plane)
+	}
 	if !fire && l.nextStartedCount > 0 {
 		fire = true // join a checkpoint another process initiated
 	}

@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"c3/internal/mpi"
@@ -131,6 +132,11 @@ type Layer struct {
 	pragmaCount  int
 	lastCkptTime time.Time
 	clock        func() time.Time
+
+	// extCheckpoint is the operator's checkpoint-now request (ops control
+	// plane): the next pragma fires regardless of policy. Atomic because
+	// RequestCheckpoint is called from outside the MPI goroutine.
+	extCheckpoint atomic.Bool
 
 	stats Stats
 	err   error // sticky fatal protocol error
@@ -325,6 +331,16 @@ func (l *Layer) Close(abort bool) error {
 		return l.fatal(err)
 	}
 	return nil
+}
+
+// RequestCheckpoint asks the layer to take a checkpoint at the next pragma
+// the application reaches, regardless of policy. Safe to call from any
+// goroutine (the ops control plane's POST /checkpoint); the request is
+// consumed by the first pragma that honors it. Only this rank needs to be
+// asked — the protocol's join-if-others-started rule pulls every other
+// rank into the same recovery line.
+func (l *Layer) RequestCheckpoint() {
+	l.extCheckpoint.Store(true)
 }
 
 // State returns the application state registry.

@@ -34,8 +34,14 @@ import (
 
 // LaunchConfig configures a multi-process run.
 type LaunchConfig struct {
-	// Ranks is the world size (one process per rank).
+	// Ranks is the compute world size (one application process per rank).
 	Ranks int
+	// Capacity is the total pre-allocated slot count (0: Ranks). Slots in
+	// [Ranks, Capacity) are spare storage-member slots: no process runs
+	// there at launch, but an ops-plane join request ("wantjoin" from a
+	// worker) spawns one, which is then admitted by a membership epoch
+	// agreement among the running workers. Requires SelfHeal.
+	Capacity int
 	// Exe is the worker executable; empty means this executable
 	// (os.Executable), the re-exec idiom c3node uses.
 	Exe string
@@ -77,6 +83,11 @@ type LaunchResult struct {
 	Attempts int
 	// Restarts is the number of worker processes re-executed after death.
 	Restarts int
+	// Joins counts membership admissions reported by joining workers
+	// ("joined" events from spare slots); Drains counts graceful membership
+	// removals ("drained" events). Both zero in a fixed world.
+	Joins  int
+	Drains int
 	// Results holds each rank's reported result string from the successful
 	// attempt.
 	Results map[int]string
@@ -105,6 +116,10 @@ type ExternalKillSpec struct {
 	// many committed checkpoints (0: immediately after the run starts, i.e.
 	// before the rank's first committed line — the from-scratch case).
 	AfterCheckpoints int
+	// AfterJoins additionally delays the kill until this many spare-slot
+	// membership admissions ("joined" events) have been observed — the
+	// elastic demo's "SIGKILL in the resized world" (0: no wait).
+	AfterJoins int
 }
 
 // launchEvent is one line from a worker, or its death.
@@ -182,13 +197,25 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 		cfg.Stderr = os.Stderr
 	}
 
+	if cfg.Capacity == 0 {
+		cfg.Capacity = cfg.Ranks
+	}
+	if cfg.Capacity < cfg.Ranks {
+		return nil, fmt.Errorf("cluster: capacity %d below the %d-rank compute world", cfg.Capacity, cfg.Ranks)
+	}
+	if cfg.Capacity > cfg.Ranks && !cfg.SelfHeal {
+		return nil, fmt.Errorf("cluster: spare slots (capacity %d > %d ranks) require SelfHeal (membership agreements live in the workers)", cfg.Capacity, cfg.Ranks)
+	}
+
+	// The MPI plane spans only the fixed compute world; the replication
+	// plane (store + detector) spans every slot membership can grow into.
 	mpiAddrs, err := freeAddrs(cfg.Ranks)
 	if err != nil {
 		return nil, err
 	}
 	var replAddrs []string
 	if !cfg.Disk {
-		if replAddrs, err = freeAddrs(cfg.Ranks); err != nil {
+		if replAddrs, err = freeAddrs(cfg.Capacity); err != nil {
 			return nil, err
 		}
 	}
@@ -196,7 +223,7 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 		cfg:       cfg,
 		mpiAddrs:  mpiAddrs,
 		replAddrs: replAddrs,
-		workers:   make([]*workerProc, cfg.Ranks),
+		workers:   make([]*workerProc, cfg.Capacity),
 		events:    make(chan launchEvent, 64),
 		deadline:  time.Now().Add(cfg.Timeout),
 	}
@@ -460,7 +487,7 @@ func (l *launcher) drive() (*LaunchResult, error) {
 // and — when configured — the operator's external SIGKILL.
 func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 	res := &LaunchResult{Results: make(map[int]string), Stats: make(map[int]string)}
-	for _, w := range l.workers {
+	for _, w := range l.workers[:l.cfg.Ranks] {
 		w.command("run 0 0")
 	}
 
@@ -473,7 +500,7 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 		killed = true
 		return w.cmd.Process.Kill()
 	}
-	if ek != nil && ek.AfterCheckpoints <= 0 {
+	if ek != nil && ek.AfterCheckpoints <= 0 && ek.AfterJoins <= 0 {
 		// Kill before the rank's first committed line: the from-scratch case.
 		if err := kill(ek.Rank); err != nil {
 			return res, err
@@ -496,7 +523,7 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 		res.PartTime = time.Now()
 		parted = true
 		for _, w := range l.workers {
-			if !w.dead {
+			if w != nil && !w.dead {
 				w.command("part %s", group)
 			}
 		}
@@ -539,7 +566,7 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 				res.HealTime = time.Now()
 				healed = true
 				for _, w := range l.workers {
-					if !w.dead {
+					if w != nil && !w.dead {
 						w.command("heal")
 					}
 				}
@@ -547,7 +574,7 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 		case "ckpt":
 			if ek != nil && !killed && ev.rank == ek.Rank {
 				ckpts++
-				if ckpts >= ek.AfterCheckpoints {
+				if ckpts >= ek.AfterCheckpoints && res.Joins >= ek.AfterJoins {
 					if err := kill(ek.Rank); err != nil {
 						return res, err
 					}
@@ -569,13 +596,16 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 				continue
 			}
 			r, err := strconv.Atoi(ev.fields[1])
-			if err != nil || r < 0 || r >= l.cfg.Ranks {
+			if err != nil || r < 0 || r >= len(l.workers) {
 				continue
 			}
 			if respawnPending[r] {
 				continue // duplicate request (e.g. re-elected coordinator)
 			}
 			w := l.workers[r]
+			if w == nil {
+				continue // a spare slot that never hosted a process
+			}
 			if ep != nil && !w.dead {
 				// The "dead" rank is a partition casualty that is very much
 				// alive: a severed minority process the majority's agreement
@@ -607,6 +637,56 @@ func (l *launcher) driveSelfHeal() (*LaunchResult, error) {
 				return res, err
 			}
 			respawnPending[r] = true
+		case "wantjoin":
+			// The ops control plane asked for a new member. Pick the slot
+			// (-1: first spare not hosting a live process), spawn a worker
+			// there, and send "join" once it is ready — admission itself is
+			// the workers' membership epoch agreement, not ours.
+			if len(ev.fields) < 2 {
+				continue
+			}
+			slot, err := strconv.Atoi(ev.fields[1])
+			if err != nil {
+				continue
+			}
+			if slot < 0 {
+				for s := l.cfg.Ranks; s < len(l.workers); s++ {
+					if (l.workers[s] == nil || l.workers[s].dead) && !respawnPending[s] {
+						slot = s
+						break
+					}
+				}
+			}
+			if slot < l.cfg.Ranks || slot >= len(l.workers) {
+				l.logf("rank %d: wantjoin %s: no spare slot available", ev.rank, ev.fields[1])
+				continue
+			}
+			if w := l.workers[slot]; (w != nil && !w.dead) || respawnPending[slot] {
+				l.logf("rank %d: wantjoin %d: slot already hosts a process", ev.rank, slot)
+				continue
+			}
+			l.logf("rank %d: spawning storage member on spare slot %d", ev.rank, slot)
+			if err := l.spawn(slot); err != nil {
+				return res, err
+			}
+			respawnPending[slot] = true
+		case "joined":
+			if ev.rank >= l.cfg.Ranks {
+				res.Joins++ // spare slot admitted by a membership epoch
+			}
+			l.logf("rank %d: joined (%s)", ev.rank, strings.Join(ev.fields[1:], " "))
+			if ek != nil && !killed && ckpts >= ek.AfterCheckpoints && ek.AfterJoins > 0 && res.Joins >= ek.AfterJoins {
+				// The join gate was the last condition still pending: the
+				// operator's kill lands in the freshly resized world.
+				if err := kill(ek.Rank); err != nil {
+					return res, err
+				}
+			}
+		case "drained":
+			// A graceful membership shrink removed this worker; it exits by
+			// itself and the exit event marks it dead.
+			res.Drains++
+			l.logf("rank %d: drained (membership shrink)", ev.rank)
 		case "ready":
 			if respawnPending[ev.rank] {
 				delete(respawnPending, ev.rank)

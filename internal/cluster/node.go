@@ -8,12 +8,18 @@ package cluster
 //	launcher -> node:  run <attempt> <restore>   start an attempt
 //	                   abort <token>             tear the current attempt down
 //	                   join                      adopt the world's state from
-//	                                             peers (self-heal respawn)
+//	                                             peers (self-heal respawn, or a
+//	                                             spare slot's first admission)
 //	                   quit                      exit
 //	node -> launcher:  ready                     store + meshes are up
 //	                   victim                    failure spec fired; awaiting SIGKILL
 //	                   ckpt <attempt> <version>  a checkpoint committed (self-heal)
 //	                   respawn <rank>            coordinator requests a re-exec
+//	                   wantjoin <slot>           ops plane asks for a new member
+//	                                             (slot -1: launcher picks a spare)
+//	                   joined <epoch>            membership agreement admitted us
+//	                   drained <epoch>           membership agreement removed us;
+//	                                             exiting cleanly
 //	                   stat <attempt> <k=v...>   store statistics for the attempt
 //	                   done <attempt> <result>   attempt completed
 //	                   down <attempt>            attempt ended with the world down
@@ -40,6 +46,21 @@ package cluster
 // attempt number is derived from the agreed epoch (attempt = epoch - 1),
 // so every process, including a freshly joined replacement, converges on
 // the same MPI-mesh generation without a central sequencer.
+//
+// Elastic membership (NodeConfig.Capacity > Ranks) decouples the two
+// meanings "rank" used to conflate: the MPI world that runs the
+// application stays fixed at Ranks (the paper's compute world), while the
+// set of node slots that host checkpoint shards, vote in epoch agreements
+// and count toward quorum is an epoch-versioned member.Set that can grow
+// into pre-allocated spare slots [Ranks, Capacity) and shrink back. A
+// spare slot's process is a storage member: it runs no app rank, enters
+// the world through the same hello/state protocol a respawned rank uses
+// (JoinNew: admission is a committed membership epoch), and leaves through
+// a drain agreement. Every membership change lands at a recovery line —
+// survivors tear the attempt down and re-enter restore at the agreed
+// epoch, and the distributed store re-partitions shard placement onto the
+// new ring. NodeConfig.OpsAddr starts the embedded operations control
+// plane (internal/ops) that exposes and drives all of this over HTTP.
 
 import (
 	"bufio"
@@ -54,7 +75,9 @@ import (
 
 	"c3/internal/ckpt"
 	"c3/internal/detect"
+	"c3/internal/member"
 	"c3/internal/mpi"
+	"c3/internal/ops"
 	"c3/internal/stable"
 	"c3/internal/transport"
 	"c3/internal/transport/tcp"
@@ -75,8 +98,17 @@ type SelfHealConfig struct {
 
 // NodeConfig configures one rank's process.
 type NodeConfig struct {
-	// Rank is the hosted rank; Ranks the world size.
+	// Rank is the hosted slot; Ranks the fixed compute world size (the MPI
+	// ranks that run the application). A Rank >= Ranks is a storage member:
+	// it hosts checkpoint shards and votes in agreements but runs no app.
 	Rank, Ranks int
+	// Capacity is the total pre-allocated slot count the elastic membership
+	// can grow into (0: Ranks — the classic fixed world). Requires SelfHeal
+	// when larger than Ranks; ReplAddrs must then list Capacity addresses.
+	Capacity int
+	// OpsAddr, when non-empty, starts the embedded operations control plane
+	// (internal/ops) on that address. Requires SelfHeal.
+	OpsAddr string
 	// MPIAddrs are the per-rank addresses of the MPI-plane TCP meshes (one
 	// fresh mesh per attempt, tagged with the attempt's generation).
 	MPIAddrs []string
@@ -135,13 +167,16 @@ type node struct {
 	cfg   NodeConfig
 	store stable.Store
 	dist  *stable.DistStore // non-nil when diskless
+	det   *detect.Detector  // non-nil in self-healing mode
 
 	outMu sync.Mutex
 
 	statMu    sync.Mutex
 	lastStats ckpt.Stats // the protocol counters of the last finished attempt
 
-	curAttempt atomic.Int64 // attempt whose events (ckpt) are being emitted
+	curAttempt atomic.Int64               // attempt whose events (ckpt) are being emitted
+	lastLine   atomic.Int64               // last locally committed version (-1: none)
+	layer      atomic.Pointer[ckpt.Layer] // running attempt's protocol layer (ops checkpoint trigger)
 }
 
 // distOptions assembles the store options shared by both modes.
@@ -176,17 +211,27 @@ func (cfg *NodeConfig) distOptions() ([]stable.DistOption, error) {
 // RunNode hosts one rank until quit or stdin EOF. It is the body of
 // `c3node -worker`.
 func RunNode(cfg NodeConfig) error {
-	if cfg.Rank < 0 || cfg.Rank >= cfg.Ranks || cfg.Ranks <= 0 {
-		return fmt.Errorf("cluster: node rank %d of %d", cfg.Rank, cfg.Ranks)
+	if cfg.Capacity == 0 {
+		cfg.Capacity = cfg.Ranks
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Capacity || cfg.Ranks <= 0 || cfg.Capacity < cfg.Ranks {
+		return fmt.Errorf("cluster: node rank %d of %d (capacity %d)", cfg.Rank, cfg.Ranks, cfg.Capacity)
 	}
 	if cfg.App == nil {
 		return fmt.Errorf("cluster: node has no application")
+	}
+	if cfg.SelfHeal == nil && (cfg.Capacity > cfg.Ranks || cfg.Rank >= cfg.Ranks) {
+		return fmt.Errorf("cluster: elastic membership (capacity %d > %d ranks) requires self-healing mode", cfg.Capacity, cfg.Ranks)
+	}
+	if cfg.OpsAddr != "" && cfg.SelfHeal == nil {
+		return fmt.Errorf("cluster: the ops control plane requires self-healing mode")
 	}
 	if cfg.DialWindow == 0 {
 		cfg.DialWindow = 10 * time.Second
 	}
 	w := &node{cfg: cfg}
 	w.curAttempt.Store(-1)
+	w.lastLine.Store(-1)
 
 	if cfg.SelfHeal != nil {
 		if len(cfg.ReplAddrs) == 0 {
@@ -217,6 +262,11 @@ func RunNode(cfg NodeConfig) error {
 		if err != nil {
 			w.emit("error %v", err)
 			return err
+		}
+		// Stamp the configured codec geometry into commit markers so
+		// c3inspect reports the same configuration the diskless planes use.
+		if c, cerr := stable.NewCodec(cfg.Codec, cfg.DataShards, cfg.ParityShards); cerr == nil {
+			disk.SetMarkerInfo(c.ID(), c.DataShards(), c.ParityShards())
 		}
 		w.store = disk
 	default:
@@ -397,12 +447,14 @@ func (w *node) attemptBody(mesh *tcp.Mesh, attempt int, restore bool) error {
 			w.emit("victim")
 			select {}
 		},
+		onLayer: func(l *ckpt.Layer) { w.layer.Store(l) },
 	}
 	var failer *failureInjector
 	if w.cfg.Kill != nil && attempt == 0 && w.cfg.Kill.Rank == w.cfg.Rank {
 		failer = newFailureInjector([]FailureSpec{*w.cfg.Kill})
 	}
 	err, st := runRank(cfg, world, w.store, w.cfg.Rank, restore, failer)
+	w.layer.Store(nil)
 	w.statMu.Lock()
 	w.lastStats = st
 	w.statMu.Unlock()
@@ -414,6 +466,7 @@ func (w *node) attemptBody(mesh *tcp.Mesh, attempt int, restore bool) error {
 // epochEvent is a committed epoch transition delivered by the detector.
 type epochEvent struct {
 	epoch   uint64
+	members member.Set
 	dead    []int
 	newDead []int
 }
@@ -433,6 +486,11 @@ func (w *node) runSelfHeal() error {
 	if sh.JoinTimeout <= 0 {
 		sh.JoinTimeout = 15 * time.Second
 	}
+	// The compute world is fixed at Ranks; membership (shard placement,
+	// quorum, agreement votes) is elastic across Capacity slots. A slot
+	// beyond the compute world is a storage member: no app attempts.
+	storage := cfg.Rank >= cfg.Ranks
+	boot := member.Launch(cfg.Ranks)
 
 	dopts, err := cfg.distOptions()
 	if err != nil {
@@ -449,26 +507,36 @@ func (w *node) runSelfHeal() error {
 	detPlane := demux.Plane(transport.WireKindDetect)
 
 	dopts = append(dopts, stable.WithCommitHook(func(version int) {
+		w.lastLine.Store(int64(version))
 		w.emit("ckpt %d %d", w.curAttempt.Load(), version)
 	}))
-	w.dist = stable.NewDistStore(cfg.Rank, cfg.Ranks, replPlane, dopts...)
+	dopts = append(dopts, stable.WithDistMembers(boot))
+	w.dist = stable.NewDistStore(cfg.Rank, cfg.Capacity, replPlane, dopts...)
 	w.store = w.dist
 	defer w.dist.Close()
 
 	epochCh := make(chan epochEvent, 16)
 	evicted := make(chan uint64, 1)
+	drained := make(chan uint64, 1)
 	det, err := detect.New(detect.Options{
 		Self:              cfg.Rank,
-		Ranks:             cfg.Ranks,
+		Ranks:             cfg.Capacity,
+		Members:           boot,
 		Net:               detPlane,
 		HeartbeatInterval: sh.HeartbeatInterval,
 		PhiThreshold:      sh.PhiThreshold,
-		OnEpoch: func(epoch uint64, dead, newDead []int) {
-			epochCh <- epochEvent{epoch: epoch, dead: dead, newDead: newDead}
+		OnEpoch: func(epoch uint64, members member.Set, dead, newDead []int) {
+			epochCh <- epochEvent{epoch: epoch, members: members, dead: dead, newDead: newDead}
 		},
 		OnEvicted: func(epoch uint64) {
 			select {
 			case evicted <- epoch:
+			default:
+			}
+		},
+		OnDrained: func(epoch uint64) {
+			select {
+			case drained <- epoch:
 			default:
 			}
 		},
@@ -484,10 +552,20 @@ func (w *node) runSelfHeal() error {
 		return err
 	}
 	defer det.Close()
+	w.det = det
 	demux.SetObservers(det.ObserveRecv, det.ObserveSend)
 	demux.Start()
 	defer demux.Close()
 	det.Start()
+
+	if cfg.OpsAddr != "" {
+		srv, serr := ops.Serve(cfg.OpsAddr, w)
+		if serr != nil {
+			w.emit("error %v", serr)
+			return serr
+		}
+		defer srv.Close()
+	}
 
 	state := &selfHealState{det: det}
 	cmds := w.commandStream()
@@ -506,6 +584,11 @@ func (w *node) runSelfHeal() error {
 		}
 		attempt = a
 		w.curAttempt.Store(int64(a))
+		if storage {
+			// Storage members host shards and vote; the MPI world that runs
+			// the application is the fixed compute ranks [0, Ranks).
+			return
+		}
 		m, err := tcp.New(cfg.Rank, cfg.MPIAddrs,
 			tcp.WithGeneration(uint64(a+1)), tcp.WithDialWindow(cfg.DialWindow))
 		if err != nil {
@@ -550,14 +633,26 @@ func (w *node) runSelfHeal() error {
 				}
 				start(a, cmd[2] == "1")
 			case "join":
-				// A freshly respawned replacement: adopt the agreed epoch
-				// from the survivors, then enter the current restore attempt.
-				epoch, err := det.Join(sh.JoinTimeout)
-				if err != nil {
-					w.emit("error %v", err)
-					return err
+				// Entry into a running world. A respawned compute rank is
+				// still a member and merely adopts the agreed epoch; a storage
+				// slot (fresh spare, or its own re-execution) is admitted by a
+				// committed membership epoch — JoinNew's hello doubles as the
+				// join request.
+				var epoch uint64
+				var jerr error
+				if storage {
+					epoch, jerr = det.JoinNew(sh.JoinTimeout)
+				} else {
+					epoch, jerr = det.Join(sh.JoinTimeout)
+				}
+				if jerr != nil {
+					w.emit("error %v", jerr)
+					return jerr
 				}
 				seenEpoch = epoch
+				w.dist.SetMembership(det.Members())
+				w.dist.AdvanceEpoch(epoch)
+				w.emit("joined %d", epoch)
 				state.restoreStart = time.Now()
 				start(int(epoch)-1, true)
 			case "part":
@@ -600,15 +695,21 @@ func (w *node) runSelfHeal() error {
 				continue // stale (e.g. the epoch adopted during join)
 			}
 			seenEpoch = ev.epoch
-			// Release commits blocked on acknowledgments from ranks that the
-			// agreement just declared dead, then tear the attempt down.
+			// Install the epoch's membership first — shard placement and
+			// recovery queries must follow the new ring before the restore
+			// attempt reads the store — then release commits blocked on
+			// acknowledgments from ranks the agreement declared dead, and
+			// tear the attempt down. Every epoch lands at a recovery line:
+			// deaths and membership changes alike restart the world in
+			// restore mode at attempt = epoch - 1.
+			w.dist.SetMembership(ev.members)
 			w.dist.AdvanceEpoch(ev.epoch)
 			stop()
-			// The lowest-ranked survivor coordinates: it negotiates the
-			// restore line (logged for visibility; the binding negotiation is
-			// the collective reduction inside Restore) and asks the respawner
-			// for replacements.
-			if coordinatorOf(ev.dead, cfg.Ranks) == cfg.Rank {
+			// The lowest-ranked surviving member coordinates: it negotiates
+			// the restore line (logged for visibility; the binding negotiation
+			// is the collective reduction inside Restore) and asks the
+			// respawner for replacements.
+			if coordinatorOf(ev.dead, ev.members) == cfg.Rank {
 				for _, r := range ev.newDead {
 					w.emit("respawn %d", r)
 				}
@@ -649,6 +750,14 @@ func (w *node) runSelfHeal() error {
 				return err
 			}
 
+		case epoch := <-drained:
+			// A committed membership epoch removed this very slot — the
+			// graceful shrink this node (or an operator via the ops plane)
+			// asked for. Stop hosting and exit cleanly; peers re-partition.
+			stop()
+			w.emit("drained %d", epoch)
+			return nil
+
 		case epoch := <-evicted:
 			err := fmt.Errorf("rank %d evicted by epoch %d while alive (false suspicion won agreement)", cfg.Rank, epoch)
 			w.emit("error %v", err)
@@ -657,14 +766,108 @@ func (w *node) runSelfHeal() error {
 	}
 }
 
+// --- Ops control-plane backend (internal/ops.Backend) ---
+//
+// The node implements the control plane's Backend so internal/ops stays
+// free of cluster imports. All methods run on HTTP handler goroutines and
+// touch only thread-safe surfaces: detector accessors, store counters,
+// atomics, and the outMu-serialized pipe.
+
+// Status snapshots this node's view of the world for GET /status.
+func (w *node) Status() ops.Status {
+	members := w.det.Members()
+	commits, _ := w.dist.CommitStats()
+	return ops.Status{
+		Rank:            w.cfg.Rank,
+		World:           w.cfg.Ranks,
+		Capacity:        w.cfg.Capacity,
+		Storage:         w.cfg.Rank >= w.cfg.Ranks,
+		Attempt:         int(w.curAttempt.Load()),
+		Epoch:           w.det.Epoch(),
+		MembershipEpoch: members.Epoch(),
+		Members:         members.Members(),
+		Dead:            w.det.Dead(),
+		Fenced:          w.det.Fenced(),
+		Line:            int(w.lastLine.Load()),
+		Checkpoints:     commits,
+		StoredBytes:     w.dist.StoredBytes(),
+	}
+}
+
+// Metrics snapshots this node's counters for GET /metrics.
+func (w *node) Metrics() ops.Metrics {
+	members := w.det.Members()
+	commits, nanos := w.dist.CommitStats()
+	last := 0.0
+	if tm := w.det.Times(); !tm.SuspectAt.IsZero() && tm.AgreeAt.After(tm.SuspectAt) {
+		last = tm.AgreeAt.Sub(tm.SuspectAt).Seconds()
+	}
+	return ops.Metrics{
+		Rank:            w.cfg.Rank,
+		Attempt:         int(w.curAttempt.Load()),
+		Commits:         commits,
+		CommitSeconds:   float64(nanos) / 1e9,
+		Detections:      w.det.Detections(),
+		DetectLastSecs:  last,
+		Epoch:           w.det.Epoch(),
+		MembershipEpoch: members.Epoch(),
+		Members:         members.Size(),
+		StoredBytes:     w.dist.StoredBytes(),
+		ReplicatedBytes: w.dist.ReplicatedBytes(),
+		Reassemblies:    w.dist.Reassemblies(),
+		Fenced:          w.det.Fenced(),
+	}
+}
+
+// CheckpointNow implements POST /checkpoint: the running attempt takes a
+// recovery line at its next pragma.
+func (w *node) CheckpointNow() error {
+	l := w.layer.Load()
+	if l == nil {
+		return fmt.Errorf("no attempt is running on rank %d", w.cfg.Rank)
+	}
+	l.RequestCheckpoint()
+	return nil
+}
+
+// Drain implements POST /drain: start the membership agreement that
+// removes a storage member gracefully. Compute ranks cannot drain — the
+// MPI world is fixed at launch; shrinking it would change the
+// application's decomposition mid-run.
+func (w *node) Drain(rank int) error {
+	if rank < w.cfg.Ranks {
+		return fmt.Errorf("rank %d hosts an application rank; only storage members (slots >= %d) drain", rank, w.cfg.Ranks)
+	}
+	return w.det.Drain(rank)
+}
+
+// JoinHint implements POST /join: ask the launcher to spawn a process for
+// a spare slot. Admission itself happens between the new process and the
+// members (JoinNew -> membership epoch agreement); the launcher merely
+// provides the process.
+func (w *node) JoinHint(slot int) error {
+	if slot >= 0 {
+		if slot < w.cfg.Ranks || slot >= w.cfg.Capacity {
+			return fmt.Errorf("slot %d outside the spare range [%d,%d)", slot, w.cfg.Ranks, w.cfg.Capacity)
+		}
+		if w.det.Members().Contains(slot) {
+			return fmt.Errorf("slot %d is already a member", slot)
+		}
+	} else if w.det.Members().Size() >= w.cfg.Capacity {
+		return fmt.Errorf("all %d slots are members; nothing spare to join", w.cfg.Capacity)
+	}
+	w.emit("wantjoin %d", slot)
+	return nil
+}
+
 // coordinatorOf returns the recovery coordinator for a dead set: the
-// lowest-ranked survivor.
-func coordinatorOf(dead []int, ranks int) int {
+// lowest-ranked surviving member.
+func coordinatorOf(dead []int, members member.Set) int {
 	deadSet := make(map[int]bool, len(dead))
 	for _, r := range dead {
 		deadSet[r] = true
 	}
-	for r := 0; r < ranks; r++ {
+	for _, r := range members.Members() {
 		if !deadSet[r] {
 			return r
 		}

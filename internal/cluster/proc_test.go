@@ -58,16 +58,27 @@ func runProcWorker() {
 		ackTO     = fs.Duration("ack-timeout", 0, "")
 		queryTO   = fs.Duration("query-timeout", 0, "")
 		queryN    = fs.Int("query-retries", 0, "")
+		capacity  = fs.Int("capacity", 0, "")
+		opsAddr   = fs.String("ops-addr", "", "")
+		app       = fs.String("app", "stress", "")
+		iters     = fs.Int("iters", procIters, "")
+		pace      = fs.Duration("pace", 0, "")
 	)
 	_ = fs.Parse(os.Args[1:])
 
 	var sums sync.Map
+	workload := sched.StressApp(procIters, &sums)
+	if *app == "elastic" {
+		workload = elasticApp(*iters, *pace, &sums)
+	}
 	nc := cluster.NodeConfig{
 		Rank:      *rank,
 		Ranks:     *ranks,
+		Capacity:  *capacity,
+		OpsAddr:   *opsAddr,
 		MPIAddrs:  strings.Split(*peers, ","),
 		ReplAddrs: strings.Split(*replPeers, ","),
-		App:       sched.StressApp(procIters, &sums),
+		App:       workload,
 		Policy:    ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},
 		In:        os.Stdin,
 		Out:       os.Stdout,

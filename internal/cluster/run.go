@@ -95,6 +95,10 @@ type Config struct {
 	// when a scheduled failure fires. The multi-process node runtime uses it
 	// to announce itself as the victim and await a real SIGKILL.
 	failAction func() error
+	// onLayer, when non-nil, receives the protocol layer right after
+	// bring-up. The multi-process node runtime uses it to expose the
+	// running attempt's layer to the ops control plane (POST /checkpoint).
+	onLayer func(*ckpt.Layer)
 }
 
 // Schedule is a recorded virtual-schedule execution: the decision trace of
@@ -322,6 +326,9 @@ func runRank(cfg Config, world *mpi.World, store stable.Store, rank int, restart
 	layer, err := ckpt.New(p, lcfg)
 	if err != nil {
 		return err, ckpt.Stats{}
+	}
+	if cfg.onLayer != nil {
+		cfg.onLayer(layer)
 	}
 	env := &ckptEnv{
 		layer:      layer,

@@ -16,6 +16,7 @@ const (
 	msgCommit                   // agreement phase 2: epoch transition
 	msgHello                    // a (re)joining rank announces itself
 	msgState                    // membership snapshot, answers hello / catch-up
+	msgDrain                    // request: remove a member at the next epoch
 )
 
 // payload is a detector message on the wire. Like the stable store's
@@ -66,21 +67,27 @@ func decodeSuspect(data payload) (epoch uint64, target int, err error) {
 	return epoch, target, r.Err()
 }
 
-func encodePropose(epoch, seq uint64, dead []int) payload {
-	w := wire.NewWriter(32 + 8*len(dead))
+// Propose, commit, and state all carry the proposed (or current) member
+// list alongside the dead set: membership is part of what the agreement
+// commits, so a rank can never adopt an epoch without also adopting the
+// member ring that epoch's quorum rules are defined over.
+func encodePropose(epoch, seq uint64, dead, members []int) payload {
+	w := wire.NewWriter(40 + 8*len(dead) + 8*len(members))
 	w.U8(msgPropose)
 	w.U64(epoch)
 	w.U64(seq)
 	w.Ints(dead)
+	w.Ints(members)
 	return payload(w.Bytes())
 }
 
-func decodePropose(data payload) (epoch, seq uint64, dead []int, err error) {
+func decodePropose(data payload) (epoch, seq uint64, dead, members []int, err error) {
 	r := wire.NewReader(data[1:])
 	epoch = r.U64()
 	seq = r.U64()
 	dead = r.Ints()
-	return epoch, seq, dead, r.Err()
+	members = r.Ints()
+	return epoch, seq, dead, members, r.Err()
 }
 
 func encodeAck(epoch, seq uint64) payload {
@@ -98,38 +105,61 @@ func decodeAck(data payload) (epoch, seq uint64, err error) {
 	return epoch, seq, r.Err()
 }
 
-func encodeCommit(epoch uint64, dead []int) payload {
-	w := wire.NewWriter(24 + 8*len(dead))
+func encodeCommit(epoch uint64, dead, members []int) payload {
+	w := wire.NewWriter(32 + 8*len(dead) + 8*len(members))
 	w.U8(msgCommit)
 	w.U64(epoch)
 	w.Ints(dead)
+	w.Ints(members)
 	return payload(w.Bytes())
 }
 
-func decodeCommit(data payload) (epoch uint64, dead []int, err error) {
+func decodeCommit(data payload) (epoch uint64, dead, members []int, err error) {
 	r := wire.NewReader(data[1:])
 	epoch = r.U64()
 	dead = r.Ints()
-	return epoch, dead, r.Err()
+	members = r.Ints()
+	return epoch, dead, members, r.Err()
 }
 
 func encodeHello() payload {
 	return payload([]byte{msgHello})
 }
 
-func encodeState(epoch uint64, dead []int) payload {
-	w := wire.NewWriter(24 + 8*len(dead))
+func encodeState(epoch uint64, dead, members []int) payload {
+	w := wire.NewWriter(32 + 8*len(dead) + 8*len(members))
 	w.U8(msgState)
 	w.U64(epoch)
 	w.Ints(dead)
+	w.Ints(members)
 	return payload(w.Bytes())
 }
 
-func decodeState(data payload) (epoch uint64, dead []int, err error) {
+func decodeState(data payload) (epoch uint64, dead, members []int, err error) {
 	r := wire.NewReader(data[1:])
 	epoch = r.U64()
 	dead = r.Ints()
-	return epoch, dead, r.Err()
+	members = r.Ints()
+	return epoch, dead, members, r.Err()
+}
+
+// encodeDrain asks the world to remove target from the membership at the
+// next epoch agreement (a graceful shrink). Like suspicion gossip it is
+// retransmitted every tick until a commit settles it, so a lossy send
+// path cannot strand the request.
+func encodeDrain(epoch uint64, target int) payload {
+	w := wire.NewWriter(17)
+	w.U8(msgDrain)
+	w.U64(epoch)
+	w.Int(target)
+	return payload(w.Bytes())
+}
+
+func decodeDrain(data payload) (epoch uint64, target int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	target = r.Int()
+	return epoch, target, r.Err()
 }
 
 func kindName(k uint8) string {
@@ -148,6 +178,8 @@ func kindName(k uint8) string {
 		return "hello"
 	case msgState:
 		return "state"
+	case msgDrain:
+		return "drain"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

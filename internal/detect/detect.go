@@ -33,13 +33,23 @@ import (
 	"sync"
 	"time"
 
+	"c3/internal/member"
 	"c3/internal/transport"
 )
 
 // Options configures a Detector.
 type Options struct {
-	// Self is the local rank; Ranks the world size.
+	// Self is the local rank; Ranks the slot capacity: the number of
+	// pre-allocated address slots this world can ever host (the elastic
+	// membership can grow up to it). The launch-time membership is usually
+	// smaller; see Members.
 	Self, Ranks int
+	// Members is the initial membership. Zero (Size 0) means the classic
+	// fixed world: all Ranks slots are members at epoch 1. A spare slot
+	// joining an existing world passes the membership it believes in
+	// WITHOUT itself and calls JoinNew — it participates only once an
+	// epoch agreement admits it.
+	Members member.Set
 	// Net is the detection plane (usually a transport.Demux plane sharing
 	// the replication mesh).
 	Net transport.Interconnect
@@ -61,15 +71,19 @@ type Options struct {
 	// Clock substitutes a time source (tests); default time.Now.
 	Clock func() time.Time
 	// OnEpoch fires after each committed epoch transition with the agreed
-	// epoch, the full current dead set, and the ranks newly declared dead.
-	// It is called from a detector goroutine; receivers must not block for
-	// long (hand off to a channel).
-	OnEpoch func(epoch uint64, dead, newDead []int)
+	// epoch, the membership that epoch installs, the full current dead
+	// set, and the ranks newly declared dead. It is called from a detector
+	// goroutine; receivers must not block for long (hand off to a channel).
+	OnEpoch func(epoch uint64, members member.Set, dead, newDead []int)
 	// OnEvicted fires if a committed epoch declares this very rank dead
 	// while it is alive (a false suspicion that won agreement).
 	OnEvicted func(epoch uint64)
+	// OnDrained fires when a committed epoch removes this very rank from
+	// the membership — a graceful shrink it (or an operator) requested.
+	// The rank should stop participating and exit cleanly.
+	OnDrained func(epoch uint64)
 	// OnFence fires on fencing transitions: fenced=true when this rank can
-	// no longer see a strict majority of the launch-time world (it is on
+	// no longer see a strict majority of the current membership (it is on
 	// the minority side of a partition, or the world degraded past
 	// quorum), fenced=false when majority contact returns. While fenced a
 	// rank must refuse checkpoint commits and epoch advances — it could be
@@ -91,14 +105,17 @@ type Times struct {
 
 // proposal is the coordinator's in-flight two-phase agreement. It commits
 // only once the coordinator's own vote plus the collected acks reach a
-// strict majority of the launch-time world — a coordinator that cannot
+// strict majority of the current membership — a coordinator that cannot
 // reach quorum (it sits on the minority side of a partition) stalls
 // instead of committing, so two sides of a split can never fork the epoch
-// sequence (the PBFT-style view-change discipline).
+// sequence (the PBFT-style view-change discipline). Besides the dead set
+// a proposal carries the member list the new epoch installs, so grows and
+// shrinks commit through exactly the same two-phase path as deaths.
 type proposal struct {
 	epoch   uint64
 	seq     uint64
 	dead    []int        // full proposed dead set, sorted
+	members []int        // proposed member list, sorted
 	pending map[int]bool // participants that have not acked yet
 	acked   map[int]bool // participants whose ack arrived
 }
@@ -113,21 +130,24 @@ type Detector struct {
 	threshold float64
 	clock     func() time.Time
 
-	mu          sync.Mutex
-	epoch       uint64
-	dead        map[int]bool
-	suspected   map[int]time.Time // rank -> when first suspected
-	monitors    map[int]*Monitor  // ring successors this rank watches
-	lastSent    map[int]time.Time // piggyback: last outbound traffic per peer
-	lastHeard   []time.Time       // contact lease: last inbound traffic per peer
-	lease       time.Duration     // fencing contact-lease horizon
-	prop        *proposal
-	propSeq     uint64
-	detections  uint64
-	pendSuspect time.Time // earliest suspicion since the last commit
-	times       Times
-	fenced      bool // live contact < strict majority of the launch world
-	closed      bool
+	mu           sync.Mutex
+	epoch        uint64
+	members      member.Set        // current membership (epoch-stamped)
+	dead         map[int]bool      // dead members (still members: respawn slots)
+	suspected    map[int]time.Time // rank -> when first suspected
+	pendingJoin  map[int]bool      // non-member slots asking to join
+	pendingLeave map[int]bool      // members asked to drain out
+	monitors     map[int]*Monitor  // ring successors this rank watches
+	lastSent     map[int]time.Time // piggyback: last outbound traffic per peer
+	lastHeard    []time.Time       // contact lease: last inbound traffic per peer
+	lease        time.Duration     // fencing contact-lease horizon
+	prop         *proposal
+	propSeq      uint64
+	detections   uint64
+	pendSuspect  time.Time // earliest suspicion since the last commit
+	times        Times
+	fenced       bool // live contact < strict majority of the membership
+	closed       bool
 
 	sendMu        sync.Mutex
 	senders       map[int]chan payload
@@ -157,25 +177,37 @@ func New(opts Options) (*Detector, error) {
 	if opts.LeaseTimeout <= 0 {
 		opts.LeaseTimeout = 10 * opts.HeartbeatInterval
 	}
+	if opts.Members.Size() == 0 {
+		opts.Members = member.Launch(opts.Ranks)
+	}
+	if opts.Members.Max() >= opts.Ranks {
+		return nil, fmt.Errorf("detect: member slot %d outside capacity %d", opts.Members.Max(), opts.Ranks)
+	}
 	d := &Detector{
-		opts:      opts,
-		self:      opts.Self,
-		n:         opts.Ranks,
-		net:       opts.Net,
-		interval:  opts.HeartbeatInterval,
-		threshold: opts.PhiThreshold,
-		clock:     opts.Clock,
-		epoch:     1,
-		dead:      make(map[int]bool),
-		suspected: make(map[int]time.Time),
-		monitors:  make(map[int]*Monitor),
-		lastSent:  make(map[int]time.Time),
-		senders:   make(map[int]chan payload),
-		done:      make(chan struct{}),
+		opts:         opts,
+		self:         opts.Self,
+		n:            opts.Ranks,
+		net:          opts.Net,
+		interval:     opts.HeartbeatInterval,
+		threshold:    opts.PhiThreshold,
+		clock:        opts.Clock,
+		epoch:        opts.Members.Epoch(),
+		members:      opts.Members,
+		dead:         make(map[int]bool),
+		suspected:    make(map[int]time.Time),
+		pendingJoin:  make(map[int]bool),
+		pendingLeave: make(map[int]bool),
+		monitors:     make(map[int]*Monitor),
+		lastSent:     make(map[int]time.Time),
+		senders:      make(map[int]chan payload),
+		done:         make(chan struct{}),
+	}
+	if d.epoch < 1 {
+		d.epoch = 1
 	}
 	d.lease = opts.LeaseTimeout
 	now := d.clock()
-	for _, m := range ringSuccessors(d.self, d.n) {
+	for _, m := range d.members.Successors(d.self, 2) {
 		d.monitors[m] = newMonitor(d.interval, now)
 	}
 	// Startup grace: every peer begins with a fresh lease, so a world that
@@ -187,25 +219,11 @@ func New(opts Options) (*Detector, error) {
 	return d, nil
 }
 
-// ringSuccessors returns the +1/+2 ring successors of rank (the peers it
-// monitors — the same neighborhood that replicates its checkpoints).
-func ringSuccessors(rank, n int) []int {
-	var out []int
-	for d := 1; d <= 2 && d < n; d++ {
-		out = append(out, (rank+d)%n)
-	}
-	return out
-}
-
-// ringPredecessors returns the -1/-2 ring predecessors (the peers that
-// monitor this rank, hence the targets of its heartbeats).
-func ringPredecessors(rank, n int) []int {
-	var out []int
-	for d := 1; d <= 2 && d < n; d++ {
-		out = append(out, (rank-d+2*n)%n)
-	}
-	return out
-}
+// The heartbeat neighborhood is the member ring's ±1/±2: each rank
+// monitors its two ring successors (member.Set.Successors) and heartbeats
+// toward the two predecessors that monitor it. With the launch membership
+// 0..n-1 this is exactly the fixed-world (rank±d)%n ring the detector
+// shipped with.
 
 // Start launches the heartbeat/evaluation ticker and the receive loop.
 func (d *Detector) Start() {
@@ -250,6 +268,13 @@ func (d *Detector) Dead() []int {
 	return setToSlice(d.dead)
 }
 
+// Members returns the current committed membership.
+func (d *Detector) Members() member.Set {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.members
+}
+
 // Detections returns how many rank deaths have been confirmed by committed
 // epochs so far.
 func (d *Detector) Detections() uint64 {
@@ -276,10 +301,13 @@ func (d *Detector) Fenced() bool {
 }
 
 // quorum is the number of votes an epoch commit needs: a strict majority
-// of the launch-time world (not of the current survivors — otherwise two
-// partition sides could each reach "majority of who I can see").
+// of the current membership (not of the current survivors — otherwise two
+// partition sides could each reach "majority of who I can see"). After a
+// committed grow or shrink the majority is of the new member set, which
+// is what makes resize safe against partitions: the old world's minority
+// can never outvote the committed configuration. Callers hold d.mu.
 func (d *Detector) quorum() int {
-	return d.n/2 + 1
+	return d.members.Quorum()
 }
 
 // refenceLocked recomputes the fencing state from the contact leases and
@@ -290,8 +318,11 @@ func (d *Detector) quorum() int {
 // d.mu and must invoke the returned func, if any, after releasing it.
 func (d *Detector) refenceLocked() func() {
 	now := d.clock()
-	live := 1 // self
-	for r := 0; r < d.n; r++ {
+	live := 0
+	if d.members.Contains(d.self) {
+		live++ // self
+	}
+	for _, r := range d.members.Members() {
 		if r == d.self || d.dead[r] {
 			continue
 		}
@@ -299,15 +330,16 @@ func (d *Detector) refenceLocked() func() {
 			live++
 		}
 	}
-	fenced := live < d.quorum()
+	size, quorum := d.members.Size(), d.quorum()
+	fenced := live < quorum
 	if fenced == d.fenced {
 		return nil
 	}
 	d.fenced = fenced
 	cb := d.opts.OnFence
 	return func() {
-		d.logf("rank %d: fencing -> %v (live view %d of %d, quorum %d)",
-			d.self, fenced, live, d.n, d.quorum())
+		d.logf("rank %d: fencing -> %v (live view %d of %d members, quorum %d)",
+			d.self, fenced, live, size, quorum)
 		if cb != nil {
 			cb(fenced)
 		}
@@ -368,15 +400,33 @@ func (d *Detector) ObserveSend(to int) {
 	d.mu.Unlock()
 }
 
-// Join is called by a freshly respawned replacement process: it broadcasts
-// hello until a survivor's state response raises the local epoch past the
-// boot value, then returns the adopted epoch. Survivors react to the hello
-// by marking this rank alive again and resetting its monitor.
+// Join is called by a freshly respawned replacement process (its slot is
+// still a member — death does not remove membership): it broadcasts hello
+// until a survivor's state response raises the local epoch past the boot
+// value, then returns the adopted epoch. Survivors react to the hello by
+// marking this rank alive again and resetting its monitor.
 func (d *Detector) Join(timeout time.Duration) (uint64, error) {
+	boot := d.Epoch()
+	return d.helloUntil(timeout, func() bool { return d.Epoch() > boot },
+		"no survivor answered")
+}
+
+// JoinNew is called by a spare slot entering an existing world for the
+// first time: it broadcasts hello (which survivors treat as a join
+// request, because the sender is not a member) until an epoch agreement
+// admits it to the membership, then returns the admitting epoch. The
+// coordinator folds the join into its next proposal, so admission rides
+// the same two-phase commit as a failure — a grow IS an epoch transition.
+func (d *Detector) JoinNew(timeout time.Duration) (uint64, error) {
+	return d.helloUntil(timeout, func() bool { return d.Members().Contains(d.self) },
+		"membership never admitted us")
+}
+
+func (d *Detector) helloUntil(timeout time.Duration, admitted func() bool, what string) (uint64, error) {
 	deadline := d.clock().Add(timeout)
 	for {
-		if e := d.Epoch(); e > 1 {
-			return e, nil
+		if admitted() {
+			return d.Epoch(), nil
 		}
 		hello := encodeHello()
 		for q := 0; q < d.n; q++ {
@@ -385,7 +435,7 @@ func (d *Detector) Join(timeout time.Duration) (uint64, error) {
 			}
 		}
 		if d.clock().After(deadline) {
-			return 0, fmt.Errorf("detect: rank %d join timed out after %v (no survivor answered)", d.self, timeout)
+			return 0, fmt.Errorf("detect: rank %d join timed out after %v (%s)", d.self, timeout, what)
 		}
 		select {
 		case <-d.done:
@@ -393,6 +443,24 @@ func (d *Detector) Join(timeout time.Duration) (uint64, error) {
 		case <-time.After(d.interval):
 		}
 	}
+}
+
+// Drain requests a graceful shrink: remove target from the membership at
+// the next epoch agreement. The request is gossiped to the live members
+// every tick until a commit settles it (or the target stops being a
+// member some other way). Draining self is allowed — the OnDrained
+// callback fires once the removal commits.
+func (d *Detector) Drain(target int) error {
+	d.mu.Lock()
+	if !d.members.Contains(target) {
+		cur := d.members
+		d.mu.Unlock()
+		return fmt.Errorf("detect: drain target %d is not a member (%s)", target, cur)
+	}
+	d.pendingLeave[target] = true
+	d.mu.Unlock()
+	d.driveProposal()
+	return nil
 }
 
 func (d *Detector) logf(format string, args ...any) {
@@ -450,18 +518,25 @@ func (d *Detector) tick() {
 	now := d.clock()
 
 	d.mu.Lock()
+	if !d.members.Contains(d.self) {
+		// Not (yet, or no longer) a member: no heartbeats, no suspicions,
+		// no proposals. A joining slot only listens and hellos (JoinNew);
+		// a drained slot is on its way out.
+		d.mu.Unlock()
+		return
+	}
 	epoch := d.epoch
 	// Heartbeats to the predecessors that monitor this rank (every
-	// interval), and low-rate lease pings to every other live peer so the
+	// interval), and low-rate lease pings to every other live member so the
 	// whole world keeps receiving positive contact evidence for the fencing
 	// rule. Both are skipped when other traffic already reached the peer
 	// within the window (piggybacking).
 	isPred := make(map[int]bool, 2)
-	for _, t := range ringPredecessors(d.self, d.n) {
+	for _, t := range d.members.Predecessors(d.self, 2) {
 		isPred[t] = true
 	}
 	var pings []int
-	for t := 0; t < d.n; t++ {
+	for _, t := range d.members.Members() {
 		if t == d.self || d.dead[t] {
 			continue
 		}
@@ -507,7 +582,7 @@ func (d *Detector) tick() {
 	// monitored one crossing the phi threshold. A false positive clears the
 	// same way monitor suspicions do (ObserveRecv on the peer's next ping).
 	var leaseSuspects []int
-	for r := 0; r < d.n; r++ {
+	for _, r := range d.members.Members() {
 		if r == d.self || d.dead[r] || d.monitors[r] != nil {
 			continue
 		}
@@ -529,6 +604,10 @@ func (d *Detector) tick() {
 		gossip = append(gossip, s)
 	}
 	sort.Ints(gossip)
+	// Drain requests are re-gossiped each tick for the same reason the
+	// suspicions are: the send path is lossy and the coordinator may not
+	// have heard the request directly.
+	drains := setToSlice(d.pendingLeave)
 	gossipTargets := d.liveExceptLocked(gossip)
 	fence := d.refenceLocked()
 	d.mu.Unlock()
@@ -552,6 +631,12 @@ func (d *Detector) tick() {
 			d.send(t, g)
 		}
 	}
+	for _, s := range drains {
+		g := encodeDrain(epoch, s)
+		for _, t := range gossipTargets {
+			d.send(t, g)
+		}
+	}
 
 	d.driveProposal()
 }
@@ -568,7 +653,7 @@ func (d *Detector) suspectLocked(r int, now time.Time) {
 	}
 }
 
-// liveExceptLocked returns every rank that is not self, not dead, not
+// liveExceptLocked returns every member that is not self, not dead, not
 // suspected, and not in skip. Callers hold d.mu.
 func (d *Detector) liveExceptLocked(skip []int) []int {
 	skipSet := make(map[int]bool, len(skip))
@@ -576,7 +661,7 @@ func (d *Detector) liveExceptLocked(skip []int) []int {
 		skipSet[s] = true
 	}
 	var out []int
-	for r := 0; r < d.n; r++ {
+	for _, r := range d.members.Members() {
 		if r == d.self || d.dead[r] || skipSet[r] {
 			continue
 		}
@@ -589,14 +674,35 @@ func (d *Detector) liveExceptLocked(skip []int) []int {
 }
 
 // driveProposal runs the coordinator's side of the agreement: start or
-// rebuild the proposal when the candidate dead set changes, retransmit to
-// laggards, and commit once the votes (the coordinator's own plus the
-// acks) reach a strict majority of the launch world. Laggards that have
-// not acked by then learn the result from the commit broadcast or a later
-// state exchange.
+// rebuild the proposal when the candidate dead set or member list
+// changes, retransmit to laggards, and commit once the votes (the
+// coordinator's own plus the acks) reach a strict majority of the current
+// membership. A proposal folds in everything outstanding: suspected
+// deaths, pending joins, and pending drains all commit through the same
+// epoch transition. Laggards that have not acked by then learn the result
+// from the commit broadcast or a later state exchange.
 func (d *Detector) driveProposal() {
 	d.mu.Lock()
-	if len(d.suspected) == 0 {
+	if !d.members.Contains(d.self) {
+		d.prop = nil
+		d.mu.Unlock()
+		return
+	}
+	// Pending membership changes that still mean something: joins of slots
+	// not yet members, drains of slots still members.
+	joins := make([]int, 0, len(d.pendingJoin))
+	for r := range d.pendingJoin {
+		if !d.members.Contains(r) {
+			joins = append(joins, r)
+		}
+	}
+	leaves := make([]int, 0, len(d.pendingLeave))
+	for r := range d.pendingLeave {
+		if d.members.Contains(r) {
+			leaves = append(leaves, r)
+		}
+	}
+	if len(d.suspected) == 0 && len(joins) == 0 && len(leaves) == 0 {
 		d.prop = nil
 		d.mu.Unlock()
 		return
@@ -608,9 +714,9 @@ func (d *Detector) driveProposal() {
 	for r := range d.suspected {
 		cand[r] = true
 	}
-	// Coordinator: the lowest rank that is neither dead nor suspected.
+	// Coordinator: the lowest member that is neither dead nor suspected.
 	coord := -1
-	for r := 0; r < d.n; r++ {
+	for _, r := range d.members.Members() {
 		if !cand[r] {
 			coord = r
 			break
@@ -621,19 +727,32 @@ func (d *Detector) driveProposal() {
 		d.mu.Unlock()
 		return
 	}
-	deadSet := setToSlice(cand)
-	if d.prop == nil || !equalInts(d.prop.dead, deadSet) {
+	next := d.members.WithJoined(d.epoch+1, joins...).WithRemoved(d.epoch+1, leaves...)
+	memberList := next.Members()
+	// The dead set the new epoch carries: dead/suspected slots that remain
+	// members (a drained slot leaves the dead set with its membership).
+	deadSet := make([]int, 0, len(cand))
+	for r := range cand {
+		if next.Contains(r) {
+			deadSet = append(deadSet, r)
+		}
+	}
+	sort.Ints(deadSet)
+	if d.prop == nil || !equalInts(d.prop.dead, deadSet) || !equalInts(d.prop.members, memberList) {
 		d.propSeq++
+		// Votes come from the current configuration: every current member
+		// that is not a death candidate. Joining slots do not vote — they
+		// are not members until this very proposal commits.
 		pending := make(map[int]bool)
-		for r := 0; r < d.n; r++ {
+		for _, r := range d.members.Members() {
 			if r != d.self && !cand[r] {
 				pending[r] = true
 			}
 		}
 		d.prop = &proposal{epoch: d.epoch + 1, seq: d.propSeq, dead: deadSet,
-			pending: pending, acked: make(map[int]bool)}
-		d.logf("rank %d: proposing epoch %d dead=%v to %d survivors (seq %d)",
-			d.self, d.prop.epoch, deadSet, len(pending), d.propSeq)
+			members: memberList, pending: pending, acked: make(map[int]bool)}
+		d.logf("rank %d: proposing epoch %d dead=%v members=%v to %d survivors (seq %d)",
+			d.self, d.prop.epoch, deadSet, memberList, len(pending), d.propSeq)
 	}
 	p := d.prop
 	if 1+len(p.acked) >= d.quorum() {
@@ -643,13 +762,13 @@ func (d *Detector) driveProposal() {
 	}
 	if len(p.pending) == 0 {
 		// Everyone this coordinator can reach has acked, yet the votes fall
-		// short of a strict majority of the launch world: it is on the
+		// short of a strict majority of the membership: it is on the
 		// minority side of a partition. Stall — committing here would fork
 		// the epoch sequence against a majority-side commit.
 		d.mu.Unlock()
 		return
 	}
-	msg := encodePropose(p.epoch, p.seq, p.dead)
+	msg := encodePropose(p.epoch, p.seq, p.dead, p.members)
 	targets := make([]int, 0, len(p.pending))
 	for r := range p.pending {
 		targets = append(targets, r)
@@ -661,32 +780,48 @@ func (d *Detector) driveProposal() {
 }
 
 // commitProposal finalizes an agreement: broadcast the commit and apply it
-// locally.
+// locally. The broadcast covers the union of the old and new member sets,
+// so a freshly admitted slot learns of its own admission and a drained
+// slot learns it is out.
 func (d *Detector) commitProposal(p *proposal) {
-	msg := encodeCommit(p.epoch, p.dead)
-	for r := 0; r < d.n; r++ {
-		alive := true
-		for _, dr := range p.dead {
-			if dr == r {
-				alive = false
-				break
-			}
-		}
-		if alive && r != d.self {
-			d.send(r, msg)
-		}
+	d.mu.Lock()
+	targets := make(map[int]bool, len(p.members)+d.members.Size())
+	for _, r := range d.members.Members() {
+		targets[r] = true
 	}
-	d.applyEpoch(p.epoch, p.dead, "agreement")
+	d.mu.Unlock()
+	for _, r := range p.members {
+		targets[r] = true
+	}
+	for _, dr := range p.dead {
+		delete(targets, dr)
+	}
+	delete(targets, d.self)
+	msg := encodeCommit(p.epoch, p.dead, p.members)
+	for _, r := range setToSlice(targets) {
+		d.send(r, msg)
+	}
+	d.applyEpoch(p.epoch, p.dead, p.members, "agreement")
 }
 
 // applyEpoch installs a committed epoch transition (from our own agreement,
-// a peer's commit, or a state snapshot) and fires OnEpoch.
-func (d *Detector) applyEpoch(epoch uint64, dead []int, via string) {
+// a peer's commit, or a state snapshot) — the new membership, the dead set
+// — rebuilds the heartbeat ring for the new member set, and fires OnEpoch
+// (or OnDrained/OnEvicted when the transition removes this very rank).
+func (d *Detector) applyEpoch(epoch uint64, dead, members []int, via string) {
+	now := d.clock()
 	d.mu.Lock()
 	if epoch <= d.epoch {
 		d.mu.Unlock()
 		return
 	}
+	newMembers := member.New(epoch, members)
+	if newMembers.Size() == 0 {
+		// Defensive: a commit with no member list keeps the current ring.
+		newMembers = d.members.WithEpoch(epoch)
+	}
+	wasMember := d.members.Contains(d.self)
+	isMember := newMembers.Contains(d.self)
 	var newDead []int
 	selfDead := false
 	newSet := make(map[int]bool, len(dead))
@@ -694,37 +829,79 @@ func (d *Detector) applyEpoch(epoch uint64, dead []int, via string) {
 		if r == d.self {
 			selfDead = true
 		}
+		if !newMembers.Contains(r) {
+			continue // removed slots leave the dead set with their membership
+		}
 		newSet[r] = true
 		if !d.dead[r] {
 			newDead = append(newDead, r)
 		}
 	}
+	// Slots entering the ring start with a fresh contact lease, so a grow
+	// cannot fence or lease-suspect the newcomer before its first ping.
+	for _, r := range newMembers.Members() {
+		if !d.members.Contains(r) && r >= 0 && r < d.n {
+			d.lastHeard[r] = now
+		}
+	}
 	d.epoch = epoch
+	d.members = newMembers
 	d.dead = newSet
 	d.detections += uint64(len(newDead))
 	for r := range d.suspected {
-		if newSet[r] {
+		if newSet[r] || !newMembers.Contains(r) {
 			delete(d.suspected, r)
 		}
 	}
+	for r := range d.pendingJoin {
+		if newMembers.Contains(r) {
+			delete(d.pendingJoin, r)
+		}
+	}
+	for r := range d.pendingLeave {
+		if !newMembers.Contains(r) {
+			delete(d.pendingLeave, r)
+		}
+	}
+	// Rebuild the monitor ring for the new membership: keep the arrival
+	// history of successors we already watched, start fresh monitors for
+	// new ones, drop the rest.
+	wanted := newMembers.Successors(d.self, 2)
+	next := make(map[int]*Monitor, len(wanted))
+	for _, m := range wanted {
+		if mon := d.monitors[m]; mon != nil {
+			next[m] = mon
+		} else {
+			next[m] = newMonitor(d.interval, now)
+		}
+	}
+	d.monitors = next
 	for r := range newSet {
 		if m := d.monitors[r]; m != nil {
-			m.Reset(d.clock()) // suspended while dead; fresh history on rejoin
+			m.Reset(now) // suspended while dead; fresh history on rejoin
 		}
 	}
 	d.prop = nil
-	d.times = Times{SuspectAt: d.pendSuspect, AgreeAt: d.clock()}
+	d.times = Times{SuspectAt: d.pendSuspect, AgreeAt: now}
 	d.pendSuspect = time.Time{}
 	sort.Ints(newDead)
 	allDead := setToSlice(newSet)
-	onEpoch, onEvicted := d.opts.OnEpoch, d.opts.OnEvicted
+	onEpoch, onEvicted, onDrained := d.opts.OnEpoch, d.opts.OnEvicted, d.opts.OnDrained
 	fence := d.refenceLocked()
 	d.mu.Unlock()
 	if fence != nil {
 		fence() // fencing state first, so epoch callbacks see it settled
 	}
 
-	d.logf("rank %d: epoch %d committed via %s, dead=%v (new %v)", d.self, epoch, via, allDead, newDead)
+	d.logf("rank %d: epoch %d committed via %s, members=%v dead=%v (new %v)",
+		d.self, epoch, via, newMembers.Members(), allDead, newDead)
+	if wasMember && !isMember {
+		d.logf("rank %d: drained out of the membership by epoch %d", d.self, epoch)
+		if onDrained != nil {
+			onDrained(epoch)
+		}
+		return
+	}
 	if selfDead {
 		d.logf("rank %d: DECLARED DEAD by epoch %d while alive", d.self, epoch)
 		if onEvicted != nil {
@@ -733,7 +910,7 @@ func (d *Detector) applyEpoch(epoch uint64, dead []int, via string) {
 		return
 	}
 	if onEpoch != nil {
-		onEpoch(epoch, allDead, newDead)
+		onEpoch(epoch, newMembers, allDead, newDead)
 	}
 }
 
@@ -786,12 +963,12 @@ func (d *Detector) handle(from int, data payload) {
 			// committed. A rank cleared by that newer epoch (rejoin, or an
 			// exoneration folded into the commit) must not be re-suspected
 			// by a reordered old frame — drop it and re-seed the gossiper.
-			cur, deadNow := d.epoch, setToSlice(d.dead)
+			cur, deadNow, membersNow := d.epoch, setToSlice(d.dead), d.members.Members()
 			d.mu.Unlock()
-			d.send(from, encodeState(cur, deadNow))
+			d.send(from, encodeState(cur, deadNow, membersNow))
 			return
 		}
-		if !d.dead[target] {
+		if !d.dead[target] && d.members.Contains(target) {
 			d.suspectLocked(target, now)
 		}
 		fence := d.refenceLocked()
@@ -801,11 +978,11 @@ func (d *Detector) handle(from int, data payload) {
 		}
 		d.driveProposal()
 	case msgPropose:
-		epoch, seq, dead, err := decodePropose(data)
+		epoch, seq, dead, members, err := decodePropose(data)
 		if err != nil {
 			return
 		}
-		d.handlePropose(from, epoch, seq, dead)
+		d.handlePropose(from, epoch, seq, dead, members)
 	case msgAck:
 		epoch, seq, err := decodeAck(data)
 		if err != nil {
@@ -813,15 +990,29 @@ func (d *Detector) handle(from int, data payload) {
 		}
 		d.handleAck(from, epoch, seq)
 	case msgCommit:
-		epoch, dead, err := decodeCommit(data)
+		epoch, dead, members, err := decodeCommit(data)
 		if err != nil {
 			return
 		}
-		d.applyEpoch(epoch, dead, fmt.Sprintf("commit from rank %d", from))
+		d.applyEpoch(epoch, dead, members, fmt.Sprintf("commit from rank %d", from))
 	case msgHello:
 		d.handleHello(from)
+	case msgDrain:
+		_, target, err := decodeDrain(data)
+		if err != nil {
+			return
+		}
+		d.mu.Lock()
+		isMember := d.members.Contains(target)
+		if isMember {
+			d.pendingLeave[target] = true
+		}
+		d.mu.Unlock()
+		if isMember {
+			d.driveProposal()
+		}
 	case msgState:
-		epoch, dead, err := decodeState(data)
+		epoch, dead, members, err := decodeState(data)
 		if err != nil {
 			return
 		}
@@ -837,7 +1028,7 @@ func (d *Detector) handle(from int, data payload) {
 			filtered = append(filtered, r)
 		}
 		wasBehind := epoch > d.Epoch()
-		d.applyEpoch(epoch, filtered, fmt.Sprintf("state from rank %d", from))
+		d.applyEpoch(epoch, filtered, members, fmt.Sprintf("state from rank %d", from))
 		if selfDead && wasBehind {
 			// The snapshot declared this very rank dead: a majority
 			// committed an epoch while we were fenced off. We adopted the
@@ -864,16 +1055,17 @@ func (d *Detector) reconcileEpoch(from int, peerEpoch uint64) {
 	d.mu.Lock()
 	cur := d.epoch
 	dead := setToSlice(d.dead)
+	members := d.members.Members()
 	d.mu.Unlock()
 	switch {
 	case peerEpoch < cur:
-		d.send(from, encodeState(cur, dead))
+		d.send(from, encodeState(cur, dead, members))
 	case peerEpoch > cur:
 		d.send(from, encodeHello())
 	}
 }
 
-func (d *Detector) handlePropose(from int, epoch, seq uint64, dead []int) {
+func (d *Detector) handlePropose(from int, epoch, seq uint64, dead, members []int) {
 	for _, r := range dead {
 		if r == d.self {
 			// Proposed dead while alive: protest instead of acking; the
@@ -885,21 +1077,33 @@ func (d *Detector) handlePropose(from int, epoch, seq uint64, dead []int) {
 	d.mu.Lock()
 	cur := d.epoch
 	if epoch != cur+1 {
-		deadNow := setToSlice(d.dead)
+		deadNow, membersNow := setToSlice(d.dead), d.members.Members()
 		d.mu.Unlock()
 		if epoch <= cur {
-			d.send(from, encodeState(cur, deadNow)) // proposer lags a commit
+			d.send(from, encodeState(cur, deadNow, membersNow)) // proposer lags a commit
 		} else {
 			d.send(from, encodeHello()) // we lag; fetch the peer's state
 		}
 		return
 	}
-	// Adopt the proposal's suspicions so our own coordinator logic (should
-	// the proposer die mid-agreement) starts from the same dead set.
+	// Adopt the proposal's suspicions and pending membership changes so our
+	// own coordinator logic (should the proposer die mid-agreement) starts
+	// from the same dead set and member list.
 	now := d.clock()
 	for _, r := range dead {
-		if !d.dead[r] {
+		if !d.dead[r] && d.members.Contains(r) {
 			d.suspectLocked(r, now)
+		}
+	}
+	proposed := member.New(epoch, members)
+	for _, r := range proposed.Members() {
+		if !d.members.Contains(r) {
+			d.pendingJoin[r] = true
+		}
+	}
+	for _, r := range d.members.Members() {
+		if !proposed.Contains(r) {
+			d.pendingLeave[r] = true
 		}
 	}
 	fence := d.refenceLocked()
@@ -926,11 +1130,22 @@ func (d *Detector) handleAck(from int, epoch, seq uint64) {
 	}
 }
 
-// handleHello marks a (re)joining rank alive and answers with the current
-// membership snapshot.
+// handleHello marks a (re)joining member alive and answers with the
+// current membership snapshot. A hello from a slot that is NOT a member
+// is a join request: it is recorded for the coordinator to fold into the
+// next epoch agreement, and answered with the snapshot so the newcomer
+// can adopt the world's state while it waits for admission.
 func (d *Detector) handleHello(from int) {
 	now := d.clock()
 	d.mu.Lock()
+	wantJoin := false
+	if !d.members.Contains(from) {
+		if !d.pendingJoin[from] {
+			d.logf("rank %d: slot %d asks to join (hello from non-member)", d.self, from)
+		}
+		d.pendingJoin[from] = true
+		wantJoin = true
+	}
 	if d.dead[from] {
 		delete(d.dead, from)
 		d.logf("rank %d: rank %d rejoined (hello)", d.self, from)
@@ -941,12 +1156,16 @@ func (d *Detector) handleHello(from int) {
 	}
 	epoch := d.epoch
 	dead := setToSlice(d.dead)
+	members := d.members.Members()
 	fence := d.refenceLocked()
 	d.mu.Unlock()
 	if fence != nil {
 		fence()
 	}
-	d.send(from, encodeState(epoch, dead))
+	d.send(from, encodeState(epoch, dead, members))
+	if wantJoin {
+		d.driveProposal()
+	}
 }
 
 // --- Helpers ---

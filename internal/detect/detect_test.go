@@ -6,9 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"c3/internal/member"
 	"c3/internal/transport"
 )
 
+// TestRingSets pins the full-world monitor ring the detector boots with:
+// two successors watched, two predecessors watching. The ring math itself
+// now lives in member.Set; this asserts the detector's use of it.
 func TestRingSets(t *testing.T) {
 	cases := []struct {
 		rank, n    int
@@ -20,11 +24,12 @@ func TestRingSets(t *testing.T) {
 		{0, 1, nil, nil},
 	}
 	for _, c := range cases {
-		if got := ringSuccessors(c.rank, c.n); !equalInts(got, c.succ) {
-			t.Errorf("ringSuccessors(%d,%d) = %v, want %v", c.rank, c.n, got, c.succ)
+		m := member.Launch(c.n)
+		if got := m.Successors(c.rank, 2); !equalInts(got, c.succ) {
+			t.Errorf("Successors(%d) in world %d = %v, want %v", c.rank, c.n, got, c.succ)
 		}
-		if got := ringPredecessors(c.rank, c.n); !equalInts(got, c.pred) {
-			t.Errorf("ringPredecessors(%d,%d) = %v, want %v", c.rank, c.n, got, c.pred)
+		if got := m.Predecessors(c.rank, 2); !equalInts(got, c.pred) {
+			t.Errorf("Predecessors(%d) in world %d = %v, want %v", c.rank, c.n, got, c.pred)
 		}
 	}
 }
@@ -70,24 +75,27 @@ func TestCodecRoundtrips(t *testing.T) {
 	if e, tgt, err := decodeSuspect(encodeSuspect(3, 12)); err != nil || e != 3 || tgt != 12 {
 		t.Fatalf("suspect roundtrip: epoch=%d target=%d err=%v", e, tgt, err)
 	}
-	e, s, dead, err := decodePropose(encodePropose(4, 9, []int{1, 3}))
-	if err != nil || e != 4 || s != 9 || !equalInts(dead, []int{1, 3}) {
-		t.Fatalf("propose roundtrip: epoch=%d seq=%d dead=%v err=%v", e, s, dead, err)
+	e, s, dead, members, err := decodePropose(encodePropose(4, 9, []int{1, 3}, []int{0, 2, 4}))
+	if err != nil || e != 4 || s != 9 || !equalInts(dead, []int{1, 3}) || !equalInts(members, []int{0, 2, 4}) {
+		t.Fatalf("propose roundtrip: epoch=%d seq=%d dead=%v members=%v err=%v", e, s, dead, members, err)
 	}
 	if e, s, err := decodeAck(encodeAck(4, 9)); err != nil || e != 4 || s != 9 {
 		t.Fatalf("ack roundtrip: epoch=%d seq=%d err=%v", e, s, err)
 	}
-	e, dead, err = decodeCommit(encodeCommit(5, []int{2}))
-	if err != nil || e != 5 || !equalInts(dead, []int{2}) {
-		t.Fatalf("commit roundtrip: epoch=%d dead=%v err=%v", e, dead, err)
+	e, dead, members, err = decodeCommit(encodeCommit(5, []int{2}, []int{0, 1, 3}))
+	if err != nil || e != 5 || !equalInts(dead, []int{2}) || !equalInts(members, []int{0, 1, 3}) {
+		t.Fatalf("commit roundtrip: epoch=%d dead=%v members=%v err=%v", e, dead, members, err)
 	}
-	e, dead, err = decodeState(encodeState(6, nil))
-	if err != nil || e != 6 || len(dead) != 0 {
-		t.Fatalf("state roundtrip: epoch=%d dead=%v err=%v", e, dead, err)
+	e, dead, members, err = decodeState(encodeState(6, nil, []int{0, 1}))
+	if err != nil || e != 6 || len(dead) != 0 || !equalInts(members, []int{0, 1}) {
+		t.Fatalf("state roundtrip: epoch=%d dead=%v members=%v err=%v", e, dead, members, err)
+	}
+	if e, tgt, err := decodeDrain(encodeDrain(7, 5)); err != nil || e != 7 || tgt != 5 {
+		t.Fatalf("drain roundtrip: epoch=%d target=%d err=%v", e, tgt, err)
 	}
 	// Truncated payloads must error, not panic.
-	for _, p := range []payload{encodePropose(1, 1, []int{1}), encodeCommit(2, []int{0, 1})} {
-		if _, _, _, err := decodePropose(p[:3]); err == nil && p[0] == msgPropose {
+	for _, p := range []payload{encodePropose(1, 1, []int{1}, []int{0, 1}), encodeCommit(2, []int{0, 1}, []int{2})} {
+		if _, _, _, _, err := decodePropose(p[:3]); err == nil && p[0] == msgPropose {
 			t.Fatalf("truncated propose decoded without error")
 		}
 		_ = p
@@ -391,7 +399,7 @@ func TestOnEpochCallback(t *testing.T) {
 		d, err := New(Options{
 			Self: r, Ranks: n, Net: nw,
 			HeartbeatInterval: hb, PhiThreshold: phi,
-			OnEpoch: func(epoch uint64, dead, newDead []int) {
+			OnEpoch: func(epoch uint64, members member.Set, dead, newDead []int) {
 				mu.Lock()
 				events[r] = append(events[r], event{epoch, append([]int(nil), newDead...)})
 				mu.Unlock()
@@ -439,5 +447,134 @@ func TestOnEpochCallback(t *testing.T) {
 		if evs[0].epoch != 2 || !equalInts(evs[0].newDead, []int{2}) {
 			t.Errorf("rank %d event = %+v, want epoch 2 newDead [2]", r, evs[0])
 		}
+	}
+}
+
+// TestGrowThenDrain: a 4-member world with 6 address slots admits spare
+// slot 4 via JoinNew (hello from a non-member is a join request folded
+// into the next epoch agreement), then gracefully drains it again. Both
+// transitions are ordinary epoch commits: quorum of the current
+// membership, member list carried in the commit.
+func TestGrowThenDrain(t *testing.T) {
+	const capacity, boot = 6, 4
+	hb, phi := tuned(5*time.Millisecond, 8)
+	nw := transport.NewNetwork(capacity)
+	dets := make([]*Detector, capacity)
+	drained := make(chan uint64, 1)
+	start := func(r int, members member.Set, onDrained func(uint64)) *Detector {
+		d, err := New(Options{
+			Self: r, Ranks: capacity, Members: members, Net: nw,
+			HeartbeatInterval: hb, PhiThreshold: phi,
+			OnDrained: onDrained,
+			Logf:      func(format string, args ...any) { t.Logf("detect: "+format, args...) },
+		})
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		dets[r] = d
+		d.Start()
+		return d
+	}
+	t.Cleanup(func() {
+		for _, d := range dets {
+			if d != nil {
+				d.Close()
+			}
+		}
+	})
+	for r := 0; r < boot; r++ {
+		start(r, member.Launch(boot), nil)
+	}
+	time.Sleep(20 * hb) // settle: no suspicion in the boot world
+
+	// Grow: slot 4 boots with the membership it is NOT yet part of.
+	spare := start(4, member.Launch(boot), func(e uint64) {
+		select {
+		case drained <- e:
+		default:
+		}
+	})
+	joinedAt, err := spare.JoinNew(10 * time.Second)
+	if err != nil {
+		t.Fatalf("JoinNew: %v", err)
+	}
+	if joinedAt < 2 {
+		t.Fatalf("joined at epoch %d, want >= 2", joinedAt)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for r := 0; r <= 4; r++ {
+			m := dets[r].Members()
+			if !m.Contains(4) || m.Size() != 5 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			for r := 0; r <= 4; r++ {
+				t.Logf("rank %d: %s", r, dets[r].Members())
+			}
+			t.Fatal("world did not converge on the grown membership")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The grown world must be stable: no deaths, no residual suspicion.
+	time.Sleep(30 * hb)
+	for r := 0; r <= 4; r++ {
+		if dead := dets[r].Dead(); len(dead) != 0 {
+			t.Fatalf("rank %d dead = %v after grow, want none", r, dead)
+		}
+	}
+
+	// Shrink: rank 0 requests a graceful drain of slot 4.
+	if err := dets[0].Drain(4); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case e := <-drained:
+		if e < 3 {
+			t.Fatalf("drained at epoch %d, want >= 3", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnDrained never fired on the drained rank")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for r := 0; r < boot; r++ {
+			m := dets[r].Members()
+			if m.Contains(4) || m.Size() != boot {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("world did not converge back to the boot membership")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A drain is not a death: nobody's dead set or detection count moves.
+	for r := 0; r < boot; r++ {
+		if dead := dets[r].Dead(); len(dead) != 0 {
+			t.Fatalf("rank %d dead = %v after drain, want none", r, dead)
+		}
+		if n := dets[r].Detections(); n != 0 {
+			t.Fatalf("rank %d detections = %d after drain, want 0", r, n)
+		}
+	}
+}
+
+// TestDrainTargetMustBeMember: draining a slot outside the membership is
+// an immediate error, not a stuck proposal.
+func TestDrainTargetMustBeMember(t *testing.T) {
+	hb, phi := tuned(5*time.Millisecond, 8)
+	w := newWorld(t, 3, hb, phi)
+	if err := w.dets[0].Drain(7); err == nil {
+		t.Fatal("Drain(7) on a 3-member world should error")
 	}
 }

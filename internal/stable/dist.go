@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"c3/internal/member"
 	"c3/internal/transport"
 )
 
@@ -43,6 +44,7 @@ type DistStore struct {
 
 	mu          sync.Mutex
 	cond        *sync.Cond
+	members     member.Set
 	node        *replNode
 	awaiting    map[replAckKey]bool
 	interrupted bool
@@ -53,6 +55,8 @@ type DistStore struct {
 	bytesWritten    int64
 	replicatedBytes int64
 	reassemblies    int64
+	commits         int64
+	commitNanos     int64
 
 	reqMu   sync.Mutex
 	nextReq uint64
@@ -118,14 +122,28 @@ func WithCommitHook(fn func(version int)) DistOption {
 	return func(s *DistStore) { s.commitHook = fn }
 }
 
+// WithDistMembers installs the initial membership placement and recovery
+// queries run against (default: all n slots). A store whose world has
+// spare address slots must receive the real membership, or recovery
+// sweeps would pay dial timeouts toward empty slots.
+func WithDistMembers(m member.Set) DistOption {
+	return func(s *DistStore) {
+		if m.Size() > 0 {
+			s.members = m
+		}
+	}
+}
+
 // WithDistLog installs a diagnostic logger for replication and recovery
 // events.
 func WithDistLog(logf func(format string, args ...any)) DistOption {
 	return func(s *DistStore) { s.logf = logf }
 }
 
-// NewDistStore creates the store for local rank self of an n-rank world,
-// attached to the given replication interconnect. The store owns one
+// NewDistStore creates the store for local rank self of a world with n
+// address slots, attached to the given replication interconnect. The
+// membership defaults to all n slots; elastic worlds install the live
+// membership with WithDistMembers / SetMembership. The store owns one
 // replication daemon; call Close when done.
 func NewDistStore(self, n int, net transport.Interconnect, opts ...DistOption) *DistStore {
 	if n <= 0 || self < 0 || self >= n {
@@ -134,6 +152,7 @@ func NewDistStore(self, n int, net transport.Interconnect, opts ...DistOption) *
 	s := &DistStore{
 		self:         self,
 		n:            n,
+		members:      member.Launch(n),
 		fragments:    2,
 		net:          net,
 		ackTimeout:   5 * time.Second,
@@ -232,12 +251,60 @@ func (s *DistStore) Fenced() bool {
 	return s.fenced
 }
 
+// SetMembership installs the member ring new commits place against and
+// recovery queries sweep. Unlike ReplicatedStore's active migration, the
+// distributed store re-partitions lazily: existing lines stay where the
+// old ring put them and recovery decodes around holders that left (the
+// codec tolerates ≤m unreachable shards), while every line committed
+// after the change lands on the new ring. The next committed recovery
+// line therefore completes the re-partition, which is exactly when the
+// elastic runtime changes membership.
+func (s *DistStore) SetMembership(m member.Set) {
+	if m.Size() == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.members = m
+	s.mu.Unlock()
+}
+
+// Members returns the membership placement and queries currently use.
+func (s *DistStore) Members() member.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.members
+}
+
+// peerList snapshots the current members excluding self — the sweep set
+// for queries, fetches, and prunes. A joining rank that is not yet a
+// member still sweeps the full member ring it is joining.
+func (s *DistStore) peerList() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peers := make([]int, 0, s.members.Size())
+	for _, q := range s.members.Members() {
+		if q != s.self {
+			peers = append(peers, q)
+		}
+	}
+	return peers
+}
+
 // Reassemblies reports how many checkpoints were rebuilt from peer
 // fragments over the wire.
 func (s *DistStore) Reassemblies() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.reassemblies
+}
+
+// CommitStats reports the locally committed line count and the total
+// wall-clock time spent inside Commit (replication + acknowledgment
+// wait). The ratio is the mean commit latency the ops plane exports.
+func (s *DistStore) CommitStats() (count int64, nanos int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits, s.commitNanos
 }
 
 // ReplicatedBytes returns the fragment bytes shipped to peer nodes.
@@ -322,6 +389,7 @@ func (h *distHandle) Commit() error {
 	}
 	h.done = true
 	s := h.store
+	begin := time.Now()
 
 	s.mu.Lock()
 	if s.fenced {
@@ -343,9 +411,8 @@ func (h *distHandle) Commit() error {
 		sum:   replSum(blob),
 		sums:  shardSums(shards),
 	}
-	sendPlan, targets, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.n)
-
 	s.mu.Lock()
+	sendPlan, targets, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.members)
 	startEpoch := s.epoch
 	for _, nb := range targets {
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
@@ -438,6 +505,10 @@ func (h *distHandle) Commit() error {
 		return fmt.Errorf("stable: commit (%d,%d) missing acknowledgments for %d of %d shards (codec needs %d)",
 			h.rank, h.version, lostShards, len(shards), s.codec.DataShards())
 	}
+	s.mu.Lock()
+	s.commits++
+	s.commitNanos += time.Since(begin).Nanoseconds()
+	s.mu.Unlock()
 	if hook != nil {
 		hook(h.version)
 	}
@@ -602,14 +673,11 @@ func (s *DistStore) dropRequest(id uint64) {
 func (s *DistStore) queryPeers(owner int) map[int]*remoteLine {
 	reqID, ch := s.newRequest(s.n)
 	defer s.dropRequest(reqID)
-	peers := 0
-	for q := 0; q < s.n; q++ {
-		if q == s.self {
-			continue
-		}
+	sweep := s.peerList()
+	for _, q := range sweep {
 		s.send(q, transport.Control, encodeDistQueryLast(reqID, owner))
-		peers++
 	}
+	peers := len(sweep)
 	lines := make(map[int]*remoteLine)
 	deadline := time.After(s.queryTimeout)
 	for answered := 0; answered < peers; {
@@ -748,10 +816,7 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 // continues — a corrupt replica must not mask a valid one elsewhere.
 func (s *DistStore) fetchFrag(owner, version, idx int, rec replCommitRec) ([]byte, bool) {
 	for round := 0; round < s.queryRetries; round++ {
-		for q := 0; q < s.n; q++ {
-			if q == s.self {
-				continue
-			}
+		for _, q := range s.peerList() {
 			reqID, ch := s.newRequest(1)
 			s.send(q, transport.Control, encodeDistQueryFrag(reqID, owner, version, idx))
 			select {
@@ -807,10 +872,7 @@ func (s *DistStore) prune(rank, version int, above bool) error {
 		}
 	}
 	s.mu.Unlock()
-	for q := 0; q < s.n; q++ {
-		if q == s.self {
-			continue
-		}
+	for _, q := range s.peerList() {
 		s.send(q, transport.Control, p)
 	}
 	return nil

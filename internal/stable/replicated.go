@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"c3/internal/member"
 	"c3/internal/transport"
 	"c3/internal/wire"
 )
@@ -37,6 +38,7 @@ type ReplicatedStore struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
+	members  member.Set
 	nodes    []*replNode
 	awaiting map[replAckKey]bool
 	closed   bool
@@ -44,6 +46,7 @@ type ReplicatedStore struct {
 	bytesWritten    int64
 	replicatedBytes int64
 	reassemblies    int64
+	migrations      int64
 
 	wg sync.WaitGroup
 }
@@ -215,6 +218,7 @@ func NewReplicatedStore(n int, opts ...ReplicatedOption) *ReplicatedStore {
 		n:        n,
 		codec:    cfg.codec,
 		net:      transport.NewNetwork(n, cfg.netOpts...),
+		members:  member.Launch(n),
 		nodes:    make([]*replNode, n),
 		awaiting: make(map[replAckKey]bool),
 	}
@@ -248,13 +252,10 @@ func (s *ReplicatedStore) Close() {
 	s.wg.Wait()
 }
 
-// shardHolder places shard idx of owner's lines in an n-rank world: the
-// k+m shards land on distinct ring successors starting at owner+1, with
-// the assignment rotated by the owner's rank so the parity shards (the
-// high indexes) cycle around the ring instead of always burdening the same
-// relative neighbor — and no rank ever stores a shard (parity or data) of
-// its own line. Worlds smaller than shards+1 wrap: a successor holds
-// several shards, with correspondingly reduced loss tolerance.
+// shardHolder is the fixed-world placement formula kept for reference and
+// regression tests: member.Set.ShardHolder reduces to it exactly when the
+// members are 0..n-1 (pinned by internal/member's tests), so committed
+// lines keep their holders across the membership refactor.
 func shardHolder(owner, idx, shards, n int) int {
 	span := shards
 	if span > n-1 {
@@ -326,6 +327,118 @@ func (s *ReplicatedStore) StoredBytes() int64 {
 	return t
 }
 
+// Members returns the membership current placement runs against.
+func (s *ReplicatedStore) Members() member.Set {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.members
+}
+
+// Migrations reports how many committed lines were re-placed by
+// SetMembership.
+func (s *ReplicatedStore) Migrations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migrations
+}
+
+// SetMembership installs a new member ring and actively re-partitions the
+// committed lines of every member owner onto it: each line's shards are
+// recomputed against the new ring (reconstructing lost ones through the
+// codec when at least k survive) and installed on the new holders, and
+// holdings on ranks the new plan no longer assigns are dropped. After it
+// returns, every line that was reconstructible before the change is again
+// reconstructible with the full ≤m loss tolerance under the new ring —
+// the in-memory analogue of ReStore's re-distribution. Lines owned by
+// ranks outside the new membership are left where they are: a drained
+// owner's lines are retired with it, not rebalanced.
+func (s *ReplicatedStore) SetMembership(m member.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.SameMembers(s.members) {
+		s.members = m
+		return
+	}
+	s.members = m
+	// Collect every committed line (marker may survive on several holders;
+	// they are identical for one (owner, version)).
+	lines := make(map[replCommitKey]replCommitRec)
+	for _, node := range s.nodes {
+		for key, rec := range node.commits {
+			lines[key] = rec
+		}
+	}
+	for key, rec := range lines {
+		if !m.Contains(key.owner) {
+			continue
+		}
+		shards := s.gatherShards(key.owner, key.version, rec)
+		if shards == nil {
+			continue // already below k survivors; nothing to re-place
+		}
+		codec, err := rec.codecOf()
+		if err != nil {
+			continue
+		}
+		sendPlan, holders, _ := commitPlan(codec, key.owner, rec.frags, m)
+		held := make(map[int]bool, len(holders))
+		for _, h := range holders {
+			held[h] = true
+		}
+		for _, nb := range holders {
+			s.nodes[nb].commits[key] = rec
+			for _, idx := range sendPlan[nb] {
+				if shards[idx] == nil {
+					continue // incomplete dup line: move what survives
+				}
+				s.nodes[nb].frags[replFragKey{owner: key.owner, version: key.version, idx: idx}] =
+					append([]byte(nil), shards[idx]...)
+			}
+		}
+		for r, node := range s.nodes {
+			if held[r] {
+				continue
+			}
+			delete(node.commits, key)
+			for idx := 0; idx < rec.frags; idx++ {
+				delete(node.frags, replFragKey{owner: key.owner, version: key.version, idx: idx})
+			}
+		}
+		s.migrations++
+	}
+}
+
+// gatherShards assembles the full digest-valid shard set of one line,
+// reconstructing missing shards through the codec when at least k distinct
+// ones survive. Returns nil when the line is unreconstructible; a
+// reconstruction failure falls back to the surviving shards (nil gaps),
+// which still carry everything the old ring held.
+func (s *ReplicatedStore) gatherShards(owner, version int, rec replCommitRec) [][]byte {
+	shards := make([][]byte, rec.frags)
+	valid := 0
+	for idx := range shards {
+		if frag, ok := s.findFrag(owner, version, idx, rec); ok {
+			shards[idx] = frag
+			valid++
+		}
+	}
+	if valid < rec.need() {
+		return nil
+	}
+	if valid < rec.frags {
+		// Rebuild the missing shards so the new ring starts at full parity.
+		if sections, err := reassembleSections(rec, shards); err == nil {
+			if codec, err := rec.codecOf(); err == nil {
+				blob := encodeReplSections(sections)
+				if full, err := codec.Encode(blob); err == nil && len(full) == rec.frags {
+					return full
+				}
+			}
+		}
+	}
+	return shards
+}
+
 // FailNode implements NodeFailer: the node's memory is lost and in-flight
 // replication traffic toward it belongs to a dead incarnation.
 func (s *ReplicatedStore) FailNode(rank int) {
@@ -389,17 +502,17 @@ func shardSums(shards [][]byte) []uint64 {
 	return sums
 }
 
-// commitPlan is the shared placement decision of both diskless stores: for
-// the dup codec every shard goes to both +1/+2 neighbors and the owner
-// keeps a full local copy; for an erasure codec each shard goes to exactly
-// one distinct ring successor (rotated placement) and no local copy is
-// kept — the memory saving that is the codec's point.
-func commitPlan(codec Codec, owner, shards, n int) (sendPlan map[int][]int, holders []int, keepLocal bool) {
+// commitPlan is the shared placement decision of both diskless stores,
+// computed over the current member ring: for the dup codec every shard
+// goes to both ring successors and the owner keeps a full local copy; for
+// an erasure codec each shard goes to exactly one distinct ring successor
+// (rotated placement) and no local copy is kept — the memory saving that
+// is the codec's point. With members 0..n-1 the plan is identical to the
+// fixed-world plan, so existing lines keep their holders until the
+// membership actually changes.
+func commitPlan(codec Codec, owner, shards int, m member.Set) (sendPlan map[int][]int, holders []int, keepLocal bool) {
 	if codec.ParityShards() == 0 {
-		holders = make([]int, 0, 2)
-		for d := 1; d <= 2 && d < n; d++ {
-			holders = append(holders, (owner+d)%n)
-		}
+		holders = m.Successors(owner, 2)
 		all := make([]int, shards)
 		for i := range all {
 			all[i] = i
@@ -410,7 +523,7 @@ func commitPlan(codec Codec, owner, shards, n int) (sendPlan map[int][]int, hold
 		}
 		return sendPlan, holders, true
 	}
-	holderOf, holders := shardPlan(owner, shards, n)
+	holderOf, holders := m.ShardPlan(owner, shards)
 	sendPlan = make(map[int][]int, len(holders))
 	for idx, hr := range holderOf {
 		sendPlan[hr] = append(sendPlan[hr], idx)
@@ -452,9 +565,8 @@ func (h *replHandle) Commit() error {
 		sum:   replSum(blob),
 		sums:  shardSums(shards),
 	}
-	sendPlan, holders, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.n)
-
 	s.mu.Lock()
+	sendPlan, holders, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.members)
 	type target struct {
 		rank int
 		inc  uint64

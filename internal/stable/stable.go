@@ -337,9 +337,17 @@ func (s *NullStore) Truncate(rank, version int) error { return nil }
 // --- Disk store (Configuration #3) ---
 
 // DiskStore writes checkpoints under root/rank<r>/v<version>/, one file per
-// section, with a "COMMITTED" marker file created by atomic rename.
+// section, with a "COMMITTED" marker file created by atomic rename. The
+// marker's contents are a structured CommitMeta record (codec geometry,
+// membership epoch, per-section digests — see marker.go); its presence
+// alone is what marks the version committed.
 type DiskStore struct {
 	root string
+
+	metaMu       sync.Mutex
+	epoch        uint64
+	codec        uint8
+	data, parity int
 }
 
 // NewDiskStore creates (if needed) and opens a store rooted at dir.
@@ -355,10 +363,11 @@ func (s *DiskStore) dir(rank, version int) string {
 }
 
 type diskHandle struct {
-	store *DiskStore
-	rank  int
-	ver   int
-	dir   string
+	store    *DiskStore
+	rank     int
+	ver      int
+	dir      string
+	sections []SectionMeta
 }
 
 // Begin implements Store.
@@ -435,6 +444,14 @@ func (h *diskHandle) WriteSection(name string, data []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("stable: commit section %q: %w", name, err)
 	}
+	meta := SectionMeta{Name: name, Bytes: len(data), Sum: replSum(data)}
+	for i, s := range h.sections {
+		if s.Name == name { // re-written section: replace its record
+			h.sections[i] = meta
+			return nil
+		}
+	}
+	h.sections = append(h.sections, meta)
 	return nil
 }
 
@@ -453,8 +470,10 @@ func (h *diskHandle) Commit() error {
 	if diskCrashpoint != nil && diskCrashpoint("marker-write") {
 		return errSimulatedCrash
 	}
+	meta := h.store.markerMeta()
+	meta.Sections = h.sections
 	tmp := filepath.Join(h.dir, ".committing")
-	if err := writeFileSync(tmp, []byte("ok\n")); err != nil {
+	if err := writeFileSync(tmp, encodeCommitMeta(meta)); err != nil {
 		return fmt.Errorf("stable: write commit marker: %w", err)
 	}
 	if diskCrashpoint != nil && diskCrashpoint("marker-rename") {
