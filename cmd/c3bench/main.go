@@ -21,6 +21,7 @@ import (
 
 	"c3/internal/apps"
 	"c3/internal/bench"
+	"c3/internal/trace"
 )
 
 func main() {
@@ -31,8 +32,12 @@ func main() {
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: the paper's set per table)")
 		reps    = flag.Int("reps", 1, "repetitions per timing (median reported)")
 		jsonOut = flag.String("json", "", "additionally write the generated tables to this file as JSON (CI artifacts)")
+		notrace = flag.Bool("notrace", false, "disable the flight recorder (A/B baseline for measuring tracing overhead)")
 	)
 	flag.Parse()
+	if *notrace {
+		trace.SetEnabled(false)
+	}
 
 	opts := bench.Options{
 		Class:       apps.Class(*class),

@@ -169,6 +169,8 @@ func launcherMain() {
 		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
 		spare    = flag.Int("spare", 0, "spare storage-member slots beyond the compute world (elastic membership; requires -self-heal)")
 		opsBase  = flag.Int("ops-base", 0, "embedded ops/metrics HTTP server base port: rank r serves on 127.0.0.1:(base+r); 0 disables (requires -self-heal)")
+		opsDebug = flag.Bool("ops-debug", false, "expose net/http/pprof and runtime/trace start/stop verbs on the ops servers (requires -ops-base)")
+		traceDir = flag.String("trace-dir", "", "flight-recorder dump directory: each rank writes rank<N>.c3tr on epoch/fence/restore/exit (merge with c3trace)")
 		extKill  = flag.String("external-kill", "", "self-heal demo: operator SIGKILL rank=R[,after=K committed checkpoints][,joins=J spare admissions]")
 		part     = flag.String("partition", "", "self-heal demo: network split a=R+R..[,after=K committed checkpoints][,heal=DURATION]")
 		hb       = flag.Duration("heartbeat", 25*time.Millisecond, "self-heal: failure-detector heartbeat interval")
@@ -217,6 +219,9 @@ func launcherMain() {
 	if *opsBase != 0 && !*selfHeal {
 		fatalf("-ops-base requires -self-heal (the ops plane queries the detector and membership)")
 	}
+	if *opsDebug && *opsBase == 0 {
+		fatalf("-ops-debug requires -ops-base (the debug verbs live on the ops servers)")
+	}
 	if _, err := stable.NewCodec(*codec, *shards, *parity); err != nil {
 		fatalf("%v", err)
 	}
@@ -245,6 +250,12 @@ func launcherMain() {
 			}
 			if *opsBase != 0 {
 				args = append(args, "-ops-addr", fmt.Sprintf("127.0.0.1:%d", *opsBase+rank))
+			}
+			if *opsDebug {
+				args = append(args, "-ops-debug")
+			}
+			if *traceDir != "" {
+				args = append(args, "-trace-dir", *traceDir)
 			}
 			if *async {
 				args = append(args, "-async")
@@ -416,6 +427,8 @@ func workerMain() {
 		ranks     = fs.Int("ranks", 1, "world size")
 		capacity  = fs.Int("capacity", 0, "membership slot count (0 = ranks)")
 		opsAddr   = fs.String("ops-addr", "", "embedded ops/metrics HTTP listen address")
+		opsDebug  = fs.Bool("ops-debug", false, "expose pprof and runtime/trace verbs on the ops server")
+		traceDir  = fs.String("trace-dir", "", "flight-recorder dump directory")
 		peers     = fs.String("peers", "", "comma-separated MPI-plane addresses, one per rank")
 		replPeers = fs.String("repl-peers", "", "comma-separated replication-plane addresses")
 		kernel    = fs.String("kernel", "CG", "kernel to run")
@@ -453,6 +466,8 @@ func workerMain() {
 		Ranks:        *ranks,
 		Capacity:     *capacity,
 		OpsAddr:      *opsAddr,
+		OpsDebug:     *opsDebug,
+		TraceDir:     *traceDir,
 		MPIAddrs:     splitAddrs(*peers),
 		App:          k.App(p, out),
 		Policy:       ckpt.Policy{EveryNthPragma: *every, AsyncCommit: *async},

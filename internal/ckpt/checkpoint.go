@@ -6,6 +6,7 @@ import (
 	"c3/internal/mpi"
 	"c3/internal/stable"
 	"c3/internal/statesave"
+	"c3/internal/trace"
 	"c3/internal/wire"
 )
 
@@ -71,6 +72,8 @@ func (l *Layer) startCheckpoint() error {
 	begin := l.clock()
 	l.epoch++
 	line := l.epoch
+	sp := trace.Default().Begin(int32(l.rank), trace.KindSerialize, 0, line)
+	defer func() { sp.End(l.pendingBytes) }()
 	l.pendingLine = line
 	l.pendingBytes = 0
 
@@ -229,18 +232,24 @@ func (l *Layer) commitCheckpoint() error {
 			return l.fatal(fmt.Errorf("ckpt: async commit checkpoint %d: %w", l.pendingLine, err))
 		}
 	} else {
+		sp := trace.Default().Begin(int32(l.rank), trace.KindCommit, 0, l.pendingLine)
 		if err := l.pending.WriteSection(secLate, lateImg); err != nil {
+			sp.End(0)
 			return l.fatal(err)
 		}
 		if err := l.pending.WriteSection(secResults, resImg); err != nil {
+			sp.End(0)
 			return l.fatal(err)
 		}
 		if err := l.pending.WriteSection(secRequests, reqImg); err != nil {
+			sp.End(0)
 			return l.fatal(err)
 		}
 		if err := l.pending.Commit(); err != nil {
+			sp.End(0)
 			return l.fatal(fmt.Errorf("ckpt: commit checkpoint %d: %w", l.pendingLine, err))
 		}
+		sp.End(l.pendingBytes)
 		l.stats.StoredBytes += storedSizeOf(l.pending, l.pendingBytes)
 		l.pending = nil
 	}
@@ -289,6 +298,16 @@ func (l *Layer) saveMPIState() []byte {
 // beginning).
 func (l *Layer) Restore() (bool, error) {
 	begin := l.clock()
+	sp := trace.Default().Begin(int32(l.rank), trace.KindRestore, 0, 0)
+	restored := false
+	var restoredLine uint64
+	defer func() {
+		if restored {
+			sp.End(restoredLine)
+		} else {
+			sp.End(0)
+		}
+	}()
 	// Commit fence: the global reduction must not observe the store while an
 	// asynchronously captured line is still in flight, or ranks would
 	// disagree on what "last committed" means.
@@ -434,6 +453,7 @@ func (l *Layer) Restore() (bool, error) {
 	l.stats.Restores++
 	l.stats.RestoreDuration += l.clock().Sub(begin)
 	l.lastCkptTime = l.clock()
+	restored, restoredLine = true, uint64(line)
 	l.maybeFinishRestore()
 	return true, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"c3/internal/stable"
+	"c3/internal/trace"
 )
 
 // This file implements the asynchronous checkpoint-commit pipeline (the
@@ -181,7 +182,15 @@ func (c *committer) write(job *commitJob) (committed bool, err error) {
 		return false, nil
 	}
 	begin := c.clock()
+	sp := trace.Default().Begin(int32(c.rank), trace.KindCommit, 0, job.line)
 	defer func() {
+		var bytes uint64
+		if committed {
+			for _, s := range job.sections {
+				bytes += uint64(len(s.data))
+			}
+		}
+		sp.End(bytes)
 		c.mu.Lock()
 		c.writeDuration += c.clock().Sub(begin)
 		c.mu.Unlock()

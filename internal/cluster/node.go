@@ -79,6 +79,7 @@ import (
 	"c3/internal/mpi"
 	"c3/internal/ops"
 	"c3/internal/stable"
+	"c3/internal/trace"
 	"c3/internal/transport"
 	"c3/internal/transport/tcp"
 )
@@ -109,6 +110,14 @@ type NodeConfig struct {
 	// OpsAddr, when non-empty, starts the embedded operations control plane
 	// (internal/ops) on that address. Requires SelfHeal.
 	OpsAddr string
+	// OpsDebug additionally exposes net/http/pprof and runtime/trace
+	// start/stop verbs on the ops server (profiling a live world).
+	OpsDebug bool
+	// TraceDir, when non-empty, is where this rank writes its flight-
+	// recorder dumps (rank<N>.c3tr): on every committed epoch transition,
+	// fencing change, restore entry, and at node exit, plus on demand via
+	// the ops POST /trace/dump verb. cmd/c3trace merges the per-rank files.
+	TraceDir string
 	// MPIAddrs are the per-rank addresses of the MPI-plane TCP meshes (one
 	// fresh mesh per attempt, tagged with the attempt's generation).
 	MPIAddrs []string
@@ -232,6 +241,10 @@ func RunNode(cfg NodeConfig) error {
 	w := &node{cfg: cfg}
 	w.curAttempt.Store(-1)
 	w.lastLine.Store(-1)
+	// Salt the span-id space by rank so ids minted by different processes
+	// never collide when c3trace merges their dumps.
+	trace.SetSalt(uint64(cfg.Rank))
+	defer w.dumpTrace("exit")
 
 	if cfg.SelfHeal != nil {
 		if len(cfg.ReplAddrs) == 0 {
@@ -322,6 +335,23 @@ func tokenOf(cmd []string) string {
 	return "?"
 }
 
+// dumpTrace writes the flight recorder's ring to TraceDir (no-op when
+// unset). Dumps overwrite: the rank's file always holds its latest window,
+// and the exit dump — the last writer — holds the most complete one.
+func (w *node) dumpTrace(reason string) {
+	if w.cfg.TraceDir == "" {
+		return
+	}
+	path, err := trace.Default().WriteDump(w.cfg.TraceDir, w.cfg.Rank)
+	if w.cfg.Log != nil {
+		if err != nil {
+			w.cfg.Log("rank %d: trace dump (%s): %v", w.cfg.Rank, reason, err)
+		} else {
+			w.cfg.Log("rank %d: trace dump (%s) -> %s", w.cfg.Rank, reason, path)
+		}
+	}
+}
+
 func (w *node) emit(format string, args ...any) {
 	w.outMu.Lock()
 	defer w.outMu.Unlock()
@@ -370,6 +400,7 @@ func (w *node) runAttempt(attempt int, restore bool, cmds <-chan []string) {
 				w.teardown(mesh)
 				<-done
 				w.finishMesh(mesh)
+				w.dumpTrace("abort")
 				w.emit("aborted %s", tokenOf(cmd))
 				return
 			}
@@ -544,8 +575,13 @@ func (w *node) runSelfHeal() error {
 		// checkpoint commits (ErrFenced) instead of excusing the unreachable
 		// holders — a minority-side rank must not extend a recovery line a
 		// majority may be superseding without it.
-		OnFence: func(fenced bool) { w.dist.SetFenced(fenced) },
-		Logf:    cfg.Log,
+		OnFence: func(fenced bool) {
+			w.dist.SetFenced(fenced)
+			// Preserve the ring around the fencing transition: partition
+			// post-mortems want the detector events that led here.
+			w.dumpTrace("fence")
+		},
+		Logf: cfg.Log,
 	})
 	if err != nil {
 		w.emit("error %v", err)
@@ -559,7 +595,11 @@ func (w *node) runSelfHeal() error {
 	det.Start()
 
 	if cfg.OpsAddr != "" {
-		srv, serr := ops.Serve(cfg.OpsAddr, w)
+		var oo []ops.Option
+		if cfg.OpsDebug {
+			oo = append(oo, ops.WithDebug())
+		}
+		srv, serr := ops.Serve(cfg.OpsAddr, w, oo...)
 		if serr != nil {
 			w.emit("error %v", serr)
 			return serr
@@ -654,6 +694,7 @@ func (w *node) runSelfHeal() error {
 				w.dist.AdvanceEpoch(epoch)
 				w.emit("joined %d", epoch)
 				state.restoreStart = time.Now()
+				w.dumpTrace("restore")
 				start(int(epoch)-1, true)
 			case "part":
 				// part a+b+... — sever the listed group from the rest on every
@@ -687,6 +728,7 @@ func (w *node) runSelfHeal() error {
 				// Legacy command; in self-healing mode recovery is driven by
 				// epochs, but acknowledge so a mixed launcher doesn't hang.
 				stop()
+				w.dumpTrace("abort")
 				w.emit("aborted %s", tokenOf(cmd))
 			}
 
@@ -711,6 +753,7 @@ func (w *node) runSelfHeal() error {
 			// respawner for replacements.
 			if coordinatorOf(ev.dead, ev.members) == cfg.Rank {
 				for _, r := range ev.newDead {
+					trace.Default().Emit(int32(cfg.Rank), trace.KindRespawn, 0, uint64(r))
 					w.emit("respawn %d", r)
 				}
 				if w.cfg.Log != nil {
@@ -725,6 +768,10 @@ func (w *node) runSelfHeal() error {
 				}
 			}
 			state.restoreStart = time.Now()
+			// Dump before re-entering the attempt so the suspect/gossip/agree
+			// window that produced this epoch is on disk even if the restore
+			// itself dies.
+			w.dumpTrace("restore")
 			start(int(ev.epoch)-1, true)
 
 		case err := <-done:
@@ -817,6 +864,15 @@ func (w *node) Metrics() ops.Metrics {
 		Reassemblies:    w.dist.Reassemblies(),
 		Fenced:          w.det.Fenced(),
 	}
+}
+
+// TraceDump implements POST /trace/dump (ops.TraceDumper): write the
+// flight recorder's ring to the configured trace directory on demand.
+func (w *node) TraceDump() (string, error) {
+	if w.cfg.TraceDir == "" {
+		return "", fmt.Errorf("rank %d has no trace directory configured (run with -trace-dir)", w.cfg.Rank)
+	}
+	return trace.Default().WriteDump(w.cfg.TraceDir, w.cfg.Rank)
 }
 
 // CheckpointNow implements POST /checkpoint: the running attempt takes a

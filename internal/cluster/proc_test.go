@@ -60,6 +60,7 @@ func runProcWorker() {
 		queryN    = fs.Int("query-retries", 0, "")
 		capacity  = fs.Int("capacity", 0, "")
 		opsAddr   = fs.String("ops-addr", "", "")
+		traceDir  = fs.String("trace-dir", "", "")
 		app       = fs.String("app", "stress", "")
 		iters     = fs.Int("iters", procIters, "")
 		pace      = fs.Duration("pace", 0, "")
@@ -76,6 +77,7 @@ func runProcWorker() {
 		Ranks:     *ranks,
 		Capacity:  *capacity,
 		OpsAddr:   *opsAddr,
+		TraceDir:  *traceDir,
 		MPIAddrs:  strings.Split(*peers, ","),
 		ReplAddrs: strings.Split(*replPeers, ","),
 		App:       workload,

@@ -6,12 +6,14 @@ package cluster_test
 
 import (
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"c3/internal/cluster"
+	"c3/internal/trace"
 )
 
 // launchSelfHeal runs a self-healing multi-process world from the test
@@ -79,9 +81,10 @@ func TestSelfHealingExternalSIGKILL(t *testing.T) {
 	}
 	const victim = 1
 	ref := procReference(t, 4)
+	traceDir := t.TempDir()
 	res := launchSelfHeal(t, 4,
 		&cluster.ExternalKillSpec{Rank: victim, AfterCheckpoints: 2},
-		"-every", "2")
+		"-every", "2", "-trace-dir", traceDir)
 
 	if res.Restarts != 1 {
 		t.Fatalf("restarts=%d, want exactly 1 respawned process", res.Restarts)
@@ -130,6 +133,52 @@ func TestSelfHealingExternalSIGKILL(t *testing.T) {
 			t.Errorf("detection latency %v is implausibly large", latency)
 		}
 	}
+
+	checkSIGKILLTrace(t, traceDir)
+}
+
+// checkSIGKILLTrace merges the flight-recorder dumps the workers wrote
+// with -trace-dir and asserts the tentpole acceptance property live (the
+// golden-dump variant lives in internal/trace): the dumps of all four
+// final incarnations merge into a causally consistent timeline whose
+// span and instant coverage spans the whole recovery arc.
+func checkSIGKILLTrace(t *testing.T, traceDir string) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(traceDir, "*.c3tr"))
+	if err != nil || len(paths) != 4 {
+		t.Fatalf("trace dumps: %v (found %d in %s, want 4)", err, len(paths), traceDir)
+	}
+	var dumps []*trace.Dump
+	for _, p := range paths {
+		d, err := trace.ReadDump(p)
+		if err != nil {
+			t.Fatalf("read trace dump %s: %v", p, err)
+		}
+		dumps = append(dumps, d)
+	}
+	tl, err := trace.Merge(dumps)
+	if err != nil {
+		t.Fatalf("trace merge: %v", err)
+	}
+	st := tl.Stats()
+	if st.Ranks != 4 || st.Stitched == 0 {
+		t.Fatalf("trace: ranks=%d stitched=%d, want 4 ranks with cross-rank edges", st.Ranks, st.Stitched)
+	}
+	for _, kind := range []trace.Kind{trace.KindSuspect, trace.KindEpoch, trace.KindRespawn} {
+		if st.InstantCounts[kind] == 0 {
+			t.Errorf("trace has no %s events", kind)
+		}
+	}
+	spanKinds := map[trace.Kind]bool{}
+	for _, s := range tl.PhaseBreakdown() {
+		spanKinds[s.Kind] = true
+	}
+	for _, kind := range []trace.Kind{trace.KindAgree, trace.KindReassemble, trace.KindRestore, trace.KindCommit} {
+		if !spanKinds[kind] {
+			t.Errorf("trace phase breakdown has no %s spans", kind)
+		}
+	}
+	t.Logf("trace: %d events, %d stitched edges, %d orphan recvs", st.Events, st.Stitched, st.OrphanRecvs)
 }
 
 // TestSelfHealingKillBeforeFirstLine: the external kill lands before the

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"c3/internal/member"
+	"c3/internal/trace"
 	"c3/internal/transport"
 )
 
@@ -118,6 +119,7 @@ type proposal struct {
 	members []int        // proposed member list, sorted
 	pending map[int]bool // participants that have not acked yet
 	acked   map[int]bool // participants whose ack arrived
+	sp      trace.Span   // agree span: proposal creation -> local commit
 }
 
 // Detector is one rank's failure-detection and membership endpoint.
@@ -340,6 +342,11 @@ func (d *Detector) refenceLocked() func() {
 	return func() {
 		d.logf("rank %d: fencing -> %v (live view %d of %d members, quorum %d)",
 			d.self, fenced, live, size, quorum)
+		arg := uint64(0)
+		if fenced {
+			arg = 1
+		}
+		trace.Default().Emit(int32(d.self), trace.KindFence, 0, arg)
 		if cb != nil {
 			cb(fenced)
 		}
@@ -625,6 +632,11 @@ func (d *Detector) tick() {
 	for _, s := range leaseSuspects {
 		d.logf("rank %d: suspects rank %d dead (contact lease expired)", d.self, s)
 	}
+	if fresh := len(newSuspects) + len(leaseSuspects); fresh > 0 && len(gossip) > 0 {
+		// One gossip event per fresh round, not per retransmission tick —
+		// the per-tick re-gossip would otherwise dominate the ring.
+		trace.Default().Emit(int32(d.self), trace.KindGossip, 0, uint64(len(gossip)))
+	}
 	for _, s := range gossip {
 		g := encodeSuspect(epoch, s)
 		for _, t := range gossipTargets {
@@ -650,6 +662,16 @@ func (d *Detector) suspectLocked(r int, now time.Time) {
 	d.suspected[r] = now
 	if d.pendSuspect.IsZero() {
 		d.pendSuspect = now
+	}
+	trace.Default().Emit(int32(d.self), trace.KindSuspect, 0, uint64(r))
+}
+
+// dropProposalLocked abandons the in-flight proposal (if any), closing
+// its agree span as uncommitted. Callers hold d.mu.
+func (d *Detector) dropProposalLocked() {
+	if d.prop != nil {
+		d.prop.sp.End(0)
+		d.prop = nil
 	}
 }
 
@@ -684,7 +706,7 @@ func (d *Detector) liveExceptLocked(skip []int) []int {
 func (d *Detector) driveProposal() {
 	d.mu.Lock()
 	if !d.members.Contains(d.self) {
-		d.prop = nil
+		d.dropProposalLocked()
 		d.mu.Unlock()
 		return
 	}
@@ -703,7 +725,7 @@ func (d *Detector) driveProposal() {
 		}
 	}
 	if len(d.suspected) == 0 && len(joins) == 0 && len(leaves) == 0 {
-		d.prop = nil
+		d.dropProposalLocked()
 		d.mu.Unlock()
 		return
 	}
@@ -723,7 +745,7 @@ func (d *Detector) driveProposal() {
 		}
 	}
 	if coord != d.self {
-		d.prop = nil // not ours to drive (anymore)
+		d.dropProposalLocked() // not ours to drive (anymore)
 		d.mu.Unlock()
 		return
 	}
@@ -749,8 +771,12 @@ func (d *Detector) driveProposal() {
 				pending[r] = true
 			}
 		}
+		if d.prop != nil {
+			d.prop.sp.End(0) // superseded before committing
+		}
 		d.prop = &proposal{epoch: d.epoch + 1, seq: d.propSeq, dead: deadSet,
-			members: memberList, pending: pending, acked: make(map[int]bool)}
+			members: memberList, pending: pending, acked: make(map[int]bool),
+			sp: trace.Default().Begin(int32(d.self), trace.KindAgree, 0, d.epoch+1)}
 		d.logf("rank %d: proposing epoch %d dead=%v members=%v to %d survivors (seq %d)",
 			d.self, d.prop.epoch, deadSet, memberList, len(pending), d.propSeq)
 	}
@@ -822,6 +848,7 @@ func (d *Detector) applyEpoch(epoch uint64, dead, members []int, via string) {
 	}
 	wasMember := d.members.Contains(d.self)
 	isMember := newMembers.Contains(d.self)
+	membersChanged := !equalInts(d.members.Members(), newMembers.Members())
 	var newDead []int
 	selfDead := false
 	newSet := make(map[int]bool, len(dead))
@@ -881,8 +908,21 @@ func (d *Detector) applyEpoch(epoch uint64, dead, members []int, via string) {
 			m.Reset(now) // suspended while dead; fresh history on rejoin
 		}
 	}
-	d.prop = nil
+	if d.prop != nil {
+		d.prop.sp.End(epoch) // this coordinator's agreement committed
+		d.prop = nil
+	}
 	d.times = Times{SuspectAt: d.pendSuspect, AgreeAt: now}
+	rec := trace.Default()
+	rec.Emit(int32(d.self), trace.KindEpoch, 0, epoch)
+	if !d.pendSuspect.IsZero() {
+		// Detection latency (first local suspicion -> committed epoch) feeds
+		// the epoch kind's histogram: ops exposes it as c3_detection_seconds.
+		rec.Observe(trace.KindEpoch, now.Sub(d.pendSuspect))
+	}
+	if membersChanged {
+		rec.Emit(int32(d.self), trace.KindMember, 0, epoch)
+	}
 	d.pendSuspect = time.Time{}
 	sort.Ints(newDead)
 	allDead := setToSlice(newSet)

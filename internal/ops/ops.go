@@ -16,11 +16,17 @@
 //	GET  /epoch       {"epoch":E}               — agreed recovery epoch
 //	GET  /line        {"line":V}                — last locally committed line
 //	GET  /membership  {"epoch":E,"members":[…]} — current membership
-//	GET  /metrics     Prometheus text exposition
+//	GET  /metrics     Prometheus text exposition (counters, gauges, and the
+//	                  flight recorder's per-phase latency histograms)
+//	GET  /trace       flight-recorder snapshot (JSON; see trace.go)
 //	POST /checkpoint  force a recovery line at the next pragma
 //	POST /drain       {"rank":R} or ?rank=R     — graceful membership shrink
 //	POST /join        {"slot":S} or ?slot=S     — request a new member (S=-1:
 //	                                              launcher picks a spare slot)
+//	POST /trace/dump  write the flight recorder's ring to the trace dir
+//
+// Serve(addr, b, WithDebug()) additionally mounts /debug/pprof/ and the
+// runtime/trace start/stop verbs (trace.go).
 package ops
 
 import (
@@ -28,8 +34,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+
+	"c3/internal/trace"
 )
 
 // Status is the full node status served at /status.
@@ -101,15 +112,23 @@ type Server struct {
 	backend Backend
 	ln      net.Listener
 	srv     *http.Server
+	rec     *trace.Recorder
+	debug   bool
+
+	rtMu   sync.Mutex
+	rtFile *os.File // open runtime/trace capture (nil when none)
 }
 
 // Serve starts the control plane on addr ("host:port"; port 0 picks one).
-func Serve(addr string, b Backend) (*Server, error) {
+func Serve(addr string, b Backend, opts ...Option) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ops: listen %s: %w", addr, err)
 	}
-	s := &Server{backend: b, ln: ln}
+	s := &Server{backend: b, ln: ln, rec: trace.Default()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/epoch", s.handleEpoch)
@@ -119,6 +138,11 @@ func Serve(addr string, b Backend) (*Server, error) {
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/drain", s.handleDrain)
 	mux.HandleFunc("/join", s.handleJoin)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/trace/dump", s.handleTraceDump)
+	if s.debug {
+		s.registerDebug(mux)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
@@ -255,5 +279,57 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fenced = 1
 	}
 	gauge("c3_fenced", "1 while this node is on the minority side of a partition", fenced)
+
+	// Build identity: the standard info-metric idiom (constant 1, identity
+	// in the labels) so dashboards can join build metadata onto any series.
+	fmt.Fprintf(&b, "# HELP c3_build_info build metadata of the serving binary (constant 1)\n# TYPE c3_build_info gauge\n")
+	fmt.Fprintf(&b, "c3_build_info{rank=\"%d\",go=%q,module=\"c3\"} 1\n", m.Rank, runtime.Version())
+
+	// The flight recorder's per-phase latency histograms. Buckets are the
+	// recorder's log2-nanosecond buckets converted to seconds; families are
+	// always present (empty histograms expose only HELP/TYPE, _sum and
+	// _count) so scrapes see a stable schema from the first sample on.
+	for _, hf := range []struct {
+		kind trace.Kind
+		name string
+		help string
+	}{
+		{trace.KindCommit, "c3_commit_duration_seconds", "stable-store commit latency (Begin/WriteSection/Commit of one recovery line)"},
+		{trace.KindSerialize, "c3_serialize_duration_seconds", "application-state capture latency (checkpoint serialization on the app thread)"},
+		{trace.KindEncode, "c3_encode_duration_seconds", "fragment codec encode latency (replication sections to shards)"},
+		{trace.KindShip, "c3_ship_duration_seconds", "fragment ship latency (replica send loop to ring neighbors)"},
+		{trace.KindAck, "c3_ack_duration_seconds", "neighbor acknowledgment wait latency (commit barrier)"},
+		{trace.KindRestore, "c3_restore_duration_seconds", "recovery-line restore latency (load, deserialize, resume)"},
+		{trace.KindReassemble, "c3_reassemble_duration_seconds", "peer-fragment reassembly latency (rebuild a lost checkpoint over the wire)"},
+		{trace.KindAgree, "c3_agree_duration_seconds", "epoch agreement latency (coordinator propose to commit)"},
+		{trace.KindEpoch, "c3_detection_seconds", "failure detection latency (first local suspicion to committed epoch)"},
+	} {
+		writeHistogram(&b, hf.name, hf.help, m.Rank, s.rec.Histogram(hf.kind))
+	}
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one trace histogram as a Prometheus histogram
+// family: cumulative _bucket samples up to the last occupied bucket, then
+// +Inf, _sum and _count. Trailing empty buckets are elided — le boundaries
+// are data, not schema, in the exposition format.
+func writeHistogram(b *strings.Builder, name, help string, rank int, h trace.HistSnapshot) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	last := -1
+	for i, c := range h.Buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= last; i++ {
+		cum += h.Buckets[i]
+		le := float64(trace.BucketUpperNs(i)) / 1e9
+		fmt.Fprintf(b, "%s_bucket{rank=\"%d\",le=\"%s\"} %d\n",
+			name, rank, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{rank=\"%d\",le=\"+Inf\"} %d\n", name, rank, h.Count)
+	fmt.Fprintf(b, "%s_sum{rank=\"%d\"} %s\n", name, rank,
+		strconv.FormatFloat(float64(h.Sum)/1e9, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count{rank=\"%d\"} %d\n", name, rank, h.Count)
 }

@@ -1,0 +1,211 @@
+package ops
+
+// The tracing and profiling surface of the control plane:
+//
+//	GET  /trace               flight-recorder snapshot (JSON): logical
+//	                          clock, ring occupancy, per-phase latency
+//	                          histograms; ?events=1 adds the raw events
+//	POST /trace/dump          write the ring to the node's trace directory
+//	                          (rank<N>.c3tr, mergeable with cmd/c3trace)
+//
+// and, only when the server runs WithDebug (cmd/c3node -ops-debug):
+//
+//	GET  /debug/pprof/...     Go's net/http/pprof handlers (heap, goroutine,
+//	                          CPU profile, execution trace via ?seconds=N)
+//	POST /debug/runtime-trace/start  begin a runtime/trace capture to a file
+//	POST /debug/runtime-trace/stop   end it and report the file path
+//
+// The start/stop pair exists alongside /debug/pprof/trace for captures that
+// must bracket an unpredictable event (a failure, an epoch agreement):
+// start before provoking it, stop after, no fixed ?seconds guess.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	rtrace "runtime/trace"
+
+	"c3/internal/trace"
+)
+
+// Option tunes a Server at Serve time.
+type Option func(*Server)
+
+// WithDebug exposes the pprof handlers and runtime/trace verbs. Off by
+// default: the profiling surface can stall the process (stop-the-world
+// profile collection) and dumps internals, so it is operator-opt-in.
+func WithDebug() Option { return func(s *Server) { s.debug = true } }
+
+// WithRecorder overrides the flight recorder behind /trace and the
+// histogram families on /metrics (default: the process-global recorder).
+func WithRecorder(rec *trace.Recorder) Option { return func(s *Server) { s.rec = rec } }
+
+// TraceDumper is the optional Backend extension behind POST /trace/dump: a
+// node that knows its trace directory writes the ring there on demand.
+type TraceDumper interface {
+	TraceDump() (string, error)
+}
+
+// histJSON is one phase histogram in the /trace snapshot.
+type histJSON struct {
+	Count  uint64 `json:"count"`
+	SumNs  int64  `json:"sum_ns"`
+	MeanNs int64  `json:"mean_ns"`
+	P50Ns  int64  `json:"p50_ns"`
+	P99Ns  int64  `json:"p99_ns"`
+}
+
+// eventJSON is one ring event in the /trace snapshot (?events=1).
+type eventJSON struct {
+	Kind   string `json:"kind"`
+	Phase  string `json:"phase"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Rank   int32  `json:"rank"`
+	Peer   int32  `json:"peer"`
+	Clock  uint64 `json:"clock"`
+	TimeNs int64  `json:"time_ns"`
+	Arg    uint64 `json:"arg"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	hists := make(map[string]histJSON)
+	for k := trace.Kind(1); k < trace.KindCount; k++ {
+		h := s.rec.Histogram(k)
+		if h.Count == 0 {
+			continue
+		}
+		hists[k.String()] = histJSON{
+			Count:  h.Count,
+			SumNs:  h.Sum,
+			MeanNs: h.MeanNs(),
+			P50Ns:  h.Quantile(0.5),
+			P99Ns:  h.Quantile(0.99),
+		}
+	}
+	out := map[string]any{
+		"rank":       s.backend.Status().Rank,
+		"clock":      s.rec.Clock(),
+		"events":     s.rec.Len(),
+		"histograms": hists,
+	}
+	if r.URL.Query().Get("events") == "1" {
+		evs := s.rec.Snapshot()
+		jes := make([]eventJSON, 0, len(evs))
+		for _, ev := range evs {
+			je := eventJSON{
+				Kind: ev.Kind.String(), Phase: ev.Phase.String(),
+				Rank: ev.Rank, Peer: ev.Peer,
+				Clock: ev.Clock, TimeNs: ev.Time, Arg: ev.Arg,
+			}
+			if ev.Span != 0 {
+				je.Span = fmt.Sprintf("%#x", ev.Span)
+			}
+			if ev.Parent != 0 {
+				je.Parent = fmt.Sprintf("%#x", ev.Parent)
+			}
+			jes = append(jes, je)
+		}
+		out["ring"] = jes
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	td, ok := s.backend.(TraceDumper)
+	if !ok {
+		http.Error(w, "this node cannot dump traces", http.StatusNotImplemented)
+		return
+	}
+	path, err := td.TraceDump()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]string{"dump": path})
+}
+
+// registerDebug mounts the opt-in profiling surface on the mux.
+func (s *Server) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime-trace/start", s.handleRTraceStart)
+	mux.HandleFunc("/debug/runtime-trace/stop", s.handleRTraceStop)
+}
+
+// strArg reads a string request parameter from the query string or a JSON
+// object body ({"name": "..."}), preferring the query.
+func strArg(r *http.Request, name string) string {
+	if q := r.URL.Query().Get(name); q != "" {
+		return q
+	}
+	if r.Body != nil {
+		var body map[string]string
+		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
+			return body[name]
+		}
+	}
+	return ""
+}
+
+func (s *Server) handleRTraceStart(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	if s.rtFile != nil {
+		http.Error(w, "a runtime trace is already running: stop it first", http.StatusConflict)
+		return
+	}
+	var (
+		f   *os.File
+		err error
+	)
+	if path := strArg(r, "path"); path != "" {
+		f, err = os.Create(path)
+	} else {
+		f, err = os.CreateTemp("", "c3-runtime-trace-*.out")
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := rtrace.Start(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(f.Name())
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.rtFile = f
+	writeJSON(w, map[string]string{"trace": f.Name()})
+}
+
+func (s *Server) handleRTraceStop(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	if s.rtFile == nil {
+		http.Error(w, "no runtime trace is running", http.StatusConflict)
+		return
+	}
+	rtrace.Stop()
+	path := s.rtFile.Name()
+	err := s.rtFile.Close()
+	s.rtFile = nil
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]string{"trace": path})
+}

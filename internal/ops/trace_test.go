@@ -1,0 +1,227 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"c3/internal/trace"
+)
+
+// tracingBackend is a fakeBackend that can also dump its flight recorder,
+// like a node configured with -trace-dir.
+type tracingBackend struct {
+	fakeBackend
+	rec *trace.Recorder
+	dir string
+}
+
+func (b *tracingBackend) TraceDump() (string, error) {
+	return b.rec.WriteDump(b.dir, b.status.Rank)
+}
+
+func newTraceServer(t *testing.T, b Backend, opts ...Option) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", b, opts...)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// seedRecorder returns a private recorder with one finished commit span
+// and a couple of message-edge events, isolated from the process-global
+// recorder other tests write to.
+func seedRecorder() *trace.Recorder {
+	rec := trace.New(256)
+	var now int64
+	rec.SetClock(func() int64 { return now })
+	sp := rec.Begin(2, trace.KindCommit, 0, 1)
+	now += 2_000_000 // 2ms
+	sp.End(4096)
+	ctx := rec.Send(2, 3, 64)
+	rec.Recv(3, 2, ctx, 64)
+	return rec
+}
+
+func TestTraceSnapshotEndpoint(t *testing.T) {
+	rec := seedRecorder()
+	b := &fakeBackend{status: Status{Rank: 2}}
+	s := newTraceServer(t, b, WithRecorder(rec))
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d %s", code, body)
+	}
+	var snap struct {
+		Rank       int                        `json:"rank"`
+		Clock      uint64                     `json:"clock"`
+		Events     int                        `json:"events"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if snap.Rank != 2 || snap.Events != 4 || snap.Clock == 0 {
+		t.Fatalf("/trace snapshot mangled: %+v", snap)
+	}
+	if _, ok := snap.Histograms["commit"]; !ok {
+		t.Fatalf("/trace histograms missing the seeded commit family: %s", body)
+	}
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("/trace exposes %d histogram families, want only the non-empty one", len(snap.Histograms))
+	}
+
+	// ?events=1 adds the raw ring.
+	code, body = get(t, base+"/trace?events=1")
+	if code != http.StatusOK || !strings.Contains(body, `"ring"`) {
+		t.Fatalf("/trace?events=1: %d, ring missing:\n%s", code, body)
+	}
+	var withRing struct {
+		Ring []struct {
+			Kind  string `json:"kind"`
+			Phase string `json:"phase"`
+		} `json:"ring"`
+	}
+	if err := json.Unmarshal([]byte(body), &withRing); err != nil {
+		t.Fatalf("ring not JSON: %v", err)
+	}
+	if len(withRing.Ring) != 4 || withRing.Ring[0].Kind != "commit" || withRing.Ring[0].Phase != "begin" {
+		t.Fatalf("ring contents mangled: %+v", withRing.Ring)
+	}
+}
+
+func TestTraceDumpEndpoint(t *testing.T) {
+	// A backend without the TraceDumper extension: 501.
+	plain := newTraceServer(t, &fakeBackend{})
+	if code, body := post(t, "http://"+plain.Addr()+"/trace/dump", ""); code != http.StatusNotImplemented {
+		t.Fatalf("/trace/dump on plain backend = %d %q, want 501", code, body)
+	}
+
+	// A dumping backend writes a mergeable file and reports its path.
+	rec := seedRecorder()
+	b := &tracingBackend{fakeBackend: fakeBackend{status: Status{Rank: 2}}, rec: rec, dir: t.TempDir()}
+	s := newTraceServer(t, b, WithRecorder(rec))
+	base := "http://" + s.Addr()
+
+	if code, _ := get(t, base+"/trace/dump"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /trace/dump = %d, want 405", code)
+	}
+	code, body := post(t, base+"/trace/dump", "")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/dump: %d %s", code, body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/trace/dump not JSON: %v", err)
+	}
+	if filepath.Base(out["dump"]) != "rank2.c3tr" {
+		t.Fatalf("dump path %q, want .../rank2.c3tr", out["dump"])
+	}
+	d, err := trace.ReadDump(out["dump"])
+	if err != nil || d.Rank != 2 || len(d.Events) != 4 {
+		t.Fatalf("dumped file unreadable: %v (rank %d, %d events)", err, d.Rank, len(d.Events))
+	}
+}
+
+func TestMetricsHistogramFamilies(t *testing.T) {
+	rec := seedRecorder()
+	b := &fakeBackend{metrics: Metrics{Rank: 2}}
+	s := newTraceServer(t, b, WithRecorder(rec))
+	code, body := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+
+	// Build identity.
+	if !strings.Contains(body, "# TYPE c3_build_info gauge") ||
+		!strings.Contains(body, `c3_build_info{rank="2",go="go`) {
+		t.Fatalf("/metrics missing c3_build_info:\n%s", body)
+	}
+
+	// The seeded commit span (2ms) lands in the [1048576, 2097152)ns bucket,
+	// whose upper bound in seconds is 0.002097152.
+	for _, want := range []string{
+		"# TYPE c3_commit_duration_seconds histogram",
+		`c3_commit_duration_seconds_bucket{rank="2",le="0.002097152"} 1`,
+		`c3_commit_duration_seconds_bucket{rank="2",le="+Inf"} 1`,
+		`c3_commit_duration_seconds_sum{rank="2"} 0.002`,
+		`c3_commit_duration_seconds_count{rank="2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Empty families still expose a stable schema: HELP/TYPE, +Inf, _sum,
+	// _count — but no finite buckets.
+	for _, want := range []string{
+		"# TYPE c3_restore_duration_seconds histogram",
+		`c3_restore_duration_seconds_bucket{rank="2",le="+Inf"} 0`,
+		`c3_restore_duration_seconds_sum{rank="2"} 0`,
+		`c3_restore_duration_seconds_count{rank="2"} 0`,
+		"# TYPE c3_detection_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `c3_restore_duration_seconds_bucket{rank="2",le="0`) {
+		t.Fatal("empty family exposes finite buckets")
+	}
+
+	// The exposition-format sanity check from TestMetricsExposition must
+	// keep holding with the histogram families present.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDebugSurfaceGating(t *testing.T) {
+	// Off by default: the profiling surface must not exist.
+	plain := newTraceServer(t, &fakeBackend{})
+	if code, _ := get(t, "http://"+plain.Addr()+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without WithDebug = %d, want 404", code)
+	}
+	if code, _ := post(t, "http://"+plain.Addr()+"/debug/runtime-trace/start", ""); code != http.StatusNotFound {
+		t.Fatalf("runtime-trace start without WithDebug = %d, want 404", code)
+	}
+
+	dbg := newTraceServer(t, &fakeBackend{}, WithDebug())
+	base := "http://" + dbg.Addr()
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ with WithDebug = %d", code)
+	}
+
+	// runtime/trace start/stop round trip, writing where we say.
+	path := filepath.Join(t.TempDir(), "rt.out")
+	code, body := post(t, base+"/debug/runtime-trace/start?path="+path, "")
+	if code != http.StatusOK || !strings.Contains(body, "rt.out") {
+		t.Fatalf("runtime-trace start: %d %s", code, body)
+	}
+	// Double start is refused while one is running.
+	if code, _ := post(t, base+"/debug/runtime-trace/start", ""); code != http.StatusConflict {
+		t.Fatalf("double runtime-trace start = %d, want 409", code)
+	}
+	if code, body = post(t, base+"/debug/runtime-trace/stop", ""); code != http.StatusOK {
+		t.Fatalf("runtime-trace stop: %d %s", code, body)
+	}
+	// Stop with nothing running is a conflict, not a crash.
+	if code, _ := post(t, base+"/debug/runtime-trace/stop", ""); code != http.StatusConflict {
+		t.Fatalf("idle runtime-trace stop = %d, want 409", code)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("runtime trace file not written: %v", err)
+	}
+}

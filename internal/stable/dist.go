@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"c3/internal/member"
+	"c3/internal/trace"
 	"c3/internal/transport"
 )
 
@@ -398,8 +399,10 @@ func (h *distHandle) Commit() error {
 	}
 	s.mu.Unlock()
 
+	encSp := trace.Default().Begin(int32(s.self), trace.KindEncode, 0, uint64(h.version))
 	blob := encodeReplSections(h.sections)
 	shards, err := s.codec.Encode(blob)
+	encSp.End(uint64(len(blob)))
 	if err != nil {
 		return fmt.Errorf("stable: encode checkpoint (%d,%d): %w", h.rank, h.version, err)
 	}
@@ -426,15 +429,20 @@ func (h *distHandle) Commit() error {
 		h.stored += sectionsBytes(h.sections)
 	}
 
+	shipSp := trace.Default().Begin(int32(s.self), trace.KindShip, 0, uint64(h.version))
+	var shippedBytes uint64
 	for _, nb := range targets {
 		for _, idx := range sendPlan[nb] {
 			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, rec.codec, len(shards), idx, shards[idx]))
+			shippedBytes += uint64(len(shards[idx]))
 		}
 		// The marker travels after the fragments on the same FIFO pair, so
 		// a stored marker implies the fragments preceding it arrived.
 		s.send(nb, transport.Control, encodeReplCommit(h.rank, h.version, 0, rec))
 	}
+	shipSp.End(shippedBytes)
 
+	ackSp := trace.Default().Begin(int32(s.self), trace.KindAck, 0, uint64(h.version))
 	deadline := time.Now().Add(s.ackTimeout)
 	wake := time.AfterFunc(s.ackTimeout, func() {
 		s.mu.Lock()
@@ -490,6 +498,7 @@ func (h *distHandle) Commit() error {
 	}
 	hook := s.commitHook
 	s.mu.Unlock()
+	ackSp.End(uint64(lostShards))
 	if fenced {
 		// Torn down while still fenced: refuse outright. No local copy was
 		// installed and no hook fires — a fenced rank reports zero commits.
@@ -777,9 +786,11 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 	}
 	s.mu.Unlock()
 
+	reSp := trace.Default().Begin(int32(s.self), trace.KindReassemble, 0, uint64(version))
 	lines := s.queryPeers(rank)
 	rl, ok := lines[version]
 	if !ok {
+		reSp.End(0)
 		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
 	}
 	// Fetch shards until the codec can reconstruct; a shard unreachable or
@@ -797,8 +808,10 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 	}
 	sections, err := reassembleSections(rl.rec, shards)
 	if err != nil {
+		reSp.End(0)
 		return nil, fmt.Errorf("%w: rank %d version %d: %v", ErrNotFound, rank, version, err)
 	}
+	reSp.End(uint64(rl.rec.total))
 	ck := &memCkpt{sections: sections, commit: true}
 	s.mu.Lock()
 	if rank == s.self {

@@ -1,0 +1,52 @@
+package trace
+
+import "testing"
+
+// The record path costs on the order of tens of nanoseconds per event;
+// these benchmarks put a number on it (and on the disabled floor the
+// -notrace overhead measurement compares against).
+
+func BenchmarkEmit(b *testing.B) {
+	r := New(DefaultRing)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(0, KindGossip, 0, uint64(i))
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	r := New(DefaultRing)
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(0, KindGossip, 0, uint64(i))
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	r := New(DefaultRing)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Begin(0, KindCommit, 0, 0)
+		sp.End(uint64(i))
+	}
+}
+
+func BenchmarkSendRecvEdge(b *testing.B) {
+	r := New(DefaultRing)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx := r.Send(0, 1, 64)
+		r.Recv(1, 0, ctx, 64)
+	}
+}
+
+func BenchmarkEmitParallel(b *testing.B) {
+	r := New(DefaultRing)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Emit(0, KindGossip, 0, 1)
+		}
+	})
+}

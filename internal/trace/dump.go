@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"c3/internal/wire"
+)
+
+// Dump file format (all little-endian, via internal/wire):
+//
+//	u32 magic   "C3TR" (0x52544333)
+//	u32 version (1)
+//	i64 rank    (recording rank; -1 if the recorder was shared in-process)
+//	u32 count   (events, Count-clamped against eventWireSize on decode)
+//	count × event:
+//	    u64 seq | u64 span | u64 parent | u8 kind | u8 phase |
+//	    u32 rank | u32 peer | u64 clock | i64 time | u64 arg
+//
+// The event array is flat and fixed-width so decoding clamps the count
+// against the remaining bytes before any allocation (the PR 3
+// deserializer-hardening rule) — a truncated or corrupt dump fails
+// cleanly instead of allocating from a hostile length prefix.
+
+// DumpMagic identifies a flight-recorder dump file.
+const DumpMagic = 0x52544333 // "C3TR"
+
+// DumpVersion is the current dump format version.
+const DumpVersion = 1
+
+// eventWireSize is the encoded size of one event in bytes.
+const eventWireSize = 8 + 8 + 8 + 1 + 1 + 4 + 4 + 8 + 8 + 8
+
+// Dump is a decoded flight-recorder dump.
+type Dump struct {
+	Rank   int // recording rank, -1 if shared
+	Events []Event
+}
+
+// EncodeDump serializes events into the dump format.
+func EncodeDump(rank int, events []Event) []byte {
+	w := wire.NewWriter(16 + len(events)*eventWireSize)
+	w.U32(DumpMagic)
+	w.U32(DumpVersion)
+	w.I64(int64(rank))
+	w.U32(uint32(len(events)))
+	for _, ev := range events {
+		w.U64(ev.Seq)
+		w.U64(ev.Span)
+		w.U64(ev.Parent)
+		w.U8(uint8(ev.Kind))
+		w.U8(uint8(ev.Phase))
+		w.U32(uint32(ev.Rank))
+		w.U32(uint32(ev.Peer))
+		w.U64(ev.Clock)
+		w.I64(ev.Time)
+		w.U64(ev.Arg)
+	}
+	return w.Bytes()
+}
+
+// DecodeDump parses a dump, validating magic, version, and the event
+// count against the available bytes.
+func DecodeDump(b []byte) (*Dump, error) {
+	r := wire.NewReader(b)
+	if magic := r.U32(); magic != DumpMagic {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("trace: dump header: %w", r.Err())
+		}
+		return nil, fmt.Errorf("trace: bad dump magic %#x", magic)
+	}
+	if v := r.U32(); v != DumpVersion {
+		if r.Err() != nil {
+			return nil, fmt.Errorf("trace: dump header: %w", r.Err())
+		}
+		return nil, fmt.Errorf("trace: unsupported dump version %d", v)
+	}
+	rank := r.I64()
+	n := r.Count(eventWireSize)
+	if r.Err() != nil {
+		return nil, fmt.Errorf("trace: dump header: %w", r.Err())
+	}
+	events := make([]Event, n)
+	for i := range events {
+		ev := &events[i]
+		ev.Seq = r.U64()
+		ev.Span = r.U64()
+		ev.Parent = r.U64()
+		ev.Kind = Kind(r.U8())
+		ev.Phase = Phase(r.U8())
+		ev.Rank = int32(r.U32())
+		ev.Peer = int32(r.U32())
+		ev.Clock = r.U64()
+		ev.Time = r.I64()
+		ev.Arg = r.U64()
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("trace: dump events: %w", r.Err())
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after event array", r.Remaining())
+	}
+	for i := range events {
+		if events[i].Kind >= KindCount {
+			return nil, fmt.Errorf("trace: event %d: invalid kind %d", i, events[i].Kind)
+		}
+		if events[i].Phase > PhaseRecv {
+			return nil, fmt.Errorf("trace: event %d: invalid phase %d", i, events[i].Phase)
+		}
+	}
+	return &Dump{Rank: int(rank), Events: events}, nil
+}
+
+// DumpFileName is the conventional per-rank dump file name inside a
+// trace directory.
+func DumpFileName(rank int) string {
+	return fmt.Sprintf("rank%d.c3tr", rank)
+}
+
+// WriteDump snapshots the recorder and writes a dump file for rank into
+// dir (created if missing). It returns the file path.
+func (r *Recorder) WriteDump(dir string, rank int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, DumpFileName(rank))
+	if err := os.WriteFile(path, EncodeDump(rank, r.Snapshot()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadDump loads and decodes a dump file.
+func ReadDump(path string) (*Dump, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDump(b)
+}

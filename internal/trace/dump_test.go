@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 0, Span: 0x100000001, Parent: 0, Kind: KindCommit, Phase: PhaseBegin, Rank: 2, Peer: -1, Clock: 1, Time: 10, Arg: 5},
+		{Seq: 1, Span: 0x100000002, Parent: 0x100000001, Kind: KindSend, Phase: PhaseSend, Rank: 2, Peer: 3, Clock: 2, Time: 20, Arg: 64},
+		{Seq: 2, Span: 0x100000001, Parent: 0, Kind: KindCommit, Phase: PhaseEnd, Rank: 2, Peer: -1, Clock: 3, Time: 30, Arg: 5},
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	data := EncodeDump(2, events)
+	d, err := DecodeDump(data)
+	if err != nil {
+		t.Fatalf("DecodeDump: %v", err)
+	}
+	if d.Rank != 2 {
+		t.Fatalf("rank = %d, want 2", d.Rank)
+	}
+	if len(d.Events) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(d.Events), len(events))
+	}
+	for i := range events {
+		if d.Events[i] != events[i] {
+			t.Fatalf("event %d mangled:\n got %+v\nwant %+v", i, d.Events[i], events[i])
+		}
+	}
+}
+
+func TestDecodeDumpRejectsHostileInput(t *testing.T) {
+	good := EncodeDump(0, sampleEvents())
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := append([]byte(nil), good...)
+		b = mutate(b)
+		if _, err := DecodeDump(b); err == nil {
+			t.Errorf("%s: DecodeDump accepted corrupted input", name)
+		}
+	}
+
+	corrupt("bad magic", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[0:], 0xdeadbeef)
+		return b
+	})
+	corrupt("bad version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:], DumpVersion+1)
+		return b
+	})
+	corrupt("truncated header", func(b []byte) []byte { return b[:8] })
+	corrupt("truncated events", func(b []byte) []byte { return b[:len(b)-1] })
+	corrupt("hostile count", func(b []byte) []byte {
+		// Count field claims 2^31 events on a tiny payload: the Count
+		// clamp must reject it rather than allocate.
+		binary.LittleEndian.PutUint32(b[16:], 1<<31-1)
+		return b
+	})
+	corrupt("invalid kind", func(b []byte) []byte {
+		// First event's kind byte sits right after the 3 u64 ids.
+		b[20+24] = byte(KindCount)
+		return b
+	})
+	corrupt("invalid phase", func(b []byte) []byte {
+		b[20+25] = byte(PhaseRecv) + 1
+		return b
+	})
+	corrupt("trailing garbage", func(b []byte) []byte {
+		return append(b, 0xff)
+	})
+
+	if _, err := DecodeDump(nil); err == nil {
+		t.Error("DecodeDump(nil) must fail")
+	}
+}
+
+func TestDumpEmpty(t *testing.T) {
+	d, err := DecodeDump(EncodeDump(7, nil))
+	if err != nil {
+		t.Fatalf("DecodeDump(empty): %v", err)
+	}
+	if d.Rank != 7 || len(d.Events) != 0 {
+		t.Fatalf("empty dump round trip: rank %d, %d events", d.Rank, len(d.Events))
+	}
+}

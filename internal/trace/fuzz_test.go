@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode throws arbitrary bytes at the dump decoder. The decoder
+// feeds on files read off disk in c3trace and on operator-supplied paths,
+// so it must never panic or over-allocate on hostile input (the count
+// field is clamped against the actual payload size). Any dump it does
+// accept must survive a re-encode round trip.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add(EncodeDump(0, nil))
+	f.Add(EncodeDump(3, sampleEvents()))
+	f.Add([]byte{})
+	f.Add([]byte{0x33, 0x54, 0x52, 0x43}) // magic alone, no header
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDump(data)
+		if err != nil {
+			return
+		}
+		for i, ev := range d.Events {
+			if ev.Kind >= KindCount || ev.Phase > PhaseRecv {
+				t.Fatalf("accepted event %d with invalid kind=%d phase=%d", i, ev.Kind, ev.Phase)
+			}
+		}
+		re := EncodeDump(d.Rank, d.Events)
+		d2, err := DecodeDump(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted dump does not decode: %v", err)
+		}
+		if d2.Rank != d.Rank || len(d2.Events) != len(d.Events) {
+			t.Fatalf("round trip drift: rank %d/%d, events %d/%d",
+				d.Rank, d2.Rank, len(d.Events), len(d2.Events))
+		}
+		for i := range d.Events {
+			if d.Events[i] != d2.Events[i] {
+				t.Fatalf("round trip drift at event %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of log2 latency buckets. Bucket i counts
+// observations in [2^i, 2^(i+1)) nanoseconds; bucket 0 also absorbs
+// sub-nanosecond (zero) observations and the last bucket absorbs
+// everything from ~9.2 minutes up. Powers of two keep Observe at a
+// single bits.Len64 plus one atomic add — cheap enough for commit and
+// detection hot paths.
+const HistBuckets = 40
+
+// Hist is a lock-free log-bucketed latency histogram. The zero value
+// is ready to use.
+type Hist struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		return
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistSnapshot is a point-in-time copy of a Hist.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     int64 // nanoseconds
+}
+
+// Snapshot copies the histogram. Under concurrent Observe calls the
+// copy may be torn by at most the in-flight observations — fine for
+// metrics exposition.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketUpperNs returns the exclusive upper bound of bucket i in
+// nanoseconds (the last bucket reports the largest representable bound).
+func BucketUpperNs(i int) int64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= HistBuckets-1 {
+		return int64(1) << 62
+	}
+	return int64(1) << uint(i+1)
+}
+
+// Quantile estimates the q-quantile (0..1) in nanoseconds from the
+// bucket counts, attributing each bucket to its upper bound (a
+// conservative overestimate, consistent with Prometheus's convention).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			return BucketUpperNs(i)
+		}
+	}
+	return BucketUpperNs(HistBuckets - 1)
+}
+
+// MeanNs returns the mean observation in nanoseconds.
+func (s HistSnapshot) MeanNs() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}

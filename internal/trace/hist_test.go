@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	// One observation per decade of interest: 1ns, 1µs-ish, 1ms-ish, 1s-ish.
+	for _, ns := range []int64{1, 1024, 1 << 20, 1 << 30} {
+		h.Observe(ns)
+	}
+	h.Observe(-5) // negative durations are dropped, not recorded
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4 (negative observation must be dropped)", s.Count)
+	}
+	if want := int64(1 + 1024 + 1<<20 + 1<<30); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	for _, tc := range []struct {
+		bucket int
+		want   uint64
+	}{
+		{0, 1},  // [1, 2)
+		{10, 1}, // [1024, 2048)
+		{20, 1}, // [1Mi, 2Mi)
+		{30, 1}, // [1Gi, 2Gi)
+	} {
+		if got := s.Buckets[tc.bucket]; got != tc.want {
+			t.Errorf("bucket %d = %d, want %d", tc.bucket, got, tc.want)
+		}
+	}
+
+	// Zero and huge observations clamp to the first and last bucket.
+	var edge Hist
+	edge.Observe(0)
+	edge.Observe(int64(1) << 62)
+	es := edge.Snapshot()
+	if es.Buckets[0] != 1 || es.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("edge buckets = first %d last %d, want 1/1", es.Buckets[0], es.Buckets[HistBuckets-1])
+	}
+}
+
+func TestHistQuantileAndMean(t *testing.T) {
+	var h Hist
+	for i := 0; i < 99; i++ {
+		h.Observe(1000) // bucket 9: [512, 1024), upper bound 1024
+	}
+	h.Observe(1 << 25) // one outlier
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 1024 {
+		t.Fatalf("p50 = %d, want the 1024 bucket upper bound", q)
+	}
+	if q := s.Quantile(0.99); q != 1024 {
+		t.Fatalf("p99 = %d, want 1024 (99 of 100 observations below)", q)
+	}
+	if q := s.Quantile(1); q != 1<<26 {
+		t.Fatalf("p100 = %d, want the outlier's bucket upper bound %d", q, 1<<26)
+	}
+	wantMean := (int64(99*1000) + 1<<25) / 100
+	if m := s.MeanNs(); m != wantMean {
+		t.Fatalf("mean = %d, want %d", m, wantMean)
+	}
+
+	var empty HistSnapshot
+	if empty.Quantile(0.99) != 0 || empty.MeanNs() != 0 {
+		t.Fatal("empty histogram must report zero quantiles and mean")
+	}
+}
+
+func TestBucketUpperMonotonic(t *testing.T) {
+	prev := int64(0)
+	for i := 0; i < HistBuckets; i++ {
+		u := BucketUpperNs(i)
+		if u <= prev {
+			t.Fatalf("bucket %d upper %d not above previous %d", i, u, prev)
+		}
+		prev = u
+	}
+}
+
+// TestHistConcurrent exercises the atomic counters under -race.
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline is the causally ordered merge of per-rank dumps.
+type Timeline struct {
+	// Events in causal order: ascending Lamport clock, ties broken by
+	// (rank, seq) so the order is total and deterministic.
+	Events []Event
+	// Edges maps an edge span id to its send/recv endpoints (indices
+	// into Events); Recv is -1 for edges whose delivery fell out of the
+	// receiver's ring (or was genuinely lost).
+	Edges map[uint64]Edge
+	// Ranks is the sorted set of ranks that contributed events.
+	Ranks []int
+}
+
+// Edge is one stitched cross-rank message edge.
+type Edge struct {
+	Send, Recv int // indices into Timeline.Events; Recv may be -1
+}
+
+// Merge stitches per-rank dumps into one causally ordered timeline and
+// re-verifies the happens-before invariant on every stitched edge: a
+// recv whose Lamport clock is not strictly greater than its send's is a
+// hard error (the Lamport merge on the receive path makes the invariant
+// unconditional, so a violation means corrupted dumps or a transport
+// bug delivering frames across causality).
+func Merge(dumps []*Dump) (*Timeline, error) {
+	var events []Event
+	rankSet := map[int]bool{}
+	for _, d := range dumps {
+		events = append(events, d.Events...)
+		for _, ev := range d.Events {
+			rankSet[int(ev.Rank)] = true
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Clock != b.Clock {
+			return a.Clock < b.Clock
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Seq < b.Seq
+	})
+
+	tl := &Timeline{Events: events, Edges: map[uint64]Edge{}}
+	for r := range rankSet {
+		tl.Ranks = append(tl.Ranks, r)
+	}
+	sort.Ints(tl.Ranks)
+
+	sends := map[uint64]int{}
+	recvs := map[uint64]int{}
+	for i, ev := range events {
+		switch ev.Phase {
+		case PhaseSend:
+			sends[ev.Span] = i
+		case PhaseRecv:
+			if ev.Span != 0 { // zero span: frame carried no context
+				recvs[ev.Span] = i
+			}
+		}
+	}
+	for span, si := range sends {
+		e := Edge{Send: si, Recv: -1}
+		if ri, ok := recvs[span]; ok {
+			e.Recv = ri
+			send, recv := events[si], events[ri]
+			if recv.Clock <= send.Clock {
+				return nil, fmt.Errorf(
+					"trace: happens-before violation on edge %#x: send rank %d clock %d, recv rank %d clock %d",
+					span, send.Rank, send.Clock, recv.Rank, recv.Clock)
+			}
+		}
+		tl.Edges[span] = e
+	}
+	// A recv with no matching send is legal only because the sender's
+	// ring may have wrapped past the send event (or the sender died
+	// before dumping); it cannot be distinguished from a forged frame,
+	// so it is reported by Stats, not an error here.
+	return tl, nil
+}
+
+// PhaseStat summarizes one span kind across the timeline.
+type PhaseStat struct {
+	Kind   Kind
+	Count  int
+	MinNs  int64
+	MeanNs int64
+	P99Ns  int64
+	MaxNs  int64
+}
+
+// PhaseBreakdown pairs Begin/End events by span id *per rank* (virtual
+// and wall clocks are only comparable within one rank) and aggregates
+// durations per kind.
+func (tl *Timeline) PhaseBreakdown() []PhaseStat {
+	type open struct{ start int64 }
+	begins := map[uint64]open{}
+	durs := map[Kind][]int64{}
+	for _, ev := range tl.Events {
+		switch ev.Phase {
+		case PhaseBegin:
+			begins[ev.Span] = open{start: ev.Time}
+		case PhaseEnd:
+			if b, ok := begins[ev.Span]; ok {
+				if d := ev.Time - b.start; d >= 0 {
+					durs[ev.Kind] = append(durs[ev.Kind], d)
+				}
+				delete(begins, ev.Span)
+			}
+		}
+	}
+	var out []PhaseStat
+	for kind, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum int64
+		for _, d := range ds {
+			sum += d
+		}
+		p99 := ds[(len(ds)-1)*99/100]
+		out = append(out, PhaseStat{
+			Kind: kind, Count: len(ds),
+			MinNs: ds[0], MeanNs: sum / int64(len(ds)),
+			P99Ns: p99, MaxNs: ds[len(ds)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Stats summarizes the merged timeline.
+type Stats struct {
+	Events        int
+	Ranks         int
+	Edges         int // send events seen
+	Stitched      int // edges with both endpoints
+	OrphanRecvs   int // recvs whose send fell out of the sender's ring
+	InstantCounts map[Kind]int
+}
+
+// Stats computes summary counters for the timeline.
+func (tl *Timeline) Stats() Stats {
+	s := Stats{Events: len(tl.Events), Ranks: len(tl.Ranks), InstantCounts: map[Kind]int{}}
+	stitchedRecvs := map[int]bool{}
+	for _, e := range tl.Edges {
+		s.Edges++
+		if e.Recv >= 0 {
+			s.Stitched++
+			stitchedRecvs[e.Recv] = true
+		}
+	}
+	for i, ev := range tl.Events {
+		switch ev.Phase {
+		case PhaseRecv:
+			if ev.Span != 0 && !stitchedRecvs[i] {
+				s.OrphanRecvs++
+			}
+		case PhaseInstant:
+			s.InstantCounts[ev.Kind]++
+		}
+	}
+	return s
+}
+
+// FormatBreakdown renders the phase table as aligned text.
+func FormatBreakdown(stats []PhaseStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %12s %12s\n",
+		"phase", "count", "min", "mean", "p99", "max")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %8d %12s %12s %12s %12s\n",
+			s.Kind, s.Count, fmtNs(s.MinNs), fmtNs(s.MeanNs), fmtNs(s.P99Ns), fmtNs(s.MaxNs))
+	}
+	return b.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// twoRankExchange builds two salted per-process recorders exchanging a
+// few messages with protocol spans, and returns their dumps.
+func twoRankExchange(t *testing.T) []*Dump {
+	t.Helper()
+	a, b := New(256), New(256)
+	a.SetSalt(0)
+	b.SetSalt(1)
+
+	sp := a.Begin(0, KindCommit, 0, 1)
+	for i := 0; i < 3; i++ {
+		ctx := a.Send(0, 1, uint64(100+i))
+		b.Recv(1, 0, ctx, uint64(100+i))
+		back := b.Send(1, 0, uint64(200+i))
+		a.Recv(0, 1, back, uint64(200+i))
+	}
+	sp.End(4096)
+	b.Emit(1, KindSuspect, 0, 0)
+
+	return []*Dump{
+		{Rank: 0, Events: a.Snapshot()},
+		{Rank: 1, Events: b.Snapshot()},
+	}
+}
+
+func TestMergeStitchesEdges(t *testing.T) {
+	tl, err := Merge(twoRankExchange(t))
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	st := tl.Stats()
+	if st.Ranks != 2 {
+		t.Fatalf("ranks = %d, want 2", st.Ranks)
+	}
+	if st.Edges != 6 || st.Stitched != 6 || st.OrphanRecvs != 0 {
+		t.Fatalf("edges=%d stitched=%d orphans=%d, want 6/6/0", st.Edges, st.Stitched, st.OrphanRecvs)
+	}
+	if st.InstantCounts[KindSuspect] != 1 {
+		t.Fatalf("suspect instants = %d, want 1", st.InstantCounts[KindSuspect])
+	}
+	// Causal order: ascending clocks, and each stitched edge's recv
+	// strictly after its send in the merged order.
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Clock < tl.Events[i-1].Clock {
+			t.Fatalf("timeline not clock-ordered at %d", i)
+		}
+	}
+	for span, e := range tl.Edges {
+		if e.Recv >= 0 && e.Recv <= e.Send {
+			t.Fatalf("edge %#x: recv index %d not after send index %d", span, e.Recv, e.Send)
+		}
+	}
+}
+
+func TestMergeRejectsHappensBeforeViolation(t *testing.T) {
+	// A forged pair: recv clock equal to send clock — impossible under the
+	// Lamport merge, so Merge must hard-fail.
+	dumps := []*Dump{
+		{Rank: 0, Events: []Event{
+			{Seq: 0, Span: 0x1111, Kind: KindSend, Phase: PhaseSend, Rank: 0, Peer: 1, Clock: 10, Time: 5},
+		}},
+		{Rank: 1, Events: []Event{
+			{Seq: 0, Span: 0x1111, Kind: KindRecv, Phase: PhaseRecv, Rank: 1, Peer: 0, Clock: 10, Time: 6},
+		}},
+	}
+	if _, err := Merge(dumps); err == nil || !strings.Contains(err.Error(), "happens-before") {
+		t.Fatalf("Merge = %v, want a happens-before violation error", err)
+	}
+}
+
+func TestMergeToleratesOrphanRecv(t *testing.T) {
+	// A recv whose send fell out of the sender's ring (or whose sender
+	// died before dumping) is reported, not fatal.
+	dumps := []*Dump{
+		{Rank: 1, Events: []Event{
+			{Seq: 0, Span: 0x2222, Kind: KindRecv, Phase: PhaseRecv, Rank: 1, Peer: 0, Clock: 3, Time: 1},
+		}},
+	}
+	tl, err := Merge(dumps)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if st := tl.Stats(); st.OrphanRecvs != 1 {
+		t.Fatalf("orphan recvs = %d, want 1", st.OrphanRecvs)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	r := New(64)
+	var now int64
+	r.SetClock(func() int64 { return now })
+	for _, d := range []int64{100, 200, 300} {
+		sp := r.Begin(0, KindShip, 0, 0)
+		now += d
+		sp.End(0)
+	}
+	tl, err := Merge([]*Dump{{Rank: 0, Events: r.Snapshot()}})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	bd := tl.PhaseBreakdown()
+	if len(bd) != 1 || bd[0].Kind != KindShip {
+		t.Fatalf("breakdown = %+v, want one ship row", bd)
+	}
+	s := bd[0]
+	if s.Count != 3 || s.MinNs != 100 || s.MaxNs != 300 || s.MeanNs != 200 {
+		t.Fatalf("ship stats = %+v, want count 3 min 100 mean 200 max 300", s)
+	}
+	if out := FormatBreakdown(bd); !strings.Contains(out, "ship") || !strings.Contains(out, "300ns") {
+		t.Fatalf("FormatBreakdown missing fields:\n%s", out)
+	}
+}
+
+// TestGoldenSIGKILLTimeline merges the recorded dumps of a real 4-process
+// self-healing SIGKILL run (testdata/sigkill4, written by c3node with
+// -trace-dir while an external kill -9 took rank 1) and re-verifies the
+// whole acceptance property: a causally consistent cross-rank timeline
+// whose phase breakdown covers the full recovery arc — suspicion,
+// agreement, respawn, reassembly, restore.
+func TestGoldenSIGKILLTimeline(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "sigkill4", "*.c3tr"))
+	if err != nil || len(paths) != 4 {
+		t.Fatalf("golden dumps: %v (found %d, want 4)", err, len(paths))
+	}
+	var dumps []*Dump
+	for _, p := range paths {
+		d, err := ReadDump(p)
+		if err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+		if len(d.Events) == 0 {
+			t.Fatalf("%s: empty dump", p)
+		}
+		dumps = append(dumps, d)
+	}
+
+	tl, err := Merge(dumps)
+	if err != nil {
+		t.Fatalf("golden timeline is causally inconsistent: %v", err)
+	}
+	st := tl.Stats()
+	if st.Ranks != 4 {
+		t.Fatalf("ranks = %d, want 4", st.Ranks)
+	}
+	if st.Stitched == 0 {
+		t.Fatal("no stitched message edges: trace contexts did not cross processes")
+	}
+
+	// The recovery arc. Suspicion, epoch commit and respawn are instants;
+	// agreement, reassembly and restore are duration spans.
+	for _, kind := range []Kind{KindSuspect, KindEpoch, KindRespawn} {
+		if st.InstantCounts[kind] == 0 {
+			t.Errorf("timeline has no %s events", kind)
+		}
+	}
+	spanKinds := map[Kind]bool{}
+	for _, s := range tl.PhaseBreakdown() {
+		spanKinds[s.Kind] = true
+	}
+	for _, kind := range []Kind{KindAgree, KindReassemble, KindRestore, KindCommit, KindSerialize, KindShip, KindAck} {
+		if !spanKinds[kind] {
+			t.Errorf("phase breakdown has no %s spans", kind)
+		}
+	}
+}
+
+// TestDumpDirRoundTrip: WriteDump/ReadDump through a real directory.
+func TestDumpDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := New(64)
+	r.SetSalt(5)
+	r.Emit(5, KindMember, 0, 3)
+	path, err := r.WriteDump(dir, 5)
+	if err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	if filepath.Base(path) != "rank5.c3tr" {
+		t.Fatalf("dump path %q, want rank5.c3tr", path)
+	}
+	d, err := ReadDump(path)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if d.Rank != 5 || len(d.Events) != 1 || d.Events[0].Kind != KindMember {
+		t.Fatalf("round trip mangled: %+v", d)
+	}
+	// Dumps overwrite: a second write holds the newer snapshot.
+	r.Emit(5, KindFence, 0, 1)
+	if _, err := r.WriteDump(dir, 5); err != nil {
+		t.Fatalf("second WriteDump: %v", err)
+	}
+	if d, err = ReadDump(path); err != nil || len(d.Events) != 2 {
+		t.Fatalf("overwrite round trip: %v, %d events", err, len(d.Events))
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("%d files in dump dir, want 1 (overwrite, not accumulate)", len(entries))
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"c3/internal/trace"
 	"c3/internal/transport"
 	"c3/internal/wire"
 )
@@ -41,8 +42,15 @@ import (
 // becomes an error instead of an enormous allocation.
 const maxFrame = 1 << 28
 
-// frameHeaderLen is gen(8) + from(4) + to(4) + class(1) + kind(1).
-const frameHeaderLen = 18
+// frameHeaderLen is gen(8) + from(4) + to(4) + class(1) + kind(1) +
+// trace span(8) + trace lamport clock(8). The last 16 bytes are the
+// causal tracing context (trace.Ctx): the receive path merges the
+// sender's Lamport clock and records a recv event sharing the edge's
+// span id, which is what lets cmd/c3trace stitch per-process flight
+// recordings into one cross-rank happens-before timeline. All ranks of
+// a world run the same build, so the header change needs no
+// negotiation (cross-generation frames are already filtered).
+const frameHeaderLen = 34
 
 // Connection-establishment handshake. Every attempt's mesh binds the same
 // per-rank address and relies on the generation tag to keep attempts apart,
@@ -351,6 +359,9 @@ func (m *Mesh) Send(msg transport.Message) error {
 	m.stats.DeliveredPayload += uint64(size)
 	m.statMu.Unlock()
 
+	if msg.Trace.Span == 0 {
+		msg.Trace = trace.Default().Send(int32(msg.From), int32(msg.To), uint64(size))
+	}
 	if msg.To == m.self {
 		if !m.port.push(msg) {
 			m.noteDropped()
@@ -408,6 +419,8 @@ func encodeFrame(gen uint64, msg transport.Message) ([]byte, error) {
 	w.U32(uint32(msg.To))
 	w.U8(uint8(msg.Class))
 	w.U8(wp.WireKind())
+	w.U64(msg.Trace.Span)
+	w.U64(msg.Trace.Clock)
 	buf := append(w.Bytes(), body...)
 	return buf, nil
 }
@@ -638,6 +651,7 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		to := int(r.U32())
 		class := transport.Class(r.U8())
 		kind := r.U8()
+		tctx := trace.Ctx{Span: r.U64(), Clock: r.U64()}
 		if r.Err() != nil {
 			return
 		}
@@ -651,7 +665,7 @@ func (m *Mesh) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // unknown or corrupt payload: drop the frame, keep the conn
 		}
-		if !m.port.push(transport.Message{From: from, To: to, Class: class, Payload: payload}) {
+		if !m.port.push(transport.Message{From: from, To: to, Class: class, Payload: payload, Trace: tctx}) {
 			m.noteDropped()
 		}
 	}
@@ -700,33 +714,47 @@ func (p *port) kill() {
 	p.cond.Broadcast()
 }
 
+// traceRecv records the message-edge delivery on the local recorder.
+func traceRecv(rank int, msg transport.Message) {
+	size := 0
+	if s, ok := msg.Payload.(transport.Sizer); ok {
+		size = s.TransportSize()
+	}
+	trace.Default().Recv(int32(rank), int32(msg.From), msg.Trace, uint64(size))
+}
+
 // Recv implements transport.Port.
 func (p *port) Recv() (transport.Message, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for len(p.queue) == 0 {
 		if p.killed {
+			p.mu.Unlock()
 			return transport.Message{}, transport.ErrDown
 		}
 		p.cond.Wait()
 	}
 	msg := p.queue[0]
 	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	traceRecv(p.rank, msg)
 	return msg, nil
 }
 
 // TryRecv implements transport.Port.
 func (p *port) TryRecv() (transport.Message, bool, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.killed {
+		p.mu.Unlock()
 		return transport.Message{}, false, transport.ErrDown
 	}
 	if len(p.queue) == 0 {
+		p.mu.Unlock()
 		return transport.Message{}, false, nil
 	}
 	msg := p.queue[0]
 	p.queue = p.queue[1:]
+	p.mu.Unlock()
+	traceRecv(p.rank, msg)
 	return msg, true, nil
 }
 

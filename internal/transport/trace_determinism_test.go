@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"testing"
+
+	"c3/internal/trace"
+)
+
+// traceFingerprint is one event normalized for cross-run comparison: raw
+// sequence numbers, Lamport clocks and span ids all keep counting across
+// runs on the shared in-process recorder, so clocks are rebased on the
+// run's first event and span ids are canonicalized by first occurrence.
+// Virtual timestamps need no normalization — a fresh same-seed scheduler
+// restarts logical time from the same base.
+type traceFingerprint struct {
+	Kind   trace.Kind
+	Phase  trace.Phase
+	Rank   int32
+	Peer   int32
+	ClockD uint64
+	Time   int64
+	Arg    uint64
+	Span   int
+	Parent int
+}
+
+// fingerprintRun executes one seeded ping-ring under a virtual scheduler
+// and returns the normalized trace fingerprint of the events it recorded.
+func fingerprintRun(t *testing.T, seed int64) []traceFingerprint {
+	t.Helper()
+	start := trace.Default().Len()
+	runPingRing(t, 4, 20, NewScheduler(4, seed))
+
+	var run []trace.Event
+	for _, ev := range trace.Default().Snapshot() {
+		if ev.Seq >= start {
+			run = append(run, ev)
+		}
+	}
+	if len(run) == 0 {
+		t.Fatal("run recorded no trace events")
+	}
+
+	base := run[0].Clock
+	spanOrd := map[uint64]int{}
+	ord := func(id uint64) int {
+		if id == 0 {
+			return 0
+		}
+		if _, ok := spanOrd[id]; !ok {
+			spanOrd[id] = len(spanOrd) + 1
+		}
+		return spanOrd[id]
+	}
+	fps := make([]traceFingerprint, len(run))
+	for i, ev := range run {
+		fps[i] = traceFingerprint{
+			Kind: ev.Kind, Phase: ev.Phase, Rank: ev.Rank, Peer: ev.Peer,
+			ClockD: ev.Clock - base, Time: ev.Time, Arg: ev.Arg,
+			Span: ord(ev.Span), Parent: ord(ev.Parent),
+		}
+	}
+	return fps
+}
+
+// TestTraceReplayDeterministic is the tracing half of the replay story:
+// two runs under the same scheduler seed must record byte-identical
+// normalized traces — same event order, same Lamport clock deltas, same
+// virtual timestamps. The network installs the scheduler's virtual clock
+// as the trace timestamp source, so a trace captured from a seeded run is
+// itself a replayable artifact, not a wall-clock-polluted approximation.
+func TestTraceReplayDeterministic(t *testing.T) {
+	defer trace.SetClock(nil)
+
+	first := fingerprintRun(t, 42)
+	for i := 0; i < 2; i++ {
+		again := fingerprintRun(t, 42)
+		if len(again) != len(first) {
+			t.Fatalf("run %d recorded %d events, first run %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d diverged at event %d:\nfirst %+v\nagain %+v", i, j, first[j], again[j])
+			}
+		}
+	}
+
+	// A different seed must yield a different interleaving (otherwise the
+	// fingerprint is insensitive and the assertions above are vacuous).
+	other := fingerprintRun(t, 43)
+	same := len(other) == len(first)
+	if same {
+		for j := range first {
+			if first[j] != other[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical trace fingerprints")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"c3/internal/trace"
 )
 
 // ErrDown is returned by receive operations on a killed or shut-down
@@ -52,11 +54,31 @@ func (c Class) String() string {
 }
 
 // Message is one unit of delivery. Payload is opaque to the transport.
+//
+// Trace is the causal tracing context stamped by the interconnect's send
+// path: the flight-recorder edge span id plus the sender's Lamport clock.
+// It travels with the message (in memory by value, on TCP frames as 16
+// extra header bytes) so the receive path can merge the Lamport clock and
+// record a recv event that cmd/c3trace stitches to the matching send.
 type Message struct {
 	From    int
 	To      int
 	Class   Class
 	Payload any
+	Trace   trace.Ctx
+}
+
+// payloadSize reports the payload's transport size when it exposes one.
+func payloadSize(msg Message) int {
+	if s, ok := msg.Payload.(Sizer); ok {
+		return s.TransportSize()
+	}
+	return 0
+}
+
+// traceRecv records the message-edge delivery on the local recorder.
+func traceRecv(rank int, msg Message) {
+	trace.Default().Recv(int32(rank), int32(msg.From), msg.Trace, uint64(payloadSize(msg)))
 }
 
 // LatencyModel computes the artificial delivery delay for a message of the
@@ -191,6 +213,13 @@ func NewNetwork(n int, opts ...Option) *Network {
 	if nw.sched != nil && len(nw.partPlan) > 0 {
 		nw.sched.ArmPartitions(nw.partPlan, nw.applyPartitionEvent)
 	}
+	if nw.sched != nil {
+		// Virtual worlds timestamp flight-recorder events with the
+		// scheduler's logical clock, so two replays of the same decision
+		// trace record byte-identical per-rank timelines.
+		s := nw.sched
+		trace.SetClock(func() int64 { return s.Now().UnixNano() })
+	}
 	return nw
 }
 
@@ -291,6 +320,10 @@ func (nw *Network) Send(msg Message) error {
 	}
 	nw.stats.DeliveredPayload += uint64(size)
 	nw.statMu.Unlock()
+
+	if msg.Trace.Span == 0 {
+		msg.Trace = trace.Default().Send(int32(msg.From), int32(msg.To), uint64(size))
+	}
 
 	if nw.sched != nil {
 		// Virtual mode: the send is a scheduling point, delivery is
@@ -435,15 +468,17 @@ func (ep *Endpoint) Recv() (Message, error) {
 		return ep.recvVirtual(s)
 	}
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
 	for len(ep.queue) == 0 {
 		if ep.killed {
+			ep.mu.Unlock()
 			return Message{}, ErrDown
 		}
 		ep.cond.Wait()
 	}
 	msg := ep.queue[0]
 	ep.queue = ep.queue[1:]
+	ep.mu.Unlock()
+	traceRecv(ep.rank, msg)
 	return msg, nil
 }
 
@@ -458,6 +493,7 @@ func (ep *Endpoint) recvVirtual(s *Scheduler) (Message, error) {
 			msg := ep.queue[0]
 			ep.queue = ep.queue[1:]
 			ep.mu.Unlock()
+			traceRecv(ep.rank, msg)
 			return msg, nil
 		}
 		killed := ep.killed
@@ -478,15 +514,18 @@ func (ep *Endpoint) TryRecv() (msg Message, ok bool, err error) {
 		s.point(ep.rank)
 	}
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
 	if ep.killed {
+		ep.mu.Unlock()
 		return Message{}, false, ErrDown
 	}
 	if len(ep.queue) == 0 {
+		ep.mu.Unlock()
 		return Message{}, false, nil
 	}
 	msg = ep.queue[0]
 	ep.queue = ep.queue[1:]
+	ep.mu.Unlock()
+	traceRecv(ep.rank, msg)
 	return msg, true, nil
 }
 
