@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec, or all")
+		table   = flag.String("table", "all", "table to regenerate: 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec, scale, or all")
 		class   = flag.String("class", "W", "problem class: S, W, or A")
 		ranks   = flag.String("ranks", "4,8,16", "comma-separated rank counts for parallel tables")
 		kernels = flag.String("kernels", "", "comma-separated kernel subset (default: the paper's set per table)")
@@ -76,7 +76,7 @@ func main() {
 	for _, id := range ids {
 		gen, ok := bench.Generators[id]
 		if !ok {
-			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec)", id)
+			fatalf("unknown table %q (have 1..7, ablation-piggyback, ablation-blocking, ablation-incremental, ablation-async, ablation-codec, scale)", id)
 		}
 		t, err := gen(opts)
 		if err != nil {

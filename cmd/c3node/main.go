@@ -166,6 +166,7 @@ func launcherMain() {
 		codec    = flag.String("codec", "dup", "diskless-store fragment codec: dup (full +1/+2 replication), xor (k+1 single parity), rs (Reed-Solomon k+m)")
 		shards   = flag.Int("shards", 0, "codec data shards k (0 = per-codec default: dup 2, xor 4, rs 4)")
 		parity   = flag.Int("parity", 0, "codec parity shards m (0 = default: rs 2; xor always 1; dup none)")
+		groupSz  = flag.Int("group-size", 0, "two-level topology: partition ranks into checkpoint groups of this many slots (group-local shards + cross-group parity; with -self-heal also group heartbeat rings and delegate relays; 0 = flat)")
 		selfHeal = flag.Bool("self-heal", false, "autonomous recovery: workers detect failures and coordinate; launcher only respawns")
 		spare    = flag.Int("spare", 0, "spare storage-member slots beyond the compute world (elastic membership; requires -self-heal)")
 		opsBase  = flag.Int("ops-base", 0, "embedded ops/metrics HTTP server base port: rank r serves on 127.0.0.1:(base+r); 0 disables (requires -self-heal)")
@@ -228,6 +229,12 @@ func launcherMain() {
 	if *codec != "dup" && *storeDir != "" {
 		fatalf("-codec applies to the diskless replicated store (drop -store)")
 	}
+	if *groupSz < 0 {
+		fatalf("-group-size must be non-negative")
+	}
+	if *groupSz > 0 && *storeDir != "" {
+		fatalf("-group-size applies to the diskless replicated store (drop -store)")
+	}
 
 	capacity := *ranks + *spare
 	cfg := cluster.LaunchConfig{
@@ -267,6 +274,9 @@ func launcherMain() {
 					"-codec", *codec,
 					"-shards", strconv.Itoa(*shards),
 					"-parity", strconv.Itoa(*parity))
+				if *groupSz > 0 {
+					args = append(args, "-group-size", strconv.Itoa(*groupSz))
+				}
 			}
 			if *selfHeal {
 				args = append(args,
@@ -440,6 +450,7 @@ func workerMain() {
 		codec     = fs.String("codec", "dup", "diskless-store fragment codec")
 		shards    = fs.Int("shards", 0, "codec data shards k")
 		parity    = fs.Int("parity", 0, "codec parity shards m")
+		groupSz   = fs.Int("group-size", 0, "checkpoint-group width (0 = flat world)")
 		selfHeal  = fs.Bool("self-heal", false, "autonomous detection and recovery")
 		hb        = fs.Duration("heartbeat", 25*time.Millisecond, "detector heartbeat interval")
 		phi       = fs.Float64("phi", 5, "accrual suspicion threshold")
@@ -496,6 +507,7 @@ func workerMain() {
 	} else {
 		nc.ReplAddrs = splitAddrs(*replPeers)
 		nc.Codec, nc.DataShards, nc.ParityShards = *codec, *shards, *parity
+		nc.GroupSize = *groupSz
 	}
 	if *verbose || os.Getenv("C3NODE_TRACE") != "" {
 		// Structured per-rank prefix with a microsecond timestamp, so the

@@ -632,4 +632,5 @@ var Generators = map[string]func(Options) (*Table, error){
 	"ablation-incremental": AblationIncremental,
 	"ablation-async":       AblationAsync,
 	"ablation-codec":       AblationCodec,
+	"scale":                Scale,
 }

@@ -138,6 +138,14 @@ type NodeConfig struct {
 	// k=4, m=2).
 	DataShards   int
 	ParityShards int
+	// GroupSize partitions the world into checkpoint groups of that many
+	// ring slots (0: flat world). Grouping confines the store's shard
+	// fan-out to group-local successors plus one cross-group parity
+	// holder, and — in self-healing mode — switches the failure detector
+	// to the two-level topology: group-local heartbeat rings, per-group
+	// delegate report trees, and inter-group agreement relayed through
+	// delegates over the transport relay plane.
+	GroupSize int
 	// App is the application main, run once per attempt.
 	App func(Env) error
 	// Args is handed to the application via Env.Args.
@@ -213,6 +221,9 @@ func (cfg *NodeConfig) distOptions() ([]stable.DistOption, error) {
 	}
 	if cfg.QueryRetries > 0 {
 		opts = append(opts, stable.WithQueryRetries(cfg.QueryRetries))
+	}
+	if cfg.GroupSize > 1 {
+		opts = append(opts, stable.WithDistGroupSize(cfg.GroupSize))
 	}
 	return opts, nil
 }
@@ -536,6 +547,13 @@ func (w *node) runSelfHeal() error {
 	demux := transport.NewDemux(rmesh, cfg.Rank)
 	replPlane := demux.Plane(transport.WireKindRepl)
 	detPlane := demux.Plane(transport.WireKindDetect)
+	// Grouped worlds route cross-group detector traffic through delegate
+	// relays instead of opening an all-pairs conversation; the relay plane
+	// must exist before the demux starts dispatching frames.
+	var relay *transport.Relay
+	if cfg.GroupSize > 1 {
+		relay = transport.NewRelay(demux)
+	}
 
 	dopts = append(dopts, stable.WithCommitHook(func(version int) {
 		w.lastLine.Store(int64(version))
@@ -556,6 +574,8 @@ func (w *node) runSelfHeal() error {
 		Net:               detPlane,
 		HeartbeatInterval: sh.HeartbeatInterval,
 		PhiThreshold:      sh.PhiThreshold,
+		GroupSize:         cfg.GroupSize,
+		Relay:             relay,
 		OnEpoch: func(epoch uint64, members member.Set, dead, newDead []int) {
 			epochCh <- epochEvent{epoch: epoch, members: members, dead: dead, newDead: newDead}
 		},
@@ -592,6 +612,10 @@ func (w *node) runSelfHeal() error {
 	demux.SetObservers(det.ObserveRecv, det.ObserveSend)
 	demux.Start()
 	defer demux.Close()
+	if relay != nil {
+		relay.Start()
+		defer relay.Close()
+	}
 	det.Start()
 
 	if cfg.OpsAddr != "" {
@@ -824,7 +848,7 @@ func (w *node) runSelfHeal() error {
 func (w *node) Status() ops.Status {
 	members := w.det.Members()
 	commits, _ := w.dist.CommitStats()
-	return ops.Status{
+	st := ops.Status{
 		Rank:            w.cfg.Rank,
 		World:           w.cfg.Ranks,
 		Capacity:        w.cfg.Capacity,
@@ -839,6 +863,12 @@ func (w *node) Status() ops.Status {
 		Checkpoints:     commits,
 		StoredBytes:     w.dist.StoredBytes(),
 	}
+	if topo := w.det.Topology(); !topo.Flat() {
+		st.GroupSize = w.cfg.GroupSize
+		st.Groups = topo.NumGroups()
+		st.Delegates = topo.Delegates()
+	}
+	return st
 }
 
 // Metrics snapshots this node's counters for GET /metrics.
@@ -859,6 +889,7 @@ func (w *node) Metrics() ops.Metrics {
 		Epoch:           w.det.Epoch(),
 		MembershipEpoch: members.Epoch(),
 		Members:         members.Size(),
+		Groups:          w.det.Topology().NumGroups(),
 		StoredBytes:     w.dist.StoredBytes(),
 		ReplicatedBytes: w.dist.ReplicatedBytes(),
 		Reassemblies:    w.dist.Reassemblies(),

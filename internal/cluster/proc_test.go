@@ -52,6 +52,7 @@ func runProcWorker() {
 		codec     = fs.String("codec", "", "")
 		shards    = fs.Int("shards", 0, "")
 		parity    = fs.Int("parity", 0, "")
+		groupSz   = fs.Int("group-size", 0, "")
 		selfHeal  = fs.Bool("self-heal", false, "")
 		heartbeat = fs.Duration("heartbeat", 15*time.Millisecond, "")
 		phi       = fs.Float64("phi", 6, "")
@@ -100,6 +101,7 @@ func runProcWorker() {
 	}
 	nc.AckTimeout, nc.QueryTimeout, nc.QueryRetries = *ackTO, *queryTO, *queryN
 	nc.Codec, nc.DataShards, nc.ParityShards = *codec, *shards, *parity
+	nc.GroupSize = *groupSz
 	if os.Getenv("C3_TEST_TRACE") != "" {
 		start := time.Now()
 		nc.Log = func(format string, args ...any) {

@@ -29,6 +29,13 @@ type FailureSpec struct {
 	// least this many checkpoints, so failures can be positioned inside
 	// logging phases. 0 means no requirement.
 	AfterCheckpoints int
+	// Correlated lists additional ranks that die at the same instant as
+	// Rank — a whole chassis, switch, or checkpoint group failing as one
+	// fault domain. Their node-local checkpoint state is wiped and they
+	// drop off the interconnect together with the primary victim (the
+	// fault the cross-group parity shard exists to survive). In-process
+	// runtime only; the multi-process runner's real-signal path ignores it.
+	Correlated []int
 }
 
 // Config configures a run.
@@ -394,13 +401,14 @@ func newFailureInjector(specs []FailureSpec) *failureInjector {
 }
 
 // shouldFire is called by every rank at each pragma; it reports whether a
-// failure scheduled for that rank fires here.
-func (f *failureInjector) shouldFire(rank int, epoch uint64) bool {
+// failure scheduled for that rank fires here, and which other ranks die
+// with it (FailureSpec.Correlated).
+func (f *failureInjector) shouldFire(rank int, epoch uint64) (bool, []int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	states := f.specs[rank]
 	if len(states) == 0 {
-		return false
+		return false, nil
 	}
 	for _, st := range states {
 		st.pragmas++
@@ -413,9 +421,9 @@ func (f *failureInjector) shouldFire(rank int, epoch uint64) bool {
 			continue
 		}
 		st.fired = true
-		return true
+		return true, st.spec.Correlated
 	}
-	return false
+	return false, nil
 }
 
 // ckptEnv is the Env implementation backed by the protocol layer.
@@ -438,10 +446,19 @@ type ckptEnv struct {
 // uncommitted line is lost, never half-visible), node-local checkpoint
 // memory is wiped for stores that live on the node, and the rank drops off
 // the interconnect.
-func (e *ckptEnv) injectFailure() error {
+func (e *ckptEnv) injectFailure(correlated []int) error {
 	e.layer.AbortCommits()
 	if nf, ok := e.store.(stable.NodeFailer); ok {
 		nf.FailNode(e.rank)
+		for _, r := range correlated {
+			nf.FailNode(r)
+		}
+	}
+	// Correlated victims drop off the interconnect at the same instant —
+	// their goroutines unwind on the next MPI operation, like hardware
+	// taking a whole fault domain down at once.
+	for _, r := range correlated {
+		e.mpiW.Kill(r)
 	}
 	e.mpiW.Kill(e.rank)
 	return ErrInjectedFailure
@@ -464,23 +481,27 @@ func (e *ckptEnv) Restore() (bool, error) {
 // fireFailure runs the configured failure action: the in-process fail-stop
 // injection by default, or failAction (await a real SIGKILL) in the
 // multi-process runtime.
-func (e *ckptEnv) fireFailure() error {
+func (e *ckptEnv) fireFailure(correlated []int) error {
 	if e.failAction != nil {
 		return e.failAction()
 	}
-	return e.injectFailure()
+	return e.injectFailure(correlated)
 }
 
 func (e *ckptEnv) Checkpoint() error {
-	if e.failer != nil && e.failer.shouldFire(e.rank, e.layer.Epoch()) {
-		return e.fireFailure()
+	if e.failer != nil {
+		if fire, corr := e.failer.shouldFire(e.rank, e.layer.Epoch()); fire {
+			return e.fireFailure(corr)
+		}
 	}
 	return e.layer.Checkpoint(false)
 }
 
 func (e *ckptEnv) CheckpointNow() error {
-	if e.failer != nil && e.failer.shouldFire(e.rank, e.layer.Epoch()) {
-		return e.fireFailure()
+	if e.failer != nil {
+		if fire, corr := e.failer.shouldFire(e.rank, e.layer.Epoch()); fire {
+			return e.fireFailure(corr)
+		}
 	}
 	return e.layer.Checkpoint(true)
 }

@@ -181,6 +181,47 @@ func checkSIGKILLTrace(t *testing.T, traceDir string) {
 	t.Logf("trace: %d events, %d stitched edges, %d orphan recvs", st.Events, st.Stitched, st.OrphanRecvs)
 }
 
+// TestSelfHealingGroupedSIGKILL drives the external-kill scenario through
+// the two-level topology over real TCP: 8 processes in two checkpoint
+// groups of 4, group-local rs shards plus a cross-group parity shard, the
+// detector running group heartbeat rings with delegate reports and the
+// inter-group relay plane. An operator SIGKILL of a non-delegate interior
+// rank must be detected by its group, agreed world-wide through the
+// delegates, and recovered to the failure-free checksums.
+func TestSelfHealingGroupedSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test in -short mode")
+	}
+	const victim = 5 // group 1 interior: ranks 4..7, delegate 4
+	ref := procReference(t, 8)
+	res := launchSelfHeal(t, 8,
+		&cluster.ExternalKillSpec{Rank: victim, AfterCheckpoints: 2},
+		"-every", "2",
+		"-codec", "rs", "-shards", "2", "-parity", "1",
+		"-group-size", "4")
+
+	if res.Restarts != 1 {
+		t.Fatalf("restarts=%d, want exactly 1 respawned process", res.Restarts)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2 (one failure, one recovery)", res.Attempts)
+	}
+	checkProcSums(t, res, ref)
+	for r := 0; r < 8; r++ {
+		stat := res.Stats[r]
+		if statField(t, stat, "epochs") != 2 {
+			t.Errorf("rank %d stat %q: epochs != 2", r, stat)
+		}
+		if statField(t, stat, "restores") != 1 {
+			t.Errorf("rank %d stat %q: restores != 1", r, stat)
+		}
+	}
+	// The replacement rebuilt its checkpoints from group-local shards.
+	if statField(t, res.Stats[victim], "reassemblies") < 1 {
+		t.Errorf("replacement stat %q: checkpoints not reassembled from peers", res.Stats[victim])
+	}
+}
+
 // TestSelfHealingKillBeforeFirstLine: the external kill lands before the
 // victim commits anything. The survivors must still detect, agree, and
 // recover — this time by restarting the whole world from scratch, since no

@@ -17,6 +17,11 @@ const (
 	msgHello                    // a (re)joining rank announces itself
 	msgState                    // membership snapshot, answers hello / catch-up
 	msgDrain                    // request: remove a member at the next epoch
+	// Two-level (grouped) topology messages.
+	msgReport     // delegate report: own group's live set + per-group live counts
+	msgProposeRly // propose relayed through a group delegate (carries origin)
+	msgAckAgg     // delegate's aggregated agreement acks for its group
+	msgCommitRly  // commit relayed through a group delegate (forward to group)
 )
 
 // payload is a detector message on the wire. Like the stable store's
@@ -162,6 +167,97 @@ func decodeDrain(data payload) (epoch uint64, target int, err error) {
 	return epoch, target, r.Err()
 }
 
+// --- Grouped-topology messages ---
+
+// encodeReport is a delegate's periodic liveness report: the live members
+// of its own group (positive evidence for whole-group failure detection)
+// plus its per-group live counts (the world view its group members fence
+// against — a non-delegate only hears cross-group evidence through its
+// delegate).
+func encodeReport(epoch uint64, groups, live []int) payload {
+	w := wire.NewWriter(25 + 8*len(groups) + 8*len(live))
+	w.U8(msgReport)
+	w.U64(epoch)
+	w.Ints(groups)
+	w.Ints(live)
+	return payload(w.Bytes())
+}
+
+func decodeReport(data payload) (epoch uint64, groups, live []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	groups = r.Ints()
+	live = r.Ints()
+	return epoch, groups, live, r.Err()
+}
+
+// encodeProposeRly is a propose routed through a group delegate: origin is
+// the coordinator the acks must reach, and hops=1 asks the receiving
+// delegate to re-broadcast the proposal (with hops=0) to its group and
+// aggregate the group's acks back to origin.
+func encodeProposeRly(epoch, seq uint64, origin int, hops uint8, dead, members []int) payload {
+	w := wire.NewWriter(50 + 8*len(dead) + 8*len(members))
+	w.U8(msgProposeRly)
+	w.U64(epoch)
+	w.U64(seq)
+	w.Int(origin)
+	w.U8(hops)
+	w.Ints(dead)
+	w.Ints(members)
+	return payload(w.Bytes())
+}
+
+func decodeProposeRly(data payload) (epoch, seq uint64, origin int, hops uint8, dead, members []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	seq = r.U64()
+	origin = r.Int()
+	hops = r.U8()
+	dead = r.Ints()
+	members = r.Ints()
+	return epoch, seq, origin, hops, dead, members, r.Err()
+}
+
+// encodeAckAgg carries a delegate's aggregated agreement votes: every group
+// member (delegate included) whose ack for (epoch, seq) the delegate has
+// collected so far. Aggregates are cumulative and idempotent at the
+// coordinator, so retransmissions and reordering are harmless.
+func encodeAckAgg(epoch, seq uint64, ranks []int) payload {
+	w := wire.NewWriter(25 + 8*len(ranks))
+	w.U8(msgAckAgg)
+	w.U64(epoch)
+	w.U64(seq)
+	w.Ints(ranks)
+	return payload(w.Bytes())
+}
+
+func decodeAckAgg(data payload) (epoch, seq uint64, ranks []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	seq = r.U64()
+	ranks = r.Ints()
+	return epoch, seq, ranks, r.Err()
+}
+
+// encodeCommitRly is a commit routed through a group delegate: the receiver
+// applies the epoch and re-broadcasts a plain commit to its (new) group.
+func encodeCommitRly(epoch uint64, dead, members []int) payload {
+	w := wire.NewWriter(32 + 8*len(dead) + 8*len(members))
+	w.U8(msgCommitRly)
+	w.U64(epoch)
+	w.Ints(dead)
+	w.Ints(members)
+	return payload(w.Bytes())
+}
+
+func decodeCommitRly(data payload) (epoch uint64, dead, members []int, err error) {
+	r := wire.NewReader(data[1:])
+	epoch = r.U64()
+	dead = r.Ints()
+	members = r.Ints()
+	return epoch, dead, members, r.Err()
+}
+
 func kindName(k uint8) string {
 	switch k {
 	case msgPing:
@@ -180,6 +276,14 @@ func kindName(k uint8) string {
 		return "state"
 	case msgDrain:
 		return "drain"
+	case msgReport:
+		return "report"
+	case msgProposeRly:
+		return "propose-rly"
+	case msgAckAgg:
+		return "ack-agg"
+	case msgCommitRly:
+		return "commit-rly"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

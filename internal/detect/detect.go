@@ -69,6 +69,19 @@ type Options struct {
 	// ring, and fencing is computed from actual receive evidence. Default
 	// 10 heartbeat intervals.
 	LeaseTimeout time.Duration
+	// GroupSize enables the two-level topology: with g > 1 the membership
+	// is partitioned into member.Topology groups of g consecutive ring
+	// slots, heartbeats and lease pings stay inside the group, and one
+	// runtime delegate per group carries cross-group liveness reports and
+	// agreement relays (see group.go). 0 (or >= world) keeps the flat
+	// protocol.
+	GroupSize int
+	// Relay, when non-nil in a grouped world, routes detector unicasts to
+	// cross-group non-delegates through the destination group's delegate
+	// (two hops), keeping the per-rank connection graph at O(g + world/g).
+	// Without it every send is direct; the protocol is unaffected either
+	// way.
+	Relay *transport.Relay
 	// Clock substitutes a time source (tests); default time.Now.
 	Clock func() time.Time
 	// OnEpoch fires after each committed epoch transition with the agreed
@@ -132,9 +145,13 @@ type Detector struct {
 	threshold float64
 	clock     func() time.Time
 
+	groupSize int              // configured checkpoint-group size (0: flat)
+	relay     *transport.Relay // optional two-hop router for cross-group sends
+
 	mu           sync.Mutex
 	epoch        uint64
 	members      member.Set        // current membership (epoch-stamped)
+	topo         member.Topology   // two-level view of members (flat if groupSize<=1)
 	dead         map[int]bool      // dead members (still members: respawn slots)
 	suspected    map[int]time.Time // rank -> when first suspected
 	pendingJoin  map[int]bool      // non-member slots asking to join
@@ -151,8 +168,16 @@ type Detector struct {
 	fenced       bool // live contact < strict majority of the membership
 	closed       bool
 
+	// Grouped-mode state (see group.go). Indexed by group id; re-derived
+	// at every membership change.
+	gHeard      []time.Time          // last report (or member contact) per remote group
+	gCount      []int                // believed live count per group
+	lastReport  time.Time            // when this delegate last sent its report
+	wasDelegate bool                 // delegate role at the previous tick (trace edges)
+	relayAgg    map[aggKey]*aggState // delegate's cumulative ack aggregation
+
 	sendMu        sync.Mutex
-	senders       map[int]chan payload
+	senders       map[int]chan outFrame
 	sendersClosed bool
 
 	done chan struct{}
@@ -185,6 +210,9 @@ func New(opts Options) (*Detector, error) {
 	if opts.Members.Max() >= opts.Ranks {
 		return nil, fmt.Errorf("detect: member slot %d outside capacity %d", opts.Members.Max(), opts.Ranks)
 	}
+	if opts.GroupSize < 0 {
+		opts.GroupSize = 0
+	}
 	d := &Detector{
 		opts:         opts,
 		self:         opts.Self,
@@ -195,13 +223,16 @@ func New(opts Options) (*Detector, error) {
 		clock:        opts.Clock,
 		epoch:        opts.Members.Epoch(),
 		members:      opts.Members,
+		groupSize:    opts.GroupSize,
+		relay:        opts.Relay,
 		dead:         make(map[int]bool),
 		suspected:    make(map[int]time.Time),
 		pendingJoin:  make(map[int]bool),
 		pendingLeave: make(map[int]bool),
 		monitors:     make(map[int]*Monitor),
 		lastSent:     make(map[int]time.Time),
-		senders:      make(map[int]chan payload),
+		relayAgg:     make(map[aggKey]*aggState),
+		senders:      make(map[int]chan outFrame),
 		done:         make(chan struct{}),
 	}
 	if d.epoch < 1 {
@@ -209,7 +240,8 @@ func New(opts Options) (*Detector, error) {
 	}
 	d.lease = opts.LeaseTimeout
 	now := d.clock()
-	for _, m := range d.members.Successors(d.self, 2) {
+	d.retopoLocked(now)
+	for _, m := range d.monitorWantedLocked() {
 		d.monitors[m] = newMonitor(d.interval, now)
 	}
 	// Startup grace: every peer begins with a fresh lease, so a world that
@@ -277,6 +309,14 @@ func (d *Detector) Members() member.Set {
 	return d.members
 }
 
+// Topology returns the current two-level view of the membership (flat when
+// grouping is disabled).
+func (d *Detector) Topology() member.Topology {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.topo
+}
+
 // Detections returns how many rank deaths have been confirmed by committed
 // epochs so far.
 func (d *Detector) Detections() uint64 {
@@ -324,12 +364,36 @@ func (d *Detector) refenceLocked() func() {
 	if d.members.Contains(d.self) {
 		live++ // self
 	}
-	for _, r := range d.members.Members() {
-		if r == d.self || d.dead[r] {
-			continue
+	if d.groupedLocked() {
+		// Grouped worlds have no all-pairs lease pings: direct contact
+		// evidence covers the group, and the rest of the world counts
+		// through the per-group report lease — a remote group whose report
+		// is fresh contributes its reported live strength.
+		ownGid := d.topo.GroupOf(d.self)
+		for _, r := range d.topo.GroupMembers(ownGid) {
+			if r == d.self || d.dead[r] {
+				continue
+			}
+			if now.Sub(d.lastHeard[r]) <= d.lease {
+				live++
+			}
 		}
-		if now.Sub(d.lastHeard[r]) <= d.lease {
-			live++
+		for gid := 0; gid < d.topo.NumGroups(); gid++ {
+			if gid == ownGid {
+				continue
+			}
+			if now.Sub(d.gHeard[gid]) <= d.lease {
+				live += d.gCount[gid]
+			}
+		}
+	} else {
+		for _, r := range d.members.Members() {
+			if r == d.self || d.dead[r] {
+				continue
+			}
+			if now.Sub(d.lastHeard[r]) <= d.lease {
+				live++
+			}
 		}
 	}
 	size, quorum := d.members.Size(), d.quorum()
@@ -375,6 +439,14 @@ func (d *Detector) ObserveRecv(from int) {
 	now := d.clock()
 	d.mu.Lock()
 	d.lastHeard[from] = now
+	if d.groupedLocked() {
+		// Direct contact from a remote group (a protest ping, a relay hop's
+		// agreement traffic) renews that group's report lease: any member
+		// speaking proves the group is not wholesale dead.
+		if gid := d.topo.GroupOf(from); gid != d.topo.GroupOf(d.self) && gid < len(d.gHeard) {
+			d.gHeard[gid] = now
+		}
+	}
 	if m := d.monitors[from]; m != nil {
 		m.Observe(now)
 	}
@@ -478,9 +550,24 @@ func (d *Detector) logf(format string, args ...any) {
 
 // --- Outbound path ---
 
+// outFrame is one queued detector send: the payload and the intermediate
+// hop it routes through (-1: direct).
+type outFrame struct {
+	p   payload
+	via int
+}
+
 // send enqueues a payload toward a peer on its dedicated worker, so a dead
-// peer's connection stalls never delay heartbeats to live peers.
+// peer's connection stalls never delay heartbeats to live peers. In a
+// grouped world with a relay wired, sends to cross-group non-delegates
+// route through the destination group's runtime delegate.
 func (d *Detector) send(to int, p payload) {
+	via := -1
+	if d.relay != nil {
+		d.mu.Lock()
+		via = d.routeLocked(to)
+		d.mu.Unlock()
+	}
 	d.sendMu.Lock()
 	if d.sendersClosed {
 		d.sendMu.Unlock()
@@ -488,20 +575,24 @@ func (d *Detector) send(to int, p payload) {
 	}
 	ch := d.senders[to]
 	if ch == nil {
-		ch = make(chan payload, 64)
+		ch = make(chan outFrame, 64)
 		d.senders[to] = ch
 		go d.sendWorker(to, ch)
 	}
 	d.sendMu.Unlock()
 	select {
-	case ch <- p:
+	case ch <- outFrame{p: p, via: via}:
 	default: // worker stalled on a dead peer: drop, heartbeats are periodic
 	}
 }
 
-func (d *Detector) sendWorker(to int, ch chan payload) {
-	for p := range ch {
-		_ = d.net.Send(transport.Message{From: d.self, To: to, Class: transport.Control, Payload: p})
+func (d *Detector) sendWorker(to int, ch chan outFrame) {
+	for f := range ch {
+		if f.via >= 0 && d.relay != nil {
+			_ = d.relay.Send(f.via, to, f.p)
+			continue
+		}
+		_ = d.net.Send(transport.Message{From: d.self, To: to, Class: transport.Control, Payload: f.p})
 	}
 }
 
@@ -533,17 +624,24 @@ func (d *Detector) tick() {
 		return
 	}
 	epoch := d.epoch
+	grouped := d.groupedLocked()
 	// Heartbeats to the predecessors that monitor this rank (every
 	// interval), and low-rate lease pings to every other live member so the
 	// whole world keeps receiving positive contact evidence for the fencing
 	// rule. Both are skipped when other traffic already reached the peer
-	// within the window (piggybacking).
+	// within the window (piggybacking). In a grouped world both stay inside
+	// the group — cross-group liveness travels in delegate reports instead,
+	// which is what caps the steady-state send rate at O(g + world/g).
 	isPred := make(map[int]bool, 2)
-	for _, t := range d.members.Predecessors(d.self, 2) {
+	for _, t := range d.hbTargetsLocked() {
 		isPred[t] = true
 	}
+	pingPool := d.members.Members()
+	if grouped {
+		pingPool = d.topo.GroupMembers(d.topo.GroupOf(d.self))
+	}
 	var pings []int
-	for _, t := range d.members.Members() {
+	for _, t := range pingPool {
 		if t == d.self || d.dead[t] {
 			continue
 		}
@@ -588,8 +686,14 @@ func (d *Detector) tick() {
 	// pinging us, so a peer silent past the full lease is as suspect as a
 	// monitored one crossing the phi threshold. A false positive clears the
 	// same way monitor suspicions do (ObserveRecv on the peer's next ping).
+	// Grouped, the lease only covers the group (lease pings stay inside
+	// it); remote groups are covered by report staleness at the delegates.
+	leasePool := d.members.Members()
+	if grouped {
+		leasePool = pingPool
+	}
 	var leaseSuspects []int
-	for _, r := range d.members.Members() {
+	for _, r := range leasePool {
 		if r == d.self || d.dead[r] || d.monitors[r] != nil {
 			continue
 		}
@@ -601,6 +705,10 @@ func (d *Detector) tick() {
 			leaseSuspects = append(leaseSuspects, r)
 		}
 	}
+	// Grouped-mode duties: delegate role transitions, whole-group staleness
+	// suspicion, and the periodic delegate report.
+	report, reportTargets, groupSuspects := d.groupTickLocked(now)
+	leaseSuspects = append(leaseSuspects, groupSuspects...)
 	// Gossip every outstanding suspicion, not just the fresh ones: the send
 	// path is lossy (full worker queue, redial backoff), and the would-be
 	// coordinator may not monitor the victim itself — a one-shot gossip that
@@ -615,11 +723,18 @@ func (d *Detector) tick() {
 	// suspicions are: the send path is lossy and the coordinator may not
 	// have heard the request directly.
 	drains := setToSlice(d.pendingLeave)
-	gossipTargets := d.liveExceptLocked(gossip)
+	// Flat: everyone live. Grouped: the live group plus the other groups'
+	// delegates — the O(g + world/g) fan-out bound.
+	gossipTargets := d.gossipTargetsLocked(gossip)
 	fence := d.refenceLocked()
 	d.mu.Unlock()
 	if fence != nil {
 		fence()
+	}
+	if report != nil {
+		for _, t := range reportTargets {
+			d.send(t, report)
+		}
 	}
 
 	ping := encodePing(epoch)
@@ -794,14 +909,44 @@ func (d *Detector) driveProposal() {
 		d.mu.Unlock()
 		return
 	}
-	msg := encodePropose(p.epoch, p.seq, p.dead, p.members)
-	targets := make([]int, 0, len(p.pending))
-	for r := range p.pending {
-		targets = append(targets, r)
+	// Retransmission targets. Flat: every pending voter directly. Grouped:
+	// own-group voters directly, every remote group through one relayed
+	// propose to its runtime delegate — O(g + world/g) frames per round
+	// instead of O(world). driveProposal runs every tick, so a delegate
+	// dying mid-agreement just redirects the next round's relay to the
+	// group's new runtime delegate.
+	var direct []int
+	relayVias := make(map[int]bool)
+	if d.groupedLocked() {
+		ownGid := d.topo.GroupOf(d.self)
+		for r := range p.pending {
+			gid := d.topo.GroupOf(r)
+			if gid == ownGid {
+				direct = append(direct, r)
+				continue
+			}
+			via := d.delegateOfLocked(gid)
+			if via < 0 || via == d.self {
+				direct = append(direct, r)
+				continue
+			}
+			relayVias[via] = true
+		}
+	} else {
+		for r := range p.pending {
+			direct = append(direct, r)
+		}
 	}
 	d.mu.Unlock()
-	for _, t := range targets {
+	msg := encodePropose(p.epoch, p.seq, p.dead, p.members)
+	for _, t := range direct {
 		d.send(t, msg)
+	}
+	if len(relayVias) > 0 {
+		rly := encodeProposeRly(p.epoch, p.seq, d.self, 1, p.dead, p.members)
+		for _, via := range setToSlice(relayVias) {
+			d.send(via, rly)
+		}
 	}
 }
 
@@ -815,6 +960,7 @@ func (d *Detector) commitProposal(p *proposal) {
 	for _, r := range d.members.Members() {
 		targets[r] = true
 	}
+	grouped := d.groupedLocked()
 	d.mu.Unlock()
 	for _, r := range p.members {
 		targets[r] = true
@@ -824,8 +970,50 @@ func (d *Detector) commitProposal(p *proposal) {
 	}
 	delete(targets, d.self)
 	msg := encodeCommit(p.epoch, p.dead, p.members)
+	if !grouped {
+		for _, r := range setToSlice(targets) {
+			d.send(r, msg)
+		}
+		d.applyEpoch(p.epoch, p.dead, p.members, "agreement")
+		return
+	}
+	// Grouped: direct commits to this rank's group and to slots leaving the
+	// new membership; one relayed commit per remote group, addressed to its
+	// lowest not-dead member under the topology the commit installs (which
+	// re-broadcasts it group-locally, see handleCommitRly). A dropped relay
+	// heals through the report/ping epoch reconciliation.
+	next := member.NewTopology(member.New(p.epoch, p.members), d.groupSize)
+	deadSet := make(map[int]bool, len(p.dead))
+	for _, r := range p.dead {
+		deadSet[r] = true
+	}
+	ownGid := next.GroupOf(d.self)
+	var direct []int
+	vias := make(map[int]bool)
 	for _, r := range setToSlice(targets) {
+		if next.Flat() || !next.Set().Contains(r) || next.GroupOf(r) == ownGid {
+			direct = append(direct, r)
+			continue
+		}
+		via := -1
+		for _, m := range next.GroupMembers(next.GroupOf(r)) {
+			if !deadSet[m] {
+				via = m
+				break
+			}
+		}
+		if via < 0 {
+			direct = append(direct, r)
+			continue
+		}
+		vias[via] = true
+	}
+	rly := encodeCommitRly(p.epoch, p.dead, p.members)
+	for _, r := range direct {
 		d.send(r, msg)
+	}
+	for _, via := range setToSlice(vias) {
+		d.send(via, rly)
 	}
 	d.applyEpoch(p.epoch, p.dead, p.members, "agreement")
 }
@@ -890,10 +1078,19 @@ func (d *Detector) applyEpoch(epoch uint64, dead, members []int, via string) {
 			delete(d.pendingLeave, r)
 		}
 	}
+	// Re-derive the two-level topology for the new membership and reset the
+	// per-group report leases; delegate ack aggregates for epochs at or
+	// below the committed one are settled.
+	d.retopoLocked(now)
+	for k := range d.relayAgg {
+		if k.epoch <= epoch {
+			delete(d.relayAgg, k)
+		}
+	}
 	// Rebuild the monitor ring for the new membership: keep the arrival
 	// history of successors we already watched, start fresh monitors for
 	// new ones, drop the rest.
-	wanted := newMembers.Successors(d.self, 2)
+	wanted := d.monitorWantedLocked()
 	next := make(map[int]*Monitor, len(wanted))
 	for _, m := range wanted {
 		if mon := d.monitors[m]; mon != nil {
@@ -1008,7 +1205,16 @@ func (d *Detector) handle(from int, data payload) {
 			d.send(from, encodeState(cur, deadNow, membersNow))
 			return
 		}
-		if !d.dead[target] && d.members.Contains(target) {
+		adopt := !d.dead[target] && d.members.Contains(target)
+		if adopt && d.groupedLocked() &&
+			d.topo.GroupOf(target) != d.topo.GroupOf(d.self) && !d.amDelegateLocked() {
+			// Non-delegates hold no cross-group suspicions: the clearing
+			// evidence (the target group's reports) only reaches delegates, so
+			// adopting here could strand a stale suspicion forever. The
+			// delegates — who do adopt it — drive the agreement if it is real.
+			adopt = false
+		}
+		if adopt {
 			d.suspectLocked(target, now)
 		}
 		fence := d.refenceLocked()
@@ -1051,6 +1257,30 @@ func (d *Detector) handle(from int, data payload) {
 		if isMember {
 			d.driveProposal()
 		}
+	case msgReport:
+		epoch, groups, live, err := decodeReport(data)
+		if err != nil {
+			return
+		}
+		d.handleReport(from, epoch, groups, live)
+	case msgProposeRly:
+		epoch, seq, origin, hops, dead, members, err := decodeProposeRly(data)
+		if err != nil {
+			return
+		}
+		d.handleProposeRly(from, epoch, seq, origin, hops, dead, members)
+	case msgAckAgg:
+		epoch, seq, ranks, err := decodeAckAgg(data)
+		if err != nil {
+			return
+		}
+		d.handleAckAgg(from, epoch, seq, ranks)
+	case msgCommitRly:
+		epoch, dead, members, err := decodeCommitRly(data)
+		if err != nil {
+			return
+		}
+		d.handleCommitRly(from, epoch, dead, members)
 	case msgState:
 		epoch, dead, members, err := decodeState(data)
 		if err != nil {
@@ -1114,21 +1344,32 @@ func (d *Detector) handlePropose(from int, epoch, seq uint64, dead, members []in
 			return
 		}
 	}
+	if !d.adoptPropose(from, epoch, dead, members) {
+		return
+	}
+	d.send(from, encodeAck(epoch, seq))
+}
+
+// adoptPropose validates a proposal against the local epoch and, when it is
+// the expected next epoch, adopts its suspicions and pending membership
+// changes so our own coordinator logic (should the proposer die
+// mid-agreement) starts from the same dead set and member list. On a
+// mismatch the reconciliation reply (state or hello) goes to origin — the
+// coordinator — whether the proposal arrived directly or through a
+// delegate relay. It reports whether the proposal is ack-worthy.
+func (d *Detector) adoptPropose(origin int, epoch uint64, dead, members []int) bool {
 	d.mu.Lock()
 	cur := d.epoch
 	if epoch != cur+1 {
 		deadNow, membersNow := setToSlice(d.dead), d.members.Members()
 		d.mu.Unlock()
 		if epoch <= cur {
-			d.send(from, encodeState(cur, deadNow, membersNow)) // proposer lags a commit
+			d.send(origin, encodeState(cur, deadNow, membersNow)) // proposer lags a commit
 		} else {
-			d.send(from, encodeHello()) // we lag; fetch the peer's state
+			d.send(origin, encodeHello()) // we lag; fetch the peer's state
 		}
-		return
+		return false
 	}
-	// Adopt the proposal's suspicions and pending membership changes so our
-	// own coordinator logic (should the proposer die mid-agreement) starts
-	// from the same dead set and member list.
 	now := d.clock()
 	for _, r := range dead {
 		if !d.dead[r] && d.members.Contains(r) {
@@ -1151,23 +1392,35 @@ func (d *Detector) handlePropose(from int, epoch, seq uint64, dead, members []in
 	if fence != nil {
 		fence()
 	}
-	d.send(from, encodeAck(epoch, seq))
+	return true
 }
 
 func (d *Detector) handleAck(from int, epoch, seq uint64) {
 	d.mu.Lock()
 	p := d.prop
-	if p == nil || p.epoch != epoch || p.seq != seq || !p.pending[from] {
+	if p != nil && p.epoch == epoch && p.seq == seq && p.pending[from] {
+		delete(p.pending, from)
+		p.acked[from] = true
+		ready := 1+len(p.acked) >= d.quorum()
+		d.mu.Unlock()
+		if ready {
+			d.commitProposal(p)
+		}
+		return
+	}
+	// Delegate path: a group member's vote on a proposal this rank relayed
+	// (handleProposeRly). Fold it into the aggregate and forward the
+	// cumulative set — the coordinator dedups, so resends are harmless.
+	agg := d.relayAgg[aggKey{epoch: epoch, seq: seq}]
+	if agg == nil || agg.acked[from] {
 		d.mu.Unlock()
 		return
 	}
-	delete(p.pending, from)
-	p.acked[from] = true
-	ready := 1+len(p.acked) >= d.quorum()
+	agg.acked[from] = true
+	origin := agg.origin
+	ranks := setToSlice(agg.acked)
 	d.mu.Unlock()
-	if ready {
-		d.commitProposal(p)
-	}
+	d.send(origin, encodeAckAgg(epoch, seq, ranks))
 }
 
 // handleHello marks a (re)joining member alive and answers with the

@@ -64,6 +64,14 @@ type Status struct {
 	Members         []int  `json:"members"`
 	Dead            []int  `json:"dead"`
 	Fenced          bool   `json:"fenced"`
+	// GroupSize is the configured checkpoint-group width (0: flat world);
+	// Groups the number of groups the current membership partitions into,
+	// and Delegates the per-group report delegates (the lowest member of
+	// each group) of the two-level topology. All three are omitted in a
+	// flat world.
+	GroupSize int   `json:"group_size,omitempty"`
+	Groups    int   `json:"groups,omitempty"`
+	Delegates []int `json:"delegates,omitempty"`
 	// Line is the last locally committed recovery line (-1: none yet).
 	Line int `json:"line"`
 	// Checkpoints counts lines committed by this node's store since boot.
@@ -84,6 +92,7 @@ type Metrics struct {
 	Epoch           uint64
 	MembershipEpoch uint64
 	Members         int
+	Groups          int // checkpoint groups in the current topology (1: flat)
 	StoredBytes     int64
 	ReplicatedBytes int64
 	Reassemblies    int64
@@ -175,7 +184,13 @@ func (s *Server) handleLine(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 	st := s.backend.Status()
-	writeJSON(w, map[string]any{"epoch": st.MembershipEpoch, "members": st.Members})
+	m := map[string]any{"epoch": st.MembershipEpoch, "members": st.Members}
+	if st.Groups > 0 {
+		m["group_size"] = st.GroupSize
+		m["groups"] = st.Groups
+		m["delegates"] = st.Delegates
+	}
+	writeJSON(w, m)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -270,6 +285,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("c3_epoch", "agreed recovery epoch", float64(m.Epoch))
 	gauge("c3_membership_epoch", "epoch that installed the current membership", float64(m.MembershipEpoch))
 	gauge("c3_members", "current membership size", float64(m.Members))
+	if m.Groups > 1 {
+		gauge("c3_groups", "checkpoint groups in the current topology", float64(m.Groups))
+	}
 	gauge("c3_attempt", "world launch currently running", float64(m.Attempt))
 	gauge("c3_stored_bytes", "resident stable-storage footprint (own copies plus peer shards)", float64(m.StoredBytes))
 	count("c3_replicated_bytes_total", "fragment bytes shipped to peer nodes", m.ReplicatedBytes)

@@ -20,6 +20,7 @@ import (
 	"c3/internal/ckpt"
 	"c3/internal/cluster"
 	"c3/internal/mpi"
+	"c3/internal/stable"
 )
 
 // Scenario is one stress workload configuration explored under many seeds.
@@ -40,6 +41,25 @@ type Scenario struct {
 	Policy     ckpt.Policy
 	// App builds the workload; nil means StressApp.
 	App func(iters int, sums *sync.Map) func(cluster.Env) error
+	// Store, when non-nil, builds a fresh stable store for every run
+	// (including the reference); nil means the runner's flat in-memory
+	// default. Scenarios that exercise group-structured redundancy —
+	// whole-group loss surviving via the cross-group parity shard — need a
+	// grouped replicated store, and each seed needs its own instance.
+	Store func() stable.Store
+}
+
+// groupedStore is the Store factory the two-level-topology scenarios share:
+// a diskless replicated store over n ranks in groups of g, group-local
+// rs(2,1) shards plus one cross-group parity shard per line.
+func groupedStore(n, g int) func() stable.Store {
+	return func() stable.Store {
+		rs, err := stable.NewCodec("rs", 2, 1)
+		if err != nil {
+			panic(err) // static codec parameters; cannot fail
+		}
+		return stable.NewReplicatedStore(n, stable.WithCodec(rs), stable.WithGroupSize(g))
+	}
 }
 
 func (sc Scenario) app(sums *sync.Map) func(cluster.Env) error {
@@ -146,6 +166,32 @@ var Scenarios = []Scenario{
 		Partitions: []cluster.PartitionSpec{
 			{GroupA: []int{3, 4}, Asymmetric: true, Hold: true, AtStep: 100, Jitter: 250, HealAfterSteps: 250}},
 		Policy: ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true}},
+	// Two-level topology scenarios: 12 ranks in three checkpoint groups of
+	// 4 over a grouped replicated store. group-loss kills group 1 (ranks
+	// 4..7) as one fault domain — every group-local shard of the victims
+	// dies with them, so recovery must reconstruct their lines from the
+	// cross-group parity shards held by groups 0 and 2. The interleaving of
+	// the four simultaneous deaths against in-flight commits varies per
+	// seed.
+	{Name: "group-loss-sync", Ranks: 12, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 5, AtPragma: 5, Correlated: []int{4, 6, 7}}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2},
+		Store:    groupedStore(12, 4)},
+	{Name: "group-loss-async", Ranks: 12, Iters: 12,
+		Failures: []cluster.FailureSpec{{Rank: 5, AtPragma: 5, Correlated: []int{4, 6, 7}}},
+		Policy:   ckpt.Policy{EveryNthPragma: 2, AsyncCommit: true},
+		Store:    groupedStore(12, 4)},
+	// An interior rank of group 1 dies first; then group 1's delegate
+	// (rank 4, its lowest member) dies at the very first pragma of the
+	// recovery attempt, while parts of the world are still agreeing on and
+	// replaying the restored line — the two-level analogue of
+	// failure-in-restore, with the second death hitting the rank that
+	// anchors the group's shard ring.
+	{Name: "delegate-death-during-agree", Ranks: 12, Iters: 12,
+		AttemptFailures: [][]cluster.FailureSpec{
+			{{Rank: 5, AtPragma: 5}}, {{Rank: 4, AtPragma: 1}}},
+		Policy: ckpt.Policy{EveryNthPragma: 2},
+		Store:  groupedStore(12, 4)},
 }
 
 // ScenarioByName looks a scenario up in the registry.
@@ -422,6 +468,10 @@ func Reference(sc Scenario) (map[int]int, error) {
 		App:   sc.app(&sums),
 		Seed:  1,
 	}
+	if sc.Store != nil {
+		cfg.Store = sc.Store()
+		defer closeStore(cfg.Store)
+	}
 	if _, err := cluster.Run(cfg); err != nil {
 		return nil, err
 	}
@@ -467,6 +517,9 @@ func runConfig(sc Scenario, ref map[int]int, cfg cluster.Config) Outcome {
 	cfg.AttemptFailures = sc.AttemptFailures
 	cfg.Partitions = sc.Partitions
 	cfg.Policy = sc.Policy
+	if sc.Store != nil {
+		cfg.Store = sc.Store()
+	}
 
 	out := Outcome{Seed: cfg.Seed}
 	type done struct {
@@ -480,6 +533,10 @@ func runConfig(sc Scenario, ref map[int]int, cfg cluster.Config) Outcome {
 	}()
 	select {
 	case d := <-ch:
+		// Per-scenario stores are released only on this path: a timed-out
+		// run's goroutines are abandoned (see runTimeout) and may still
+		// touch the store, so the timeout branch leaks it along with them.
+		closeStore(cfg.Store)
 		if d.res != nil {
 			out.Attempts = d.res.Attempts
 			out.Schedule = d.res.Schedule
@@ -560,6 +617,14 @@ func Sweep(sc Scenario, ref map[int]int, from, n int64, stopAtFirst bool) SweepR
 		}
 	}
 	return res
+}
+
+// closeStore releases a per-scenario store's background resources; nil and
+// closerless stores are no-ops.
+func closeStore(st stable.Store) {
+	if c, ok := st.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // ErrNotReproducible reports that a recorded schedule no longer fails when

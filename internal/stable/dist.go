@@ -35,6 +35,7 @@ type DistStore struct {
 	n         int
 	fragments int
 	codec     Codec
+	groupSize int // checkpoint group size g; 0 = flat world
 	net       transport.Interconnect
 
 	ackTimeout   time.Duration
@@ -85,6 +86,19 @@ func WithDistFragments(k int) DistOption {
 // copy; any k shards reconstruct the line over the wire.
 func WithDistCodec(codec Codec) DistOption {
 	return func(s *DistStore) { s.codec = codec }
+}
+
+// WithDistGroupSize partitions the world into checkpoint groups of g
+// consecutive ring slots (member.Topology): shards land on group-local
+// successors and every line additionally ships one cross-group parity
+// shard (the whole blob) to the next group, surviving whole-group loss.
+// g <= 1 keeps the flat world.
+func WithDistGroupSize(g int) DistOption {
+	return func(s *DistStore) {
+		if g > 1 {
+			s.groupSize = g
+		}
+	}
 }
 
 // WithAckTimeout bounds how long a commit waits for a neighbor's
@@ -276,6 +290,15 @@ func (s *DistStore) Members() member.Set {
 	return s.members
 }
 
+// Topology returns the checkpoint-group topology placement runs against.
+// Like the membership it derives from, it re-partitions lazily: lines
+// committed before a change stay where the old topology put them.
+func (s *DistStore) Topology() member.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return member.NewTopology(s.members, s.groupSize)
+}
+
 // peerList snapshots the current members excluding self — the sweep set
 // for queries, fetches, and prunes. A joining rank that is not yet a
 // member still sweeps the full member ring it is joining.
@@ -406,6 +429,14 @@ func (h *distHandle) Commit() error {
 	if err != nil {
 		return fmt.Errorf("stable: encode checkpoint (%d,%d): %w", h.rank, h.version, err)
 	}
+	s.mu.Lock()
+	sendPlan, targets, keepLocal, parity := commitPlan(s.codec, h.rank, len(shards), member.NewTopology(s.members, s.groupSize))
+	// units extends the codec shards with the cross-group parity shard
+	// (the whole blob, at index len(shards)) when the topology assigns one.
+	units := shards
+	if parity >= 0 {
+		units = append(append(make([][]byte, 0, len(shards)+1), shards...), blob)
+	}
 	rec := replCommitRec{
 		codec: s.codec.ID(),
 		frags: len(shards),
@@ -413,15 +444,14 @@ func (h *distHandle) Commit() error {
 		total: len(blob),
 		sum:   replSum(blob),
 		sums:  shardSums(shards),
+		cross: parity + 1,
 	}
-	s.mu.Lock()
-	sendPlan, targets, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.members)
 	startEpoch := s.epoch
 	for _, nb := range targets {
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
 		for _, idx := range sendPlan[nb] {
-			s.replicatedBytes += int64(len(shards[idx]))
-			h.stored += int64(len(shards[idx]))
+			s.replicatedBytes += int64(len(units[idx]))
+			h.stored += int64(len(units[idx]))
 		}
 	}
 	s.mu.Unlock()
@@ -433,8 +463,8 @@ func (h *distHandle) Commit() error {
 	var shippedBytes uint64
 	for _, nb := range targets {
 		for _, idx := range sendPlan[nb] {
-			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, rec.codec, len(shards), idx, shards[idx]))
-			shippedBytes += uint64(len(shards[idx]))
+			s.send(nb, transport.Data, encodeReplFrag(h.rank, h.version, 0, rec.codec, len(shards), idx, units[idx]))
+			shippedBytes += uint64(len(units[idx]))
 		}
 		// The marker travels after the fragments on the same FIFO pair, so
 		// a stored marker implies the fragments preceding it arrived.
@@ -453,14 +483,22 @@ func (h *distHandle) Commit() error {
 
 	s.mu.Lock()
 	lostShards := 0
+	parityLost := false
 	wasFenced := false
 	for {
 		pending := 0
 		lostShards = 0
+		parityLost = false
 		for _, nb := range targets {
 			if !s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] {
 				pending++
-				lostShards += len(sendPlan[nb])
+				for _, idx := range sendPlan[nb] {
+					if idx >= len(shards) {
+						parityLost = true
+					} else {
+						lostShards++
+					}
+				}
 			}
 		}
 		if s.interrupted || s.closed || s.epoch != startEpoch {
@@ -507,10 +545,16 @@ func (h *distHandle) Commit() error {
 	// Erasure-coded commits keep no local copy, so the ack-timeout excusal
 	// has a floor: if the unacknowledged holders account for more shards
 	// than the parity budget, the line cannot be reconstructed and success
-	// would let the protocol retire the previous, recoverable line. The
-	// teardown exits (interrupt, epoch advance, shutdown) keep their
-	// legacy semantics — recovery truncates and re-executes those lines.
-	if !keepLocal && !tornDown && len(shards)-lostShards < s.codec.DataShards() {
+	// would let the protocol retire the previous, recoverable line. An
+	// acknowledged cross-group parity shard lifts the floor: it alone
+	// reconstructs the blob, so a correlated *group-dead* loss — every
+	// group-local holder silent at once, far beyond the ≤m individual
+	// losses the ring excusal was built for — is excused the same way a
+	// single dead neighbor is. The teardown exits (interrupt, epoch
+	// advance, shutdown) keep their legacy semantics — recovery truncates
+	// and re-executes those lines.
+	parityAcked := parity >= 0 && !parityLost
+	if !keepLocal && !tornDown && len(shards)-lostShards < s.codec.DataShards() && !parityAcked {
 		return fmt.Errorf("stable: commit (%d,%d) missing acknowledgments for %d of %d shards (codec needs %d)",
 			h.rank, h.version, lostShards, len(shards), s.codec.DataShards())
 	}
@@ -635,7 +679,11 @@ func (s *DistStore) answerQueryLast(reqID uint64, owner int) replPayload {
 			continue
 		}
 		e := distLastEntry{version: key.version, rec: rec}
-		for idx := 0; idx < rec.frags; idx++ {
+		units := rec.frags
+		if _, ok := rec.crossHolder(); ok {
+			units++ // the cross-group parity shard at index rec.frags
+		}
+		for idx := 0; idx < units; idx++ {
 			if _, ok := s.node.frags[replFragKey{owner: owner, version: key.version, idx: idx}]; ok {
 				e.held = append(e.held, idx)
 			}
@@ -727,8 +775,12 @@ func (s *DistStore) queryPeers(owner int) map[int]*remoteLine {
 }
 
 // complete reports whether enough distinct shards of the line were seen
-// somewhere to reconstruct it (all for dup, any k for the erasure codecs).
+// somewhere to reconstruct it (all for dup, any k for the erasure codecs,
+// or the cross-group parity shard alone — the whole-group-loss path).
 func (rl *remoteLine) complete() bool {
+	if _, ok := rl.rec.crossHolder(); ok && len(rl.holders[rl.rec.frags]) > 0 {
+		return true
+	}
 	need := rl.rec.need()
 	avail := 0
 	for idx := 0; idx < rl.rec.frags && avail < need; idx++ {
@@ -795,8 +847,15 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 	}
 	// Fetch shards until the codec can reconstruct; a shard unreachable or
 	// digest-mismatched on every peer counts as lost, which the erasure
-	// codecs tolerate up to their parity count.
-	shards := make([][]byte, rl.rec.frags)
+	// codecs tolerate up to their parity count. When group-local shards
+	// fall short (a whole group died together), the cross-group parity
+	// shard — the whole blob, one group over — is fetched instead.
+	_, hasCross := rl.rec.crossHolder()
+	units := rl.rec.frags
+	if hasCross {
+		units++
+	}
+	shards := make([][]byte, units)
 	valid := 0
 	for idx := 0; idx < rl.rec.frags && valid < rl.rec.need(); idx++ {
 		frag, ok := s.fetchFrag(rank, version, idx, rl.rec)
@@ -805,6 +864,11 @@ func (s *DistStore) Open(rank, version int) (Snapshot, error) {
 		}
 		shards[idx] = frag
 		valid++
+	}
+	if hasCross && valid < rl.rec.need() {
+		if frag, ok := s.fetchFrag(rank, version, rl.rec.frags, rl.rec); ok {
+			shards[rl.rec.frags] = frag
+		}
 	}
 	sections, err := reassembleSections(rl.rec, shards)
 	if err != nil {

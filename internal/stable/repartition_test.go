@@ -112,7 +112,7 @@ func assertPlacement(t *testing.T, s *ReplicatedStore, m member.Set, owner, vers
 	if err != nil {
 		t.Fatalf("owner %d: marker codec: %v", owner, err)
 	}
-	sendPlan, holders, _ := commitPlan(codec, owner, rec.frags, m)
+	sendPlan, holders, _, _ := commitPlan(codec, owner, rec.frags, member.NewTopology(m, 0))
 	for _, h := range holders {
 		if _, ok := s.nodes[h].commits[replCommitKey{owner: owner, version: version}]; !ok {
 			t.Fatalf("owner %d: holder %d missing commit marker under %s", owner, h, m)

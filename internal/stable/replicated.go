@@ -32,9 +32,10 @@ import (
 // layer's asynchronous commit pipeline, the acknowledgment wait happens on
 // the background committer, off the application's critical path.
 type ReplicatedStore struct {
-	n     int
-	codec Codec
-	net   *transport.Network
+	n         int
+	codec     Codec
+	groupSize int // checkpoint group size g; 0 = flat world
+	net       *transport.Network
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -79,6 +80,18 @@ type replCommitRec struct {
 	total int      // original blob length
 	sum   uint64   // FNV digest of the whole blob
 	sums  []uint64 // per-shard FNV digests (corrupt shards count as lost)
+	// cross is the cross-group parity holder's rank plus one (0: no
+	// cross-group shard — flat topology or single group). Under a grouped
+	// topology every codec shard lands inside the owner's group, so a
+	// whole-group loss destroys all k+m of them; the cross-group shard is
+	// one whole-blob redundancy unit at index frags, held one group over,
+	// that keeps the line recoverable through exactly that failure.
+	cross int
+}
+
+// crossHolder returns the cross-group parity holder and whether one exists.
+func (rec replCommitRec) crossHolder() (int, bool) {
+	return rec.cross - 1, rec.cross > 0
 }
 
 // need is the number of distinct valid shards reassembly requires.
@@ -109,6 +122,9 @@ func (rec replCommitRec) sane() bool {
 	if len(rec.sums) != 0 && len(rec.sums) != rec.frags {
 		return false
 	}
+	if rec.cross < 0 || rec.cross > maxWireShards {
+		return false
+	}
 	return true
 }
 
@@ -119,8 +135,13 @@ func (rec replCommitRec) codecOf() (Codec, error) {
 
 // shardValid reports whether a held fragment matches the marker's per-shard
 // digest; markers from the pre-digest era (empty sums) accept any bytes and
-// rely on the whole-blob digest alone.
+// rely on the whole-blob digest alone. Index frags is the cross-group
+// parity shard (when the marker records one): the full blob, validated
+// against the whole-blob digest.
 func (rec replCommitRec) shardValid(idx int, frag []byte) bool {
+	if _, ok := rec.crossHolder(); ok && idx == rec.frags {
+		return len(frag) == rec.total && replSum(frag) == rec.sum
+	}
 	if idx < 0 || idx >= rec.frags {
 		return false
 	}
@@ -167,6 +188,7 @@ type ReplicatedOption func(*replicatedConfig)
 type replicatedConfig struct {
 	fragments int
 	codec     Codec
+	groupSize int
 	netOpts   []transport.Option
 }
 
@@ -185,6 +207,15 @@ func WithFragments(k int) ReplicatedOption {
 // reconstruct the line on demand.
 func WithCodec(codec Codec) ReplicatedOption {
 	return func(c *replicatedConfig) { c.codec = codec }
+}
+
+// WithGroupSize partitions the world into checkpoint groups of g
+// consecutive ring slots (member.Topology): shards stay on group-local
+// successors and every line additionally ships one cross-group parity
+// shard (the whole blob) to the next group, so even losing an entire
+// group at once leaves the line recoverable. g <= 1 keeps the flat world.
+func WithGroupSize(g int) ReplicatedOption {
+	return func(c *replicatedConfig) { c.groupSize = g }
 }
 
 // WithReplicationLatency applies a latency model to the replication
@@ -215,12 +246,13 @@ func NewReplicatedStore(n int, opts ...ReplicatedOption) *ReplicatedStore {
 		panic("stable: erasure codecs need at least one peer rank")
 	}
 	s := &ReplicatedStore{
-		n:        n,
-		codec:    cfg.codec,
-		net:      transport.NewNetwork(n, cfg.netOpts...),
-		members:  member.Launch(n),
-		nodes:    make([]*replNode, n),
-		awaiting: make(map[replAckKey]bool),
+		n:         n,
+		codec:     cfg.codec,
+		groupSize: cfg.groupSize,
+		net:       transport.NewNetwork(n, cfg.netOpts...),
+		members:   member.Launch(n),
+		nodes:     make([]*replNode, n),
+		awaiting:  make(map[replAckKey]bool),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.nodes {
@@ -334,6 +366,19 @@ func (s *ReplicatedStore) Members() member.Set {
 	return s.members
 }
 
+// topology derives the current checkpoint-group topology; callers hold
+// s.mu.
+func (s *ReplicatedStore) topology() member.Topology {
+	return member.NewTopology(s.members, s.groupSize)
+}
+
+// Topology returns the checkpoint-group topology placement runs against.
+func (s *ReplicatedStore) Topology() member.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topology()
+}
+
 // Migrations reports how many committed lines were re-placed by
 // SetMembership.
 func (s *ReplicatedStore) Migrations() int64 {
@@ -368,19 +413,22 @@ func (s *ReplicatedStore) SetMembership(m member.Set) {
 			lines[key] = rec
 		}
 	}
+	topo := s.topology()
 	for key, rec := range lines {
 		if !m.Contains(key.owner) {
 			continue
-		}
-		shards := s.gatherShards(key.owner, key.version, rec)
-		if shards == nil {
-			continue // already below k survivors; nothing to re-place
 		}
 		codec, err := rec.codecOf()
 		if err != nil {
 			continue
 		}
-		sendPlan, holders, _ := commitPlan(codec, key.owner, rec.frags, m)
+		sendPlan, holders, _, parity := commitPlan(codec, key.owner, rec.frags, topo)
+		shards, blob := s.gatherShards(key.owner, key.version, rec, parity >= 0)
+		if shards == nil {
+			continue // already below k survivors; nothing to re-place
+		}
+		oldFrags := rec.frags
+		rec.cross = parity + 1
 		held := make(map[int]bool, len(holders))
 		for _, h := range holders {
 			held[h] = true
@@ -388,11 +436,15 @@ func (s *ReplicatedStore) SetMembership(m member.Set) {
 		for _, nb := range holders {
 			s.nodes[nb].commits[key] = rec
 			for _, idx := range sendPlan[nb] {
-				if shards[idx] == nil {
+				frag := blob // the cross-group parity shard is the blob itself
+				if idx < rec.frags {
+					frag = shards[idx]
+				}
+				if frag == nil {
 					continue // incomplete dup line: move what survives
 				}
 				s.nodes[nb].frags[replFragKey{owner: key.owner, version: key.version, idx: idx}] =
-					append([]byte(nil), shards[idx]...)
+					append([]byte(nil), frag...)
 			}
 		}
 		for r, node := range s.nodes {
@@ -400,7 +452,7 @@ func (s *ReplicatedStore) SetMembership(m member.Set) {
 				continue
 			}
 			delete(node.commits, key)
-			for idx := 0; idx < rec.frags; idx++ {
+			for idx := 0; idx <= oldFrags; idx++ {
 				delete(node.frags, replFragKey{owner: key.owner, version: key.version, idx: idx})
 			}
 		}
@@ -409,11 +461,14 @@ func (s *ReplicatedStore) SetMembership(m member.Set) {
 }
 
 // gatherShards assembles the full digest-valid shard set of one line,
-// reconstructing missing shards through the codec when at least k distinct
-// ones survive. Returns nil when the line is unreconstructible; a
-// reconstruction failure falls back to the surviving shards (nil gaps),
-// which still carry everything the old ring held.
-func (s *ReplicatedStore) gatherShards(owner, version int, rec replCommitRec) [][]byte {
+// reconstructing missing shards through the codec — or from a surviving
+// cross-group parity shard — when possible. It also returns the whole
+// blob when a surviving parity shard supplies it or wantBlob forces a
+// rebuild (the new plan needs a parity shard to install). Returns
+// (nil, nil) when the line is unreconstructible; a reconstruction failure
+// falls back to the surviving shards (nil gaps), which still carry
+// everything the old ring held.
+func (s *ReplicatedStore) gatherShards(owner, version int, rec replCommitRec, wantBlob bool) ([][]byte, []byte) {
 	shards := make([][]byte, rec.frags)
 	valid := 0
 	for idx := range shards {
@@ -422,21 +477,32 @@ func (s *ReplicatedStore) gatherShards(owner, version int, rec replCommitRec) []
 			valid++
 		}
 	}
-	if valid < rec.need() {
-		return nil
+	var blob []byte
+	if _, ok := rec.crossHolder(); ok {
+		if g, found := s.findFrag(owner, version, rec.frags, rec); found {
+			blob = g
+		}
 	}
-	if valid < rec.frags {
-		// Rebuild the missing shards so the new ring starts at full parity.
-		if sections, err := reassembleSections(rec, shards); err == nil {
-			if codec, err := rec.codecOf(); err == nil {
-				blob := encodeReplSections(sections)
-				if full, err := codec.Encode(blob); err == nil && len(full) == rec.frags {
-					return full
-				}
+	if valid < rec.need() && blob == nil {
+		return nil, nil
+	}
+	if valid == rec.frags && (blob != nil || !wantBlob) {
+		return shards, blob
+	}
+	// Rebuild the missing pieces so the new ring starts at full parity.
+	all := shards
+	if blob != nil {
+		all = append(append(make([][]byte, 0, rec.frags+1), shards...), blob)
+	}
+	if sections, err := reassembleSections(rec, all); err == nil {
+		if codec, err := rec.codecOf(); err == nil {
+			b := encodeReplSections(sections)
+			if full, err := codec.Encode(b); err == nil && len(full) == rec.frags {
+				return full, b
 			}
 		}
 	}
-	return shards
+	return shards, blob
 }
 
 // FailNode implements NodeFailer: the node's memory is lost and in-flight
@@ -503,32 +569,54 @@ func shardSums(shards [][]byte) []uint64 {
 }
 
 // commitPlan is the shared placement decision of both diskless stores,
-// computed over the current member ring: for the dup codec every shard
-// goes to both ring successors and the owner keeps a full local copy; for
-// an erasure codec each shard goes to exactly one distinct ring successor
+// computed over the current topology. On a flat (single-group) topology
+// the ring is the whole membership: for the dup codec every shard goes to
+// both ring successors and the owner keeps a full local copy; for an
+// erasure codec each shard goes to exactly one distinct ring successor
 // (rotated placement) and no local copy is kept — the memory saving that
 // is the codec's point. With members 0..n-1 the plan is identical to the
 // fixed-world plan, so existing lines keep their holders until the
 // membership actually changes.
-func commitPlan(codec Codec, owner, shards int, m member.Set) (sendPlan map[int][]int, holders []int, keepLocal bool) {
+//
+// Under a grouped topology the same formulas run over the owner's
+// group-local ring (so commit traffic never leaves the group), and one
+// additional cross-group parity shard — the whole blob, at index shards —
+// is assigned to topo.ParityHolder(owner) in the next group, keeping the
+// line recoverable through a whole-group loss. parity is that holder's
+// rank, or -1 when the topology has a single group.
+func commitPlan(codec Codec, owner, shards int, topo member.Topology) (sendPlan map[int][]int, holders []int, keepLocal bool, parity int) {
+	ring := topo.Set()
+	if !topo.Flat() {
+		ring = topo.GroupSetOf(owner)
+	}
 	if codec.ParityShards() == 0 {
-		holders = m.Successors(owner, 2)
+		holders = ring.Successors(owner, 2)
 		all := make([]int, shards)
 		for i := range all {
 			all[i] = i
 		}
-		sendPlan = make(map[int][]int, len(holders))
+		sendPlan = make(map[int][]int, len(holders)+1)
 		for _, nb := range holders {
 			sendPlan[nb] = all
 		}
-		return sendPlan, holders, true
+		keepLocal = true
+	} else {
+		holderOf, hs := ring.ShardPlan(owner, shards)
+		holders = hs
+		sendPlan = make(map[int][]int, len(holders)+1)
+		for idx, hr := range holderOf {
+			sendPlan[hr] = append(sendPlan[hr], idx)
+		}
 	}
-	holderOf, holders := m.ShardPlan(owner, shards)
-	sendPlan = make(map[int][]int, len(holders))
-	for idx, hr := range holderOf {
-		sendPlan[hr] = append(sendPlan[hr], idx)
+	parity = topo.ParityHolder(owner)
+	if parity == owner {
+		parity = -1
 	}
-	return sendPlan, holders, false
+	if parity >= 0 {
+		sendPlan[parity] = append(sendPlan[parity], shards)
+		holders = append(holders, parity)
+	}
+	return sendPlan, holders, keepLocal, parity
 }
 
 // sectionsBytes sums a checkpoint's raw section sizes.
@@ -557,6 +645,14 @@ func (h *replHandle) Commit() error {
 	if err != nil {
 		return fmt.Errorf("stable: encode checkpoint (%d,%d): %w", h.rank, h.version, err)
 	}
+	s.mu.Lock()
+	sendPlan, holders, keepLocal, parity := commitPlan(s.codec, h.rank, len(shards), s.topology())
+	// units extends the codec shards with the cross-group parity shard
+	// (the whole blob, at index len(shards)) when the topology assigns one.
+	units := shards
+	if parity >= 0 {
+		units = append(append(make([][]byte, 0, len(shards)+1), shards...), blob)
+	}
 	rec := replCommitRec{
 		codec: s.codec.ID(),
 		frags: len(shards),
@@ -564,9 +660,8 @@ func (h *replHandle) Commit() error {
 		total: len(blob),
 		sum:   replSum(blob),
 		sums:  shardSums(shards),
+		cross: parity + 1,
 	}
-	s.mu.Lock()
-	sendPlan, holders, keepLocal := commitPlan(s.codec, h.rank, len(shards), s.members)
 	type target struct {
 		rank int
 		inc  uint64
@@ -576,8 +671,8 @@ func (h *replHandle) Commit() error {
 		targets = append(targets, target{rank: nb, inc: s.nodes[nb].incarnation})
 		s.awaiting[replAckKey{owner: h.rank, version: h.version, from: nb}] = false
 		for _, idx := range sendPlan[nb] {
-			s.replicatedBytes += int64(len(shards[idx]))
-			h.stored += int64(len(shards[idx]))
+			s.replicatedBytes += int64(len(units[idx]))
+			h.stored += int64(len(units[idx]))
 		}
 	}
 	s.mu.Unlock()
@@ -592,7 +687,7 @@ func (h *replHandle) Commit() error {
 	}
 	for _, t := range targets {
 		for _, idx := range sendPlan[t.rank] {
-			msg := encodeReplFrag(h.rank, h.version, t.inc, rec.codec, len(shards), idx, shards[idx])
+			msg := encodeReplFrag(h.rank, h.version, t.inc, rec.codec, len(shards), idx, units[idx])
 			if err := s.net.Send(transport.Message{From: h.rank, To: t.rank, Class: transport.Data, Payload: msg}); err != nil {
 				s.mu.Lock()
 				dropAwaiting()
@@ -640,15 +735,25 @@ func (h *replHandle) Commit() error {
 	// holder whose node failed (even after acking) lost its shards, and if
 	// the survivors cannot supply k shards the line does not exist —
 	// reporting success would let the protocol retire the previous,
-	// recoverable line. (Store shutdown is exempt: the world is going away.)
+	// recoverable line. A surviving cross-group parity shard lifts the
+	// floor: it reconstructs the blob alone, so even a whole group of
+	// failed holders is excused. (Store shutdown is exempt: the world is
+	// going away.)
 	if !s.closed {
 		lost := 0
+		parityOK := false
 		for _, t := range targets {
-			if s.nodes[t.rank].incarnation != t.inc {
-				lost += len(sendPlan[t.rank])
+			failed := s.nodes[t.rank].incarnation != t.inc
+			for _, idx := range sendPlan[t.rank] {
+				switch {
+				case idx >= len(shards):
+					parityOK = !failed
+				case failed:
+					lost++
+				}
 			}
 		}
-		if len(shards)-lost < s.codec.DataShards() {
+		if len(shards)-lost < s.codec.DataShards() && !parityOK {
 			return fmt.Errorf("stable: commit (%d,%d) lost %d of %d shards to failed holders (codec needs %d)",
 				h.rank, h.version, lost, len(shards), s.codec.DataShards())
 		}
@@ -730,11 +835,26 @@ func (s *ReplicatedStore) LastCommitted(rank int) (int, bool, error) {
 		}
 	}
 	for v, rec := range s.peerCommitted(rank) {
-		if (!ok || v > best) && s.shardsAvailable(rank, v, rec) >= rec.need() {
+		if (!ok || v > best) && s.lineRecoverable(rank, v, rec) {
 			best, ok = v, true
 		}
 	}
 	return best, ok, nil
+}
+
+// lineRecoverable reports whether (owner, version) can be reassembled:
+// enough distinct codec shards survive, or the cross-group parity shard
+// does.
+func (s *ReplicatedStore) lineRecoverable(owner, version int, rec replCommitRec) bool {
+	if s.shardsAvailable(owner, version, rec) >= rec.need() {
+		return true
+	}
+	if _, ok := rec.crossHolder(); ok {
+		if _, found := s.findFrag(owner, version, rec.frags, rec); found {
+			return true
+		}
+	}
+	return false
 }
 
 // peerCommitted collects commit markers held on any node for the owner.
@@ -781,7 +901,11 @@ func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: rank %d version %d (no local copy, no peer commit marker)", ErrNotFound, rank, version)
 	}
-	shards := make([][]byte, rec.frags)
+	units := rec.frags
+	if _, hasCross := rec.crossHolder(); hasCross {
+		units++ // the cross-group parity shard at index rec.frags
+	}
+	shards := make([][]byte, units)
 	for idx := range shards {
 		if frag, ok := s.findFrag(rank, version, idx, rec); ok {
 			shards[idx] = frag
@@ -798,8 +922,19 @@ func (s *ReplicatedStore) Open(rank, version int) (Snapshot, error) {
 }
 
 // reassembleSections decodes a shard set against its commit marker: codec
-// reconstruction, whole-blob digest validation, section decode.
+// reconstruction, whole-blob digest validation, section decode. The slice
+// may carry the cross-group parity shard at index rec.frags; a valid one
+// is the blob itself and short-circuits the codec — the whole-group-loss
+// path, where zero group-local shards survive. Decode-around of up to m
+// lost or corrupt group-local shards is unchanged when no parity shard
+// was fetched.
 func reassembleSections(rec replCommitRec, shards [][]byte) (map[string][]byte, error) {
+	if len(shards) > rec.frags {
+		if g := shards[rec.frags]; g != nil && rec.shardValid(rec.frags, g) {
+			return decodeReplSections(g)
+		}
+		shards = shards[:rec.frags]
+	}
 	codec, err := rec.codecOf()
 	if err != nil {
 		return nil, err
@@ -980,6 +1115,7 @@ func writeReplRec(w *wire.Writer, rec replCommitRec) {
 	w.Int(rec.total)
 	w.U64(rec.sum)
 	w.U64s(rec.sums)
+	w.Int(rec.cross)
 }
 
 func readReplRec(r *wire.Reader) replCommitRec {
@@ -990,12 +1126,13 @@ func readReplRec(r *wire.Reader) replCommitRec {
 		total: r.Int(),
 		sum:   r.U64(),
 		sums:  r.U64s(),
+		cross: r.Int(),
 	}
 }
 
 // replRecWireMin is the minimum serialized size of a replCommitRec, for
 // count clamping in repeated decoders.
-const replRecWireMin = 1 + 8 + 8 + 8 + 8 + 4
+const replRecWireMin = 1 + 8 + 8 + 8 + 8 + 4 + 8
 
 func encodeReplCommit(owner, version int, inc uint64, rec replCommitRec) replPayload {
 	w := wire.NewWriter(64 + 8*len(rec.sums))

@@ -65,6 +65,9 @@ const (
 	KindReassemble // rebuilding a lost rank's fragments from peers
 	KindRestore    // recovery-line restore on one rank
 	KindMember     // membership transition (join/drain) applied
+	// Two-level topology (checkpoint groups).
+	KindGroup // group event (arg: packed gid<<32|role — delegate changes, group suspicion)
+	KindRelay // inter-group relay hop (arg: final destination rank)
 	// KindCount is the number of kinds; keep it last.
 	KindCount
 )
@@ -87,6 +90,8 @@ var kindNames = [KindCount]string{
 	KindReassemble: "reassemble",
 	KindRestore:    "restore",
 	KindMember:     "member",
+	KindGroup:      "group",
+	KindRelay:      "relay",
 }
 
 // String returns the kind's lowercase name ("commit", "suspect", ...).

@@ -60,6 +60,26 @@ func (d *Demux) SetObservers(recv func(from int), send func(to int)) {
 	d.mu.Unlock()
 }
 
+// Inject delivers a message straight into the plane registered for kind,
+// as if it had arrived over the shared mesh: the receive observer fires
+// (liveness evidence credited to msg.From — for a relayed frame that is
+// the original sender, not the forwarding hop) and the plane's receivers
+// wake. The relay router uses it to hand unwrapped payloads to their inner
+// plane. It reports whether a plane accepted the message.
+func (d *Demux) Inject(kind uint8, msg Message) bool {
+	d.mu.Lock()
+	recv := d.onRecv
+	plane := d.planes[kind]
+	d.mu.Unlock()
+	if recv != nil {
+		recv(msg.From)
+	}
+	if plane == nil {
+		return false
+	}
+	return plane.port.push(msg)
+}
+
 // Start launches the pump goroutine. It must be called exactly once, after
 // every Plane and SetObservers call.
 func (d *Demux) Start() {

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+const testKindInner uint8 = 210
+
+func init() {
+	RegisterWireDecoder(testKindInner, func(data []byte) (any, error) {
+		return kindedPayload{kind: testKindInner, data: data[0]}, nil
+	})
+}
+
+// relayWorld wires a demux + relay + an inner-kind plane for each rank of
+// one shared network.
+type relayWorld struct {
+	demux  []*Demux
+	relays []*Relay
+	inner  []Interconnect
+}
+
+func newRelayWorld(t *testing.T, n int) *relayWorld {
+	t.Helper()
+	nw := NewNetwork(n)
+	w := &relayWorld{}
+	for r := 0; r < n; r++ {
+		dm := NewDemux(nw, r)
+		w.inner = append(w.inner, dm.Plane(testKindInner))
+		rl := NewRelay(dm)
+		dm.Start()
+		rl.Start()
+		w.demux = append(w.demux, dm)
+		w.relays = append(w.relays, rl)
+	}
+	t.Cleanup(func() {
+		for r := range w.relays {
+			w.relays[r].Close()
+			w.demux[r].Close()
+		}
+	})
+	return w
+}
+
+func (w *relayWorld) recv(t *testing.T, rank int) Message {
+	t.Helper()
+	msg, err := w.inner[rank].Endpoint(rank).Recv()
+	if err != nil {
+		t.Fatalf("rank %d recv: %v", rank, err)
+	}
+	return msg
+}
+
+// TestRelayTwoHop: a payload sent 0 -> via 1 -> 2 arrives on rank 2's
+// inner plane attributed to rank 0 (the original sender keeps the liveness
+// credit), with rank 1 counting the forward and rank 2 the delivery.
+func TestRelayTwoHop(t *testing.T) {
+	w := newRelayWorld(t, 3)
+	if err := w.relays[0].Send(1, 2, kindedPayload{kind: testKindInner, data: 42}); err != nil {
+		t.Fatalf("relay send: %v", err)
+	}
+	msg := w.recv(t, 2)
+	if msg.From != 0 {
+		t.Errorf("relayed message From = %d, want 0 (original sender)", msg.From)
+	}
+	if p := msg.Payload.(kindedPayload); p.data != 42 {
+		t.Errorf("relayed payload = %+v", p)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.relays[1].Forwarded() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := w.relays[1].Forwarded(); got != 1 {
+		t.Errorf("intermediate forwarded = %d, want 1", got)
+	}
+	if got := w.relays[2].Delivered(); got != 1 {
+		t.Errorf("destination delivered = %d, want 1", got)
+	}
+}
+
+// TestRelayShortCircuits: via == self and via == dest skip the middle hop;
+// dest == self never touches the wire at all.
+func TestRelayShortCircuits(t *testing.T) {
+	w := newRelayWorld(t, 3)
+	// via == dest: direct send.
+	if err := w.relays[0].Send(2, 2, kindedPayload{kind: testKindInner, data: 1}); err != nil {
+		t.Fatalf("send via==dest: %v", err)
+	}
+	if msg := w.recv(t, 2); msg.From != 0 || msg.Payload.(kindedPayload).data != 1 {
+		t.Fatalf("via==dest delivery = %+v", msg)
+	}
+	// via == self: direct send.
+	if err := w.relays[0].Send(0, 1, kindedPayload{kind: testKindInner, data: 2}); err != nil {
+		t.Fatalf("send via==self: %v", err)
+	}
+	if msg := w.recv(t, 1); msg.From != 0 || msg.Payload.(kindedPayload).data != 2 {
+		t.Fatalf("via==self delivery = %+v", msg)
+	}
+	// dest == self: local injection.
+	if err := w.relays[1].Send(2, 1, kindedPayload{kind: testKindInner, data: 3}); err != nil {
+		t.Fatalf("send dest==self: %v", err)
+	}
+	if msg := w.recv(t, 1); msg.From != 1 || msg.Payload.(kindedPayload).data != 3 {
+		t.Fatalf("dest==self delivery = %+v", msg)
+	}
+	if f := w.relays[0].Forwarded() + w.relays[1].Forwarded() + w.relays[2].Forwarded(); f != 0 {
+		t.Errorf("short-circuit paths forwarded %d frames, want 0", f)
+	}
+}
+
+// TestRelayHopBudget: a frame whose hop budget is exhausted is dropped at
+// the intermediate instead of orbiting.
+func TestRelayHopBudget(t *testing.T) {
+	w := newRelayWorld(t, 3)
+	inner := kindedPayload{kind: testKindInner, data: 9}
+	p := &RelayPayload{Orig: 0, Dest: 2, Kind: testKindInner, Data: inner.MarshalWire(), Hops: 0}
+	if err := w.demux[0].Plane(WireKindRelay).Send(Message{From: 0, To: 1, Class: Control, Payload: p}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// The live frame below proves the dead one had time to be processed.
+	if err := w.relays[0].Send(1, 2, kindedPayload{kind: testKindInner, data: 10}); err != nil {
+		t.Fatalf("send live: %v", err)
+	}
+	if msg := w.recv(t, 2); msg.Payload.(kindedPayload).data != 10 {
+		t.Fatalf("live frame payload = %+v, want 10 (hops-exhausted frame must not arrive)", msg)
+	}
+	if got := w.relays[2].Delivered(); got != 1 {
+		t.Errorf("destination delivered = %d, want only the live frame", got)
+	}
+}
+
+// TestRelayWireRoundtrip: the relay payload survives its wire encoding
+// (the TCP mesh path).
+func TestRelayWireRoundtrip(t *testing.T) {
+	p := &RelayPayload{Orig: 3, Dest: 7, Kind: testKindInner, Data: []byte{1, 2, 3}, Hops: 2}
+	decoded, err := DecodeWirePayload(WireKindRelay, p.MarshalWire())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := decoded.(*RelayPayload)
+	if got.Orig != 3 || got.Dest != 7 || got.Kind != testKindInner || got.Hops != 2 || len(got.Data) != 3 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}

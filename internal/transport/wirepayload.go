@@ -27,6 +27,10 @@ const (
 	// WireKindDetect is a failure-detector payload — heartbeats, suspicion
 	// gossip, and epoch-agreement messages (registered by internal/detect).
 	WireKindDetect uint8 = 3
+	// WireKindRelay is an inter-group relay envelope: another kind's payload
+	// wrapped with its original sender and final destination, forwarded
+	// through an intermediate rank (registered by this package; see relay.go).
+	WireKindRelay uint8 = 4
 )
 
 // WirePayload is implemented by payloads that can cross a real wire.
